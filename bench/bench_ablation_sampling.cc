@@ -1,0 +1,96 @@
+// Ablation: the two R'-sampling strategies of Section 6.4.
+//
+// By-entity sampling (all tuples of a subset of the input entities)
+// cannot create false negatives — every kept entity carries its
+// valid-predicate tuples — but floods mining with false positives.
+// Uniform per-entity sampling keeps every entity partially, trading
+// false positives for possible false negatives that the relaxed
+// coverage ratio mitigates. This bench quantifies the trade on the
+// augmented TPC-H relation: candidate predicates produced, executions
+// to first valid, and discovery rate, per strategy.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace paleo {
+namespace bench {
+namespace {
+
+struct StrategyStats {
+  double predicates = 0;
+  double executions = 0;
+  double found_pct = 0;
+};
+
+int Run() {
+  Env env;
+  PrintHeader("Ablation: by-entity vs. uniform per-entity sampling "
+              "(augmented TPC-H, max(A), |P|=2, 30%)");
+  Table table = BuildAugmentedTpch(env);
+  Paleo paleo(&table, PaleoOptions{});
+  auto workload = MakeCellWorkload(table, QueryFamily::kMaxA,
+                                   /*predicate_size=*/2, /*k=*/10,
+                                   env.queries_per_cell, env.seed + 400);
+
+  auto run_strategy = [&](bool by_entity) {
+    StrategyStats stats;
+    int n = 0, found = 0;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      const TopKList& list = workload[i].list;
+      uint64_t seed = env.seed + 71 * i;
+      StatusOr<std::vector<RowId>> sample =
+          by_entity ? Sampler::ByEntity(paleo.index(),
+                                        list.DistinctEntities(), 0.30, seed)
+                    : Sampler::UniformPerEntity(paleo.index(),
+                                                list.DistinctEntities(),
+                                                0.30, seed);
+      PALEO_CHECK(sample.ok());
+      PaleoOptions& options = *paleo.mutable_options();
+      options.validation_strategy = ValidationStrategy::kSmart;
+      options.stop_at_first_valid = true;
+      options.max_query_executions = env.max_executions;
+      options.max_predicate_size = 2;
+      // By-entity samples keep complete entities, so full coverage of
+      // the *kept* entities is the right bar; the run still treats R''
+      // as a sample for the suitability model.
+      auto report = paleo.RunOnSample(list, *sample, 0.30,
+                                      /*keep_candidates=*/false,
+                                      by_entity ? 0.30 : -1.0);
+      PALEO_CHECK(report.ok());
+      stats.predicates += static_cast<double>(report->candidate_predicates);
+      if (report->found()) {
+        ++found;
+        stats.executions +=
+            static_cast<double>(report->valid[0].executions_at_discovery);
+      }
+      ++n;
+    }
+    if (n > 0) stats.predicates /= n;
+    if (found > 0) stats.executions /= found;
+    stats.found_pct = n > 0 ? 100.0 * found / n : 0;
+    return stats;
+  };
+
+  StrategyStats uniform = run_strategy(false);
+  StrategyStats by_entity = run_strategy(true);
+  std::printf("%-24s %14s %14s %10s\n", "strategy", "#predicates",
+              "executions", "found");
+  std::printf("%-24s %14.1f %14.1f %9.0f%%\n", "uniform per-entity",
+              uniform.predicates, uniform.executions, uniform.found_pct);
+  std::printf("%-24s %14.1f %14.1f %9.0f%%\n", "by-entity",
+              by_entity.predicates, by_entity.executions,
+              by_entity.found_pct);
+  std::printf(
+      "\nExpected (Section 6.4): by-entity mines more candidate "
+      "predicates (false\npositives from fully kept entities) but "
+      "cannot lose the valid predicate for\nkept entities; uniform "
+      "keeps all entities but risks false negatives.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace paleo
+
+int main() { return paleo::bench::Run(); }

@@ -1,0 +1,104 @@
+// Shared environment knobs and helpers for the experiment binaries.
+//
+// Every bench honors:
+//   PALEO_SF               scale factor of the generated relations
+//                          (default 0.01; the paper runs SF 1)
+//   PALEO_QUERIES_PER_CELL queries per experiment cell (default 3)
+//   PALEO_SEED             master seed (default 42)
+//   PALEO_AUG_MEAN         mean clones/entity for the sampling
+//                          experiments (default 200, as in the paper)
+//   PALEO_MAX_EXECUTIONS   cap on candidate-query executions per run
+//                          (default 2500; 0 = unlimited)
+//
+// Experiment outputs print the same rows/series as the paper's tables
+// and figures; absolute numbers differ with scale, the shapes are the
+// point (see EXPERIMENTS.md).
+
+#ifndef PALEO_BENCH_BENCH_ENV_H_
+#define PALEO_BENCH_BENCH_ENV_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "datagen/augment.h"
+#include "datagen/ssb_gen.h"
+#include "datagen/tpch_gen.h"
+#include "storage/table.h"
+
+namespace paleo {
+namespace bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::strtod(v, nullptr);
+}
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::strtoll(v, nullptr, 10);
+}
+
+struct Env {
+  double scale_factor = EnvDouble("PALEO_SF", 0.01);
+  int queries_per_cell =
+      static_cast<int>(EnvInt("PALEO_QUERIES_PER_CELL", 3));
+  uint64_t seed = static_cast<uint64_t>(EnvInt("PALEO_SEED", 42));
+  // Paper value: 200 clones/entity. Smaller values starve the sampling
+  // experiments — with too few clones a selective predicate's matching
+  // tuples rarely survive the sample, discovery collapses, and every
+  // failed search burns the full execution budget.
+  double augment_mean = EnvDouble("PALEO_AUG_MEAN", 200.0);
+  int64_t max_executions = EnvInt("PALEO_MAX_EXECUTIONS", 2500);
+};
+
+inline Table BuildTpch(const Env& env) {
+  TpchGenOptions options;
+  options.scale_factor = env.scale_factor;
+  options.seed = env.seed;
+  auto table = TpchGen::Generate(options);
+  PALEO_CHECK(table.ok()) << table.status().ToString();
+  return *std::move(table);
+}
+
+inline Table BuildSsb(const Env& env) {
+  SsbGenOptions options;
+  options.scale_factor = env.scale_factor;
+  options.seed = env.seed + 1;
+  auto table = SsbGen::Generate(options);
+  PALEO_CHECK(table.ok()) << table.status().ToString();
+  return *std::move(table);
+}
+
+/// The sampling experiments' relation: TPC-H augmented with per-entity
+/// clones (paper Section 8.1; clone count N(PALEO_AUG_MEAN, mean/4)).
+inline Table BuildAugmentedTpch(const Env& env) {
+  Table base = BuildTpch(env);
+  AugmentOptions options;
+  options.clones_mean = env.augment_mean;
+  options.clones_stddev = env.augment_mean / 4.0;
+  options.seed = env.seed + 7;
+  auto augmented = Augment(base, options);
+  PALEO_CHECK(augmented.ok()) << augmented.status().ToString();
+  return *std::move(augmented);
+}
+
+inline double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================\n");
+}
+
+}  // namespace bench
+}  // namespace paleo
+
+#endif  // PALEO_BENCH_BENCH_ENV_H_

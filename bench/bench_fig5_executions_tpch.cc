@@ -1,0 +1,61 @@
+// Figure 5: number of query executions until the first valid query,
+// with all tuples of R' available, on the TPC-H-like relation —
+// ranked validation vs. the expected unordered baseline
+// (#candidates / #valid), for max(A) and sum(A+B), |P| in {1,2,3}.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace paleo {
+namespace bench {
+namespace {
+
+void RunDataset(const char* name, const Table& table, const Env& env) {
+  Paleo paleo(&table, PaleoOptions{});
+  for (QueryFamily family : {QueryFamily::kMaxA, QueryFamily::kSumAB}) {
+    std::printf("\n[%s] %s\n", name, QueryFamilyToString(family));
+    std::printf("%6s %18s %10s %12s %8s\n", "|P|", "ranked-validation",
+                "expected", "#candidates", "#valid");
+    for (int p = 1; p <= 3; ++p) {
+      auto workload = MakeCellWorkload(table, family, p, /*k=*/10,
+                                       env.queries_per_cell,
+                                       env.seed + static_cast<uint64_t>(p));
+      std::vector<double> ranked, expected, cands, valids;
+      for (const WorkloadQuery& wq : workload) {
+        QueryEval eval =
+            EvaluateFull(&paleo, wq.list, ValidationStrategy::kRanked,
+                         /*count_all_valid=*/true, env.max_executions,
+                         /*max_predicate_size=*/p);
+        if (!eval.found) continue;  // should not happen with full R'
+        ranked.push_back(
+            static_cast<double>(eval.executions_to_first_valid));
+        cands.push_back(static_cast<double>(eval.candidate_queries));
+        valids.push_back(static_cast<double>(eval.valid_queries));
+        expected.push_back(static_cast<double>(eval.candidate_queries) /
+                           static_cast<double>(eval.valid_queries));
+      }
+      std::printf("%6d %18.2f %10.2f %12.1f %8.1f   (n=%zu)\n", p,
+                  Mean(ranked), Mean(expected), Mean(cands), Mean(valids),
+                  ranked.size());
+    }
+  }
+}
+
+int Run() {
+  Env env;
+  PrintHeader("Figure 5: executions until first valid query, full R' "
+              "(TPC-H)");
+  Table tpch = BuildTpch(env);
+  RunDataset("TPC-H", tpch, env);
+  std::printf(
+      "\nExpected shape (paper): ranked needs ~1-2 executions for most "
+      "lists and\nbeats 'expected'; the gap grows with |P|.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace paleo
+
+int main() { return paleo::bench::Run(); }

@@ -1,0 +1,52 @@
+// Figure 6: same experiment as Figure 5 on the SSB-like relation.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace paleo {
+namespace bench {
+namespace {
+
+int Run() {
+  Env env;
+  PrintHeader("Figure 6: executions until first valid query, full R' "
+              "(SSB)");
+  Table ssb = BuildSsb(env);
+  Paleo paleo(&ssb, PaleoOptions{});
+  for (QueryFamily family : {QueryFamily::kMaxA, QueryFamily::kSumAB}) {
+    std::printf("\n[SSB] %s\n", QueryFamilyToString(family));
+    std::printf("%6s %18s %10s %12s %8s\n", "|P|", "ranked-validation",
+                "expected", "#candidates", "#valid");
+    for (int p = 1; p <= 3; ++p) {
+      auto workload = MakeCellWorkload(ssb, family, p, /*k=*/10,
+                                       env.queries_per_cell,
+                                       env.seed + 100 +
+                                           static_cast<uint64_t>(p));
+      std::vector<double> ranked, expected, cands, valids;
+      for (const WorkloadQuery& wq : workload) {
+        QueryEval eval =
+            EvaluateFull(&paleo, wq.list, ValidationStrategy::kRanked,
+                         /*count_all_valid=*/true, env.max_executions,
+                         /*max_predicate_size=*/p);
+        if (!eval.found) continue;
+        ranked.push_back(
+            static_cast<double>(eval.executions_to_first_valid));
+        cands.push_back(static_cast<double>(eval.candidate_queries));
+        valids.push_back(static_cast<double>(eval.valid_queries));
+        expected.push_back(static_cast<double>(eval.candidate_queries) /
+                           static_cast<double>(eval.valid_queries));
+      }
+      std::printf("%6d %18.2f %10.2f %12.1f %8.1f   (n=%zu)\n", p,
+                  Mean(ranked), Mean(expected), Mean(cands), Mean(valids),
+                  ranked.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace paleo
+
+int main() { return paleo::bench::Run(); }

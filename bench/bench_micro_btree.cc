@@ -1,0 +1,94 @@
+// Microbenchmarks for the B+ tree substrate: inserts, point lookups,
+// range scans, and EntityIndex construction.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/traffic_gen.h"
+#include "index/bplus_tree.h"
+#include "index/entity_index.h"
+
+namespace paleo {
+namespace {
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    BPlusTree<int64_t, int64_t> tree;
+    for (int64_t i = 0; i < n; ++i) tree.Insert(i, i);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsertSequential)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<int64_t> keys;
+  Rng rng(7);
+  for (int64_t i = 0; i < n; ++i) {
+    keys.push_back(static_cast<int64_t>(rng.Next()));
+  }
+  for (auto _ : state) {
+    BPlusTree<int64_t, int64_t> tree;
+    for (int64_t k : keys) tree.Insert(k, k);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsertRandom)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BPlusTree<int64_t, int64_t> tree;
+  Rng rng(11);
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t k = static_cast<int64_t>(rng.Next() % (2 * n));
+    keys.push_back(k);
+    tree.Insert(k, i);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(keys[i % keys.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_BTreeScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BPlusTree<int64_t, int64_t> tree;
+  for (int64_t i = 0; i < n; ++i) tree.Insert(i, i);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    tree.Scan(0, n, [&](int64_t, int64_t v) {
+      sum += v;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeScan)->Arg(10000)->Arg(100000);
+
+void BM_EntityIndexBuild(benchmark::State& state) {
+  TrafficGenOptions options;
+  options.num_customers = static_cast<int>(state.range(0));
+  options.months_per_customer = 8;
+  auto table = TrafficGen::Generate(options);
+  for (auto _ : state) {
+    EntityIndex index = EntityIndex::Build(*table);
+    benchmark::DoNotOptimize(index.num_entities());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_EntityIndexBuild)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace paleo

@@ -1,0 +1,104 @@
+// Microbenchmarks for the query executor: full-scan filtering, grouped
+// aggregation, and R'-restricted evaluation (the ablation behind
+// DESIGN.md's "columnar R'" decision — aggregating a tuple-set slice
+// versus scanning the base relation).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_env.h"
+#include "engine/executor.h"
+#include "index/entity_index.h"
+
+namespace paleo {
+namespace {
+
+const Table& SharedTpch() {
+  static Table table = [] {
+    bench::Env env;
+    env.scale_factor = std::min(env.scale_factor, 0.01);
+    return bench::BuildTpch(env);
+  }();
+  return table;
+}
+
+TopKQuery ExampleQuery(const Table& table, AggFn agg) {
+  const Schema& schema = table.schema();
+  TopKQuery q;
+  q.predicate = Predicate::Atom(schema.FieldIndex("s_region"),
+                                Value::String("ASIA"));
+  q.expr = RankExpr::Column(schema.FieldIndex("o_totalprice"));
+  q.agg = agg;
+  q.k = 10;
+  return q;
+}
+
+void BM_ExecutorFullScanMax(benchmark::State& state) {
+  const Table& table = SharedTpch();
+  Executor ex;
+  TopKQuery q = ExampleQuery(table, AggFn::kMax);
+  for (auto _ : state) {
+    auto result = ex.Execute(table, q);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_ExecutorFullScanMax);
+
+void BM_ExecutorFullScanSumTwoColumns(benchmark::State& state) {
+  const Table& table = SharedTpch();
+  const Schema& schema = table.schema();
+  Executor ex;
+  TopKQuery q = ExampleQuery(table, AggFn::kSum);
+  q.expr = RankExpr::Add(schema.FieldIndex("ps_supplycost"),
+                         schema.FieldIndex("ps_availqty"));
+  for (auto _ : state) {
+    auto result = ex.Execute(table, q);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_ExecutorFullScanSumTwoColumns);
+
+void BM_ExecutorOnRPrimeSlice(benchmark::State& state) {
+  // Evaluating a criterion over the in-memory R' slice: the cheap
+  // operation PALEO performs hundreds of times per input list.
+  const Table& table = SharedTpch();
+  EntityIndex index = EntityIndex::Build(table);
+  // ~10 entities' worth of rows.
+  std::vector<std::string> entities;
+  const StringDictionary& dict = *table.entity_column().dict();
+  for (uint32_t c = 0; c < 10 && c < dict.size(); ++c) {
+    entities.push_back(dict.Get(c));
+  }
+  std::vector<RowId> rows = index.LookupAll(entities);
+  Table slice = table.Gather(rows);
+  Executor ex;
+  TopKQuery q = ExampleQuery(table, AggFn::kSum);
+  q.predicate = Predicate();
+  for (auto _ : state) {
+    auto result = ex.Execute(slice, q);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(slice.num_rows()));
+}
+BENCHMARK(BM_ExecutorOnRPrimeSlice);
+
+void BM_CountMatching(benchmark::State& state) {
+  const Table& table = SharedTpch();
+  const Schema& schema = table.schema();
+  Executor ex;
+  Predicate p({{schema.FieldIndex("s_region"), Value::String("ASIA")},
+               {schema.FieldIndex("l_shipmode"), Value::String("TRUCK")}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.CountMatching(table, p));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_CountMatching);
+
+}  // namespace
+}  // namespace paleo

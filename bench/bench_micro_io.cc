@@ -1,0 +1,75 @@
+// Microbenchmarks for relation persistence: CSV vs. the binary format,
+// serialize and parse, plus the CRC cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_env.h"
+#include "io/binary_io.h"
+#include "io/table_io.h"
+
+namespace paleo {
+namespace {
+
+const Table& SharedTable() {
+  static Table table = [] {
+    bench::Env env;
+    env.scale_factor = std::min(env.scale_factor, 0.005);
+    return bench::BuildTpch(env);
+  }();
+  return table;
+}
+
+void BM_CsvSerialize(benchmark::State& state) {
+  const Table& table = SharedTable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TableIo::ToCsv(table));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_CsvSerialize);
+
+void BM_CsvParse(benchmark::State& state) {
+  std::string csv = TableIo::ToCsv(SharedTable());
+  for (auto _ : state) {
+    auto table = TableIo::FromCsv(csv);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvParse);
+
+void BM_BinarySerialize(benchmark::State& state) {
+  const Table& table = SharedTable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinaryIo::Serialize(table));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_BinarySerialize);
+
+void BM_BinaryParse(benchmark::State& state) {
+  std::string bytes = BinaryIo::Serialize(SharedTable());
+  for (auto _ : state) {
+    auto table = BinaryIo::Deserialize(bytes);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_BinaryParse);
+
+void BM_Crc32(benchmark::State& state) {
+  std::string bytes = BinaryIo::Serialize(SharedTable());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(bytes.data(), bytes.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_Crc32);
+
+}  // namespace
+}  // namespace paleo

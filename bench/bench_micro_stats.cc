@@ -1,0 +1,143 @@
+// Microbenchmarks for the statistics substrate and the ranking
+// identification ablation (stats-guided Figure 4 walk vs. pure R'
+// fallback).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_env.h"
+#include "harness.h"
+#include "paleo/predicate_miner.h"
+#include "paleo/ranking_finder.h"
+#include "stats/distance.h"
+
+namespace paleo {
+namespace {
+
+struct StatsFixture {
+  Table table;
+  EntityIndex index;
+  StatsCatalog catalog;
+  TopKList list;
+  RPrime rprime;
+  MiningResult mining;
+
+  static const StatsFixture& Get() {
+    static StatsFixture* fixture = [] {
+      bench::Env env;
+      env.scale_factor = std::min(env.scale_factor, 0.01);
+      Table table = bench::BuildTpch(env);
+      EntityIndex index = EntityIndex::Build(table);
+      StatsCatalog catalog = StatsCatalog::Build(table);
+      auto workload = bench::MakeCellWorkload(
+          table, QueryFamily::kMaxA, /*predicate_size=*/2, /*k=*/10,
+          /*count=*/1, env.seed);
+      PALEO_CHECK(!workload.empty());
+      TopKList list = workload[0].list;
+      auto rprime = RPrime::Build(table, index, list);
+      PALEO_CHECK(rprime.ok());
+      PaleoOptions options;
+      PredicateMiner miner(*rprime, options);
+      auto mining = miner.Mine();
+      PALEO_CHECK(mining.ok());
+      return new StatsFixture{std::move(table),    std::move(index),
+                              std::move(catalog),  std::move(list),
+                              *std::move(rprime),  *std::move(mining)};
+    }();
+    return *fixture;
+  }
+};
+
+void BM_HistogramBuild(benchmark::State& state) {
+  const StatsFixture& f = StatsFixture::Get();
+  int col = f.table.schema().measure_indices()[0];
+  for (auto _ : state) {
+    Histogram h = Histogram::Build(f.table.column(col), 1000);
+    benchmark::DoNotOptimize(h.total_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.table.num_rows()));
+}
+BENCHMARK(BM_HistogramBuild);
+
+void BM_HistogramSample(benchmark::State& state) {
+  const StatsFixture& f = StatsFixture::Get();
+  int col = f.table.schema().measure_indices()[0];
+  Histogram h = Histogram::Build(f.table.column(col), 1000);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Sample(&rng, 100));
+  }
+}
+BENCHMARK(BM_HistogramSample);
+
+void BM_TopEntityListBuild(benchmark::State& state) {
+  const StatsFixture& f = StatsFixture::Get();
+  int col = f.table.schema().measure_indices()[0];
+  for (auto _ : state) {
+    TopEntityList top = TopEntityList::Build(f.table, col, 1000);
+    benchmark::DoNotOptimize(top.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.table.num_rows()));
+}
+BENCHMARK(BM_TopEntityListBuild);
+
+void BM_CatalogBuild(benchmark::State& state) {
+  const StatsFixture& f = StatsFixture::Get();
+  for (auto _ : state) {
+    StatsCatalog catalog = StatsCatalog::Build(f.table);
+    benchmark::DoNotOptimize(catalog.table_rows());
+  }
+}
+BENCHMARK(BM_CatalogBuild);
+
+void BM_RankingStatsGuided(benchmark::State& state) {
+  // The shipped Figure 4 walk: top-entity lists and histograms narrow
+  // the candidate columns before touching R'.
+  const StatsFixture& f = StatsFixture::Get();
+  PaleoOptions options;
+  RankingFinder finder(f.rprime, &f.catalog, options);
+  for (auto _ : state) {
+    auto rankings = finder.Find(f.mining.groups, f.list, true);
+    benchmark::DoNotOptimize(rankings.ok());
+  }
+}
+BENCHMARK(BM_RankingStatsGuided);
+
+void BM_RankingFallbackOnly(benchmark::State& state) {
+  // Ablation: no catalog — every criterion validated over R' directly.
+  const StatsFixture& f = StatsFixture::Get();
+  PaleoOptions options;
+  RankingFinder finder(f.rprime, nullptr, options);
+  for (auto _ : state) {
+    auto rankings = finder.Find(f.mining.groups, f.list, true);
+    benchmark::DoNotOptimize(rankings.ok());
+  }
+}
+BENCHMARK(BM_RankingFallbackOnly);
+
+void BM_KendallTau(benchmark::State& state) {
+  std::vector<std::string> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back("e" + std::to_string(i));
+    b.push_back("e" + std::to_string(100 - i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTauTopK(a, b, 0.5));
+  }
+}
+BENCHMARK(BM_KendallTau);
+
+void BM_EarthMoversDistance(benchmark::State& state) {
+  const StatsFixture& f = StatsFixture::Get();
+  const auto& measures = f.table.schema().measure_indices();
+  Histogram a = Histogram::Build(f.table.column(measures[0]), 1000);
+  Histogram b = Histogram::Build(f.table.column(measures[1]), 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EarthMoversDistance(a, b));
+  }
+}
+BENCHMARK(BM_EarthMoversDistance);
+
+}  // namespace
+}  // namespace paleo

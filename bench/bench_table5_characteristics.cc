@@ -1,0 +1,72 @@
+// Table 5: characteristics of the denormalized relation R for TPC-H
+// and SSB — tuple count, entity count, textual / non-key numerical
+// column counts, and tuples-per-entity statistics.
+
+#include <cstdio>
+
+#include "bench_env.h"
+#include "common/string_util.h"
+#include "index/entity_index.h"
+
+namespace paleo {
+namespace bench {
+namespace {
+
+struct Characteristics {
+  int64_t tuples;
+  int64_t entities;
+  int textual;
+  int numerical;
+  double avg_per_entity;
+  int64_t max_per_entity;
+};
+
+Characteristics Measure(const Table& table) {
+  EntityIndex index = EntityIndex::Build(table);
+  Characteristics c;
+  c.tuples = static_cast<int64_t>(table.num_rows());
+  c.entities = static_cast<int64_t>(index.num_entities());
+  c.textual = table.schema().num_textual_columns();
+  c.numerical = table.schema().num_measure_columns();
+  c.avg_per_entity = index.AvgPostingLength();
+  c.max_per_entity = static_cast<int64_t>(index.MaxPostingLength());
+  return c;
+}
+
+int Run() {
+  Env env;
+  PrintHeader("Table 5: Table R characteristics (PALEO_SF=" +
+              std::to_string(env.scale_factor) + ")");
+  Table tpch = BuildTpch(env);
+  Table ssb = BuildSsb(env);
+  Characteristics a = Measure(tpch);
+  Characteristics b = Measure(ssb);
+
+  std::printf("%-32s %14s %14s\n", "", "TPC-H", "SSB");
+  std::printf("%-32s %14s %14s\n", "# Tuples",
+              WithThousands(a.tuples).c_str(),
+              WithThousands(b.tuples).c_str());
+  std::printf("%-32s %14s %14s\n", "# Entities",
+              WithThousands(a.entities).c_str(),
+              WithThousands(b.entities).c_str());
+  std::printf("%-32s %14d %14d\n", "# Textual columns", a.textual,
+              b.textual);
+  std::printf("%-32s %14d %14d\n", "# Non-key numerical columns",
+              a.numerical, b.numerical);
+  std::printf("%-32s %14.0f %14.0f\n", "# Avg tuples per entity",
+              a.avg_per_entity, b.avg_per_entity);
+  std::printf("%-32s %14s %14s\n", "Highest # tuples per entity",
+              WithThousands(a.max_per_entity).c_str(),
+              WithThousands(b.max_per_entity).c_str());
+  std::printf(
+      "\nPaper (SF 1): 5,313,609 / 6,001,171 tuples; 171,753 / 20,000 "
+      "entities;\n27 / 28 textual; 13 / 20 numerical; 31 / 300 avg; "
+      "187 / 579 max.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace paleo
+
+int main() { return paleo::bench::Run(); }

@@ -1,0 +1,120 @@
+// Experiment harness utilities shared by the figure benches: evaluate
+// one input list under the different validation regimes and aggregate
+// per-cell statistics.
+
+#ifndef PALEO_BENCH_HARNESS_H_
+#define PALEO_BENCH_HARNESS_H_
+
+#include <optional>
+#include <vector>
+
+#include "bench_env.h"
+#include "paleo/paleo.h"
+#include "workload/workload.h"
+
+namespace paleo {
+namespace bench {
+
+/// \brief Everything the figure benches need from one reverse-
+/// engineering run of one input list.
+struct QueryEval {
+  bool found = false;
+  int64_t executions_to_first_valid = 0;
+  int64_t candidate_queries = 0;
+  int64_t candidate_predicates = 0;
+  int64_t tuple_sets = 0;
+  /// Number of valid queries among the candidates (only measured when
+  /// `count_all_valid` was requested — the paper reports it only for
+  /// complete R').
+  int64_t valid_queries = -1;
+  StepTimings timings;
+};
+
+/// Runs PALEO over the full R' for `input`.
+///
+/// `max_predicate_size` caps the apriori search at the experiment
+/// cell's |P|, the paper's protocol (its per-|P| candidate counts are
+/// only consistent with size-capped mining).
+///
+/// With `count_all_valid`, validation enumerates all candidates with
+/// ranked order, yielding both the #valid denominator of the paper's
+/// "expected" baseline and the ranked executions-to-first-valid (the
+/// position of the first valid query is the same whether or not we
+/// stop there).
+inline QueryEval EvaluateFull(Paleo* paleo, const TopKList& input,
+                              ValidationStrategy strategy,
+                              bool count_all_valid,
+                              int64_t max_executions,
+                              int max_predicate_size = 3) {
+  PaleoOptions& options = *paleo->mutable_options();
+  options.max_predicate_size = max_predicate_size;
+  options.include_empty_predicate = false;  // match the paper's counts
+  options.validation_strategy = strategy;
+  options.stop_at_first_valid = !count_all_valid;
+  options.max_query_executions = count_all_valid ? 0 : max_executions;
+  auto report = paleo->Run(input);
+  PALEO_CHECK(report.ok()) << report.status().ToString();
+
+  QueryEval eval;
+  eval.found = report->found();
+  eval.executions_to_first_valid =
+      report->found() ? report->valid.front().executions_at_discovery : 0;
+  eval.candidate_queries = report->candidate_queries;
+  eval.candidate_predicates = report->candidate_predicates;
+  eval.tuple_sets = report->tuple_sets;
+  if (count_all_valid) {
+    eval.valid_queries = static_cast<int64_t>(report->valid.size());
+  }
+  eval.timings = report->timings;
+  return eval;
+}
+
+/// Runs PALEO on a uniform-per-entity sample of R'.
+inline QueryEval EvaluateSampled(Paleo* paleo, const TopKList& input,
+                                 double sample_fraction, uint64_t seed,
+                                 ValidationStrategy strategy,
+                                 int64_t max_executions,
+                                 int max_predicate_size = 3) {
+  PaleoOptions& options = *paleo->mutable_options();
+  options.max_predicate_size = max_predicate_size;
+  options.include_empty_predicate = false;  // match the paper's counts
+  options.validation_strategy = strategy;
+  options.stop_at_first_valid = true;
+  options.max_query_executions = max_executions;
+
+  auto sample = Sampler::UniformPerEntity(
+      paleo->index(), input.DistinctEntities(), sample_fraction, seed);
+  PALEO_CHECK(sample.ok()) << sample.status().ToString();
+  auto report = paleo->RunOnSample(input, *sample, sample_fraction);
+  PALEO_CHECK(report.ok()) << report.status().ToString();
+
+  QueryEval eval;
+  eval.found = report->found();
+  eval.executions_to_first_valid =
+      report->found() ? report->valid.front().executions_at_discovery : 0;
+  eval.candidate_queries = report->candidate_queries;
+  eval.candidate_predicates = report->candidate_predicates;
+  eval.tuple_sets = report->tuple_sets;
+  eval.timings = report->timings;
+  return eval;
+}
+
+/// Generates the per-cell workload used throughout the figures.
+inline std::vector<WorkloadQuery> MakeCellWorkload(
+    const Table& table, QueryFamily family, int predicate_size, int k,
+    int count, uint64_t seed) {
+  WorkloadOptions options;
+  options.families = {family};
+  options.predicate_sizes = {predicate_size};
+  options.ks = {k};
+  options.queries_per_config = count;
+  options.seed = seed;
+  auto workload = WorkloadGen::Generate(table, options);
+  PALEO_CHECK(workload.ok()) << workload.status().ToString();
+  return *std::move(workload);
+}
+
+}  // namespace bench
+}  // namespace paleo
+
+#endif  // PALEO_BENCH_HARNESS_H_

@@ -1,0 +1,169 @@
+// Command-line PALEO: reverse engineer top-k queries from files.
+//
+//   paleo_cli <relation.csv> <topk_list.csv> [options]
+//
+// The relation is either CSV with the self-describing header of
+// io/table_io.h ("name:STRING:ENTITY,state:STRING:DIM,...") or the
+// binary format of io/binary_io.h (detected by magic); the list is
+// "entity,value" rows (optional header). Options:
+//
+//   --all            enumerate all valid queries (default: stop at the
+//                    first one)
+//   --partial        accept approximate matches (Section 3.3)
+//   --max-pred N     cap conjunction size (default 3)
+//   --budget N       cap candidate-query executions (default unlimited)
+//   --sep C          field separator for both files (default ',')
+//   --execute SQL    skip reverse engineering: run the given template
+//                    query over the relation and print its result list
+//                    (the second positional argument is then optional)
+//   --verbose        print a step-by-step explanation of the run
+//
+// Examples (after `cmake --build build`):
+//   ./build/examples/paleo_cli relation.csv list.csv --all
+//   ./build/examples/paleo_cli relation.csv --execute "SELECT name,
+//       max(minutes) FROM R WHERE state = 'CA' GROUP BY name ORDER BY
+//       max(minutes) DESC LIMIT 5" (one line)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "engine/sql_parser.h"
+#include "paleo/explain.h"
+#include "io/binary_io.h"
+#include "io/table_io.h"
+#include "paleo/paleo.h"
+
+namespace {
+
+/// Loads a relation in either format: the binary magic selects
+/// BinaryIo, anything else parses as CSV.
+paleo::StatusOr<paleo::Table> LoadRelation(const std::string& path,
+                                           char sep) {
+  std::ifstream probe(path, std::ios::binary);
+  char magic[4] = {0, 0, 0, 0};
+  probe.read(magic, 4);
+  if (probe.gcount() == 4 && std::memcmp(magic, "PALB", 4) == 0) {
+    return paleo::BinaryIo::ReadFile(path);
+  }
+  return paleo::TableIo::ReadCsvFile(path, sep);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <relation.csv> [<topk_list.csv>] [--all] "
+               "[--partial] [--max-pred N] [--budget N] [--sep C] "
+               "[--execute SQL] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace paleo;
+  if (argc < 2) return Usage(argv[0]);
+  const char* relation_path = argv[1];
+  const char* list_path = nullptr;
+  const char* execute_sql = nullptr;
+  int first_flag = 2;
+  if (argc >= 3 && argv[2][0] != '-') {
+    list_path = argv[2];
+    first_flag = 3;
+  }
+
+  PaleoOptions options;
+  char sep = ',';
+  bool verbose = false;
+  for (int i = first_flag; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--execute") == 0 && i + 1 < argc) {
+      execute_sql = argv[++i];
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      options.stop_at_first_valid = false;
+    } else if (std::strcmp(argv[i], "--partial") == 0) {
+      options.match_mode = MatchMode::kPartial;
+    } else if (std::strcmp(argv[i], "--max-pred") == 0 && i + 1 < argc) {
+      options.max_predicate_size = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      options.max_query_executions = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sep") == 0 && i + 1 < argc) {
+      sep = argv[++i][0];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto table = LoadRelation(relation_path, sep);
+  if (!table.ok()) {
+    std::fprintf(stderr, "failed to load relation: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+
+  if (execute_sql != nullptr) {
+    auto query = ParseTopKQuery(execute_sql, table->schema());
+    if (!query.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    Executor executor;
+    auto result = executor.Execute(*table, *query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "execution error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->ToCsv(sep).c_str());
+    return 0;
+  }
+
+  if (list_path == nullptr) return Usage(argv[0]);
+  std::ifstream list_in(list_path, std::ios::binary);
+  if (!list_in) {
+    std::fprintf(stderr, "cannot open %s\n", list_path);
+    return 1;
+  }
+  std::ostringstream list_buffer;
+  list_buffer << list_in.rdbuf();
+  auto input = TopKList::FromCsv(list_buffer.str(), sep);
+  if (!input.ok()) {
+    std::fprintf(stderr, "failed to parse top-k list: %s\n",
+                 input.status().ToString().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr, "relation: %zu rows, %u entities; input: top-%zu\n",
+               table->num_rows(), table->NumEntities(), input->size());
+
+  Paleo paleo(&*table, options);
+  auto report = paleo.Run(*input, /*keep_candidates=*/verbose);
+  if (!report.ok()) {
+    std::fprintf(stderr, "PALEO failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  if (verbose) {
+    std::fprintf(stderr, "%s",
+                 ExplainReport(*report, table->schema()).c_str());
+  }
+  std::fprintf(stderr,
+               "%lld candidate predicates, %lld tuple sets, %lld candidate "
+               "queries, %lld executions\n",
+               static_cast<long long>(report->candidate_predicates),
+               static_cast<long long>(report->tuple_sets),
+               static_cast<long long>(report->candidate_queries),
+               static_cast<long long>(report->executed_queries));
+  if (!report->found()) {
+    std::printf("no valid query found\n");
+    return 1;
+  }
+  for (const ValidQuery& vq : report->valid) {
+    std::printf("%s\n", vq.query.ToSql(table->schema()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Working on samples of R' (paper Section 6.4), demonstrated on the
+// SSB-like relation whose entities have ~300 tuples each.
+//
+// A hidden max(A) query produces the input list; PALEO then runs on
+// 5%..100% uniform per-entity samples of R'. The demo prints how the
+// candidate predicate count, the suitability model, and the number of
+// validations react to the sample size.
+//
+//   PALEO_SF=0.005 ./build/examples/ssb_sampling
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/ssb_gen.h"
+#include "paleo/paleo.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace paleo;
+
+  const char* sf_env = std::getenv("PALEO_SF");
+  SsbGenOptions gen;
+  gen.scale_factor =
+      sf_env != nullptr ? std::strtod(sf_env, nullptr) : 0.005;
+  std::printf("Generating SSB-like relation (SF %.3f)...\n",
+              gen.scale_factor);
+  auto table = SsbGen::Generate(gen);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("R: %zu rows, %u entities (~%.0f tuples/entity)\n\n",
+              table->num_rows(), table->NumEntities(),
+              static_cast<double>(table->num_rows()) /
+                  table->NumEntities());
+
+  WorkloadOptions wl;
+  wl.families = {QueryFamily::kMaxA};
+  wl.predicate_sizes = {2};
+  wl.ks = {10};
+  wl.queries_per_config = 1;
+  auto workload = WorkloadGen::Generate(*table, wl);
+  if (!workload.ok() || workload->empty()) {
+    std::fprintf(stderr, "workload generation failed\n");
+    return 1;
+  }
+  const WorkloadQuery& hidden = (*workload)[0];
+  std::printf("Hidden query: %s\n\n",
+              hidden.query.ToSql(table->schema()).c_str());
+
+  Paleo paleo(&*table, PaleoOptions{});
+  std::printf("%10s %12s %12s %12s %8s\n", "sample %", "#predicates",
+              "#candidates", "executions", "found");
+  for (double pct : {5.0, 10.0, 20.0, 30.0, 100.0}) {
+    if (pct >= 100.0) {
+      auto report = paleo.Run(hidden.list);
+      if (!report.ok()) continue;
+      std::printf("%10.0f %12lld %12lld %12lld %8s\n", pct,
+                  static_cast<long long>(report->candidate_predicates),
+                  static_cast<long long>(report->candidate_queries),
+                  static_cast<long long>(report->executed_queries),
+                  report->found() ? "yes" : "no");
+      continue;
+    }
+    auto sample = Sampler::UniformPerEntity(
+        paleo.index(), hidden.list.DistinctEntities(), pct / 100.0, 1234);
+    if (!sample.ok()) continue;
+    auto report = paleo.RunOnSample(hidden.list, *sample, pct / 100.0);
+    if (!report.ok()) continue;
+    std::printf("%10.0f %12lld %12lld %12lld %8s\n", pct,
+                static_cast<long long>(report->candidate_predicates),
+                static_cast<long long>(report->candidate_queries),
+                static_cast<long long>(report->executed_queries),
+                report->found() ? "yes" : "no");
+  }
+  std::printf(
+      "\nNote how the relaxed coverage ratio admits more candidate\n"
+      "predicates at small samples, and the suitability ordering still\n"
+      "finds the valid query after few executions.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reverse engineering analytics queries on the TPC-H-like relation.
+//
+// Hides a handful of template queries (including the paper's Table 6
+// example), executes each to obtain its top-k list, then hands only
+// the list to PALEO and reports what it recovers and how many
+// candidate query executions it needed.
+//
+//   PALEO_SF=0.01 ./build/examples/tpch_reverse
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/tpch_gen.h"
+#include "paleo/paleo.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace paleo;
+
+  const char* sf_env = std::getenv("PALEO_SF");
+  TpchGenOptions gen;
+  gen.scale_factor = sf_env != nullptr ? std::strtod(sf_env, nullptr)
+                                       : 0.01;
+  std::printf("Generating TPC-H-like relation (SF %.3f)...\n",
+              gen.scale_factor);
+  auto table = TpchGen::Generate(gen);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("R: %zu rows, %u entities, %d columns\n\n",
+              table->num_rows(), table->NumEntities(),
+              table->num_columns());
+
+  // Hidden queries: the Table 6 example plus generated ones of several
+  // shapes.
+  std::vector<WorkloadQuery> hidden;
+  auto paper = WorkloadGen::PaperExamples(*table, /*ssb=*/false, 5);
+  if (paper.ok()) {
+    for (WorkloadQuery& wq : *paper) {
+      if (wq.list.size() == 5) hidden.push_back(std::move(wq));
+    }
+  }
+  WorkloadOptions wl;
+  wl.families = {QueryFamily::kMaxA, QueryFamily::kAvgA,
+                 QueryFamily::kSumAB};
+  wl.predicate_sizes = {1, 2};
+  wl.ks = {10};
+  wl.queries_per_config = 1;
+  auto generated = WorkloadGen::Generate(*table, wl);
+  if (generated.ok()) {
+    for (WorkloadQuery& wq : *generated) hidden.push_back(std::move(wq));
+  }
+
+  Paleo paleo(&*table, PaleoOptions{});
+  int recovered = 0;
+  for (const WorkloadQuery& wq : hidden) {
+    std::printf("--- %s\n", wq.name.c_str());
+    std::printf("hidden:    %s\n",
+                wq.query.ToSql(table->schema()).c_str());
+    auto report = paleo.Run(wq.list);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   report.status().ToString().c_str());
+      continue;
+    }
+    if (!report->found()) {
+      std::printf("recovered: (none)\n\n");
+      continue;
+    }
+    ++recovered;
+    std::printf("recovered: %s\n",
+                report->valid[0].query.ToSql(table->schema()).c_str());
+    std::printf("           after %lld executions, %lld candidates\n\n",
+                static_cast<long long>(report->executed_queries),
+                static_cast<long long>(report->candidate_queries));
+  }
+  std::printf("Recovered %d / %zu hidden queries.\n", recovered,
+              hidden.size());
+  return recovered == static_cast<int>(hidden.size()) ? 0 : 1;
+}

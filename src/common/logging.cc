@@ -1,0 +1,78 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace paleo {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("PALEO_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  std::string v = ToLower(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warning" || v == "warn") return LogLevel::kWarning;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& LevelRef() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelRef().load()); }
+
+void SetLogLevel(LogLevel level) {
+  LevelRef().store(static_cast<int>(level));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()), level_(level) {
+  if (enabled_) {
+    // Keep only the basename to avoid noisy absolute paths.
+    const char* base = file;
+    for (const char* p = file; *p; ++p)
+      if (*p == '/') base = p + 1;
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+void CheckFailed(const char* condition, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line,
+               condition, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace paleo

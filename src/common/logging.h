@@ -1,0 +1,96 @@
+// Minimal leveled logging plus CHECK macros, in the spirit of
+// glog/Arrow's util/logging.h but with no global configuration beyond a
+// runtime level threshold.
+
+#ifndef PALEO_COMMON_LOGGING_H_
+#define PALEO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace paleo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo,
+/// overridable with the PALEO_LOG_LEVEL environment variable
+/// (debug|info|warning|error), read once at first use.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Prints the failed condition and message to stderr, then aborts.
+[[noreturn]] void CheckFailed(const char* condition, const char* file,
+                              int line, const std::string& msg);
+
+class CheckMessage {
+ public:
+  CheckMessage(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() {
+    CheckFailed(condition_, file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace paleo
+
+#define PALEO_LOG(level)                                          \
+  ::paleo::internal::LogMessage(::paleo::LogLevel::k##level,      \
+                                __FILE__, __LINE__)
+
+/// Fatal assertion on logic errors inside the library (not for user
+/// input validation — that path returns Status).
+#define PALEO_CHECK(cond)                                               \
+  if (cond) {                                                           \
+  } else                                                                \
+    ::paleo::internal::CheckMessage(#cond, __FILE__, __LINE__)
+
+#define PALEO_CHECK_OK(expr)                                     \
+  do {                                                           \
+    ::paleo::Status _st = (expr);                                \
+    PALEO_CHECK(_st.ok()) << _st.ToString();                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define PALEO_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::paleo::internal::CheckMessage(#cond, __FILE__, __LINE__)
+#else
+#define PALEO_DCHECK(cond) PALEO_CHECK(cond)
+#endif
+
+#endif  // PALEO_COMMON_LOGGING_H_

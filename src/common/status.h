@@ -1,0 +1,180 @@
+// Status / StatusOr error model, in the style of Apache Arrow and RocksDB.
+//
+// Library code never throws across public API boundaries: fallible
+// operations return a Status (or a StatusOr<T> when they also produce a
+// value). Callers either handle the error or propagate it with the
+// PALEO_RETURN_NOT_OK / PALEO_ASSIGN_OR_RETURN macros.
+
+#ifndef PALEO_COMMON_STATUS_H_
+#define PALEO_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace paleo {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kTypeError = 5,
+  kUnsupported = 6,
+  kInternal = 7,
+  kIoError = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus, for errors, a
+/// message. The OK status carries no allocation and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so Status copies are cheap; nullptr encodes OK.
+  std::shared_ptr<const State> state_;
+};
+
+/// \brief Either a value of type T or an error Status. Never holds both.
+template <typename T>
+class StatusOr {
+ public:
+  /// Error state. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace paleo
+
+/// Propagates a non-OK Status to the caller.
+#define PALEO_RETURN_NOT_OK(expr)        \
+  do {                                   \
+    ::paleo::Status _st = (expr);        \
+    if (!_st.ok()) return _st;           \
+  } while (false)
+
+#define PALEO_CONCAT_IMPL(x, y) x##y
+#define PALEO_CONCAT(x, y) PALEO_CONCAT_IMPL(x, y)
+
+/// Evaluates a StatusOr expression; on error propagates the Status,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define PALEO_ASSIGN_OR_RETURN(lhs, expr)                     \
+  PALEO_ASSIGN_OR_RETURN_IMPL(                                \
+      PALEO_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+#define PALEO_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#endif  // PALEO_COMMON_STATUS_H_

@@ -1,0 +1,107 @@
+#include "common/string_util.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace paleo {
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n' ||
+                   s[b] == '\r'))
+    ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n' ||
+                   s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    if (c >= 'a' && c <= 'z') c -= 'a' - 'A';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  // %.17g round-trips but is noisy; try shorter forms first.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = std::strtod(buf, nullptr);
+    if (back == v || !std::isfinite(v)) break;
+  }
+  return buf;
+}
+
+std::string WithThousands(int64_t n) {
+  char digits[32];
+  bool neg = n < 0;
+  uint64_t u = neg ? (~static_cast<uint64_t>(n) + 1) : static_cast<uint64_t>(n);
+  std::snprintf(digits, sizeof(digits), "%llu",
+                static_cast<unsigned long long>(u));
+  std::string raw = digits;
+  std::string out;
+  size_t n_digits = raw.size();
+  for (size_t i = 0; i < n_digits; ++i) {
+    if (i != 0 && (n_digits - i) % 3 == 0) out += ',';
+    out += raw[i];
+  }
+  return neg ? "-" + out : out;
+}
+
+std::string SqlQuote(std::string_view s) {
+  std::string out = "'";
+  for (char c : s) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace paleo

@@ -1,0 +1,41 @@
+// Small string helpers shared across modules.
+
+#ifndef PALEO_COMMON_STRING_UTIL_H_
+#define PALEO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paleo {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Formats a double the way the engine renders values in SQL text and
+/// result listings: integral values without a decimal point, otherwise
+/// shortest round-trip representation.
+std::string FormatDouble(double v);
+
+/// Renders n with thousands separators ("5313609" -> "5,313,609"), as in
+/// the paper's Table 5.
+std::string WithThousands(int64_t n);
+
+/// SQL string literal with single quotes doubled ('O''Neal').
+std::string SqlQuote(std::string_view s);
+
+}  // namespace paleo
+
+#endif  // PALEO_COMMON_STRING_UTIL_H_

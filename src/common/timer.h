@@ -1,0 +1,37 @@
+// Wall-clock stopwatch used by the experiment harness (Figure 7 step
+// timings) and the examples.
+
+#ifndef PALEO_COMMON_TIMER_H_
+#define PALEO_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace paleo {
+
+/// \brief Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_COMMON_TIMER_H_

@@ -1,0 +1,118 @@
+#include "datagen/augment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace paleo {
+
+StatusOr<Table> Augment(const Table& table, const AugmentOptions& options) {
+  if (options.clones_stddev < 0.0) {
+    return Status::InvalidArgument("clones_stddev must be non-negative");
+  }
+  Rng rng(options.seed);
+  const Schema& schema = table.schema();
+  const Column& entities = table.entity_column();
+
+  // Bucket rows by entity code.
+  std::vector<std::vector<RowId>> rows_of(entities.dict()->size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    rows_of[entities.CodeAt(static_cast<RowId>(r))].push_back(
+        static_cast<RowId>(r));
+  }
+
+  // The output starts as a gather of all original rows (sharing
+  // dictionaries), then clones are appended column-wise.
+  std::vector<RowId> all_rows(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r)
+    all_rows[r] = static_cast<RowId>(r);
+  Table out = table.Gather(all_rows);
+
+  std::vector<int> measure_cols = schema.measure_indices();
+  std::vector<bool> is_measure(static_cast<size_t>(schema.num_fields()),
+                               false);
+  for (int m : measure_cols) is_measure[static_cast<size_t>(m)] = true;
+
+  for (const std::vector<RowId>& entity_rows : rows_of) {
+    if (entity_rows.empty()) continue;
+    int n = static_cast<int>(
+        std::lround(rng.Gaussian(options.clones_mean, options.clones_stddev)));
+    n = std::max(0, n);
+    for (int i = 0; i < n; ++i) {
+      RowId src = entity_rows[static_cast<size_t>(
+          rng.Uniform(entity_rows.size()))];
+      for (int c = 0; c < schema.num_fields(); ++c) {
+        const Column& in_col = table.column(c);
+        Column* out_col = out.mutable_column(c);
+        if (!is_measure[static_cast<size_t>(c)]) {
+          switch (in_col.type()) {
+            case DataType::kString:
+              out_col->AppendCode(in_col.CodeAt(src));
+              break;
+            case DataType::kInt64:
+              out_col->AppendInt64(in_col.Int64At(src));
+              break;
+            case DataType::kDouble:
+              out_col->AppendDouble(in_col.DoubleAt(src));
+              break;
+          }
+          continue;
+        }
+        // Perturb measures: v' = v + v * |m|, m ~ N(0.5, 0.5).
+        double m = std::abs(rng.Gaussian(0.5, 0.5));
+        double v = in_col.NumericAt(src);
+        double perturbed = v + v * m;
+        if (in_col.type() == DataType::kInt64) {
+          out_col->AppendInt64(static_cast<int64_t>(std::llround(perturbed)));
+        } else {
+          out_col->AppendDouble(std::round(perturbed * 100.0) / 100.0);
+        }
+      }
+    }
+  }
+  PALEO_RETURN_NOT_OK(out.CheckConsistent());
+  return out;
+}
+
+StatusOr<Table> PerturbDimensions(const Table& table,
+                                  const PerturbOptions& options) {
+  if (options.row_change_probability < 0.0 ||
+      options.row_change_probability > 1.0) {
+    return Status::InvalidArgument(
+        "row_change_probability must be within [0, 1]");
+  }
+  Rng rng(options.seed);
+  const Schema& schema = table.schema();
+  const std::vector<int>& dims = schema.dimension_indices();
+
+  std::vector<RowId> all_rows(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r)
+    all_rows[r] = static_cast<RowId>(r);
+  Table out = table.Gather(all_rows);
+  if (dims.empty()) return out;
+
+  // Value pools per dimension column, drawn from the data itself.
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    if (!rng.Bernoulli(options.row_change_probability)) continue;
+    int dim = dims[static_cast<size_t>(rng.Uniform(dims.size()))];
+    Column* col = out.mutable_column(dim);
+    RowId donor =
+        static_cast<RowId>(rng.Uniform(static_cast<uint64_t>(out.num_rows())));
+    switch (col->type()) {
+      case DataType::kString:
+        col->SetCode(static_cast<RowId>(r), col->CodeAt(donor));
+        break;
+      case DataType::kInt64:
+        col->SetInt64(static_cast<RowId>(r), col->Int64At(donor));
+        break;
+      case DataType::kDouble:
+        col->SetDouble(static_cast<RowId>(r), col->DoubleAt(donor));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace paleo

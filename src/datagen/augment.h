@@ -1,0 +1,54 @@
+// Data augmentation for the sampling experiments (paper Section 8.1)
+// and simulation of "variations of R" (Section 6).
+//
+// The paper's TPC-H instance has too few tuples per entity for
+// meaningful sampling, so it is augmented: clones of existing tuples
+// are added with identical textual values and numeric values perturbed
+// as v' = v + v * |m|, m ~ N(0.5, 0.5), with the clone count drawn
+// from N(200, 50). Augment() applies that rule per entity (adding
+// n clones of randomly chosen tuples of the entity), which keeps the
+// output size linear in the number of entities.
+
+#ifndef PALEO_DATAGEN_AUGMENT_H_
+#define PALEO_DATAGEN_AUGMENT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief Options for clone-based augmentation.
+struct AugmentOptions {
+  /// Mean / stddev of the per-entity clone count (paper: 200 / 50).
+  double clones_mean = 200.0;
+  double clones_stddev = 50.0;
+  uint64_t seed = 99;
+};
+
+/// \brief Options for dimension perturbation (simulating updates to R).
+struct PerturbOptions {
+  /// Probability that a given row gets one dimension value rewritten.
+  double row_change_probability = 0.1;
+  uint64_t seed = 17;
+};
+
+/// Returns a new table containing all rows of `table` plus, per entity,
+/// n ~ N(clones_mean, clones_stddev) clones (n clamped to >= 0) of
+/// uniformly chosen rows of that entity. Clones copy every non-measure
+/// column and perturb each measure as v' = v + v * |m|, m ~ N(0.5,0.5)
+/// (integer measures are rounded).
+StatusOr<Table> Augment(const Table& table, const AugmentOptions& options);
+
+/// Returns a copy of `table` where each row, with the configured
+/// probability, has one randomly chosen dimension column rewritten to
+/// another value drawn from that column's value domain. Models the
+/// paper's changed-data scenario (inserts/updates/deletes between the
+/// input list's creation and the reverse-engineering run).
+StatusOr<Table> PerturbDimensions(const Table& table,
+                                  const PerturbOptions& options);
+
+}  // namespace paleo
+
+#endif  // PALEO_DATAGEN_AUGMENT_H_

@@ -1,0 +1,44 @@
+// SSB-like (Star Schema Benchmark) denormalized single-relation
+// generator.
+//
+// The paper joins lineorder with its customer, supplier, part, and
+// date dimensions into one 60-column relation (28 textual, 20 non-key
+// numeric) with c_name as the entity column. SSB's salient property
+// versus TPC-H — many more tuples per entity (avg 300, max 579 at
+// SF 1) — is reproduced by the default sizing: ~75 orders per customer
+// with ~4 lines each. d_year is generated as an Int64 *dimension*
+// column, so predicates like d_year = 1995 (Table 6) are minable.
+
+#ifndef PALEO_DATAGEN_SSB_GEN_H_
+#define PALEO_DATAGEN_SSB_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief Generator options for the SSB-like relation.
+struct SsbGenOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 43;
+};
+
+/// \brief Generates the denormalized SSB-like relation.
+class SsbGen {
+ public:
+  /// The 60-column schema (1 entity + 28 textual dims + 1 int dim
+  /// (d_year) + 20 measures + 10 keys).
+  static Schema MakeSchema();
+
+  static StatusOr<Table> Generate(const SsbGenOptions& options);
+
+  static int NumCustomers(double sf);
+  static int NumParts(double sf);
+  static int NumSuppliers(double sf);
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_DATAGEN_SSB_GEN_H_

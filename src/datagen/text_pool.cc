@@ -1,0 +1,209 @@
+#include "datagen/text_pool.h"
+
+#include <cstdio>
+
+namespace paleo {
+
+const std::vector<std::string>& TextPool::Nations() {
+  static const std::vector<std::string> kNations = {
+      "ALGERIA",    "ARGENTINA",  "BRAZIL",     "CANADA",
+      "EGYPT",      "ETHIOPIA",   "FRANCE",     "GERMANY",
+      "INDIA",      "INDONESIA",  "IRAN",       "IRAQ",
+      "JAPAN",      "JORDAN",     "KENYA",      "MOROCCO",
+      "MOZAMBIQUE", "PERU",       "CHINA",      "ROMANIA",
+      "SAUDI ARABIA", "VIETNAM",  "RUSSIA",     "UNITED KINGDOM",
+      "UNITED STATES"};
+  return kNations;
+}
+
+const std::vector<std::string>& TextPool::Regions() {
+  static const std::vector<std::string> kRegions = {
+      "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+  return kRegions;
+}
+
+const std::vector<int>& TextPool::NationRegion() {
+  // Region of each nation, aligned with Nations() (TPC-H nation.tbl).
+  static const std::vector<int> kRegionOf = {
+      0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+      4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+  return kRegionOf;
+}
+
+const std::vector<std::string>& TextPool::MarketSegments() {
+  static const std::vector<std::string> kSegments = {
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"};
+  return kSegments;
+}
+
+const std::vector<std::string>& TextPool::OrderPriorities() {
+  static const std::vector<std::string> kPriorities = {
+      "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+  return kPriorities;
+}
+
+const std::vector<std::string>& TextPool::OrderStatuses() {
+  static const std::vector<std::string> kStatuses = {"F", "O", "P"};
+  return kStatuses;
+}
+
+const std::vector<std::string>& TextPool::ShipModes() {
+  static const std::vector<std::string> kModes = {
+      "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+  return kModes;
+}
+
+const std::vector<std::string>& TextPool::ShipInstructions() {
+  static const std::vector<std::string> kInstructions = {
+      "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+  return kInstructions;
+}
+
+const std::vector<std::string>& TextPool::ReturnFlags() {
+  static const std::vector<std::string> kFlags = {"R", "A", "N"};
+  return kFlags;
+}
+
+const std::vector<std::string>& TextPool::LineStatuses() {
+  static const std::vector<std::string> kStatuses = {"O", "F"};
+  return kStatuses;
+}
+
+const std::vector<std::string>& TextPool::PartTypes() {
+  static const std::vector<std::string> kTypes = [] {
+    const char* syl1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                          "ECONOMY", "PROMO"};
+    const char* syl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                          "BRUSHED"};
+    const char* syl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+    std::vector<std::string> types;
+    types.reserve(150);
+    for (const char* a : syl1)
+      for (const char* b : syl2)
+        for (const char* c : syl3)
+          types.push_back(std::string(a) + " " + b + " " + c);
+    return types;
+  }();
+  return kTypes;
+}
+
+const std::vector<std::string>& TextPool::Containers() {
+  static const std::vector<std::string> kContainers = [] {
+    const char* syl1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+    const char* syl2[] = {"CASE", "BOX",  "BAG", "JAR",
+                          "PKG",  "PACK", "CAN", "DRUM"};
+    std::vector<std::string> containers;
+    containers.reserve(40);
+    for (const char* a : syl1)
+      for (const char* b : syl2)
+        containers.push_back(std::string(a) + " " + b);
+    return containers;
+  }();
+  return kContainers;
+}
+
+const std::vector<std::string>& TextPool::Manufacturers() {
+  static const std::vector<std::string> kMfgrs = [] {
+    std::vector<std::string> v;
+    for (int i = 1; i <= 5; ++i)
+      v.push_back("Manufacturer#" + std::to_string(i));
+    return v;
+  }();
+  return kMfgrs;
+}
+
+const std::vector<std::string>& TextPool::Brands() {
+  static const std::vector<std::string> kBrands = [] {
+    std::vector<std::string> v;
+    for (int i = 1; i <= 5; ++i)
+      for (int j = 1; j <= 5; ++j)
+        v.push_back("Brand#" + std::to_string(i) + std::to_string(j));
+    return v;
+  }();
+  return kBrands;
+}
+
+const std::vector<std::string>& TextPool::Colors() {
+  static const std::vector<std::string> kColors = {
+      "almond",     "antique",    "aquamarine", "azure",      "beige",
+      "bisque",     "black",      "blanched",   "blue",       "blush",
+      "brown",      "burlywood",  "burnished",  "chartreuse", "chiffon",
+      "chocolate",  "coral",      "cornflower", "cornsilk",   "cream",
+      "cyan",       "dark",       "deep",       "dim",        "dodger",
+      "drab",       "firebrick",  "floral",     "forest",     "frosted",
+      "gainsboro",  "ghost",      "goldenrod",  "green",      "grey",
+      "honeydew",   "hot",        "indian",     "ivory",      "khaki",
+      "lace",       "lavender",   "lawn",       "lemon",      "light",
+      "lime",       "linen",      "magenta",    "maroon",     "medium",
+      "metallic",   "midnight",   "mint",       "misty",      "moccasin",
+      "navajo",     "navy",       "olive",      "orange",     "orchid",
+      "pale",       "papaya",     "peach",      "peru",       "pink",
+      "plum",       "powder",     "puff",       "purple",     "red",
+      "rose",       "rosy",       "royal",      "saddle",     "salmon",
+      "sandy",      "seashell",   "sienna",     "sky",        "slate",
+      "smoke",      "snow",       "spring",     "steel",      "tan",
+      "thistle",    "tomato",     "turquoise",  "violet",     "wheat",
+      "white",      "yellow",     "ghostly",    "opaque"};
+  return kColors;
+}
+
+const std::vector<std::string>& TextPool::Months() {
+  static const std::vector<std::string> kMonths = {
+      "January",   "February", "March",    "April",
+      "May",       "June",     "July",     "August",
+      "September", "October",  "November", "December"};
+  return kMonths;
+}
+
+const std::vector<std::string>& TextPool::Weekdays() {
+  static const std::vector<std::string> kDays = {
+      "Monday", "Tuesday",  "Wednesday", "Thursday",
+      "Friday", "Saturday", "Sunday"};
+  return kDays;
+}
+
+const std::vector<std::string>& TextPool::Seasons() {
+  static const std::vector<std::string> kSeasons = {"Winter", "Spring",
+                                                    "Summer", "Fall"};
+  return kSeasons;
+}
+
+std::string TextPool::CustomerName(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Customer#%09d", i);
+  return buf;
+}
+
+std::string TextPool::SupplierName(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Supplier#%09d", i);
+  return buf;
+}
+
+std::string TextPool::ClerkName(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Clerk#%09d", i);
+  return buf;
+}
+
+std::string TextPool::CityName(int nation_index, int city_index) {
+  // SSB style: first 9 characters of the nation plus a digit.
+  std::string nation = Nations()[static_cast<size_t>(nation_index)];
+  if (nation.size() > 9) nation.resize(9);
+  return nation + std::to_string(city_index);
+}
+
+std::string TextPool::SsbMfgr(int m) { return "MFGR#" + std::to_string(m); }
+
+std::string TextPool::SsbCategory(int m, int c) {
+  return "MFGR#" + std::to_string(m) + std::to_string(c);
+}
+
+std::string TextPool::SsbBrand(int m, int c, int b) {
+  // b in [1, 40] -> two digits appended to the category.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "MFGR#%d%d%02d", m, c, b);
+  return buf;
+}
+
+}  // namespace paleo

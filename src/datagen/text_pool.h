@@ -1,0 +1,77 @@
+// Shared categorical value pools for the TPC-H-like and SSB-like
+// generators: nation/region geography, part type vocabularies, priority
+// classes, and so on. Values mirror the official dbgen vocabularies so
+// that example queries from the paper (p_type = 'MEDIUM POLISHED
+// STEEL', n_name = 'JAPAN', s_region = 'ASIA', p_brand = 'MFGR#2221',
+// ...) are expressible verbatim.
+
+#ifndef PALEO_DATAGEN_TEXT_POOL_H_
+#define PALEO_DATAGEN_TEXT_POOL_H_
+
+#include <string>
+#include <vector>
+
+namespace paleo {
+
+/// \brief Static categorical vocabularies.
+class TextPool {
+ public:
+  /// The 25 TPC-H nations, index-aligned with NationRegion().
+  static const std::vector<std::string>& Nations();
+  /// The 5 TPC-H regions.
+  static const std::vector<std::string>& Regions();
+  /// Region index of each nation (parallel to Nations()).
+  static const std::vector<int>& NationRegion();
+
+  /// 5 market segments.
+  static const std::vector<std::string>& MarketSegments();
+  /// 5 order priorities ("1-URGENT" .. "5-LOW").
+  static const std::vector<std::string>& OrderPriorities();
+  /// 3 order statuses.
+  static const std::vector<std::string>& OrderStatuses();
+  /// 7 ship modes.
+  static const std::vector<std::string>& ShipModes();
+  /// 4 ship instructions.
+  static const std::vector<std::string>& ShipInstructions();
+  /// 3 return flags.
+  static const std::vector<std::string>& ReturnFlags();
+  /// 2 line statuses.
+  static const std::vector<std::string>& LineStatuses();
+
+  /// 150 part types ("STANDARD ANODIZED TIN", ..., includes "MEDIUM
+  /// POLISHED STEEL").
+  static const std::vector<std::string>& PartTypes();
+  /// 40 containers ("SM CASE", ..., includes "JUMBO BAG").
+  static const std::vector<std::string>& Containers();
+  /// 5 manufacturers ("Manufacturer#1" ..).
+  static const std::vector<std::string>& Manufacturers();
+  /// 25 TPC-H brands ("Brand#11" .. "Brand#55").
+  static const std::vector<std::string>& Brands();
+
+  /// 94 SSB part colors.
+  static const std::vector<std::string>& Colors();
+  /// 12 month names.
+  static const std::vector<std::string>& Months();
+  /// 7 day-of-week names.
+  static const std::vector<std::string>& Weekdays();
+  /// 4 seasons.
+  static const std::vector<std::string>& Seasons();
+
+  /// "Customer#000000017"-style zero-padded names.
+  static std::string CustomerName(int i);
+  static std::string SupplierName(int i);
+  static std::string ClerkName(int i);
+  /// "<nation><i % cities_per_nation>" city naming ("UNITED ST4"-style
+  /// truncation as in SSB).
+  static std::string CityName(int nation_index, int city_index);
+
+  /// SSB hierarchy: "MFGR#<m>" (5), "MFGR#<m><c>" (25),
+  /// "MFGR#<m><c><b1><b2>" (1000).
+  static std::string SsbMfgr(int m);
+  static std::string SsbCategory(int m, int c);
+  static std::string SsbBrand(int m, int c, int b);
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_DATAGEN_TEXT_POOL_H_

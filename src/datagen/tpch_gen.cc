@@ -1,0 +1,422 @@
+#include "datagen/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/text_pool.h"
+
+namespace paleo {
+
+namespace {
+
+/// Pre-drawn attributes of one customer.
+struct Customer {
+  std::string name;
+  int nation;
+  std::string city;
+  std::string phone_cc;
+  int segment;
+  double acctbal;
+};
+
+/// Pre-drawn attributes of one part.
+struct Part {
+  int mfgr;       // 1..5
+  int brand;      // index into Brands()
+  int type;       // index into PartTypes()
+  int container;  // index into Containers()
+  int64_t size;   // 1..50
+  double retailprice;
+};
+
+/// Pre-drawn attributes of one supplier.
+struct Supplier {
+  std::string name;
+  int nation;
+  std::string city;
+  std::string phone_cc;
+  double acctbal;
+};
+
+std::string AcctBand(double acctbal) {
+  // Ten bands over [-1000, 10000).
+  int band = static_cast<int>(std::floor((acctbal + 1000.0) / 1100.0));
+  return "B" + std::to_string(std::clamp(band, 0, 9));
+}
+
+int64_t DateKey(int year, int month, int day) {
+  return static_cast<int64_t>(year) * 10000 + month * 100 + day;
+}
+
+std::string Quarter(int month) {  // month 1..12
+  return "Q" + std::to_string((month - 1) / 3 + 1);
+}
+
+/// Deterministic partsupp attribute: depends only on (part, supplier).
+uint64_t PartSuppHash(int part, int supp) {
+  uint64_t state = (static_cast<uint64_t>(part) << 32) ^
+                   static_cast<uint64_t>(supp) ^ 0x5851F42D4C957F2DULL;
+  return SplitMix64(&state);
+}
+
+}  // namespace
+
+int TpchGen::NumCustomers(double sf) {
+  return std::max(50, static_cast<int>(std::lround(150000.0 * sf)));
+}
+int TpchGen::NumParts(double sf) {
+  return std::max(100, static_cast<int>(std::lround(200000.0 * sf)));
+}
+int TpchGen::NumSuppliers(double sf) {
+  return std::max(25, static_cast<int>(std::lround(10000.0 * sf)));
+}
+
+Schema TpchGen::MakeSchema() {
+  auto schema = Schema::Make({
+      // Entity.
+      {"c_name", DataType::kString, FieldRole::kEntity},
+      // 27 textual dimension columns.
+      {"c_mktsegment", DataType::kString, FieldRole::kDimension},
+      {"c_nation", DataType::kString, FieldRole::kDimension},
+      {"c_region", DataType::kString, FieldRole::kDimension},
+      {"c_city", DataType::kString, FieldRole::kDimension},
+      {"c_phone_cc", DataType::kString, FieldRole::kDimension},
+      {"c_acct_band", DataType::kString, FieldRole::kDimension},
+      {"o_orderpriority", DataType::kString, FieldRole::kDimension},
+      {"o_orderstatus", DataType::kString, FieldRole::kDimension},
+      {"o_clerk", DataType::kString, FieldRole::kDimension},
+      {"o_quarter", DataType::kString, FieldRole::kDimension},
+      {"o_month", DataType::kString, FieldRole::kDimension},
+      {"l_shipmode", DataType::kString, FieldRole::kDimension},
+      {"l_shipinstruct", DataType::kString, FieldRole::kDimension},
+      {"l_returnflag", DataType::kString, FieldRole::kDimension},
+      {"l_linestatus", DataType::kString, FieldRole::kDimension},
+      {"l_ship_quarter", DataType::kString, FieldRole::kDimension},
+      {"l_ship_month", DataType::kString, FieldRole::kDimension},
+      {"p_mfgr", DataType::kString, FieldRole::kDimension},
+      {"p_brand", DataType::kString, FieldRole::kDimension},
+      {"p_type", DataType::kString, FieldRole::kDimension},
+      {"p_container", DataType::kString, FieldRole::kDimension},
+      {"p_size_band", DataType::kString, FieldRole::kDimension},
+      {"s_name", DataType::kString, FieldRole::kDimension},
+      {"s_nation", DataType::kString, FieldRole::kDimension},
+      {"s_region", DataType::kString, FieldRole::kDimension},
+      {"s_city", DataType::kString, FieldRole::kDimension},
+      {"s_acct_band", DataType::kString, FieldRole::kDimension},
+      // 13 non-key numeric measure columns.
+      {"c_acctbal", DataType::kDouble, FieldRole::kMeasure},
+      {"s_acctbal", DataType::kDouble, FieldRole::kMeasure},
+      {"o_totalprice", DataType::kDouble, FieldRole::kMeasure},
+      {"l_quantity", DataType::kInt64, FieldRole::kMeasure},
+      {"l_extendedprice", DataType::kDouble, FieldRole::kMeasure},
+      {"l_discount", DataType::kDouble, FieldRole::kMeasure},
+      {"l_tax", DataType::kDouble, FieldRole::kMeasure},
+      {"l_revenue", DataType::kDouble, FieldRole::kMeasure},
+      {"ps_availqty", DataType::kInt64, FieldRole::kMeasure},
+      {"ps_supplycost", DataType::kDouble, FieldRole::kMeasure},
+      {"p_retailprice", DataType::kDouble, FieldRole::kMeasure},
+      {"p_size", DataType::kInt64, FieldRole::kMeasure},
+      {"l_supplycharge", DataType::kDouble, FieldRole::kMeasure},
+      // 16 key/date columns (excluded from predicates and ranking).
+      {"c_custkey", DataType::kInt64, FieldRole::kKey},
+      {"o_orderkey", DataType::kInt64, FieldRole::kKey},
+      {"o_orderdate", DataType::kInt64, FieldRole::kKey},
+      {"l_linenumber", DataType::kInt64, FieldRole::kKey},
+      {"l_partkey", DataType::kInt64, FieldRole::kKey},
+      {"l_suppkey", DataType::kInt64, FieldRole::kKey},
+      {"l_shipdate", DataType::kInt64, FieldRole::kKey},
+      {"l_commitdate", DataType::kInt64, FieldRole::kKey},
+      {"l_receiptdate", DataType::kInt64, FieldRole::kKey},
+      {"p_partkey", DataType::kInt64, FieldRole::kKey},
+      {"ps_partkey", DataType::kInt64, FieldRole::kKey},
+      {"ps_suppkey", DataType::kInt64, FieldRole::kKey},
+      {"s_suppkey", DataType::kInt64, FieldRole::kKey},
+      {"c_nationkey", DataType::kInt64, FieldRole::kKey},
+      {"s_nationkey", DataType::kInt64, FieldRole::kKey},
+      {"o_shippriority", DataType::kInt64, FieldRole::kKey},
+  });
+  PALEO_CHECK(schema.ok()) << schema.status().ToString();
+  return *schema;
+}
+
+StatusOr<Table> TpchGen::Generate(const TpchGenOptions& options) {
+  if (options.scale_factor <= 0.0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  Rng rng(options.seed);
+  const int num_customers = NumCustomers(options.scale_factor);
+  const int num_parts = NumParts(options.scale_factor);
+  const int num_suppliers = NumSuppliers(options.scale_factor);
+  // Like the SSB supplier pool, the clerk domain keeps its SF-1 size:
+  // tuples-per-entity does not shrink with sf, so a scaled-down clerk
+  // pool would create covering clerk predicates that SF 1 never has.
+  const int num_clerks = std::max(
+      1000, static_cast<int>(std::lround(1000.0 * options.scale_factor)));
+
+  const auto& nations = TextPool::Nations();
+  const auto& regions = TextPool::Regions();
+  const auto& nation_region = TextPool::NationRegion();
+  const auto& segments = TextPool::MarketSegments();
+  const auto& priorities = TextPool::OrderPriorities();
+  const auto& statuses = TextPool::OrderStatuses();
+  const auto& ship_modes = TextPool::ShipModes();
+  const auto& ship_instructions = TextPool::ShipInstructions();
+  const auto& return_flags = TextPool::ReturnFlags();
+  const auto& line_statuses = TextPool::LineStatuses();
+  const auto& part_types = TextPool::PartTypes();
+  const auto& containers = TextPool::Containers();
+  const auto& mfgrs = TextPool::Manufacturers();
+  const auto& brands = TextPool::Brands();
+  const auto& months = TextPool::Months();
+
+  // Dimension entities.
+  std::vector<Customer> customers;
+  customers.reserve(static_cast<size_t>(num_customers));
+  for (int i = 0; i < num_customers; ++i) {
+    Customer c;
+    c.name = TextPool::CustomerName(i + 1);
+    c.nation = static_cast<int>(rng.Uniform(nations.size()));
+    c.city = TextPool::CityName(c.nation, static_cast<int>(rng.Uniform(10)));
+    c.phone_cc = std::to_string(10 + c.nation);
+    c.segment = static_cast<int>(rng.Uniform(segments.size()));
+    c.acctbal = std::round(rng.UniformDouble(-999.99, 9999.99) * 100.0) / 100.0;
+    customers.push_back(std::move(c));
+  }
+  std::vector<Part> parts;
+  parts.reserve(static_cast<size_t>(num_parts));
+  for (int i = 0; i < num_parts; ++i) {
+    Part p;
+    p.mfgr = 1 + static_cast<int>(rng.Uniform(5));
+    // Brand within the manufacturer family, as in dbgen.
+    p.brand = (p.mfgr - 1) * 5 + static_cast<int>(rng.Uniform(5));
+    p.type = static_cast<int>(rng.Uniform(part_types.size()));
+    p.container = static_cast<int>(rng.Uniform(containers.size()));
+    p.size = 1 + static_cast<int64_t>(rng.Uniform(50));
+    p.retailprice =
+        std::round(rng.UniformDouble(900.0, 2100.0) * 100.0) / 100.0;
+    parts.push_back(p);
+  }
+  std::vector<Supplier> suppliers;
+  suppliers.reserve(static_cast<size_t>(num_suppliers));
+  for (int i = 0; i < num_suppliers; ++i) {
+    Supplier s;
+    s.name = TextPool::SupplierName(i + 1);
+    s.nation = static_cast<int>(rng.Uniform(nations.size()));
+    s.city = TextPool::CityName(s.nation, static_cast<int>(rng.Uniform(10)));
+    s.phone_cc = std::to_string(10 + s.nation);
+    s.acctbal = std::round(rng.UniformDouble(-999.99, 9999.99) * 100.0) / 100.0;
+    suppliers.push_back(std::move(s));
+  }
+
+  Table table(MakeSchema());
+  const Schema& schema = table.schema();
+  auto col = [&](const char* name) {
+    int idx = schema.FieldIndex(name);
+    PALEO_CHECK(idx >= 0) << name;
+    return table.mutable_column(idx);
+  };
+
+  Column* c_name = col("c_name");
+  Column* c_mktsegment = col("c_mktsegment");
+  Column* c_nation = col("c_nation");
+  Column* c_region = col("c_region");
+  Column* c_city = col("c_city");
+  Column* c_phone_cc = col("c_phone_cc");
+  Column* c_acct_band = col("c_acct_band");
+  Column* o_orderpriority = col("o_orderpriority");
+  Column* o_orderstatus = col("o_orderstatus");
+  Column* o_clerk = col("o_clerk");
+  Column* o_quarter = col("o_quarter");
+  Column* o_month = col("o_month");
+  Column* l_shipmode = col("l_shipmode");
+  Column* l_shipinstruct = col("l_shipinstruct");
+  Column* l_returnflag = col("l_returnflag");
+  Column* l_linestatus = col("l_linestatus");
+  Column* l_ship_quarter = col("l_ship_quarter");
+  Column* l_ship_month = col("l_ship_month");
+  Column* p_mfgr = col("p_mfgr");
+  Column* p_brand = col("p_brand");
+  Column* p_type = col("p_type");
+  Column* p_container = col("p_container");
+  Column* p_size_band = col("p_size_band");
+  Column* s_name = col("s_name");
+  Column* s_nation = col("s_nation");
+  Column* s_region = col("s_region");
+  Column* s_city = col("s_city");
+  Column* s_acct_band = col("s_acct_band");
+  Column* c_acctbal = col("c_acctbal");
+  Column* s_acctbal = col("s_acctbal");
+  Column* o_totalprice = col("o_totalprice");
+  Column* l_quantity = col("l_quantity");
+  Column* l_extendedprice = col("l_extendedprice");
+  Column* l_discount = col("l_discount");
+  Column* l_tax = col("l_tax");
+  Column* l_revenue = col("l_revenue");
+  Column* ps_availqty = col("ps_availqty");
+  Column* ps_supplycost = col("ps_supplycost");
+  Column* p_retailprice = col("p_retailprice");
+  Column* p_size = col("p_size");
+  Column* l_supplycharge = col("l_supplycharge");
+  Column* c_custkey = col("c_custkey");
+  Column* o_orderkey = col("o_orderkey");
+  Column* o_orderdate = col("o_orderdate");
+  Column* l_linenumber = col("l_linenumber");
+  Column* l_partkey = col("l_partkey");
+  Column* l_suppkey = col("l_suppkey");
+  Column* l_shipdate = col("l_shipdate");
+  Column* l_commitdate = col("l_commitdate");
+  Column* l_receiptdate = col("l_receiptdate");
+  Column* p_partkey = col("p_partkey");
+  Column* ps_partkey = col("ps_partkey");
+  Column* ps_suppkey = col("ps_suppkey");
+  Column* s_suppkey = col("s_suppkey");
+  Column* c_nationkey = col("c_nationkey");
+  Column* s_nationkey = col("s_nationkey");
+  Column* o_shippriority = col("o_shippriority");
+
+  const char* kSizeBands[] = {"SIZE XS", "SIZE S", "SIZE M", "SIZE L",
+                              "SIZE XL"};
+
+  int64_t next_orderkey = 1;
+  for (int ci = 0; ci < num_customers; ++ci) {
+    const Customer& cust = customers[static_cast<size_t>(ci)];
+    // Order count: most customers are light; a small heavy tail yields
+    // the paper's max-tuples-per-entity skew (Table 5: avg 31, max 187).
+    int n_orders;
+    if (rng.Bernoulli(0.02)) {
+      n_orders = 14 + static_cast<int>(rng.Uniform(27));  // 14..40
+    } else {
+      n_orders = 1 + static_cast<int>(rng.Uniform(13));  // 1..13
+    }
+    for (int oi = 0; oi < n_orders; ++oi) {
+      int64_t orderkey = next_orderkey++;
+      int clerk = static_cast<int>(rng.Uniform(
+          static_cast<uint64_t>(num_clerks)));
+      int priority = static_cast<int>(rng.Uniform(priorities.size()));
+      int status = static_cast<int>(rng.Uniform(statuses.size()));
+      int o_year = 1992 + static_cast<int>(rng.Uniform(7));
+      int o_mon = 1 + static_cast<int>(rng.Uniform(12));
+      int o_day = 1 + static_cast<int>(rng.Uniform(28));
+      double totalprice =
+          std::round(rng.UniformDouble(1000.0, 450000.0) * 100.0) / 100.0;
+      int n_items = 1 + static_cast<int>(rng.Uniform(7));
+      for (int li = 0; li < n_items; ++li) {
+        int pi = static_cast<int>(rng.Uniform(
+            static_cast<uint64_t>(num_parts)));
+        int si = static_cast<int>(rng.Uniform(
+            static_cast<uint64_t>(num_suppliers)));
+        const Part& part = parts[static_cast<size_t>(pi)];
+        const Supplier& supp = suppliers[static_cast<size_t>(si)];
+
+        int ship_lag_months = static_cast<int>(rng.Uniform(4));
+        int ship_mon0 = (o_mon - 1 + ship_lag_months) % 12;
+        int ship_year = o_year + (o_mon - 1 + ship_lag_months) / 12;
+        int ship_day = 1 + static_cast<int>(rng.Uniform(28));
+
+        int64_t quantity = 1 + static_cast<int64_t>(rng.Uniform(50));
+        double extendedprice =
+            std::round(static_cast<double>(quantity) * part.retailprice *
+                       100.0) /
+            100.0;
+        double discount =
+            static_cast<double>(rng.Uniform(11)) / 100.0;  // 0.00..0.10
+        double tax = static_cast<double>(rng.Uniform(9)) / 100.0;
+        double revenue =
+            std::round(extendedprice * (1.0 - discount) * 100.0) / 100.0;
+        uint64_t ps_hash = PartSuppHash(pi, si);
+        double supplycost =
+            1.0 + static_cast<double>(ps_hash % 100000) / 100.0;
+        int64_t availqty = 1 + static_cast<int64_t>((ps_hash >> 20) % 9999);
+        double supplycharge = std::round(supplycost *
+                                         static_cast<double>(quantity) *
+                                         100.0) /
+                              100.0;
+
+        c_name->AppendString(cust.name);
+        c_mktsegment->AppendString(
+            segments[static_cast<size_t>(cust.segment)]);
+        c_nation->AppendString(nations[static_cast<size_t>(cust.nation)]);
+        c_region->AppendString(
+            regions[static_cast<size_t>(
+                nation_region[static_cast<size_t>(cust.nation)])]);
+        c_city->AppendString(cust.city);
+        c_phone_cc->AppendString(cust.phone_cc);
+        c_acct_band->AppendString(AcctBand(cust.acctbal));
+        o_orderpriority->AppendString(
+            priorities[static_cast<size_t>(priority)]);
+        o_orderstatus->AppendString(statuses[static_cast<size_t>(status)]);
+        o_clerk->AppendString(TextPool::ClerkName(clerk + 1));
+        o_quarter->AppendString(Quarter(o_mon));
+        o_month->AppendString(months[static_cast<size_t>(o_mon - 1)]);
+        l_shipmode->AppendString(
+            ship_modes[static_cast<size_t>(rng.Uniform(ship_modes.size()))]);
+        l_shipinstruct->AppendString(ship_instructions[static_cast<size_t>(
+            rng.Uniform(ship_instructions.size()))]);
+        l_returnflag->AppendString(return_flags[static_cast<size_t>(
+            rng.Uniform(return_flags.size()))]);
+        l_linestatus->AppendString(line_statuses[static_cast<size_t>(
+            rng.Uniform(line_statuses.size()))]);
+        l_ship_quarter->AppendString(Quarter(ship_mon0 + 1));
+        l_ship_month->AppendString(months[static_cast<size_t>(ship_mon0)]);
+        p_mfgr->AppendString(mfgrs[static_cast<size_t>(part.mfgr - 1)]);
+        p_brand->AppendString(brands[static_cast<size_t>(part.brand)]);
+        p_type->AppendString(part_types[static_cast<size_t>(part.type)]);
+        p_container->AppendString(
+            containers[static_cast<size_t>(part.container)]);
+        p_size_band->AppendString(kSizeBands[part.size <= 10   ? 0
+                                             : part.size <= 20 ? 1
+                                             : part.size <= 30 ? 2
+                                             : part.size <= 40 ? 3
+                                                               : 4]);
+        s_name->AppendString(supp.name);
+        s_nation->AppendString(nations[static_cast<size_t>(supp.nation)]);
+        s_region->AppendString(
+            regions[static_cast<size_t>(
+                nation_region[static_cast<size_t>(supp.nation)])]);
+        s_city->AppendString(supp.city);
+        s_acct_band->AppendString(AcctBand(supp.acctbal));
+        c_acctbal->AppendDouble(cust.acctbal);
+        s_acctbal->AppendDouble(supp.acctbal);
+        o_totalprice->AppendDouble(totalprice);
+        l_quantity->AppendInt64(quantity);
+        l_extendedprice->AppendDouble(extendedprice);
+        l_discount->AppendDouble(discount);
+        l_tax->AppendDouble(tax);
+        l_revenue->AppendDouble(revenue);
+        ps_availqty->AppendInt64(availqty);
+        ps_supplycost->AppendDouble(supplycost);
+        p_retailprice->AppendDouble(part.retailprice);
+        p_size->AppendInt64(part.size);
+        l_supplycharge->AppendDouble(supplycharge);
+        c_custkey->AppendInt64(ci + 1);
+        o_orderkey->AppendInt64(orderkey);
+        o_orderdate->AppendInt64(DateKey(o_year, o_mon, o_day));
+        l_linenumber->AppendInt64(li + 1);
+        l_partkey->AppendInt64(pi + 1);
+        l_suppkey->AppendInt64(si + 1);
+        l_shipdate->AppendInt64(DateKey(ship_year, ship_mon0 + 1, ship_day));
+        l_commitdate->AppendInt64(
+            DateKey(ship_year, ship_mon0 + 1,
+                    std::min(28, ship_day + static_cast<int>(rng.Uniform(5)))));
+        l_receiptdate->AppendInt64(
+            DateKey(ship_year, ship_mon0 + 1,
+                    std::min(28, ship_day + static_cast<int>(rng.Uniform(7)))));
+        p_partkey->AppendInt64(pi + 1);
+        ps_partkey->AppendInt64(pi + 1);
+        ps_suppkey->AppendInt64(si + 1);
+        s_suppkey->AppendInt64(si + 1);
+        c_nationkey->AppendInt64(cust.nation);
+        s_nationkey->AppendInt64(supp.nation);
+        o_shippriority->AppendInt64(0);
+      }
+    }
+  }
+  PALEO_RETURN_NOT_OK(table.CheckConsistent());
+  return table;
+}
+
+}  // namespace paleo

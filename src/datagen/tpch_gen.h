@@ -1,0 +1,49 @@
+// TPC-H-like denormalized single-relation generator.
+//
+// The paper materializes one table R by joining all TPC-H tables
+// (57 columns: 27 textual, 13 non-key numeric, the rest keys/dates;
+// entity column c_name). This generator reproduces that shape
+// deterministically: one output row per lineitem carrying its
+// customer, order, part, supplier, and partsupp attributes, with the
+// official dbgen vocabularies for all categorical columns.
+//
+// Scale factor 1.0 approximates the paper's instance (~5.4M rows,
+// ~150k customers, ~36 avg tuples/entity). Experiments default to a
+// much smaller factor (see bench/bench_env.h) so everything runs on a
+// laptop; the schema shape and value domains are scale-invariant.
+
+#ifndef PALEO_DATAGEN_TPCH_GEN_H_
+#define PALEO_DATAGEN_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief Generator options for the TPC-H-like relation.
+struct TpchGenOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+/// \brief Generates the denormalized TPC-H-like relation.
+class TpchGen {
+ public:
+  /// The 57-column schema (1 entity + 27 textual dims + 13 measures +
+  /// 16 keys).
+  static Schema MakeSchema();
+
+  static StatusOr<Table> Generate(const TpchGenOptions& options);
+
+  /// Derived sizing (exposed for tests): customers, parts, suppliers at
+  /// a scale factor.
+  static int NumCustomers(double sf);
+  static int NumParts(double sf);
+  static int NumSuppliers(double sf);
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_DATAGEN_TPCH_GEN_H_

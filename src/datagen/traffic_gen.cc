@@ -1,0 +1,150 @@
+#include "datagen/traffic_gen.h"
+
+#include <array>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/text_pool.h"
+
+namespace paleo {
+
+namespace {
+
+const std::array<const char*, 8> kStates = {"CA", "NY", "TX", "WA",
+                                            "OR", "NV", "AZ", "CO"};
+const std::array<const char*, 4> kPlans = {"S", "M", "L", "XL"};
+const std::array<std::array<const char*, 5>, 8> kCities = {{
+    {"SF", "LA", "Oakland", "San Jose", "San Diego"},
+    {"NYC", "Buffalo", "Albany", "Rochester", "Syracuse"},
+    {"Houston", "Dallas", "Austin", "El Paso", "Laredo"},
+    {"Seattle", "Spokane", "Tacoma", "Bellevue", "Everett"},
+    {"Portland", "Salem", "Eugene", "Bend", "Medford"},
+    {"Las Vegas", "Reno", "Henderson", "Sparks", "Elko"},
+    {"Phoenix", "Tucson", "Mesa", "Tempe", "Yuma"},
+    {"Denver", "Aurora", "Boulder", "Pueblo", "Golden"},
+}};
+
+const std::array<const char*, 40> kFirstNames = {
+    "John",   "Jane",  "Richard", "Jack",   "Lara",   "Alice", "Bob",
+    "Carol",  "David", "Erin",    "Frank",  "Grace",  "Henry", "Ivy",
+    "Kevin",  "Laura", "Mike",    "Nina",   "Oscar",  "Paula", "Quinn",
+    "Rachel", "Sam",   "Tina",    "Victor", "Wendy",  "Xander", "Yara",
+    "Zane",   "Amy",   "Brian",   "Cindy",  "Derek",  "Elena", "Felix",
+    "Gina",   "Hank",  "Iris",    "Jorge",  "Kate"};
+const std::array<const char*, 30> kLastNames = {
+    "Smith",   "O'Neal",  "Fox",     "Stiles",  "Ellis",  "Brown",
+    "Davis",   "Miller",  "Wilson",  "Moore",   "Taylor", "Thomas",
+    "Jackson", "White",   "Harris",  "Martin",  "Garcia", "Clark",
+    "Lewis",   "Walker",  "Young",   "Allen",   "King",   "Wright",
+    "Scott",   "Green",   "Baker",   "Adams",   "Nelson", "Hill"};
+
+}  // namespace
+
+Schema TrafficGen::MakeSchema() {
+  auto schema = Schema::Make({
+      {"name", DataType::kString, FieldRole::kEntity},
+      {"city", DataType::kString, FieldRole::kDimension},
+      {"state", DataType::kString, FieldRole::kDimension},
+      {"plan", DataType::kString, FieldRole::kDimension},
+      {"month", DataType::kString, FieldRole::kDimension},
+      {"minutes", DataType::kInt64, FieldRole::kMeasure},
+      {"sms", DataType::kInt64, FieldRole::kMeasure},
+      {"data_mb", DataType::kInt64, FieldRole::kMeasure},
+  });
+  PALEO_CHECK(schema.ok()) << schema.status().ToString();
+  return *schema;
+}
+
+StatusOr<Table> TrafficGen::Generate(const TrafficGenOptions& options) {
+  if (options.num_customers <= 0 || options.months_per_customer <= 0 ||
+      options.months_per_customer > 12) {
+    return Status::InvalidArgument("invalid TrafficGenOptions");
+  }
+  Rng rng(options.seed);
+  Table table(MakeSchema());
+  const auto& months = TextPool::Months();
+  for (int c = 0; c < options.num_customers; ++c) {
+    std::string name =
+        std::string(kFirstNames[static_cast<size_t>(
+            rng.Uniform(kFirstNames.size()))]) +
+        " " +
+        kLastNames[static_cast<size_t>(rng.Uniform(kLastNames.size()))] +
+        " " + std::to_string(c);
+    size_t state = static_cast<size_t>(rng.Uniform(kStates.size()));
+    const char* city = kCities[state][static_cast<size_t>(rng.Uniform(5))];
+    const char* plan =
+        kPlans[static_cast<size_t>(rng.Uniform(kPlans.size()))];
+    // Customers use their plan in a contiguous run of months.
+    int first_month = static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(13 - options.months_per_customer)));
+    for (int m = 0; m < options.months_per_customer; ++m) {
+      PALEO_RETURN_NOT_OK(table.AppendRow({
+          Value::String(name),
+          Value::String(city),
+          Value::String(kStates[state]),
+          Value::String(plan),
+          Value::String(months[static_cast<size_t>(first_month + m)]),
+          Value::Int64(rng.UniformInt(10, 900)),
+          Value::Int64(rng.UniformInt(0, 120)),
+          Value::Int64(rng.UniformInt(50, 3000)),
+      }));
+    }
+  }
+  return table;
+}
+
+StatusOr<Table> TrafficGen::PaperExample() {
+  Table table(MakeSchema());
+  struct Row {
+    const char* name;
+    const char* city;
+    const char* state;
+    const char* plan;
+    const char* month;
+    int64_t minutes, sms, data;
+  };
+  // The visible rows of the paper's Table 1.
+  const Row kPaperRows[] = {
+      {"John Smith", "SF", "CA", "XL", "June", 654, 87, 1230},
+      {"John Smith", "SF", "CA", "XL", "July", 175, 22, 900},
+      {"Jane O'Neal", "LA", "CA", "XL", "April", 699, 15, 2300},
+      {"Jane O'Neal", "LA", "CA", "XL", "June", 334, 10, 1900},
+      {"Richard Fox", "Oakland", "CA", "XL", "June", 596, 23, 1272},
+      {"Jack Stiles", "San Jose", "CA", "XL", "March", 429, 42, 1192},
+      {"Jack Stiles", "San Jose", "CA", "XL", "April", 586, 8, 1275},
+      {"Lara Ellis", "San Diego", "CA", "XL", "May", 784, 11, 2107},
+  };
+  for (const Row& r : kPaperRows) {
+    PALEO_RETURN_NOT_OK(table.AppendRow(
+        {Value::String(r.name), Value::String(r.city), Value::String(r.state),
+         Value::String(r.plan), Value::String(r.month),
+         Value::Int64(r.minutes), Value::Int64(r.sms),
+         Value::Int64(r.data)}));
+  }
+  // Background customers outside California with higher raw minutes, so
+  // the state = 'CA' constraint is load-bearing for the example query.
+  Rng rng(1234);
+  for (int c = 0; c < 40; ++c) {
+    std::string name = "Out Of State " + std::to_string(c);
+    size_t state = 1 + static_cast<size_t>(rng.Uniform(kStates.size() - 1));
+    const char* city = kCities[state][static_cast<size_t>(rng.Uniform(5))];
+    const char* plan =
+        kPlans[static_cast<size_t>(rng.Uniform(kPlans.size()))];
+    for (int m = 0; m < 3; ++m) {
+      PALEO_RETURN_NOT_OK(table.AppendRow({
+          Value::String(name),
+          Value::String(city),
+          Value::String(kStates[state]),
+          Value::String(plan),
+          Value::String(
+              TextPool::Months()[static_cast<size_t>(rng.Uniform(12))]),
+          Value::Int64(rng.UniformInt(700, 999)),
+          Value::Int64(rng.UniformInt(0, 120)),
+          Value::Int64(rng.UniformInt(50, 3000)),
+      }));
+    }
+  }
+  return table;
+}
+
+}  // namespace paleo

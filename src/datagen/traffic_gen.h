@@ -1,0 +1,48 @@
+// The telecom Traffic relation from the paper's introduction (Table 1):
+// per-customer monthly cellphone traffic with textual context columns
+// and numeric usage measures. Used by the quickstart example and by
+// end-to-end tests small enough to verify by hand.
+
+#ifndef PALEO_DATAGEN_TRAFFIC_GEN_H_
+#define PALEO_DATAGEN_TRAFFIC_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief Generator options for the Traffic relation.
+struct TrafficGenOptions {
+  /// Number of distinct customers.
+  int num_customers = 200;
+  /// Months of data per customer (1..12).
+  int months_per_customer = 8;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates the Traffic relation.
+class TrafficGen {
+ public:
+  /// Schema: name (entity); city, state, plan, month (dimensions);
+  /// minutes, sms, data_mb (measures).
+  static Schema MakeSchema();
+
+  /// Random instance per options.
+  static StatusOr<Table> Generate(const TrafficGenOptions& options);
+
+  /// The exact scenario of the paper's Section 1: contains the five
+  /// California XL-plan customers of Table 1 with their printed values,
+  /// so that
+  ///   SELECT name, max(minutes) FROM traffic WHERE state = 'CA'
+  ///   GROUP BY name ORDER BY max(minutes) DESC LIMIT 5
+  /// returns exactly Table 2 (Lara Ellis 784, Jane O'Neal 699, John
+  /// Smith 654, Richard Fox 596, Jack Stiles 586), plus background rows
+  /// in other states.
+  static StatusOr<Table> PaperExample();
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_DATAGEN_TRAFFIC_GEN_H_

@@ -1,0 +1,23 @@
+#include "engine/aggregate.h"
+
+namespace paleo {
+
+const char* AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kNone:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace paleo

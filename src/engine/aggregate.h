@@ -1,0 +1,69 @@
+// Aggregation functions of the query template.
+
+#ifndef PALEO_ENGINE_AGGREGATE_H_
+#define PALEO_ENGINE_AGGREGATE_H_
+
+#include <limits>
+#include <string>
+
+namespace paleo {
+
+/// \brief Aggregate applied to the ranking expression, grouped by
+/// entity. kNone means the query has no GROUP BY: rows are ranked by
+/// the raw expression value.
+enum class AggFn : int {
+  kMax = 0,
+  kMin = 1,
+  kSum = 2,
+  kAvg = 3,
+  kCount = 4,
+  kNone = 5,
+};
+
+/// "max", "min", "sum", "avg", "count", or "" for kNone.
+const char* AggFnToString(AggFn fn);
+
+/// All aggregate functions the system searches over, in the Figure 4
+/// pre-order: max first (cheapest to identify via top-entity lists),
+/// then avg, then the sum family, then none. kMin/kCount are extensions
+/// disabled by default in PaleoOptions.
+constexpr AggFn kAllAggFns[] = {AggFn::kMax,   AggFn::kAvg, AggFn::kSum,
+                                AggFn::kNone,  AggFn::kMin, AggFn::kCount};
+
+/// \brief Streaming aggregation state for one group.
+struct AggState {
+  double sum = 0.0;
+  double max = -std::numeric_limits<double>::infinity();
+  double min = std::numeric_limits<double>::infinity();
+  int64_t count = 0;
+
+  void Add(double v) {
+    sum += v;
+    if (v > max) max = v;
+    if (v < min) min = v;
+    ++count;
+  }
+
+  /// Final value under `fn`. Precondition: count > 0 and fn != kNone.
+  double Finish(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kMax:
+        return max;
+      case AggFn::kMin:
+        return min;
+      case AggFn::kSum:
+        return sum;
+      case AggFn::kAvg:
+        return sum / static_cast<double>(count);
+      case AggFn::kCount:
+        return static_cast<double>(count);
+      case AggFn::kNone:
+        break;
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_ENGINE_AGGREGATE_H_

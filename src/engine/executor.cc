@@ -1,0 +1,189 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <string>
+
+#include "index/dimension_index.h"
+
+namespace paleo {
+
+namespace {
+
+/// Validates the query's column references against the table's schema.
+Status ValidateQuery(const Table& table, const TopKQuery& query) {
+  const Schema& schema = table.schema();
+  auto check_numeric = [&](int col) -> Status {
+    if (col < 0 || col >= schema.num_fields()) {
+      return Status::InvalidArgument("ranking column index " +
+                                     std::to_string(col) + " out of range");
+    }
+    if (!IsNumeric(schema.field(col).type)) {
+      return Status::TypeError("ranking column " + schema.field(col).name +
+                               " is not numeric");
+    }
+    return Status::OK();
+  };
+  PALEO_RETURN_NOT_OK(check_numeric(query.expr.column_a()));
+  if (!query.expr.is_single_column()) {
+    PALEO_RETURN_NOT_OK(check_numeric(query.expr.column_b()));
+  }
+  for (const AtomicPredicate& a : query.predicate.atoms()) {
+    if (a.column < 0 || a.column >= schema.num_fields()) {
+      return Status::InvalidArgument("predicate column index " +
+                                     std::to_string(a.column) +
+                                     " out of range");
+    }
+  }
+  if (query.k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(query.k));
+  }
+  return Status::OK();
+}
+
+/// Candidate result row ordered by (score, tie-break name, row id).
+struct HeapEntry {
+  double score;
+  uint32_t group;  // entity code, or row id for kNone
+};
+
+}  // namespace
+
+StatusOr<TopKList> Executor::Execute(const Table& table,
+                                     const TopKQuery& query) {
+  return ExecuteImpl(table, nullptr, query);
+}
+
+StatusOr<TopKList> Executor::ExecuteOnRows(const Table& table,
+                                           const std::vector<RowId>& rows,
+                                           const TopKQuery& query) {
+  return ExecuteImpl(table, &rows, query);
+}
+
+size_t Executor::CountMatching(const Table& table,
+                               const Predicate& predicate) {
+  if (dimension_index_ != nullptr && indexed_table_ == &table &&
+      !predicate.IsTrue() && dimension_index_->Covers(predicate)) {
+    return dimension_index_->Match(predicate).size();
+  }
+  BoundPredicate bound(predicate, table);
+  size_t n = 0;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (bound.Matches(static_cast<RowId>(row))) ++n;
+  }
+  return n;
+}
+
+StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
+                                         const std::vector<RowId>* rows,
+                                         const TopKQuery& query) {
+  PALEO_RETURN_NOT_OK(ValidateQuery(table, query));
+  ++stats_.queries_executed;
+
+  BoundPredicate bound(query.predicate, table);
+  const Column& entities = table.entity_column();
+  const StringDictionary& dict = *entities.dict();
+  const bool desc = query.order == SortOrder::kDesc;
+
+  // Index-assisted path: a fully covered conjunction over the indexed
+  // base table resolves to its matching rows via posting intersection,
+  // skipping the scan and the per-row predicate checks.
+  std::vector<RowId> index_rows;
+  bool from_index = false;
+  if (rows == nullptr && dimension_index_ != nullptr &&
+      indexed_table_ == &table && !query.predicate.IsTrue() &&
+      dimension_index_->Covers(query.predicate)) {
+    index_rows = dimension_index_->Match(query.predicate);
+    rows = &index_rows;
+    from_index = true;
+    ++stats_.index_assisted;
+  }
+
+  auto visit_rows = [&](auto&& fn) {
+    if (rows != nullptr) {
+      if (from_index) {
+        // Postings already satisfy the whole conjunction.
+        for (RowId r : *rows) fn(r, true);
+      } else {
+        for (RowId r : *rows) fn(r, bound.Matches(r));
+      }
+      stats_.rows_scanned += static_cast<int64_t>(rows->size());
+    } else {
+      size_t n = table.num_rows();
+      for (size_t r = 0; r < n; ++r) {
+        fn(static_cast<RowId>(r), bound.Matches(static_cast<RowId>(r)));
+      }
+      stats_.rows_scanned += static_cast<int64_t>(n);
+    }
+  };
+
+  // Orders a before b when a ranks better; ties by entity name
+  // ascending, then by group id for full determinism.
+  auto better = [&](double sa, const std::string& na, uint32_t ga, double sb,
+                    const std::string& nb, uint32_t gb) {
+    if (sa != sb) return desc ? sa > sb : sa < sb;
+    if (na != nb) return na < nb;
+    return ga < gb;
+  };
+
+  std::vector<HeapEntry> results;
+
+  if (query.agg == AggFn::kNone) {
+    // No GROUP BY: rank individual rows.
+    visit_rows([&](RowId r, bool matches) {
+      if (!matches) return;
+      results.push_back(HeapEntry{query.expr.Eval(table, r), r});
+    });
+    auto name_of = [&](uint32_t row) -> const std::string& {
+      return dict.Get(entities.CodeAt(row));
+    };
+    std::sort(results.begin(), results.end(),
+              [&](const HeapEntry& a, const HeapEntry& b) {
+                return better(a.score, name_of(a.group), a.group, b.score,
+                              name_of(b.group), b.group);
+              });
+    if (results.size() > static_cast<size_t>(query.k)) {
+      results.resize(static_cast<size_t>(query.k));
+    }
+    TopKList out;
+    for (const HeapEntry& e : results) {
+      out.Append(name_of(e.group), e.score);
+    }
+    return out;
+  }
+
+  // Grouped aggregation keyed by dense entity code.
+  std::vector<AggState> groups(dict.size());
+  std::vector<uint32_t> touched;
+  visit_rows([&](RowId r, bool matches) {
+    if (!matches) return;
+    uint32_t code = entities.CodeAt(r);
+    AggState& g = groups[code];
+    if (g.count == 0) touched.push_back(code);
+    g.Add(query.expr.Eval(table, r));
+  });
+
+  results.reserve(touched.size());
+  for (uint32_t code : touched) {
+    results.push_back(HeapEntry{groups[code].Finish(query.agg), code});
+  }
+  auto cmp = [&](const HeapEntry& a, const HeapEntry& b) {
+    return better(a.score, dict.Get(a.group), a.group, b.score,
+                  dict.Get(b.group), b.group);
+  };
+  if (results.size() > static_cast<size_t>(query.k)) {
+    std::partial_sort(results.begin(),
+                      results.begin() + static_cast<ptrdiff_t>(query.k),
+                      results.end(), cmp);
+    results.resize(static_cast<size_t>(query.k));
+  } else {
+    std::sort(results.begin(), results.end(), cmp);
+  }
+  TopKList out;
+  for (const HeapEntry& e : results) {
+    out.Append(dict.Get(e.group), e.score);
+  }
+  return out;
+}
+
+}  // namespace paleo

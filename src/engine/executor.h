@@ -1,0 +1,84 @@
+// Query executor: evaluates the template query over a table with a
+// filter -> hash group-by -> bounded top-k heap pipeline.
+//
+// This is the "database" of the reproduction: PALEO's validation step
+// issues candidate queries here, exactly as the paper issues them to
+// PostgreSQL.
+
+#ifndef PALEO_ENGINE_EXECUTOR_H_
+#define PALEO_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "engine/topk_list.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+class DimensionIndex;
+
+/// \brief Stateless query evaluation over columnar tables.
+///
+/// Determinism: score ties are broken by entity name ascending (and by
+/// row id for no-aggregation queries), so repeated executions and
+/// executions through different-but-equivalent predicates produce
+/// identical lists.
+class Executor {
+ public:
+  /// Counters accumulated across Execute calls (reset manually).
+  struct Stats {
+    int64_t queries_executed = 0;
+    int64_t rows_scanned = 0;
+    /// Executions answered from dimension-index postings instead of a
+    /// full scan.
+    int64_t index_assisted = 0;
+  };
+
+  Executor() = default;
+
+  /// Attaches secondary dimension indexes built over `indexed_table`.
+  /// Subsequent Execute calls against that exact table evaluate fully
+  /// covered, non-empty predicates by posting-list intersection instead
+  /// of scanning. Results are identical either way (asserted by the
+  /// executor property tests); only wall-clock changes. Pass nullptrs
+  /// to detach.
+  void SetDimensionIndex(const DimensionIndex* index,
+                         const Table* indexed_table) {
+    dimension_index_ = index;
+    indexed_table_ = indexed_table;
+  }
+
+  /// Runs `query` over `table`. Errors on non-numeric ranking columns
+  /// or invalid column indices.
+  StatusOr<TopKList> Execute(const Table& table, const TopKQuery& query);
+
+  /// Runs `query` restricted to the given rows of `table` (used to
+  /// evaluate ranking criteria over tuple sets of R'). Rows must be
+  /// valid ids into `table`.
+  StatusOr<TopKList> ExecuteOnRows(const Table& table,
+                                   const std::vector<RowId>& rows,
+                                   const TopKQuery& query);
+
+  /// Number of rows of `table` matching `predicate` (selectivity
+  /// numerator; Table 6).
+  size_t CountMatching(const Table& table, const Predicate& predicate);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  StatusOr<TopKList> ExecuteImpl(const Table& table,
+                                 const std::vector<RowId>* rows,
+                                 const TopKQuery& query);
+
+  Stats stats_;
+  const DimensionIndex* dimension_index_ = nullptr;
+  const Table* indexed_table_ = nullptr;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_ENGINE_EXECUTOR_H_

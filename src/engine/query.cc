@@ -1,0 +1,36 @@
+#include "engine/query.h"
+
+namespace paleo {
+
+std::string TopKQuery::RankingSql(const Schema& schema) const {
+  std::string inner = expr.ToSql(schema);
+  if (agg == AggFn::kNone) return inner;
+  return std::string(AggFnToString(agg)) + "(" + inner + ")";
+}
+
+std::string TopKQuery::ToSql(const Schema& schema) const {
+  const std::string& entity = schema.field(schema.entity_index()).name;
+  std::string ranking = RankingSql(schema);
+  std::string sql = "SELECT " + entity + ", " + ranking + " FROM R";
+  if (!predicate.IsTrue()) {
+    sql += " WHERE " + predicate.ToSql(schema);
+  }
+  if (agg != AggFn::kNone) {
+    sql += " GROUP BY " + entity;
+  }
+  sql += " ORDER BY " + ranking +
+         (order == SortOrder::kDesc ? " DESC" : " ASC");
+  sql += " LIMIT " + std::to_string(k);
+  return sql;
+}
+
+uint64_t TopKQuery::Hash() const {
+  uint64_t h = predicate.Hash();
+  h ^= expr.Hash() * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<uint64_t>(agg) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= static_cast<uint64_t>(order) * 0x165667B19E3779F9ULL;
+  h ^= static_cast<uint64_t>(k) * 0x27D4EB2F165667C5ULL;
+  return h;
+}
+
+}  // namespace paleo

@@ -1,0 +1,52 @@
+// The paper's query template:
+//
+//   SELECT e, agg(expr) FROM R WHERE P1 AND P2 AND ...
+//   GROUP BY e ORDER BY agg(expr) DESC LIMIT k
+//
+// plus the no-aggregation variant (no GROUP BY, rank rows directly).
+
+#ifndef PALEO_ENGINE_QUERY_H_
+#define PALEO_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/aggregate.h"
+#include "engine/predicate.h"
+#include "engine/rank_expr.h"
+#include "types/schema.h"
+
+namespace paleo {
+
+enum class SortOrder : int { kDesc = 0, kAsc = 1 };
+
+/// \brief A fully specified top-k query over one relation.
+struct TopKQuery {
+  Predicate predicate;          // conjunctive WHERE clause (may be TRUE)
+  RankExpr expr;                // ranking expression
+  AggFn agg = AggFn::kMax;      // aggregate (kNone: no GROUP BY)
+  SortOrder order = SortOrder::kDesc;
+  int k = 10;
+
+  /// "agg(expr)" or plain "expr" for kNone.
+  std::string RankingSql(const Schema& schema) const;
+
+  /// Full SQL text of the query.
+  std::string ToSql(const Schema& schema) const;
+
+  /// Same ranking criterion (expression + aggregate + order)?
+  bool SameRanking(const TopKQuery& other) const {
+    return expr == other.expr && agg == other.agg && order == other.order;
+  }
+
+  bool operator==(const TopKQuery& other) const {
+    return predicate == other.predicate && expr == other.expr &&
+           agg == other.agg && order == other.order && k == other.k;
+  }
+
+  uint64_t Hash() const;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_ENGINE_QUERY_H_

@@ -1,0 +1,18 @@
+#include "engine/rank_expr.h"
+
+namespace paleo {
+
+std::string RankExpr::ToSql(const Schema& schema) const {
+  const std::string& name_a = schema.field(a_).name;
+  switch (kind_) {
+    case Kind::kColumn:
+      return name_a;
+    case Kind::kAdd:
+      return name_a + " + " + schema.field(b_).name;
+    case Kind::kMul:
+      return name_a + " * " + schema.field(b_).name;
+  }
+  return name_a;
+}
+
+}  // namespace paleo

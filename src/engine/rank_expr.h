@@ -1,0 +1,76 @@
+// Ranking expressions — the value inside the aggregate of the query
+// template. The paper's query types use a single column A, a sum of two
+// columns A + B, or a product A * B.
+
+#ifndef PALEO_ENGINE_RANK_EXPR_H_
+#define PALEO_ENGINE_RANK_EXPR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace paleo {
+
+/// \brief Numeric expression over the columns of one row: a column
+/// reference, A + B, or A * B.
+class RankExpr {
+ public:
+  enum class Kind : int { kColumn = 0, kAdd = 1, kMul = 2 };
+
+  RankExpr() = default;
+
+  static RankExpr Column(int col) { return RankExpr(Kind::kColumn, col, -1); }
+  static RankExpr Add(int a, int b) { return RankExpr(Kind::kAdd, a, b); }
+  static RankExpr Mul(int a, int b) { return RankExpr(Kind::kMul, a, b); }
+
+  Kind kind() const { return kind_; }
+  int column_a() const { return a_; }
+  int column_b() const { return b_; }
+  bool is_single_column() const { return kind_ == Kind::kColumn; }
+
+  /// Row value widened to double. Preconditions: numeric columns.
+  double Eval(const Table& table, RowId row) const {
+    double va = table.column(a_).NumericAt(row);
+    switch (kind_) {
+      case Kind::kColumn:
+        return va;
+      case Kind::kAdd:
+        return va + table.column(b_).NumericAt(row);
+      case Kind::kMul:
+        return va * table.column(b_).NumericAt(row);
+    }
+    return va;
+  }
+
+  /// "lo_revenue", "ps_supplycost + ps_availqty", "A * B".
+  std::string ToSql(const Schema& schema) const;
+
+  bool operator==(const RankExpr& other) const {
+    return kind_ == other.kind_ && a_ == other.a_ && b_ == other.b_;
+  }
+  bool operator!=(const RankExpr& other) const { return !(*this == other); }
+
+  uint64_t Hash() const {
+    return (static_cast<uint64_t>(kind_) * 1000003ULL +
+            static_cast<uint64_t>(a_)) *
+               1000003ULL +
+           static_cast<uint64_t>(b_ + 1);
+  }
+
+ private:
+  RankExpr(Kind kind, int a, int b) : kind_(kind), a_(a), b_(b) {
+    // Canonicalize commutative operands so A+B == B+A.
+    if (kind_ != Kind::kColumn && b_ < a_) std::swap(a_, b_);
+  }
+
+  Kind kind_ = Kind::kColumn;
+  int a_ = -1;
+  int b_ = -1;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_ENGINE_RANK_EXPR_H_

@@ -1,0 +1,393 @@
+#include "engine/sql_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace paleo {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  // bare word (keyword or column name)
+  kString,      // 'literal'
+  kNumber,      // integer or decimal
+  kSymbol,      // , ( ) = + *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier/keyword (as written), literal payload
+  double number = 0.0;
+  bool number_is_int = false;
+  int64_t int_value = 0;
+  char symbol = 0;
+  size_t position = 0;
+};
+
+/// Hand-rolled tokenizer for the template dialect.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < sql_.size()) {
+      char c = sql_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token token;
+      token.position = i;
+      if (c == '\'') {
+        // SQL string with '' escaping.
+        std::string payload;
+        ++i;
+        bool closed = false;
+        while (i < sql_.size()) {
+          if (sql_[i] == '\'') {
+            if (i + 1 < sql_.size() && sql_[i + 1] == '\'') {
+              payload += '\'';
+              i += 2;
+            } else {
+              ++i;
+              closed = true;
+              break;
+            }
+          } else {
+            payload += sql_[i++];
+          }
+        }
+        if (!closed) {
+          return Status::InvalidArgument(
+              "unterminated string literal at position " +
+              std::to_string(token.position));
+        }
+        token.kind = TokenKind::kString;
+        token.text = std::move(payload);
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' &&
+                  i + 1 < sql_.size() &&
+                  std::isdigit(static_cast<unsigned char>(sql_[i + 1])))) {
+        size_t start = i;
+        if (c == '-') ++i;
+        bool is_int = true;
+        while (i < sql_.size() &&
+               (std::isdigit(static_cast<unsigned char>(sql_[i])) ||
+                sql_[i] == '.' || sql_[i] == 'e' || sql_[i] == 'E' ||
+                ((sql_[i] == '+' || sql_[i] == '-') &&
+                 (sql_[i - 1] == 'e' || sql_[i - 1] == 'E')))) {
+          if (!std::isdigit(static_cast<unsigned char>(sql_[i])))
+            is_int = false;
+          ++i;
+        }
+        std::string text(sql_.substr(start, i - start));
+        token.kind = TokenKind::kNumber;
+        token.text = text;
+        token.number = std::strtod(text.c_str(), nullptr);
+        token.number_is_int = is_int;
+        if (is_int) token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < sql_.size() &&
+               (std::isalnum(static_cast<unsigned char>(sql_[i])) ||
+                sql_[i] == '_')) {
+          ++i;
+        }
+        token.kind = TokenKind::kIdentifier;
+        token.text = std::string(sql_.substr(start, i - start));
+      } else if (c == ',' || c == '(' || c == ')' || c == '=' || c == '+' ||
+                 c == '*') {
+        token.kind = TokenKind::kSymbol;
+        token.symbol = c;
+        ++i;
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at position " +
+                                       std::to_string(i));
+      }
+      tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.position = sql_.size();
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  std::string_view sql_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Schema& schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  StatusOr<TopKQuery> Parse() {
+    TopKQuery query;
+    PALEO_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    PALEO_ASSIGN_OR_RETURN(std::string entity, ExpectIdentifier());
+    if (schema_.FieldIndex(entity) != schema_.entity_index()) {
+      return Status::InvalidArgument("SELECT must project the entity column "
+                                     "'" +
+                                     schema_.field(schema_.entity_index())
+                                         .name +
+                                     "', got '" + entity + "'");
+    }
+    PALEO_RETURN_NOT_OK(ExpectSymbol(','));
+    PALEO_ASSIGN_OR_RETURN(Ranking select_ranking, ParseRanking());
+    PALEO_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    PALEO_RETURN_NOT_OK(ExpectIdentifier().status());  // table name: free
+
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      PALEO_ASSIGN_OR_RETURN(query.predicate, ParsePredicate());
+    }
+
+    bool has_group_by = false;
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      PALEO_RETURN_NOT_OK(ExpectKeyword("BY"));
+      PALEO_ASSIGN_OR_RETURN(std::string group_col, ExpectIdentifier());
+      if (schema_.FieldIndex(group_col) != schema_.entity_index()) {
+        return Status::InvalidArgument(
+            "GROUP BY must group by the entity column, got '" + group_col +
+            "'");
+      }
+      has_group_by = true;
+    }
+
+    PALEO_RETURN_NOT_OK(ExpectKeyword("ORDER"));
+    PALEO_RETURN_NOT_OK(ExpectKeyword("BY"));
+    PALEO_ASSIGN_OR_RETURN(Ranking order_ranking, ParseRanking());
+    if (!(select_ranking.expr == order_ranking.expr) ||
+        select_ranking.agg != order_ranking.agg) {
+      return Status::InvalidArgument(
+          "ORDER BY ranking differs from the SELECT ranking");
+    }
+    query.expr = select_ranking.expr;
+    query.agg = select_ranking.agg;
+    if ((query.agg == AggFn::kNone) == has_group_by) {
+      return Status::InvalidArgument(
+          has_group_by ? "GROUP BY requires an aggregate in the SELECT list"
+                       : "an aggregate requires GROUP BY on the entity");
+    }
+
+    query.order = SortOrder::kDesc;
+    if (PeekKeyword("DESC")) {
+      Advance();
+    } else if (PeekKeyword("ASC")) {
+      query.order = SortOrder::kAsc;
+      Advance();
+    }
+
+    PALEO_RETURN_NOT_OK(ExpectKeyword("LIMIT"));
+    const Token& k = Peek();
+    if (k.kind != TokenKind::kNumber || !k.number_is_int ||
+        k.int_value <= 0) {
+      return Status::InvalidArgument("LIMIT expects a positive integer");
+    }
+    query.k = static_cast<int>(k.int_value);
+    Advance();
+
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after LIMIT at "
+                                     "position " +
+                                     std::to_string(Peek().position));
+    }
+    return query;
+  }
+
+ private:
+  struct Ranking {
+    RankExpr expr;
+    AggFn agg = AggFn::kNone;
+  };
+
+  static StatusOr<AggFn> AggFromName(const std::string& name) {
+    std::string lower = ToLower(name);
+    if (lower == "max") return AggFn::kMax;
+    if (lower == "min") return AggFn::kMin;
+    if (lower == "sum") return AggFn::kSum;
+    if (lower == "avg") return AggFn::kAvg;
+    if (lower == "count") return AggFn::kCount;
+    return Status::InvalidArgument("unknown aggregate: " + name);
+  }
+
+  bool IsKeyword(const Token& token, const char* keyword) const {
+    return token.kind == TokenKind::kIdentifier &&
+           ToUpper(token.text) == keyword;
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const char* keyword) const {
+    return IsKeyword(Peek(), keyword);
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!PeekKeyword(keyword)) {
+      return Status::InvalidArgument("expected " + std::string(keyword) +
+                                     " at position " +
+                                     std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected an identifier at position " +
+                                     std::to_string(Peek().position));
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  Status ExpectSymbol(char symbol) {
+    if (Peek().kind != TokenKind::kSymbol || Peek().symbol != symbol) {
+      return Status::InvalidArgument("expected '" + std::string(1, symbol) +
+                                     "' at position " +
+                                     std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<int> ResolveColumn(const std::string& name) {
+    int idx = schema_.FieldIndex(name);
+    if (idx < 0) {
+      return Status::NotFound("unknown column: " + name);
+    }
+    return idx;
+  }
+
+  /// <column> [ ('+'|'*') <column> ]
+  StatusOr<RankExpr> ParseExpr() {
+    PALEO_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    PALEO_ASSIGN_OR_RETURN(int a, ResolveColumn(first));
+    if (Peek().kind == TokenKind::kSymbol &&
+        (Peek().symbol == '+' || Peek().symbol == '*')) {
+      char op = Peek().symbol;
+      Advance();
+      PALEO_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier());
+      PALEO_ASSIGN_OR_RETURN(int b, ResolveColumn(second));
+      return op == '+' ? RankExpr::Add(a, b) : RankExpr::Mul(a, b);
+    }
+    return RankExpr::Column(a);
+  }
+
+  /// <agg> '(' <expr> ')' | <expr>
+  StatusOr<Ranking> ParseRanking() {
+    Ranking ranking;
+    // Lookahead: identifier followed by '(' is an aggregate call.
+    if (Peek().kind == TokenKind::kIdentifier &&
+        pos_ + 1 < tokens_.size() &&
+        tokens_[pos_ + 1].kind == TokenKind::kSymbol &&
+        tokens_[pos_ + 1].symbol == '(') {
+      PALEO_ASSIGN_OR_RETURN(ranking.agg, AggFromName(Peek().text));
+      Advance();
+      PALEO_RETURN_NOT_OK(ExpectSymbol('('));
+      PALEO_ASSIGN_OR_RETURN(ranking.expr, ParseExpr());
+      PALEO_RETURN_NOT_OK(ExpectSymbol(')'));
+      return ranking;
+    }
+    ranking.agg = AggFn::kNone;
+    PALEO_ASSIGN_OR_RETURN(ranking.expr, ParseExpr());
+    return ranking;
+  }
+
+  /// One literal, typed by the column it constrains.
+  StatusOr<Value> ParseLiteral(int column, const std::string& name) {
+    const Token& literal = Peek();
+    Value value;
+    if (literal.kind == TokenKind::kString) {
+      value = Value::String(literal.text);
+    } else if (literal.kind == TokenKind::kNumber) {
+      // Literal type follows the column's physical type.
+      if (schema_.field(column).type == DataType::kDouble) {
+        value = Value::Double(literal.number);
+      } else if (literal.number_is_int) {
+        value = Value::Int64(literal.int_value);
+      } else {
+        return Status::TypeError("decimal literal for non-DOUBLE column " +
+                                 name);
+      }
+    } else {
+      return Status::InvalidArgument("expected a literal at position " +
+                                     std::to_string(literal.position));
+    }
+    Advance();
+    return value;
+  }
+
+  /// <atom> { AND <atom> } where <atom> is
+  /// <column> = <literal> | <column> BETWEEN <literal> AND <literal>.
+  /// The AND after BETWEEN binds to the range, as in SQL.
+  StatusOr<Predicate> ParsePredicate() {
+    std::vector<AtomicPredicate> atoms;
+    for (;;) {
+      PALEO_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      PALEO_ASSIGN_OR_RETURN(int column, ResolveColumn(name));
+      AtomicPredicate atom;
+      if (PeekKeyword("BETWEEN")) {
+        Advance();
+        if (!IsNumeric(schema_.field(column).type)) {
+          return Status::TypeError("BETWEEN requires a numeric column, " +
+                                   name + " is not");
+        }
+        PALEO_ASSIGN_OR_RETURN(Value low, ParseLiteral(column, name));
+        PALEO_RETURN_NOT_OK(ExpectKeyword("AND"));
+        PALEO_ASSIGN_OR_RETURN(Value high, ParseLiteral(column, name));
+        if (!low.is_numeric() || !high.is_numeric() ||
+            low.AsDouble() > high.AsDouble()) {
+          return Status::InvalidArgument("empty BETWEEN range on " + name);
+        }
+        atom = AtomicPredicate::Range(column, std::move(low),
+                                      std::move(high));
+      } else {
+        PALEO_RETURN_NOT_OK(ExpectSymbol('='));
+        PALEO_ASSIGN_OR_RETURN(Value value, ParseLiteral(column, name));
+        atom = AtomicPredicate(column, std::move(value));
+      }
+      for (const AtomicPredicate& existing : atoms) {
+        if (existing.column == column) {
+          return Status::InvalidArgument("column " + name +
+                                         " constrained twice");
+        }
+      }
+      atoms.push_back(std::move(atom));
+      if (PeekKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Predicate(std::move(atoms));
+  }
+
+  std::vector<Token> tokens_;
+  const Schema& schema_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<TopKQuery> ParseTopKQuery(std::string_view sql,
+                                   const Schema& schema) {
+  Lexer lexer(sql);
+  PALEO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), schema);
+  return parser.Parse();
+}
+
+}  // namespace paleo

@@ -1,0 +1,39 @@
+// Parser for the template query dialect — the inverse of
+// TopKQuery::ToSql.
+//
+// Grammar (keywords case-insensitive; whitespace free-form):
+//
+//   SELECT <entity> , <ranking> FROM <ident>
+//   [ WHERE <column> = <literal> { AND <column> = <literal> } ]
+//   [ GROUP BY <entity> ]
+//   ORDER BY <ranking> [ ASC | DESC ] LIMIT <int>
+//
+//   <ranking> ::= <agg> '(' <expr> ')' | <expr>
+//   <agg>     ::= max | min | sum | avg | count
+//   <expr>    ::= <column> [ ('+'|'*') <column> ]
+//   <literal> ::= 'string' (with '' escaping) | integer | decimal
+//
+// Column names are resolved against the schema; the SELECT/GROUP BY
+// entity must be the schema's entity column; the two <ranking>
+// occurrences must agree. A query without an aggregate must omit
+// GROUP BY and vice versa.
+
+#ifndef PALEO_ENGINE_SQL_PARSER_H_
+#define PALEO_ENGINE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "types/schema.h"
+
+namespace paleo {
+
+/// Parses one template query against `schema`. Errors carry the
+/// offending token and position.
+StatusOr<TopKQuery> ParseTopKQuery(std::string_view sql,
+                                   const Schema& schema);
+
+}  // namespace paleo
+
+#endif  // PALEO_ENGINE_SQL_PARSER_H_

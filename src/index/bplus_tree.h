@@ -1,0 +1,512 @@
+// From-scratch order-preserving B+ tree.
+//
+// This is the access path the paper assumes on the entity column of R
+// ("By using a standard database index, such as a B+ tree, on the entity
+// attribute of R, we can efficiently retrieve R'", Section 3.1).
+//
+// Design:
+//  * Unique-key map from K to V. Leaf nodes hold (key, value) pairs and
+//    are doubly linked for ordered range scans; internal nodes hold
+//    separator keys and child pointers.
+//  * kMaxKeys keys per node; non-root nodes keep at least kMaxKeys/2.
+//    Inserts split full nodes bottom-up; erases rebalance by borrowing
+//    from a sibling or merging.
+//  * VerifyInvariants() checks the full set of structural invariants and
+//    backs the property-based test suite.
+//
+// Not thread-safe; callers serialize access, as all PALEO phases are
+// single-threaded per task.
+
+#ifndef PALEO_INDEX_BPLUS_TREE_H_
+#define PALEO_INDEX_BPLUS_TREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace paleo {
+
+template <typename K, typename V, int kMaxKeys = 64,
+          typename Compare = std::less<K>>
+class BPlusTree {
+  static_assert(kMaxKeys >= 3, "B+ tree fanout too small");
+
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+ public:
+  BPlusTree() : root_(new Leaf()) {}
+  ~BPlusTree() { DestroyNode(root_); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  BPlusTree(BPlusTree&& other) noexcept
+      : root_(other.root_), size_(other.size_), cmp_(other.cmp_) {
+    other.root_ = new Leaf();
+    other.size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tree height: 1 for a single leaf.
+  int height() const {
+    int h = 1;
+    const Node* n = root_;
+    while (!n->is_leaf) {
+      n = static_cast<const Internal*>(n)->children.front();
+      ++h;
+    }
+    return h;
+  }
+
+  /// Inserts (key, value); returns false (and leaves the tree unchanged)
+  /// if the key already exists.
+  bool Insert(const K& key, V value) {
+    SplitResult split;
+    bool inserted = InsertRec(root_, key, std::move(value), &split);
+    if (split.new_node != nullptr) {
+      auto* new_root = new Internal();
+      new_root->keys.push_back(std::move(split.key));
+      new_root->children.push_back(root_);
+      new_root->children.push_back(split.new_node);
+      root_ = new_root;
+    }
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Pointer to the value for `key`, or nullptr. The pointer is
+  /// invalidated by any mutation.
+  V* Find(const K& key) {
+    Leaf* leaf = FindLeaf(key);
+    int i = LowerBoundIdx(leaf->keys, key);
+    if (i < static_cast<int>(leaf->keys.size()) && Equal(leaf->keys[i], key)) {
+      return &leaf->values[static_cast<size_t>(i)];
+    }
+    return nullptr;
+  }
+  const V* Find(const K& key) const {
+    return const_cast<BPlusTree*>(this)->Find(key);
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Removes `key`; returns false if absent.
+  bool Erase(const K& key) {
+    bool erased = EraseRec(root_, key);
+    if (!erased) return false;
+    --size_;
+    // Shrink the root: an internal root with a single child is replaced
+    // by that child; an empty leaf root stays (empty tree).
+    if (!root_->is_leaf) {
+      auto* r = static_cast<Internal*>(root_);
+      if (r->children.size() == 1) {
+        root_ = r->children[0];
+        r->children.clear();
+        delete r;
+      }
+    }
+    return true;
+  }
+
+  /// \brief Forward iterator over (key, value) pairs in key order.
+  class Iterator {
+   public:
+    Iterator() = default;
+    Iterator(const Leaf* leaf, int idx) : leaf_(leaf), idx_(idx) {
+      Normalize();
+    }
+
+    bool Valid() const { return leaf_ != nullptr; }
+    const K& key() const { return leaf_->keys[static_cast<size_t>(idx_)]; }
+    const V& value() const {
+      return leaf_->values[static_cast<size_t>(idx_)];
+    }
+    void Next() {
+      ++idx_;
+      Normalize();
+    }
+
+    bool operator==(const Iterator& o) const {
+      return leaf_ == o.leaf_ && (leaf_ == nullptr || idx_ == o.idx_);
+    }
+
+   private:
+    void Normalize() {
+      while (leaf_ != nullptr &&
+             idx_ >= static_cast<int>(leaf_->keys.size())) {
+        leaf_ = leaf_->next;
+        idx_ = 0;
+      }
+    }
+    const Leaf* leaf_ = nullptr;
+    int idx_ = 0;
+  };
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const {
+    const Node* n = root_;
+    while (!n->is_leaf) n = static_cast<const Internal*>(n)->children.front();
+    return Iterator(static_cast<const Leaf*>(n), 0);
+  }
+
+  /// Iterator at the first key >= `key`.
+  Iterator LowerBound(const K& key) const {
+    const Leaf* leaf = const_cast<BPlusTree*>(this)->FindLeaf(key);
+    int i = LowerBoundIdx(leaf->keys, key);
+    return Iterator(leaf, i);
+  }
+
+  /// Invokes fn(key, value) for keys in [lo, hi]; stops early if fn
+  /// returns false.
+  template <typename Fn>
+  void Scan(const K& lo, const K& hi, Fn fn) const {
+    for (Iterator it = LowerBound(lo); it.Valid(); it.Next()) {
+      if (cmp_(hi, it.key())) break;  // key > hi
+      if (!fn(it.key(), it.value())) break;
+    }
+  }
+
+  /// Verifies all structural invariants; CHECK-fails with a description
+  /// on violation. Used by property tests after random operation mixes.
+  void VerifyInvariants() const {
+    const Leaf* prev_leaf = nullptr;
+    size_t counted = 0;
+    int leaf_depth = -1;
+    VerifyRec(root_, /*depth=*/0, /*is_root=*/true, nullptr, nullptr,
+              &prev_leaf, &counted, &leaf_depth);
+    PALEO_CHECK(counted == size_)
+        << "size mismatch: counted " << counted << ", recorded " << size_;
+    if (prev_leaf != nullptr) {
+      PALEO_CHECK(prev_leaf->next == nullptr) << "dangling leaf link";
+    }
+  }
+
+ private:
+  struct Node {
+    bool is_leaf;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+  struct Leaf : Node {
+    Leaf() : Node(true) {}
+    std::vector<K> keys;
+    std::vector<V> values;
+    Leaf* next = nullptr;
+    Leaf* prev = nullptr;
+  };
+  struct Internal : Node {
+    Internal() : Node(false) {}
+    // children.size() == keys.size() + 1; keys[i] is the smallest key
+    // reachable through children[i + 1].
+    std::vector<K> keys;
+    std::vector<Node*> children;
+  };
+
+  struct SplitResult {
+    K key{};
+    Node* new_node = nullptr;
+  };
+
+  static constexpr int kMinKeys = kMaxKeys / 2;
+
+  bool Equal(const K& a, const K& b) const {
+    return !cmp_(a, b) && !cmp_(b, a);
+  }
+
+  int LowerBoundIdx(const std::vector<K>& keys, const K& key) const {
+    return static_cast<int>(
+        std::lower_bound(keys.begin(), keys.end(), key, cmp_) - keys.begin());
+  }
+  int UpperBoundIdx(const std::vector<K>& keys, const K& key) const {
+    return static_cast<int>(
+        std::upper_bound(keys.begin(), keys.end(), key, cmp_) - keys.begin());
+  }
+
+  /// Child index to descend into for `key`.
+  int ChildIdx(const Internal* node, const K& key) const {
+    return UpperBoundIdx(node->keys, key);
+  }
+
+  Leaf* FindLeaf(const K& key) {
+    Node* n = root_;
+    while (!n->is_leaf) {
+      auto* in = static_cast<Internal*>(n);
+      n = in->children[static_cast<size_t>(ChildIdx(in, key))];
+    }
+    return static_cast<Leaf*>(n);
+  }
+
+  bool InsertRec(Node* node, const K& key, V value, SplitResult* split) {
+    if (node->is_leaf) {
+      auto* leaf = static_cast<Leaf*>(node);
+      int i = LowerBoundIdx(leaf->keys, key);
+      if (i < static_cast<int>(leaf->keys.size()) &&
+          Equal(leaf->keys[i], key)) {
+        return false;  // duplicate
+      }
+      leaf->keys.insert(leaf->keys.begin() + i, key);
+      leaf->values.insert(leaf->values.begin() + i, std::move(value));
+      if (static_cast<int>(leaf->keys.size()) > kMaxKeys) SplitLeaf(leaf, split);
+      return true;
+    }
+    auto* in = static_cast<Internal*>(node);
+    int ci = ChildIdx(in, key);
+    SplitResult child_split;
+    bool inserted = InsertRec(in->children[static_cast<size_t>(ci)], key,
+                              std::move(value), &child_split);
+    if (child_split.new_node != nullptr) {
+      in->keys.insert(in->keys.begin() + ci, std::move(child_split.key));
+      in->children.insert(in->children.begin() + ci + 1,
+                          child_split.new_node);
+      if (static_cast<int>(in->keys.size()) > kMaxKeys)
+        SplitInternal(in, split);
+    }
+    return inserted;
+  }
+
+  void SplitLeaf(Leaf* leaf, SplitResult* split) {
+    auto* right = new Leaf();
+    int mid = static_cast<int>(leaf->keys.size()) / 2;
+    right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+    right->values.assign(std::make_move_iterator(leaf->values.begin() + mid),
+                         std::make_move_iterator(leaf->values.end()));
+    leaf->keys.resize(static_cast<size_t>(mid));
+    leaf->values.resize(static_cast<size_t>(mid));
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (leaf->next != nullptr) leaf->next->prev = right;
+    leaf->next = right;
+    split->key = right->keys.front();
+    split->new_node = right;
+  }
+
+  void SplitInternal(Internal* node, SplitResult* split) {
+    auto* right = new Internal();
+    int mid = static_cast<int>(node->keys.size()) / 2;
+    // keys[mid] moves up; right gets keys after it.
+    split->key = node->keys[static_cast<size_t>(mid)];
+    right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    right->children.assign(node->children.begin() + mid + 1,
+                           node->children.end());
+    node->keys.resize(static_cast<size_t>(mid));
+    node->children.resize(static_cast<size_t>(mid) + 1);
+    split->new_node = right;
+  }
+
+  /// Erases from the subtree; returns true if the key was found. The
+  /// caller (parent) repairs underflow of `node`'s children.
+  bool EraseRec(Node* node, const K& key) {
+    if (node->is_leaf) {
+      auto* leaf = static_cast<Leaf*>(node);
+      int i = LowerBoundIdx(leaf->keys, key);
+      if (i >= static_cast<int>(leaf->keys.size()) ||
+          !Equal(leaf->keys[i], key)) {
+        return false;
+      }
+      leaf->keys.erase(leaf->keys.begin() + i);
+      leaf->values.erase(leaf->values.begin() + i);
+      return true;
+    }
+    auto* in = static_cast<Internal*>(node);
+    int ci = ChildIdx(in, key);
+    Node* child = in->children[static_cast<size_t>(ci)];
+    bool erased = EraseRec(child, key);
+    if (erased && Underflowed(child)) Rebalance(in, ci);
+    return erased;
+  }
+
+  bool Underflowed(const Node* node) const {
+    if (node->is_leaf) {
+      return static_cast<int>(static_cast<const Leaf*>(node)->keys.size()) <
+             kMinKeys;
+    }
+    return static_cast<int>(static_cast<const Internal*>(node)->keys.size()) <
+           kMinKeys;
+  }
+
+  int NumKeys(const Node* node) const {
+    return node->is_leaf
+               ? static_cast<int>(static_cast<const Leaf*>(node)->keys.size())
+               : static_cast<int>(
+                     static_cast<const Internal*>(node)->keys.size());
+  }
+
+  /// Repairs an underflowed child `ci` of `parent` by borrowing from a
+  /// sibling or merging with one.
+  void Rebalance(Internal* parent, int ci) {
+    Node* child = parent->children[static_cast<size_t>(ci)];
+    // Try borrowing from the left sibling, then the right one.
+    if (ci > 0 &&
+        NumKeys(parent->children[static_cast<size_t>(ci - 1)]) > kMinKeys) {
+      BorrowFromLeft(parent, ci);
+      return;
+    }
+    if (ci + 1 < static_cast<int>(parent->children.size()) &&
+        NumKeys(parent->children[static_cast<size_t>(ci + 1)]) > kMinKeys) {
+      BorrowFromRight(parent, ci);
+      return;
+    }
+    // Merge with a sibling (prefer left).
+    if (ci > 0) {
+      Merge(parent, ci - 1);
+    } else {
+      Merge(parent, ci);
+    }
+    (void)child;
+  }
+
+  void BorrowFromLeft(Internal* parent, int ci) {
+    Node* left = parent->children[static_cast<size_t>(ci - 1)];
+    Node* right = parent->children[static_cast<size_t>(ci)];
+    K& sep = parent->keys[static_cast<size_t>(ci - 1)];
+    if (right->is_leaf) {
+      auto* l = static_cast<Leaf*>(left);
+      auto* r = static_cast<Leaf*>(right);
+      r->keys.insert(r->keys.begin(), std::move(l->keys.back()));
+      r->values.insert(r->values.begin(), std::move(l->values.back()));
+      l->keys.pop_back();
+      l->values.pop_back();
+      sep = r->keys.front();
+    } else {
+      auto* l = static_cast<Internal*>(left);
+      auto* r = static_cast<Internal*>(right);
+      r->keys.insert(r->keys.begin(), std::move(sep));
+      sep = std::move(l->keys.back());
+      l->keys.pop_back();
+      r->children.insert(r->children.begin(), l->children.back());
+      l->children.pop_back();
+    }
+  }
+
+  void BorrowFromRight(Internal* parent, int ci) {
+    Node* left = parent->children[static_cast<size_t>(ci)];
+    Node* right = parent->children[static_cast<size_t>(ci + 1)];
+    K& sep = parent->keys[static_cast<size_t>(ci)];
+    if (left->is_leaf) {
+      auto* l = static_cast<Leaf*>(left);
+      auto* r = static_cast<Leaf*>(right);
+      l->keys.push_back(std::move(r->keys.front()));
+      l->values.push_back(std::move(r->values.front()));
+      r->keys.erase(r->keys.begin());
+      r->values.erase(r->values.begin());
+      sep = r->keys.front();
+    } else {
+      auto* l = static_cast<Internal*>(left);
+      auto* r = static_cast<Internal*>(right);
+      l->keys.push_back(std::move(sep));
+      sep = std::move(r->keys.front());
+      r->keys.erase(r->keys.begin());
+      l->children.push_back(r->children.front());
+      r->children.erase(r->children.begin());
+    }
+  }
+
+  /// Merges children[ci + 1] into children[ci] and drops separator ci.
+  void Merge(Internal* parent, int ci) {
+    Node* left = parent->children[static_cast<size_t>(ci)];
+    Node* right = parent->children[static_cast<size_t>(ci + 1)];
+    if (left->is_leaf) {
+      auto* l = static_cast<Leaf*>(left);
+      auto* r = static_cast<Leaf*>(right);
+      l->keys.insert(l->keys.end(), std::make_move_iterator(r->keys.begin()),
+                     std::make_move_iterator(r->keys.end()));
+      l->values.insert(l->values.end(),
+                       std::make_move_iterator(r->values.begin()),
+                       std::make_move_iterator(r->values.end()));
+      l->next = r->next;
+      if (r->next != nullptr) r->next->prev = l;
+      delete r;
+    } else {
+      auto* l = static_cast<Internal*>(left);
+      auto* r = static_cast<Internal*>(right);
+      l->keys.push_back(std::move(parent->keys[static_cast<size_t>(ci)]));
+      l->keys.insert(l->keys.end(), std::make_move_iterator(r->keys.begin()),
+                     std::make_move_iterator(r->keys.end()));
+      l->children.insert(l->children.end(), r->children.begin(),
+                         r->children.end());
+      r->children.clear();
+      delete r;
+    }
+    parent->keys.erase(parent->keys.begin() + ci);
+    parent->children.erase(parent->children.begin() + ci + 1);
+  }
+
+  void DestroyNode(Node* node) {
+    if (node == nullptr) return;
+    if (!node->is_leaf) {
+      for (Node* c : static_cast<Internal*>(node)->children) DestroyNode(c);
+      delete static_cast<Internal*>(node);
+    } else {
+      delete static_cast<Leaf*>(node);
+    }
+  }
+
+  void VerifyRec(const Node* node, int depth, bool is_root, const K* lo,
+                 const K* hi, const Leaf** prev_leaf, size_t* counted,
+                 int* leaf_depth) const {
+    if (node->is_leaf) {
+      const auto* leaf = static_cast<const Leaf*>(node);
+      if (*leaf_depth < 0) *leaf_depth = depth;
+      PALEO_CHECK(*leaf_depth == depth) << "leaves at different depths";
+      if (!is_root) {
+        PALEO_CHECK(static_cast<int>(leaf->keys.size()) >= kMinKeys)
+            << "leaf underflow: " << leaf->keys.size();
+      }
+      PALEO_CHECK(leaf->keys.size() == leaf->values.size());
+      PALEO_CHECK(static_cast<int>(leaf->keys.size()) <= kMaxKeys);
+      PALEO_CHECK(std::is_sorted(leaf->keys.begin(), leaf->keys.end(), cmp_))
+          << "leaf keys unsorted";
+      for (const K& k : leaf->keys) {
+        if (lo != nullptr) {
+          PALEO_CHECK(!cmp_(k, *lo)) << "key below bound";
+        }
+        if (hi != nullptr) {
+          PALEO_CHECK(cmp_(k, *hi)) << "key above bound";
+        }
+      }
+      PALEO_CHECK(leaf->prev == *prev_leaf) << "broken leaf back-link";
+      if (*prev_leaf != nullptr) {
+        PALEO_CHECK((*prev_leaf)->next == leaf) << "broken leaf link";
+        if (!(*prev_leaf)->keys.empty() && !leaf->keys.empty()) {
+          PALEO_CHECK(cmp_((*prev_leaf)->keys.back(), leaf->keys.front()))
+              << "leaf chain unsorted";
+        }
+      }
+      *prev_leaf = leaf;
+      *counted += leaf->keys.size();
+      return;
+    }
+    const auto* in = static_cast<const Internal*>(node);
+    PALEO_CHECK(in->children.size() == in->keys.size() + 1);
+    PALEO_CHECK(static_cast<int>(in->keys.size()) <= kMaxKeys);
+    if (!is_root) {
+      PALEO_CHECK(static_cast<int>(in->keys.size()) >= kMinKeys)
+          << "internal underflow";
+    } else {
+      PALEO_CHECK(!in->keys.empty()) << "internal root with no keys";
+    }
+    PALEO_CHECK(std::is_sorted(in->keys.begin(), in->keys.end(), cmp_));
+    for (size_t i = 0; i < in->children.size(); ++i) {
+      const K* child_lo = (i == 0) ? lo : &in->keys[i - 1];
+      const K* child_hi = (i == in->keys.size()) ? hi : &in->keys[i];
+      VerifyRec(in->children[i], depth + 1, false, child_lo, child_hi,
+                prev_leaf, counted, leaf_depth);
+    }
+  }
+
+  Node* root_;
+  size_t size_ = 0;
+  Compare cmp_{};
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,114 @@
+#include "index/dimension_index.h"
+
+#include <algorithm>
+
+#include "paleo/tuple_set.h"
+
+namespace paleo {
+
+DimensionIndex DimensionIndex::Build(const Table& table) {
+  DimensionIndex index;
+  const Schema& schema = table.schema();
+  for (int c : schema.dimension_indices()) {
+    const Column& col = table.column(c);
+    ColumnPostings postings;
+    postings.type = col.type();
+    const size_t n = table.num_rows();
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t key = 0;
+      switch (col.type()) {
+        case DataType::kString:
+          key = col.CodeAt(static_cast<RowId>(r));
+          break;
+        case DataType::kInt64:
+          key = static_cast<uint64_t>(col.Int64At(static_cast<RowId>(r)));
+          break;
+        case DataType::kDouble: {
+          double v = col.DoubleAt(static_cast<RowId>(r));
+          __builtin_memcpy(&key, &v, sizeof(key));
+          break;
+        }
+      }
+      postings.by_value[key].push_back(static_cast<RowId>(r));
+    }
+    if (col.type() == DataType::kString) {
+      index.dicts_.emplace(c, col.dict());
+    }
+    index.columns_.emplace(c, std::move(postings));
+  }
+  return index;
+}
+
+bool DimensionIndex::KeyFor(int column, const Value& value,
+                            uint64_t* key) const {
+  auto it = columns_.find(column);
+  if (it == columns_.end()) return false;
+  switch (it->second.type) {
+    case DataType::kString: {
+      if (!value.is_string()) return false;
+      uint32_t code = dicts_.at(column)->Lookup(value.str());
+      if (code == StringDictionary::kInvalidCode) return false;
+      *key = code;
+      return true;
+    }
+    case DataType::kInt64:
+      if (!value.is_int64()) return false;
+      *key = static_cast<uint64_t>(value.int64());
+      return true;
+    case DataType::kDouble: {
+      if (!value.is_numeric()) return false;
+      double v = value.AsDouble();
+      __builtin_memcpy(key, &v, sizeof(*key));
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<RowId>& DimensionIndex::Lookup(int column,
+                                                 const Value& value) const {
+  static const std::vector<RowId> kEmpty;
+  uint64_t key;
+  if (!KeyFor(column, value, &key)) return kEmpty;
+  const ColumnPostings& postings = columns_.at(column);
+  auto it = postings.by_value.find(key);
+  return it == postings.by_value.end() ? kEmpty : it->second;
+}
+
+bool DimensionIndex::Covers(const Predicate& predicate) const {
+  for (const AtomicPredicate& atom : predicate.atoms()) {
+    // Range atoms are not answerable from equality postings.
+    if (atom.is_range()) return false;
+    if (columns_.find(atom.column) == columns_.end()) return false;
+  }
+  return true;
+}
+
+std::vector<RowId> DimensionIndex::Match(const Predicate& predicate) const {
+  // Gather the postings, shortest first, then intersect.
+  std::vector<const std::vector<RowId>*> postings;
+  postings.reserve(predicate.atoms().size());
+  for (const AtomicPredicate& atom : predicate.atoms()) {
+    postings.push_back(&Lookup(atom.column, atom.value));
+    if (postings.back()->empty()) return {};
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<RowId> rows = *postings[0];
+  for (size_t i = 1; i < postings.size() && !rows.empty(); ++i) {
+    rows = IntersectSorted(rows, *postings[i]);
+  }
+  return rows;
+}
+
+size_t DimensionIndex::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [col, postings] : columns_) {
+    for (const auto& [key, rows] : postings.by_value) {
+      bytes += sizeof(key) + rows.capacity() * sizeof(RowId) + 32;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace paleo

@@ -1,0 +1,65 @@
+#include "index/entity_index.h"
+
+#include <algorithm>
+
+namespace paleo {
+
+EntityIndex EntityIndex::Build(const Table& table) {
+  EntityIndex index;
+  const Column& entities = table.entity_column();
+  const StringDictionary& dict = *entities.dict();
+  // Dictionary codes are dense, so bucket rows by code first, then
+  // insert one tree entry per distinct entity actually present.
+  std::vector<std::vector<RowId>> by_code(dict.size());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    by_code[entities.CodeAt(static_cast<RowId>(row))].push_back(
+        static_cast<RowId>(row));
+  }
+  for (uint32_t code = 0; code < dict.size(); ++code) {
+    if (by_code[code].empty()) continue;
+    uint32_t posting_id = static_cast<uint32_t>(index.postings_.size());
+    index.postings_.push_back(std::move(by_code[code]));
+    index.tree_.Insert(dict.Get(code), posting_id);
+  }
+  return index;
+}
+
+const std::vector<RowId>& EntityIndex::Lookup(
+    const std::string& entity) const {
+  static const std::vector<RowId> kEmpty;
+  const uint32_t* posting_id = tree_.Find(entity);
+  if (posting_id == nullptr) return kEmpty;
+  return postings_[*posting_id];
+}
+
+std::vector<RowId> EntityIndex::LookupAll(
+    const std::vector<std::string>& entities,
+    std::vector<std::string>* missing) const {
+  std::vector<RowId> rows;
+  for (const std::string& e : entities) {
+    const uint32_t* posting_id = tree_.Find(e);
+    if (posting_id == nullptr) {
+      if (missing != nullptr) missing->push_back(e);
+      continue;
+    }
+    const std::vector<RowId>& p = postings_[*posting_id];
+    rows.insert(rows.end(), p.begin(), p.end());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+size_t EntityIndex::MaxPostingLength() const {
+  size_t best = 0;
+  for (const auto& p : postings_) best = std::max(best, p.size());
+  return best;
+}
+
+double EntityIndex::AvgPostingLength() const {
+  if (postings_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& p : postings_) total += p.size();
+  return static_cast<double>(total) / static_cast<double>(postings_.size());
+}
+
+}  // namespace paleo

@@ -1,0 +1,55 @@
+// Entity index over the base relation R.
+//
+// Maps each entity name to the posting list of row ids holding that
+// entity, backed by the B+ tree of bplus_tree.h. PALEO's first move for
+// any input list L is Lookup() of each entity followed by Table::Gather
+// to materialize R' (paper Section 3.1: "SELECT * FROM R WHERE Ae IN
+// [e, f, g, m, o]").
+
+#ifndef PALEO_INDEX_ENTITY_INDEX_H_
+#define PALEO_INDEX_ENTITY_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/bplus_tree.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief B+ tree index on the entity column of a table.
+class EntityIndex {
+ public:
+  /// Builds the index in one pass over the table's entity column.
+  static EntityIndex Build(const Table& table);
+
+  /// Row ids (ascending) of the entity, or an empty list if absent.
+  const std::vector<RowId>& Lookup(const std::string& entity) const;
+
+  /// Row ids of all listed entities, merged in ascending order; entities
+  /// not present are recorded in `missing` when non-null.
+  std::vector<RowId> LookupAll(const std::vector<std::string>& entities,
+                               std::vector<std::string>* missing = nullptr)
+      const;
+
+  /// Number of distinct entities indexed.
+  size_t num_entities() const { return tree_.size(); }
+
+  /// Largest / average posting-list length (Table 5 statistics).
+  size_t MaxPostingLength() const;
+  double AvgPostingLength() const;
+
+  /// Structural self-check of the underlying B+ tree.
+  void VerifyInvariants() const { tree_.VerifyInvariants(); }
+
+ private:
+  // The tree maps entity name -> index into postings_. Posting lists
+  // live outside the tree so node splits never copy them.
+  BPlusTree<std::string, uint32_t> tree_;
+  std::vector<std::vector<RowId>> postings_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_INDEX_ENTITY_INDEX_H_

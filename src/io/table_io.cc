@@ -1,0 +1,324 @@
+#include "io/table_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace paleo {
+
+namespace {
+
+/// Splits CSV text into records of fields, honoring double-quoted
+/// fields with "" escaping and quoted newlines/separators.
+StatusOr<std::vector<std::vector<std::string>>> ParseRecords(
+    std::string_view text, char sep) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Skip records that are entirely empty (blank lines).
+    if (record.size() != 1 || !record[0].empty()) {
+      records.push_back(std::move(record));
+    }
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == sep) {
+      end_field();
+    } else if (c == '\n') {
+      if (field_started || !field.empty() || !record.empty()) end_record();
+    } else if (c == '\r') {
+      // Tolerate CRLF.
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  if (!field.empty() || !record.empty()) end_record();
+  return records;
+}
+
+bool LooksLikeInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// One parsed header column: name plus optional explicit type/role.
+struct HeaderColumn {
+  std::string name;
+  bool has_type = false;
+  DataType type = DataType::kString;
+  bool has_role = false;
+  FieldRole role = FieldRole::kDimension;
+};
+
+StatusOr<HeaderColumn> ParseHeaderColumn(const std::string& cell) {
+  std::vector<std::string> parts = Split(cell, ':');
+  if (parts.empty() || parts[0].empty()) {
+    return Status::InvalidArgument("empty column name in header");
+  }
+  HeaderColumn col;
+  col.name = parts[0];
+  if (parts.size() >= 2 && !parts[1].empty()) {
+    std::string t = ToUpper(parts[1]);
+    if (t == "INT64" || t == "INT" || t == "BIGINT") {
+      col.type = DataType::kInt64;
+    } else if (t == "DOUBLE" || t == "FLOAT" || t == "REAL") {
+      col.type = DataType::kDouble;
+    } else if (t == "STRING" || t == "TEXT" || t == "VARCHAR") {
+      col.type = DataType::kString;
+    } else {
+      return Status::InvalidArgument("unknown column type: " + parts[1]);
+    }
+    col.has_type = true;
+  }
+  if (parts.size() >= 3 && !parts[2].empty()) {
+    std::string r = ToUpper(parts[2]);
+    if (r == "ENTITY") {
+      col.role = FieldRole::kEntity;
+    } else if (r == "DIM" || r == "DIMENSION") {
+      col.role = FieldRole::kDimension;
+    } else if (r == "MEASURE") {
+      col.role = FieldRole::kMeasure;
+    } else if (r == "KEY") {
+      col.role = FieldRole::kKey;
+    } else {
+      return Status::InvalidArgument("unknown column role: " + parts[2]);
+    }
+    col.has_role = true;
+  }
+  if (parts.size() > 3) {
+    return Status::InvalidArgument("malformed header column: " + cell);
+  }
+  return col;
+}
+
+bool NeedsQuoting(const std::string& s, char sep) {
+  for (char c : s) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& s, char sep) {
+  if (!NeedsQuoting(s, sep)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Table> TableIo::FromCsv(std::string_view text, char sep) {
+  PALEO_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
+                         ParseRecords(text, sep));
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV has no header");
+  }
+  std::vector<HeaderColumn> header;
+  for (const std::string& cell : records[0]) {
+    PALEO_ASSIGN_OR_RETURN(HeaderColumn col, ParseHeaderColumn(cell));
+    header.push_back(std::move(col));
+  }
+  const size_t n_cols = header.size();
+  if (records.size() < 2) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
+
+  // Infer missing types from the first data row.
+  const std::vector<std::string>& first = records[1];
+  if (first.size() != n_cols) {
+    return Status::InvalidArgument("row 1 has " +
+                                   std::to_string(first.size()) +
+                                   " fields, header has " +
+                                   std::to_string(n_cols));
+  }
+  for (size_t c = 0; c < n_cols; ++c) {
+    if (header[c].has_type) continue;
+    int64_t i64;
+    double d;
+    if (LooksLikeInt64(first[c], &i64)) {
+      header[c].type = DataType::kInt64;
+    } else if (LooksLikeDouble(first[c], &d)) {
+      header[c].type = DataType::kDouble;
+    } else {
+      header[c].type = DataType::kString;
+    }
+  }
+
+  // Default roles: if nothing is annotated, the first string column is
+  // the entity; otherwise strings are dimensions and numerics measures.
+  bool any_role = false;
+  for (const HeaderColumn& col : header) any_role |= col.has_role;
+  bool entity_assigned = false;
+  for (HeaderColumn& col : header) {
+    if (col.has_role) {
+      entity_assigned |= (col.role == FieldRole::kEntity);
+      continue;
+    }
+    if (!any_role && !entity_assigned && col.type == DataType::kString) {
+      col.role = FieldRole::kEntity;
+      entity_assigned = true;
+    } else {
+      col.role = IsNumeric(col.type) ? FieldRole::kMeasure
+                                     : FieldRole::kDimension;
+    }
+  }
+
+  std::vector<Field> fields;
+  fields.reserve(n_cols);
+  for (const HeaderColumn& col : header) {
+    fields.emplace_back(col.name, col.type, col.role);
+  }
+  PALEO_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table table(schema);
+
+  for (size_t r = 1; r < records.size(); ++r) {
+    const std::vector<std::string>& row = records[r];
+    if (row.size() != n_cols) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " + std::to_string(row.size()) +
+          " fields, header has " + std::to_string(n_cols));
+    }
+    for (size_t c = 0; c < n_cols; ++c) {
+      Column* col = table.mutable_column(static_cast<int>(c));
+      switch (header[c].type) {
+        case DataType::kInt64: {
+          int64_t v;
+          if (!LooksLikeInt64(row[c], &v)) {
+            return Status::TypeError("row " + std::to_string(r) +
+                                     ", column " + header[c].name +
+                                     ": not an INT64: " + row[c]);
+          }
+          col->AppendInt64(v);
+          break;
+        }
+        case DataType::kDouble: {
+          double v;
+          if (!LooksLikeDouble(row[c], &v)) {
+            return Status::TypeError("row " + std::to_string(r) +
+                                     ", column " + header[c].name +
+                                     ": not a DOUBLE: " + row[c]);
+          }
+          col->AppendDouble(v);
+          break;
+        }
+        case DataType::kString:
+          col->AppendString(row[c]);
+          break;
+      }
+    }
+  }
+  PALEO_RETURN_NOT_OK(table.CheckConsistent());
+  return table;
+}
+
+StatusOr<Table> TableIo::ReadCsvFile(const std::string& path, char sep) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("error reading " + path);
+  }
+  return FromCsv(buffer.str(), sep);
+}
+
+std::string TableIo::ToCsv(const Table& table, char sep) {
+  const Schema& schema = table.schema();
+  std::string out;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out += sep;
+    const Field& f = schema.field(c);
+    const char* role = f.role == FieldRole::kEntity      ? "ENTITY"
+                       : f.role == FieldRole::kDimension ? "DIM"
+                       : f.role == FieldRole::kMeasure   ? "MEASURE"
+                                                         : "KEY";
+    out += QuoteField(f.name, sep);
+    out += ':';
+    out += DataTypeToString(f.type);
+    out += ':';
+    out += role;
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      if (c > 0) out += sep;
+      out += QuoteField(
+          table.GetValue(static_cast<RowId>(r), c).ToString(), sep);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status TableIo::WriteCsvFile(const Table& table, const std::string& path,
+                             char sep) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << ToCsv(table, sep);
+  out.flush();
+  if (!out) {
+    return Status::IoError("error writing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace paleo

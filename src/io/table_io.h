@@ -1,0 +1,53 @@
+// Relation import/export.
+//
+// The paper keeps R in PostgreSQL; this reproduction's equivalent is a
+// self-describing CSV format so users can bring their own relations to
+// the library (and the CLI):
+//
+//   name:STRING:ENTITY,state:STRING:DIM,minutes:INT64:MEASURE
+//   John Smith,CA,654
+//   ...
+//
+// The header carries per-column type and role; roles default to
+// DIMENSION for strings and MEASURE for numerics when omitted
+// ("name:STRING" or just "name"). Values containing the separator,
+// quotes, or newlines are double-quoted with "" escaping (RFC-4180
+// style).
+
+#ifndef PALEO_IO_TABLE_IO_H_
+#define PALEO_IO_TABLE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief CSV (de)serialization of tables.
+class TableIo {
+ public:
+  /// Parses a relation from CSV text with the self-describing header.
+  /// Column types may be omitted, in which case they are inferred from
+  /// the first data row (numeric-looking -> INT64 or DOUBLE, otherwise
+  /// STRING). Exactly one column must be marked ENTITY, except that a
+  /// header without any role annotations treats the FIRST string
+  /// column as the entity.
+  static StatusOr<Table> FromCsv(std::string_view text, char sep = ',');
+
+  /// Reads a file and parses it with FromCsv.
+  static StatusOr<Table> ReadCsvFile(const std::string& path,
+                                     char sep = ',');
+
+  /// Renders the table in the FromCsv format (round-trips).
+  static std::string ToCsv(const Table& table, char sep = ',');
+
+  /// Writes ToCsv output to a file.
+  static Status WriteCsvFile(const Table& table, const std::string& path,
+                             char sep = ',');
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_IO_TABLE_IO_H_

@@ -1,0 +1,129 @@
+#include "paleo/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace paleo {
+
+namespace {
+
+std::string Line(const char* label, const std::string& value) {
+  std::string out = "  ";
+  out += label;
+  size_t pad = out.size() < 30 ? 30 - out.size() : 1;
+  out.append(pad, ' ');
+  out += value;
+  out += '\n';
+  return out;
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExplainReport(const ReverseEngineerReport& report,
+                          const Schema& schema,
+                          const ExplainOptions& options) {
+  std::string out;
+
+  out += "Step 1 — candidate predicates (apriori over R')\n";
+  out += Line("R' rows:", WithThousands(report.rprime_rows));
+  out += Line("R' memory:",
+              WithThousands(static_cast<int64_t>(report.rprime_bytes)) +
+                  " bytes");
+  out += Line("candidate predicates:",
+              WithThousands(report.candidate_predicates));
+  std::vector<std::string> by_size;
+  for (size_t s = 1; s < report.predicates_by_size.size(); ++s) {
+    by_size.push_back("|P|=" + std::to_string(s) + ": " +
+                      std::to_string(report.predicates_by_size[s]));
+  }
+  if (!by_size.empty()) {
+    out += Line("by size:", Join(by_size, ", "));
+  }
+  out += Line("distinct tuple sets:", WithThousands(report.tuple_sets));
+
+  out += "Step 2 — ranking criteria (Figure 4 walk)\n";
+  std::vector<std::string> techniques;
+  if (report.ranking_info.used_top_entities) {
+    techniques.push_back(
+        "top-entity lists (" +
+        std::to_string(report.ranking_info.top_entity_candidate_columns) +
+        " candidate columns)");
+  }
+  if (report.ranking_info.used_histograms) {
+    techniques.push_back(
+        "histogram sampling (" +
+        std::to_string(report.ranking_info.histogram_candidate_columns) +
+        " candidate columns)");
+  }
+  if (report.ranking_info.used_fallback) {
+    techniques.push_back("R' fallback");
+  }
+  out += Line("techniques:", techniques.empty() ? std::string("none")
+                                                : Join(techniques, ", "));
+  out += Line("criteria evaluated:",
+              WithThousands(report.ranking_info.tuple_set_evaluations));
+  out += Line("candidate queries:",
+              WithThousands(report.candidate_queries));
+
+  out += "Step 3 — validation against R\n";
+  out += Line("executions:", WithThousands(report.executed_queries));
+  if (report.skip_events > 0) {
+    out += Line("smart skips:", WithThousands(report.skip_events));
+  }
+
+  if (report.found()) {
+    out += "Result: " + std::to_string(report.valid.size()) +
+           " valid quer" + (report.valid.size() == 1 ? "y" : "ies") + "\n";
+    for (const ValidQuery& vq : report.valid) {
+      out += "  " + vq.query.ToSql(schema) + "\n";
+      out += Line("  found after:",
+                  WithThousands(vq.executions_at_discovery) +
+                      " executions");
+    }
+  } else {
+    out += "Result: no valid query found\n";
+  }
+
+  if (options.show_candidates > 0 && !report.candidates.empty()) {
+    out += "Top-scored candidates (suitability = (1 - P[fp]) x (1 - d)):\n";
+    int n = std::min<int>(options.show_candidates,
+                          static_cast<int>(report.candidates.size()));
+    for (int i = 0; i < n; ++i) {
+      const CandidateQuery& cq =
+          report.candidates[static_cast<size_t>(i)];
+      char score[96];
+      std::snprintf(score, sizeof(score),
+                    "  [%d] s=%.3f (P[fp]=%.3f, d=%.3f)  ", i + 1,
+                    cq.suitability, cq.p_false_positive,
+                    cq.ranking_distance);
+      out += score;
+      out += cq.query.ToSql(schema) + "\n";
+    }
+    if (static_cast<size_t>(n) < report.candidates.size()) {
+      out += "  ... (" +
+             WithThousands(static_cast<int64_t>(report.candidates.size()) -
+                           n) +
+             " more)\n";
+    }
+  }
+
+  if (options.show_timings) {
+    out += "Timings\n";
+    out += Line("find predicates:",
+                FormatMs(report.timings.find_predicates_ms));
+    out += Line("find ranking:", FormatMs(report.timings.find_ranking_ms));
+    out += Line("validation:", FormatMs(report.timings.validation_ms));
+    out += Line("total:", FormatMs(report.timings.total_ms()));
+  }
+  return out;
+}
+
+}  // namespace paleo

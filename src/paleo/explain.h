@@ -1,0 +1,32 @@
+// Human-readable explanation of a reverse-engineering run: what PALEO
+// searched, what it found, and why the result is credible. Rendered by
+// the CLI's --verbose mode and usable by any embedder.
+
+#ifndef PALEO_PALEO_EXPLAIN_H_
+#define PALEO_PALEO_EXPLAIN_H_
+
+#include <string>
+
+#include "paleo/paleo.h"
+
+namespace paleo {
+
+/// \brief Rendering options for ExplainReport.
+struct ExplainOptions {
+  /// Show the top-N scored candidates (requires the report to have
+  /// been produced with keep_candidates).
+  int show_candidates = 5;
+  /// Include per-step wall-clock timings.
+  bool show_timings = true;
+};
+
+/// Renders a multi-line explanation of `report` against the relation's
+/// schema. Safe on any report (found or not, with or without retained
+/// candidates).
+std::string ExplainReport(const ReverseEngineerReport& report,
+                          const Schema& schema,
+                          const ExplainOptions& options = ExplainOptions());
+
+}  // namespace paleo
+
+#endif  // PALEO_PALEO_EXPLAIN_H_

@@ -1,0 +1,27 @@
+#include "paleo/options.h"
+
+#include <algorithm>
+
+namespace paleo {
+
+double CoverageRatioForSample(double sample_fraction) {
+  struct Point {
+    double fraction;
+    double ratio;
+  };
+  // The paper's schedule, linearly interpolated.
+  static const Point kSchedule[] = {
+      {0.05, 0.5}, {0.10, 0.6}, {0.20, 0.7}, {0.30, 0.8}, {1.00, 1.0}};
+  if (sample_fraction <= kSchedule[0].fraction) return kSchedule[0].ratio;
+  for (size_t i = 1; i < std::size(kSchedule); ++i) {
+    if (sample_fraction <= kSchedule[i].fraction) {
+      const Point& a = kSchedule[i - 1];
+      const Point& b = kSchedule[i];
+      double t = (sample_fraction - a.fraction) / (b.fraction - a.fraction);
+      return a.ratio + t * (b.ratio - a.ratio);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace paleo

@@ -1,0 +1,120 @@
+// Configuration of the PALEO pipeline.
+
+#ifndef PALEO_PALEO_OPTIONS_H_
+#define PALEO_PALEO_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/aggregate.h"
+
+namespace paleo {
+
+/// \brief How candidate queries are validated against R.
+enum class ValidationStrategy : int {
+  /// Execute candidates in descending suitability order (Section 6.3).
+  kRanked = 0,
+  /// Result-driven validation with skipping (Algorithm 3, Section 7).
+  kSmart = 1,
+};
+
+/// \brief How a candidate query's output is accepted as matching L.
+enum class MatchMode : int {
+  /// Instance equivalence: identical entities, order, and values.
+  kExact = 0,
+  /// Partial match (Section 3.3): rank-distance and value-distance
+  /// thresholds.
+  kPartial = 1,
+};
+
+/// \brief All tuning knobs of the PALEO pipeline, with the paper's
+/// defaults.
+struct PaleoOptions {
+  // ---- Candidate predicate mining (Section 4) ----
+  /// Largest conjunction size mined. The paper's workloads use
+  /// |P| <= 3; mining is downward-closed so this is a safety cap, not a
+  /// correctness knob.
+  int max_predicate_size = 3;
+  /// Fraction of the input list's entities a predicate must cover to
+  /// qualify as a candidate. 1.0 with a complete R'; relaxed under
+  /// sampling (Section 6.4).
+  double coverage_ratio = 1.0;
+  /// Also offer the empty conjunction (no WHERE clause) as a candidate
+  /// predicate, so lists generated without any filter are recoverable.
+  /// The paper's algorithm starts at |P| = 1 and never considers it;
+  /// the bench harness switches this off to match the paper's counts.
+  bool include_empty_predicate = true;
+  /// Extension beyond the paper (its predicates are equality-only):
+  /// also mine one BETWEEN atom per numeric dimension column — the
+  /// tightest interval whose rows cover the required entities — and
+  /// let it conjoin with equality atoms in the apriori levels. Enables
+  /// recovering queries like "d_year BETWEEN 1993 AND 1995".
+  bool mine_range_predicates = false;
+
+  // ---- Ranking criteria identification (Section 5) ----
+  /// Fraction of measure columns kept as candidates by the histogram
+  /// heuristic ("top 30% of the columns", Section 5.2).
+  double histogram_keep_fraction = 0.3;
+  /// Values sampled from each histogram (k of the input list is used
+  /// when 0).
+  int histogram_sample_size = 0;
+  /// Aggregates searched for single-column ranking criteria, in the
+  /// Figure 4 pre-order.
+  std::vector<AggFn> single_column_aggs = {AggFn::kMax, AggFn::kAvg,
+                                           AggFn::kSum, AggFn::kNone};
+  /// Two-column ranking criteria: sum(A + B) and sum(A * B).
+  bool enable_sum_of_two = true;
+  bool enable_product_of_two = true;
+  /// Extension beyond the paper: also search min/count aggregates.
+  bool enable_min_count = false;
+  /// Under sampling (scored mode), keep only this many best-distance
+  /// criteria per tuple set. Without a cap every group carries every
+  /// criterion (hundreds), flooding validation with near-duplicate
+  /// candidates; the paper's Table 7 candidate counts (~130 for max(A))
+  /// imply a strong per-group selection. 0 = unlimited.
+  int max_criteria_per_group = 16;
+
+  // ---- Suitability model and validation (Sections 6, 7) ----
+  ValidationStrategy validation_strategy = ValidationStrategy::kSmart;
+  MatchMode match_mode = MatchMode::kExact;
+  /// Jaccard threshold tau of Algorithm 3.
+  double smart_jaccard_threshold = 0.5;
+  /// Partial-match acceptance thresholds (used when match_mode is
+  /// kPartial): minimum entity Jaccard similarity and maximum
+  /// normalized value distance.
+  double partial_min_entity_jaccard = 0.6;
+  double partial_max_value_distance = 0.2;
+  /// Stop after this many candidate query executions (0 = unlimited).
+  int64_t max_query_executions = 0;
+  /// Stop at the first valid query (the paper's headline metric) or
+  /// enumerate all valid queries.
+  bool stop_at_first_valid = true;
+  /// Estimate the false-positive model's per-tuple match probability
+  /// from the predicate's observed match rate in the sample (default)
+  /// instead of the paper's prod 1/|Ai| uniformity assumption, which
+  /// collapses under correlated tuples (see ProbModel).
+  bool use_observed_match_rate = true;
+
+  /// Build secondary indexes on R's dimension columns and answer
+  /// candidate-query executions by posting-list intersection instead
+  /// of full scans. Results are identical; validation wall-clock drops
+  /// by orders of magnitude for selective predicates. Disable to
+  /// reproduce the paper's scan-based validation cost profile
+  /// (Figure 7).
+  bool use_dimension_index = true;
+
+  /// Relative tolerance for value comparisons.
+  double rel_eps = 1e-9;
+
+  /// Seed for the histogram sampling inside ranking identification.
+  uint64_t seed = 4242;
+};
+
+/// The paper's coverage-ratio schedule for uniform per-entity samples
+/// (Section 8.1): 0.5 at 5%, 0.6 at 10%, 0.7 at 20%, 0.8 at 30%,
+/// 1.0 at 100%; linear interpolation in between.
+double CoverageRatioForSample(double sample_fraction);
+
+}  // namespace paleo
+
+#endif  // PALEO_PALEO_OPTIONS_H_

@@ -1,0 +1,145 @@
+#include "paleo/paleo.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/timer.h"
+#include "paleo/rprime.h"
+
+namespace paleo {
+
+Paleo::Paleo(const Table* base, PaleoOptions options)
+    : base_(base),
+      options_(std::move(options)),
+      index_(EntityIndex::Build(*base)),
+      catalog_(StatsCatalog::Build(*base)) {
+  if (options_.use_dimension_index) {
+    dimension_index_ =
+        std::make_unique<DimensionIndex>(DimensionIndex::Build(*base));
+    executor_.SetDimensionIndex(dimension_index_.get(), base_);
+  }
+}
+
+StatusOr<ReverseEngineerReport> Paleo::Run(const TopKList& input,
+                                           bool keep_candidates) {
+  return RunImpl(input, nullptr, options_.coverage_ratio,
+                 /*assume_complete=*/true, keep_candidates);
+}
+
+StatusOr<ReverseEngineerReport> Paleo::RunOnSample(
+    const TopKList& input, const std::vector<RowId>& sample_rows,
+    double sample_fraction, bool keep_candidates,
+    double coverage_ratio_override) {
+  double coverage = coverage_ratio_override > 0.0
+                        ? coverage_ratio_override
+                        : CoverageRatioForSample(sample_fraction);
+  return RunImpl(input, &sample_rows, coverage, /*assume_complete=*/false,
+                 keep_candidates);
+}
+
+StatusOr<ReverseEngineerReport> Paleo::RunImpl(
+    const TopKList& input, const std::vector<RowId>* sample_rows,
+    double coverage_ratio, bool assume_complete, bool keep_candidates) {
+  ReverseEngineerReport report;
+
+  // ---- Step 1: retrieve R' and mine candidate predicates ----
+  Timer step_timer;
+  PALEO_ASSIGN_OR_RETURN(RPrime rprime,
+                         RPrime::Build(*base_, index_, input, sample_rows));
+  report.rprime_rows = static_cast<int64_t>(rprime.num_rows());
+  report.rprime_bytes = rprime.table().MemoryUsage();
+
+  PaleoOptions step_options = options_;
+  step_options.coverage_ratio = coverage_ratio;
+  PredicateMiner miner(rprime, step_options);
+  PALEO_ASSIGN_OR_RETURN(MiningResult mining, miner.Mine());
+  report.candidate_predicates =
+      static_cast<int64_t>(mining.predicates.size());
+  report.predicates_by_size = mining.predicates_by_size;
+  report.tuple_sets = static_cast<int64_t>(mining.groups.size());
+  report.timings.find_predicates_ms = step_timer.ElapsedMillis();
+
+  // ---- Step 2: identify ranking criteria ----
+  step_timer.Reset();
+  RankingFinder finder(rprime, &catalog_, step_options);
+  PALEO_ASSIGN_OR_RETURN(
+      std::vector<GroupRanking> rankings,
+      finder.Find(mining.groups, input, assume_complete,
+                  &report.ranking_info));
+
+  // ORDER BY direction: ascending only when the input values are
+  // non-decreasing with at least one increase (matching the ranking
+  // finder's detection).
+  std::vector<double> input_values = input.Values();
+  const SortOrder order =
+      std::is_sorted(input_values.begin(), input_values.end()) &&
+              !std::is_sorted(input_values.rbegin(), input_values.rend())
+          ? SortOrder::kAsc
+          : SortOrder::kDesc;
+
+  ProbModel model(catalog_, rprime);
+  model.set_use_observed_match_rate(options_.use_observed_match_rate);
+  std::vector<CandidateQuery> candidates = BuildCandidateQueries(
+      mining, rankings, model, static_cast<int>(input.size()), order);
+  report.candidate_queries = static_cast<int64_t>(candidates.size());
+  report.timings.find_ranking_ms = step_timer.ElapsedMillis();
+
+  // ---- Step 3: validate candidate queries against R ----
+  step_timer.Reset();
+  Validator validator(*base_, &executor_, options_);
+  PALEO_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                         validator.Validate(candidates, input));
+  report.valid = std::move(outcome.valid);
+  report.executed_queries = outcome.executions;
+  report.skip_events = outcome.skip_events;
+  report.timings.validation_ms = step_timer.ElapsedMillis();
+
+  // ---- Progressive deepening (complete R' only) ----
+  // The Figure 4 walk stops at the first technique with exact criteria,
+  // which is usually right but can be shadowed by a coincidental exact
+  // match (e.g. max == avg == sum over one-row tuple sets). If nothing
+  // validated against R, redo the ranking search exhaustively and
+  // validate only the criteria the first pass did not try.
+  if (assume_complete && report.valid.empty()) {
+    step_timer.Reset();
+    PALEO_ASSIGN_OR_RETURN(
+        std::vector<GroupRanking> all_rankings,
+        finder.Find(mining.groups, input, /*assume_complete=*/true,
+                    /*info=*/nullptr, /*exhaustive=*/true));
+    std::vector<CandidateQuery> all_candidates = BuildCandidateQueries(
+        mining, all_rankings, model, static_cast<int>(input.size()), order);
+    std::unordered_set<uint64_t> already_tried;
+    for (const CandidateQuery& cq : candidates) {
+      already_tried.insert(cq.query.Hash());
+    }
+    std::vector<CandidateQuery> fresh;
+    for (CandidateQuery& cq : all_candidates) {
+      if (already_tried.count(cq.query.Hash()) == 0) {
+        fresh.push_back(std::move(cq));
+      }
+    }
+    report.candidate_queries =
+        static_cast<int64_t>(candidates.size() + fresh.size());
+    report.timings.find_ranking_ms += step_timer.ElapsedMillis();
+
+    step_timer.Reset();
+    PALEO_ASSIGN_OR_RETURN(ValidationOutcome retry,
+                           validator.Validate(fresh, input));
+    for (ValidQuery& vq : retry.valid) {
+      vq.executions_at_discovery += report.executed_queries;
+      report.valid.push_back(std::move(vq));
+    }
+    report.executed_queries += retry.executions;
+    report.skip_events += retry.skip_events;
+    report.timings.validation_ms += step_timer.ElapsedMillis();
+    if (keep_candidates) {
+      for (CandidateQuery& cq : fresh) candidates.push_back(std::move(cq));
+    }
+  }
+
+  if (keep_candidates) report.candidates = std::move(candidates);
+  return report;
+}
+
+}  // namespace paleo

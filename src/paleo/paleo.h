@@ -1,0 +1,130 @@
+// PALEO: reverse engineering top-k database queries.
+//
+// This is the library's main entry point. Given a base relation R and
+// a top-k input list L, PALEO finds SQL queries of the form
+//
+//   SELECT e, agg(expr) FROM R WHERE P1 AND P2 AND ...
+//   GROUP BY e ORDER BY agg(expr) DESC LIMIT k
+//
+// whose result over R is (exactly or approximately) L.
+//
+// Typical use:
+//
+//   Paleo paleo(&table, PaleoOptions{});
+//   auto report = paleo.Run(input_list);
+//   if (report.ok() && report->found()) {
+//     std::cout << report->valid[0].query.ToSql(table.schema());
+//   }
+//
+// Construction builds the B+ tree entity index and the statistics
+// catalog once; Run() executes the three-step pipeline of Figure 2
+// (find predicates -> find ranking criteria -> validate candidate
+// queries) for one input list. RunOnSample() works on a sample of R'
+// (Section 6.4) with relaxed coverage and the probabilistic
+// suitability model.
+
+#ifndef PALEO_PALEO_PALEO_H_
+#define PALEO_PALEO_PALEO_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/topk_list.h"
+#include "index/dimension_index.h"
+#include "index/entity_index.h"
+#include "paleo/candidate_query.h"
+#include "paleo/options.h"
+#include "paleo/predicate_miner.h"
+#include "paleo/ranking_finder.h"
+#include "paleo/sampler.h"
+#include "paleo/validator.h"
+#include "stats/catalog.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief Wall-clock cost of the three pipeline steps (Figure 7).
+struct StepTimings {
+  double find_predicates_ms = 0.0;
+  double find_ranking_ms = 0.0;
+  double validation_ms = 0.0;
+  double total_ms() const {
+    return find_predicates_ms + find_ranking_ms + validation_ms;
+  }
+};
+
+/// \brief Full account of one reverse-engineering run.
+struct ReverseEngineerReport {
+  /// Valid queries in discovery order (first entry is the paper's
+  /// "first valid query").
+  std::vector<ValidQuery> valid;
+  bool found() const { return !valid.empty(); }
+
+  /// Candidate counts per pipeline stage.
+  int64_t candidate_predicates = 0;
+  std::vector<int> predicates_by_size;  // index = |P|
+  int64_t tuple_sets = 0;
+  int64_t candidate_queries = 0;
+
+  /// Validation effort.
+  int64_t executed_queries = 0;
+  int64_t skip_events = 0;
+
+  /// R' shape.
+  int64_t rprime_rows = 0;
+  size_t rprime_bytes = 0;
+
+  StepTimings timings;
+  RankingSearchInfo ranking_info;
+
+  /// The scored candidate list (retained when
+  /// PaleoOptions-independent `keep_candidates` argument is set).
+  std::vector<CandidateQuery> candidates;
+};
+
+/// \brief The PALEO system bound to one base relation.
+class Paleo {
+ public:
+  /// `base` must outlive this object. Builds the entity index and the
+  /// statistics catalog (the "computed upfront" structures).
+  Paleo(const Table* base, PaleoOptions options);
+
+  const Table& base() const { return *base_; }
+  const PaleoOptions& options() const { return options_; }
+  PaleoOptions* mutable_options() { return &options_; }
+  const EntityIndex& index() const { return index_; }
+  const StatsCatalog& catalog() const { return catalog_; }
+  Executor* executor() { return &executor_; }
+
+  /// Reverse engineers `input` against the full R' (Sections 3-5, 7).
+  StatusOr<ReverseEngineerReport> Run(const TopKList& input,
+                                      bool keep_candidates = false);
+
+  /// Reverse engineers `input` on the given sample of R's rows
+  /// (sorted global row ids, e.g. from Sampler). The coverage ratio
+  /// follows CoverageRatioForSample(sample_fraction) unless the
+  /// options override it with a positive `coverage_ratio_override`.
+  StatusOr<ReverseEngineerReport> RunOnSample(
+      const TopKList& input, const std::vector<RowId>& sample_rows,
+      double sample_fraction, bool keep_candidates = false,
+      double coverage_ratio_override = -1.0);
+
+ private:
+  StatusOr<ReverseEngineerReport> RunImpl(
+      const TopKList& input, const std::vector<RowId>* sample_rows,
+      double coverage_ratio, bool assume_complete, bool keep_candidates);
+
+  const Table* base_;
+  PaleoOptions options_;
+  EntityIndex index_;
+  StatsCatalog catalog_;
+  // Built only when options_.use_dimension_index.
+  std::unique_ptr<DimensionIndex> dimension_index_;
+  Executor executor_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_PALEO_PALEO_H_

@@ -1,0 +1,104 @@
+#include "paleo/prob_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace paleo {
+
+double ProbModel::TupleExistsProbability(const Predicate& predicate) const {
+  double p = 1.0;
+  for (const AtomicPredicate& atom : predicate.atoms()) {
+    int64_t distinct = catalog_->column_stats(atom.column).distinct_count;
+    if (distinct > 0) p /= static_cast<double>(distinct);
+  }
+  return p;
+}
+
+double ProbModel::FalsePositiveProbability(const Predicate& predicate,
+                                           const PredicateGroup& group) const {
+  const int m = rprime_->num_entities();
+  double p_match;
+  if (use_observed_match_rate_) {
+    // Sampled tuples of the covered entities, as the denominator of the
+    // observed match rate.
+    int64_t covered_seen = 0;
+    for (int e = 0; e < m; ++e) {
+      bool covered =
+          (group.coverage[static_cast<size_t>(e) >> 6] >>
+           (static_cast<size_t>(e) & 63)) &
+          1;
+      if (covered) {
+        covered_seen += rprime_->entity_row_counts()[static_cast<size_t>(e)];
+      }
+    }
+    p_match = covered_seen > 0 ? static_cast<double>(group.rows.size()) /
+                                     static_cast<double>(covered_seen)
+                               : TupleExistsProbability(predicate);
+    p_match = std::clamp(p_match, 1e-12, 1.0);
+  } else {
+    p_match = TupleExistsProbability(predicate);
+  }
+  double prod = 1.0;
+  for (int e = 0; e < m; ++e) {
+    bool covered =
+        (group.coverage[static_cast<size_t>(e) >> 6] >>
+         (static_cast<size_t>(e) & 63)) &
+        1;
+    if (covered) continue;
+    int64_t unseen =
+        rprime_->entity_total_counts()[static_cast<size_t>(e)] -
+        rprime_->entity_row_counts()[static_cast<size_t>(e)];
+    unseen = std::max<int64_t>(unseen, 0);
+    // Chance that none of the unseen tuples of e matches the predicate
+    // (in which case e truly breaks the predicate).
+    double p_wont_see =
+        std::pow(1.0 - p_match, static_cast<double>(unseen));
+    prod *= (1.0 - p_wont_see);
+  }
+  return 1.0 - prod;
+}
+
+double ProbModel::Suitability(double p_false_positive, double distance) {
+  double s = (1.0 - std::clamp(p_false_positive, 0.0, 1.0)) *
+             (1.0 - std::clamp(distance, 0.0, 1.0));
+  return std::clamp(s, 0.0, 1.0);
+}
+
+namespace {
+
+/// log(n!) via lgamma for stable hypergeometric computation.
+double LogFactorial(int64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+}  // namespace
+
+double ProbModel::HypergeometricPmf(int64_t K, int64_t N, int64_t n,
+                                    int64_t k) {
+  if (N < 0 || K < 0 || K > N || n < 0 || n > N) return 0.0;
+  if (k < std::max<int64_t>(0, n + K - N) || k > std::min(n, K)) return 0.0;
+  double log_p =
+      LogChoose(K, k) + LogChoose(N - K, n - k) - LogChoose(N, n);
+  return std::exp(log_p);
+}
+
+double ProbModel::ProbAtLeastOneSampled(int64_t K, int64_t N, int64_t n) {
+  if (K <= 0 || n <= 0) return 0.0;
+  if (n > N) return 1.0;
+  // 1 - P[zero marked items in the sample].
+  return 1.0 - HypergeometricPmf(K, N, n, 0);
+}
+
+double ProbModel::ProbAllEntitiesCovered(int64_t K, int64_t N, int64_t n,
+                                         int m) {
+  return std::pow(ProbAtLeastOneSampled(K, N, n),
+                  static_cast<double>(m));
+}
+
+}  // namespace paleo

@@ -1,0 +1,95 @@
+// Probabilistic assessment of candidate predicates and queries under
+// changed or sampled data (paper Section 6).
+//
+// A candidate predicate mined from an incomplete R'' may be a false
+// positive: some input entity may truly have no matching tuple. The
+// model estimates that risk from (a) the chance that a random tuple
+// matches the predicate, derived from the dimension columns' distinct
+// counts, and (b) how many tuples of each entity were not seen. The
+// resulting probability combines with the ranking-criterion distance
+// into the suitability score that orders candidate query validation
+// (Section 6.3).
+
+#ifndef PALEO_PALEO_PROB_MODEL_H_
+#define PALEO_PALEO_PROB_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/predicate.h"
+#include "paleo/predicate_miner.h"
+#include "paleo/rprime.h"
+#include "stats/catalog.h"
+
+namespace paleo {
+
+/// \brief Section 6 probability model.
+class ProbModel {
+ public:
+  /// `catalog` provides dimension distinct counts (|Ai|); `rprime`
+  /// provides per-entity seen/total tuple counts.
+  ProbModel(const StatsCatalog& catalog, const RPrime& rprime)
+      : catalog_(&catalog), rprime_(&rprime) {}
+
+  /// P[tuple exists] = prod_i 1/|Ai| over the predicate's columns: the
+  /// chance that one unseen tuple of an entity happens to match the
+  /// predicate.
+  double TupleExistsProbability(const Predicate& predicate) const;
+
+  /// P[false positive] = 1 - prod_{uncovered entities j}
+  /// (1 - (1 - p_match)^unseen(e_j)). Entities covered by the
+  /// predicate's tuple set contribute nothing; with a complete R' the
+  /// probability is therefore 0 for every candidate.
+  ///
+  /// p_match is the chance that one unseen tuple of an uncovered entity
+  /// matches the predicate. The paper uses P[tuple exists] =
+  /// prod 1/|Ai|, which assumes attribute values are uniform and
+  /// independent within an entity's tuples; under correlated tuples
+  /// (the augmented/clone scenario it is designed for!) that grossly
+  /// underestimates p_match and condemns every partially covered
+  /// predicate. By default this implementation instead uses the
+  /// predicate's *observed* per-tuple match rate over the sampled
+  /// tuples of covered entities (|I_P| / their sampled tuple count),
+  /// the empirical estimator of the same quantity; construct with
+  /// use_observed_match_rate = false for the paper's formula.
+  double FalsePositiveProbability(const Predicate& predicate,
+                                  const PredicateGroup& group) const;
+
+  bool use_observed_match_rate() const { return use_observed_match_rate_; }
+  void set_use_observed_match_rate(bool v) { use_observed_match_rate_ = v; }
+
+  /// s(Qc) = (1 - P[false positive]) * (1 - d) (Section 6.3).
+  static double Suitability(double p_false_positive, double distance);
+
+  /// Estimated fraction of R matching the predicate (catalog value
+  /// frequencies under independence); the suitability tie-breaker.
+  double PredicateSelectivity(const Predicate& predicate) const {
+    return catalog_->PredicateSelectivity(predicate);
+  }
+
+  // ---- Sampling analysis helpers (Section 6.4) ----
+
+  /// Hypergeometric pmf: probability of drawing exactly `k` marked
+  /// items when sampling `n` of `N` items of which `K` are marked.
+  static double HypergeometricPmf(int64_t K, int64_t N, int64_t n,
+                                  int64_t k);
+
+  /// Probability that at least one of `K` marked items appears in a
+  /// sample of `n` out of `N`.
+  static double ProbAtLeastOneSampled(int64_t K, int64_t N, int64_t n);
+
+  /// Probability that every one of `m` independent entities, each with
+  /// `K` matching tuples among its `N` tuples and a per-entity sample
+  /// of `n`, contributes at least one matching tuple.
+  static double ProbAllEntitiesCovered(int64_t K, int64_t N, int64_t n,
+                                       int m);
+
+ private:
+  const StatsCatalog* catalog_;
+  const RPrime* rprime_;
+  bool use_observed_match_rate_ = true;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_PALEO_PROB_MODEL_H_

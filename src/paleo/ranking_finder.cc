@@ -1,0 +1,450 @@
+#include "paleo/ranking_finder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "stats/distance.h"
+
+namespace paleo {
+
+namespace {
+
+/// One stage of the Figure 4 walk: an aggregate plus the technique
+/// used to pre-select candidate columns.
+enum class Technique { kTopEntities, kHistogram, kRPrimeFallback };
+
+struct Stage {
+  AggFn agg;
+  Technique technique;
+  bool two_column = false;  // sum(A+B) / sum(A*B) stage
+};
+
+}  // namespace
+
+StatusOr<std::vector<GroupRanking>> RankingFinder::Find(
+    const std::vector<PredicateGroup>& groups, const TopKList& input,
+    bool assume_complete, RankingSearchInfo* info, bool exhaustive) const {
+  RankingSearchInfo local_info;
+  if (info == nullptr) info = &local_info;
+  *info = RankingSearchInfo();
+
+  const Table& slice = rprime_.table();
+  const Schema& schema = slice.schema();
+  const std::vector<int>& measures = schema.measure_indices();
+  const int m = rprime_.num_entities();
+  const size_t k = input.size();
+
+  std::vector<GroupRanking> rankings(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    rankings[g].group_id = static_cast<int>(g);
+  }
+  if (measures.empty() || input.empty()) return rankings;
+
+  // The input's sort direction: DESC unless the values are strictly
+  // non-decreasing with at least one increase (an ORDER BY ... ASC
+  // list). Criteria are ranked in the detected direction.
+  std::vector<double> raw_values = input.Values();
+  const bool ascending =
+      std::is_sorted(raw_values.begin(), raw_values.end()) &&
+      !std::is_sorted(raw_values.rbegin(), raw_values.rend());
+
+  // Input values in list order (for rank-aligned distances) and sorted
+  // (for the histogram heuristic and min/max checks).
+  const std::vector<double> input_values_in_order = input.Values();
+  std::vector<double> input_values_sorted = std::move(raw_values);
+  std::sort(input_values_sorted.begin(), input_values_sorted.end(),
+            std::greater<double>());
+  double input_max = input_values_sorted.front();
+  double input_min = input_values_sorted.back();
+  std::unordered_set<double> distinct_input(input_values_sorted.begin(),
+                                            input_values_sorted.end());
+
+  // Base-dictionary codes of the input entities (for top-entity
+  // intersection); kInvalidCode for entities absent from R.
+  const StringDictionary& entity_dict = *slice.entity_column().dict();
+  std::vector<uint32_t> input_entity_codes;
+  input_entity_codes.reserve(rprime_.entity_names().size());
+  for (const std::string& name : rprime_.entity_names()) {
+    input_entity_codes.push_back(entity_dict.Lookup(name));
+  }
+
+  // ---- Candidate column pre-selection (catalog-based) ----
+
+  // Algorithm 2: min/max/distinct checks, then top-entity intersection.
+  auto top_entity_columns = [&]() {
+    std::vector<int> out;
+    if (catalog_ == nullptr) return out;
+    for (int c : measures) {
+      const ColumnStats& stats = catalog_->column_stats(c);
+      if (stats.max < input_max) continue;
+      if (stats.min > input_min) continue;
+      if (stats.distinct_count <
+          static_cast<int64_t>(distinct_input.size()))
+        continue;
+      if (catalog_->top_entities(c).CountIntersection(input_entity_codes) >
+          0) {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+
+  // Section 5.2: rank columns by the L1 distance between values sampled
+  // from their histograms and the input values; keep the best fraction.
+  auto histogram_columns = [&]() {
+    std::vector<int> out;
+    if (catalog_ == nullptr) return out;
+    Rng rng(options_.seed);
+    int sample_n = options_.histogram_sample_size > 0
+                       ? options_.histogram_sample_size
+                       : static_cast<int>(k);
+    std::vector<std::pair<double, int>> scored;
+    for (int c : measures) {
+      const Histogram& hist = catalog_->histogram(c);
+      if (hist.total_count() == 0) continue;
+      std::vector<double> sample = hist.Sample(&rng, sample_n);
+      std::sort(sample.begin(), sample.end(), std::greater<double>());
+      scored.emplace_back(L1Distance(sample, input_values_sorted), c);
+    }
+    std::sort(scored.begin(), scored.end());
+    size_t keep = static_cast<size_t>(
+        std::ceil(options_.histogram_keep_fraction *
+                  static_cast<double>(measures.size())));
+    keep = std::min(keep, scored.size());
+    for (size_t i = 0; i < keep; ++i) out.push_back(scored[i].second);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // Fallback column set: all measures passing the simple checks. The
+  // min/max/distinct filters are sound for max/avg/none criteria but
+  // not for sums (aggregated values exceed single-tuple ranges), so
+  // sums skip them.
+  auto fallback_columns = [&](AggFn agg) {
+    std::vector<int> out;
+    bool filter = agg == AggFn::kMax || agg == AggFn::kAvg ||
+                  agg == AggFn::kMin || agg == AggFn::kNone;
+    for (int c : measures) {
+      if (filter && catalog_ != nullptr) {
+        const ColumnStats& stats = catalog_->column_stats(c);
+        if (agg != AggFn::kMin && stats.max < input_max) continue;
+        if (agg != AggFn::kMin && stats.min > input_min) continue;
+        if (stats.distinct_count <
+            static_cast<int64_t>(distinct_input.size()))
+          continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  };
+
+  // ---- Criterion evaluation over one tuple set ----
+
+  // Scaling for sum criteria under sampling (Section 6.2): per entity,
+  // scale the sampled sum by total/seen tuples of the entity.
+  std::vector<double> sum_scale(static_cast<size_t>(m), 1.0);
+  if (!assume_complete) {
+    for (int e = 0; e < m; ++e) {
+      int64_t seen = rprime_.entity_row_counts()[static_cast<size_t>(e)];
+      int64_t total = rprime_.entity_total_counts()[static_cast<size_t>(e)];
+      if (seen > 0 && total > seen) {
+        sum_scale[static_cast<size_t>(e)] =
+            static_cast<double>(total) / static_cast<double>(seen);
+      }
+    }
+  }
+
+  const std::vector<uint32_t>& row_entity = rprime_.row_entity();
+
+  // Evaluates (expr, agg) over a tuple set; returns the candidate if it
+  // qualifies (exact in complete mode, scored otherwise).
+  auto evaluate = [&](const TupleSet& rows, const RankExpr& expr, AggFn agg)
+      -> std::pair<bool, RankingCandidate> {
+    ++info->tuple_set_evaluations;
+    RankingCandidate cand;
+    cand.expr = expr;
+    cand.agg = agg;
+
+    if (agg == AggFn::kNone) {
+      // Rank individual tuples.
+      std::vector<std::pair<double, RowId>> scored;
+      scored.reserve(rows.size());
+      for (RowId r : rows) scored.emplace_back(expr.Eval(slice, r), r);
+      std::sort(scored.begin(), scored.end(), [&](const auto& a,
+                                                  const auto& b) {
+        if (a.first != b.first)
+          return ascending ? a.first < b.first : a.first > b.first;
+        const std::string& na =
+            rprime_.entity_names()[row_entity[a.second]];
+        const std::string& nb =
+            rprime_.entity_names()[row_entity[b.second]];
+        if (na != nb) return na < nb;
+        return a.second < b.second;
+      });
+      if (scored.size() > k) scored.resize(k);
+      TopKList ranked;
+      for (const auto& [v, r] : scored) {
+        ranked.Append(rprime_.entity_names()[row_entity[r]], v);
+      }
+      cand.exact = ranked.InstanceEquals(input, options_.rel_eps);
+      // Unlike grouped criteria (whose values are entity-aligned), row
+      // ranking has no entity alignment built in: a wrong tuple set can
+      // produce L-like VALUES from the wrong entities. Blend the value
+      // distance with Fagin's footrule over the entity sequences so
+      // such impostors score poorly.
+      std::vector<double> top_values = ranked.Values();
+      double value_distance =
+          NormalizedL1(top_values, input_values_in_order);
+      double rank_distance =
+          NormalizedFootrule(ranked.Entities(), input.Entities());
+      cand.distance = (value_distance + rank_distance) / 2.0;
+      bool keep = assume_complete ? cand.exact : true;
+      return {keep, cand};
+    }
+
+    // Grouped aggregation per input entity.
+    std::vector<AggState> states(static_cast<size_t>(m));
+    for (RowId r : rows) {
+      states[row_entity[r]].Add(expr.Eval(slice, r));
+    }
+    std::vector<double> per_entity(static_cast<size_t>(m), 0.0);
+    std::vector<std::pair<double, int>> ranked_entities;
+    for (int e = 0; e < m; ++e) {
+      const AggState& st = states[static_cast<size_t>(e)];
+      if (st.count == 0) continue;
+      double v = st.Finish(agg);
+      if (agg == AggFn::kSum) v *= sum_scale[static_cast<size_t>(e)];
+      per_entity[static_cast<size_t>(e)] = v;
+      ranked_entities.emplace_back(v, e);
+    }
+    std::sort(ranked_entities.begin(), ranked_entities.end(),
+              [&](const auto& a, const auto& b) {
+                if (a.first != b.first)
+                  return ascending ? a.first < b.first : a.first > b.first;
+                return rprime_.entity_names()[static_cast<size_t>(a.second)] <
+                       rprime_.entity_names()[static_cast<size_t>(b.second)];
+              });
+    TopKList ranked;
+    for (const auto& [v, e] : ranked_entities) {
+      ranked.Append(rprime_.entity_names()[static_cast<size_t>(e)], v);
+    }
+    cand.exact = ranked.InstanceEquals(input, options_.rel_eps);
+    // Entity-aligned distance: uncovered entities keep value 0 and pay
+    // their full input value.
+    cand.distance = NormalizedL1(per_entity, rprime_.entity_values());
+    bool keep = assume_complete ? cand.exact : true;
+    return {keep, cand};
+  };
+
+  // Builds a scored candidate from already-aggregated per-entity
+  // values (entities with count 0 are uncovered and rank nowhere).
+  auto score_entity_values = [&](const std::vector<double>& per_entity,
+                                 const std::vector<int64_t>& counts,
+                                 const RankExpr& expr, AggFn agg)
+      -> std::pair<bool, RankingCandidate> {
+    ++info->tuple_set_evaluations;
+    RankingCandidate cand;
+    cand.expr = expr;
+    cand.agg = agg;
+    std::vector<std::pair<double, int>> ranked_entities;
+    for (int e = 0; e < m; ++e) {
+      if (counts[static_cast<size_t>(e)] == 0) continue;
+      ranked_entities.emplace_back(per_entity[static_cast<size_t>(e)], e);
+    }
+    std::sort(ranked_entities.begin(), ranked_entities.end(),
+              [&](const auto& a, const auto& b) {
+                if (a.first != b.first)
+                  return ascending ? a.first < b.first : a.first > b.first;
+                return rprime_.entity_names()[static_cast<size_t>(a.second)] <
+                       rprime_.entity_names()[static_cast<size_t>(b.second)];
+              });
+    TopKList ranked;
+    for (const auto& [v, e] : ranked_entities) {
+      ranked.Append(rprime_.entity_names()[static_cast<size_t>(e)], v);
+    }
+    cand.exact = ranked.InstanceEquals(input, options_.rel_eps);
+    cand.distance = NormalizedL1(per_entity, rprime_.entity_values());
+    bool keep = assume_complete ? cand.exact : true;
+    return {keep, cand};
+  };
+
+  // Runs one stage over all groups; returns true if any exact
+  // candidate was produced (early-stop signal in complete mode).
+  auto run_stage = [&](const Stage& stage, const std::vector<int>& columns)
+      -> bool {
+    bool any_exact = false;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const TupleSet& rows = groups[g].rows;
+      auto already_have = [&](const RankExpr& expr) {
+        for (const RankingCandidate& existing : rankings[g].candidates) {
+          if (existing.expr == expr && existing.agg == stage.agg)
+            return true;
+        }
+        return false;
+      };
+      auto emit = [&](std::pair<bool, RankingCandidate> scored) {
+        if (scored.first) {
+          any_exact |= scored.second.exact;
+          rankings[g].candidates.push_back(std::move(scored.second));
+        }
+      };
+      if (stage.two_column) {
+        // Materialize the tuple set column-wise once: contiguous value
+        // arrays make the per-pair product passes pure array math, and
+        // per-entity counts/sums come out of the same pass. sum(A+B)
+        // pairs then combine sums in O(m) without touching the rows;
+        // sum(A*B) pairs scan the materialized arrays (products do not
+        // decompose).
+        const size_t n_rows = rows.size();
+        std::vector<int64_t> counts(static_cast<size_t>(m), 0);
+        std::vector<uint32_t> row_e(n_rows);
+        std::vector<std::vector<double>> vals(
+            measures.size(), std::vector<double>(n_rows));
+        std::vector<std::vector<double>> col_sums(
+            measures.size(), std::vector<double>(static_cast<size_t>(m)));
+        for (size_t ri = 0; ri < n_rows; ++ri) {
+          uint32_t e = row_entity[rows[ri]];
+          row_e[ri] = e;
+          ++counts[e];
+        }
+        for (size_t ci = 0; ci < measures.size(); ++ci) {
+          const Column& col = slice.column(measures[ci]);
+          std::vector<double>& v = vals[ci];
+          std::vector<double>& s = col_sums[ci];
+          for (size_t ri = 0; ri < n_rows; ++ri) {
+            double x = col.NumericAt(rows[ri]);
+            v[ri] = x;
+            s[row_e[ri]] += x;
+          }
+        }
+        std::vector<double> per_entity(static_cast<size_t>(m));
+        for (size_t i = 0; i < measures.size(); ++i) {
+          for (size_t j = i + 1; j < measures.size(); ++j) {
+            if (options_.enable_sum_of_two) {
+              RankExpr expr = RankExpr::Add(measures[i], measures[j]);
+              if (!already_have(expr)) {
+                for (int e = 0; e < m; ++e) {
+                  size_t eu = static_cast<size_t>(e);
+                  per_entity[eu] =
+                      (col_sums[i][eu] + col_sums[j][eu]) * sum_scale[eu];
+                }
+                emit(score_entity_values(per_entity, counts, expr,
+                                         AggFn::kSum));
+              }
+            }
+            if (options_.enable_product_of_two) {
+              RankExpr expr = RankExpr::Mul(measures[i], measures[j]);
+              if (!already_have(expr)) {
+                std::fill(per_entity.begin(), per_entity.end(), 0.0);
+                const std::vector<double>& va = vals[i];
+                const std::vector<double>& vb = vals[j];
+                for (size_t ri = 0; ri < n_rows; ++ri) {
+                  per_entity[row_e[ri]] += va[ri] * vb[ri];
+                }
+                for (int e = 0; e < m; ++e) {
+                  per_entity[static_cast<size_t>(e)] *=
+                      sum_scale[static_cast<size_t>(e)];
+                }
+                emit(score_entity_values(per_entity, counts, expr,
+                                         AggFn::kSum));
+              }
+            }
+          }
+        }
+      } else {
+        for (int c : columns) {
+          RankExpr expr = RankExpr::Column(c);
+          if (!already_have(expr)) emit(evaluate(rows, expr, stage.agg));
+        }
+      }
+    }
+    return any_exact;
+  };
+
+  // ---- Figure 4 pre-order walk ----
+  std::vector<AggFn> single_aggs = options_.single_column_aggs;
+  if (options_.enable_min_count) {
+    single_aggs.push_back(AggFn::kMin);
+    single_aggs.push_back(AggFn::kCount);
+  }
+  bool two_column_pending =
+      options_.enable_sum_of_two || options_.enable_product_of_two;
+
+  std::vector<Stage> plan;
+  for (AggFn agg : single_aggs) {
+    if (agg == AggFn::kNone && two_column_pending) {
+      plan.push_back({AggFn::kSum, Technique::kRPrimeFallback, true});
+      two_column_pending = false;
+    }
+    if (agg == AggFn::kMax || agg == AggFn::kAvg) {
+      plan.push_back({agg, Technique::kTopEntities, false});
+      plan.push_back({agg, Technique::kHistogram, false});
+    }
+    plan.push_back({agg, Technique::kRPrimeFallback, false});
+  }
+  if (two_column_pending) {
+    plan.push_back({AggFn::kSum, Technique::kRPrimeFallback, true});
+  }
+
+  // Lazily computed candidate column sets.
+  std::vector<int> top_cols, hist_cols;
+  bool top_cols_ready = false, hist_cols_ready = false;
+
+  for (const Stage& stage : plan) {
+    std::vector<int> columns;
+    switch (stage.technique) {
+      case Technique::kTopEntities:
+        if (!top_cols_ready) {
+          top_cols = top_entity_columns();
+          top_cols_ready = true;
+        }
+        if (top_cols.empty()) continue;
+        info->used_top_entities = true;
+        info->top_entity_candidate_columns =
+            static_cast<int>(top_cols.size());
+        columns = top_cols;
+        break;
+      case Technique::kHistogram:
+        if (!hist_cols_ready) {
+          hist_cols = histogram_columns();
+          hist_cols_ready = true;
+        }
+        if (hist_cols.empty()) continue;
+        info->used_histograms = true;
+        info->histogram_candidate_columns =
+            static_cast<int>(hist_cols.size());
+        columns = hist_cols;
+        break;
+      case Technique::kRPrimeFallback:
+        info->used_fallback = true;
+        if (!stage.two_column) columns = fallback_columns(stage.agg);
+        break;
+    }
+    bool any_exact = run_stage(stage, columns);
+    // Early exit only in complete mode: the first technique producing a
+    // valid criterion terminates the walk (Figure 4's shaded subtree).
+    if (assume_complete && !exhaustive && any_exact) break;
+  }
+
+  // Scored mode keeps only the most plausible criteria per tuple set;
+  // otherwise every group carries every criterion and the candidate
+  // list explodes with near-duplicates (see PaleoOptions).
+  if (!assume_complete && options_.max_criteria_per_group > 0) {
+    size_t cap = static_cast<size_t>(options_.max_criteria_per_group);
+    for (GroupRanking& gr : rankings) {
+      if (gr.candidates.size() <= cap) continue;
+      std::stable_sort(gr.candidates.begin(), gr.candidates.end(),
+                       [](const RankingCandidate& a,
+                          const RankingCandidate& b) {
+                         return a.distance < b.distance;
+                       });
+      gr.candidates.resize(cap);
+    }
+  }
+  return rankings;
+}
+
+}  // namespace paleo

@@ -1,0 +1,40 @@
+// Sampling of R' (paper Section 6.4): by-entity sampling (all tuples
+// of a random subset of the input entities — no false negatives, many
+// false positives) and uniform per-entity sampling (a percentage of
+// each entity's tuples — fewer false positives, possible false
+// negatives, mitigated by the relaxed coverage ratio).
+
+#ifndef PALEO_PALEO_SAMPLER_H_
+#define PALEO_PALEO_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/entity_index.h"
+
+namespace paleo {
+
+/// \brief Deterministic samplers over the entity index's posting
+/// lists. Both return sorted global row ids suitable for
+/// RPrime::Build's base_row_ids argument.
+class Sampler {
+ public:
+  /// All tuples of ceil(entity_fraction * |entities|) entities chosen
+  /// uniformly without replacement (at least one entity).
+  static StatusOr<std::vector<RowId>> ByEntity(
+      const EntityIndex& index, const std::vector<std::string>& entities,
+      double entity_fraction, uint64_t seed);
+
+  /// ceil(fraction * |tuples|) tuples of every entity, chosen
+  /// uniformly without replacement within the entity (at least one
+  /// tuple per present entity).
+  static StatusOr<std::vector<RowId>> UniformPerEntity(
+      const EntityIndex& index, const std::vector<std::string>& entities,
+      double fraction, uint64_t seed);
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_PALEO_SAMPLER_H_

@@ -1,0 +1,36 @@
+// Tuple-id sets I_P: the sorted local-row-id lists selected by each
+// candidate predicate over R' (paper Sections 4, 4.1). Predicates with
+// identical tuple sets share data characteristics and are grouped so
+// each distinct set is examined once.
+
+#ifndef PALEO_PALEO_TUPLE_SET_H_
+#define PALEO_PALEO_TUPLE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace paleo {
+
+/// Sorted, duplicate-free vector of local row ids into R'.
+using TupleSet = std::vector<RowId>;
+
+/// Intersection of two sorted tuple sets (linear merge with galloping
+/// for skewed sizes).
+TupleSet IntersectSorted(const TupleSet& a, const TupleSet& b);
+
+/// Number of distinct entities (by local entity index) covered by the
+/// rows of `set`. `row_entity` maps local row -> entity index,
+/// `num_entities` bounds the indices; `scratch` must hold
+/// ceil(num_entities / 64) words and is cleared on entry.
+int CountCoveredEntities(const TupleSet& set,
+                         const std::vector<uint32_t>& row_entity,
+                         int num_entities, std::vector<uint64_t>* scratch);
+
+/// FNV-style hash of a tuple set (for grouping identical sets).
+uint64_t HashTupleSet(const TupleSet& set);
+
+}  // namespace paleo
+
+#endif  // PALEO_PALEO_TUPLE_SET_H_

@@ -1,0 +1,132 @@
+#include "paleo/validator.h"
+
+#include <algorithm>
+
+#include "stats/distance.h"
+
+namespace paleo {
+
+bool Validator::Accepts(const TopKList& result, const TopKList& input) const {
+  if (options_.match_mode == MatchMode::kExact) {
+    return result.InstanceEquals(input, options_.rel_eps);
+  }
+  // Partial match (Section 3.3): entity-set similarity plus bounded
+  // value distance.
+  if (result.empty()) return false;
+  double entity_sim = result.EntityJaccard(input);
+  if (entity_sim < options_.partial_min_entity_jaccard) return false;
+  std::vector<double> rv = result.Values();
+  std::vector<double> iv = input.Values();
+  double value_dist = NormalizedL1(rv, iv);
+  return value_dist <= options_.partial_max_value_distance;
+}
+
+StatusOr<ValidationOutcome> Validator::RankedValidation(
+    const std::vector<CandidateQuery>& candidates,
+    const TopKList& input) const {
+  ValidationOutcome outcome;
+  outcome.passes = 1;
+  for (const CandidateQuery& cq : candidates) {
+    if (options_.max_query_executions > 0 &&
+        outcome.executions >= options_.max_query_executions) {
+      break;
+    }
+    PALEO_ASSIGN_OR_RETURN(TopKList result,
+                           executor_->Execute(base_, cq.query));
+    ++outcome.executions;
+    if (Accepts(result, input)) {
+      outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
+      if (options_.stop_at_first_valid) break;
+    }
+  }
+  return outcome;
+}
+
+StatusOr<ValidationOutcome> Validator::SmartValidation(
+    const std::vector<CandidateQuery>& candidates,
+    const TopKList& input) const {
+  ValidationOutcome outcome;
+  const double tau = options_.smart_jaccard_threshold;
+
+  // Work queue of candidate indices; skipped candidates form the queue
+  // of the next pass (Algorithm 3's tail recursion, made iterative).
+  std::vector<size_t> queue(candidates.size());
+  for (size_t i = 0; i < queue.size(); ++i) queue[i] = i;
+
+  auto budget_left = [&]() {
+    return options_.max_query_executions <= 0 ||
+           outcome.executions < options_.max_query_executions;
+  };
+
+  while (!queue.empty()) {
+    ++outcome.passes;
+    std::vector<size_t> skipped;
+    const CandidateQuery* first_match = nullptr;
+    bool ranking_confirmed = false;
+
+    size_t pos = 0;
+    // Phase 1: execute in order until some result's entities overlap L
+    // beyond tau — that candidate becomes Qfm.
+    for (; pos < queue.size() && budget_left(); ++pos) {
+      const CandidateQuery& cq = candidates[queue[pos]];
+      PALEO_ASSIGN_OR_RETURN(TopKList result,
+                             executor_->Execute(base_, cq.query));
+      ++outcome.executions;
+      if (Accepts(result, input)) {
+        outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
+        if (options_.stop_at_first_valid) return outcome;
+      }
+      if (result.EntityJaccard(input) >= tau) {
+        first_match = &cq;
+        ranking_confirmed = result.ValueJaccard(input, 1e-6) > tau;
+        ++pos;
+        break;
+      }
+    }
+
+    // Phase 2: execute the remainder, skipping candidates unrelated to
+    // Qfm.
+    for (; pos < queue.size() && budget_left(); ++pos) {
+      const CandidateQuery& cq = candidates[queue[pos]];
+      if (first_match != nullptr) {
+        bool no_predicate_overlap =
+            cq.query.predicate.OverlapWith(first_match->query.predicate) ==
+            0;
+        bool wrong_ranking =
+            ranking_confirmed && !cq.query.SameRanking(first_match->query);
+        if (no_predicate_overlap || wrong_ranking) {
+          skipped.push_back(queue[pos]);
+          ++outcome.skip_events;
+          continue;
+        }
+      }
+      PALEO_ASSIGN_OR_RETURN(TopKList result,
+                             executor_->Execute(base_, cq.query));
+      ++outcome.executions;
+      if (Accepts(result, input)) {
+        outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
+        if (options_.stop_at_first_valid) return outcome;
+      }
+    }
+
+    if (!budget_left()) break;
+    // Retry the skipped candidates; terminates because phase 1 always
+    // executes at least the first queued candidate.
+    queue = std::move(skipped);
+  }
+  return outcome;
+}
+
+StatusOr<ValidationOutcome> Validator::Validate(
+    const std::vector<CandidateQuery>& candidates,
+    const TopKList& input) const {
+  switch (options_.validation_strategy) {
+    case ValidationStrategy::kRanked:
+      return RankedValidation(candidates, input);
+    case ValidationStrategy::kSmart:
+      return SmartValidation(candidates, input);
+  }
+  return Status::Internal("unknown validation strategy");
+}
+
+}  // namespace paleo

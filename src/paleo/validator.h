@@ -1,0 +1,78 @@
+// Candidate query validation against the base relation (Sections 3.2
+// and 7).
+//
+// RankedValidation executes candidates in suitability order until a
+// valid query appears. SmartValidation is the paper's Algorithm 3: it
+// additionally learns from the first execution whose entity overlap
+// with L crosses the Jaccard threshold ("first match query" Qfm) and
+// skips candidates that share no predicate atoms with Qfm — and, once
+// the ranking criterion is confirmed by value overlap, candidates with
+// a different criterion. Skipped candidates are retried in later
+// passes, so no valid query is ever lost.
+
+#ifndef PALEO_PALEO_VALIDATOR_H_
+#define PALEO_PALEO_VALIDATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "paleo/candidate_query.h"
+#include "paleo/options.h"
+
+namespace paleo {
+
+/// \brief One validated (accepted) query.
+struct ValidQuery {
+  TopKQuery query;
+  /// Executions performed up to and including this query's validation.
+  int64_t executions_at_discovery = 0;
+};
+
+/// \brief Outcome of a validation run.
+struct ValidationOutcome {
+  std::vector<ValidQuery> valid;
+  int64_t executions = 0;
+  /// Candidates skipped at least once by the smart strategy.
+  int64_t skip_events = 0;
+  /// Passes over the candidate list (smart strategy; 1 for ranked).
+  int passes = 0;
+  bool found() const { return !valid.empty(); }
+};
+
+/// \brief Executes candidate queries against R and accepts matches.
+class Validator {
+ public:
+  Validator(const Table& base, Executor* executor,
+            const PaleoOptions& options)
+      : base_(base), executor_(executor), options_(options) {}
+
+  /// Exact instance-equivalence or partial-match acceptance, per
+  /// options.match_mode.
+  bool Accepts(const TopKList& result, const TopKList& input) const;
+
+  /// Sequential execution in the given (suitability) order.
+  StatusOr<ValidationOutcome> RankedValidation(
+      const std::vector<CandidateQuery>& candidates,
+      const TopKList& input) const;
+
+  /// Algorithm 3.
+  StatusOr<ValidationOutcome> SmartValidation(
+      const std::vector<CandidateQuery>& candidates,
+      const TopKList& input) const;
+
+  /// Dispatches on options.validation_strategy.
+  StatusOr<ValidationOutcome> Validate(
+      const std::vector<CandidateQuery>& candidates,
+      const TopKList& input) const;
+
+ private:
+  const Table& base_;
+  Executor* executor_;
+  const PaleoOptions& options_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_PALEO_VALIDATOR_H_

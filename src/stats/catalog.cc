@@ -1,0 +1,87 @@
+#include "stats/catalog.h"
+
+#include <unordered_set>
+
+namespace paleo {
+
+StatsCatalog StatsCatalog::Build(const Table& table,
+                                 const CatalogOptions& options) {
+  StatsCatalog catalog;
+  catalog.options_ = options;
+  catalog.table_rows_ = static_cast<int64_t>(table.num_rows());
+  const Schema& schema = table.schema();
+  catalog.column_stats_.reserve(static_cast<size_t>(schema.num_fields()));
+  catalog.histograms_.resize(static_cast<size_t>(schema.num_fields()));
+  catalog.top_entities_.resize(static_cast<size_t>(schema.num_fields()));
+
+  catalog.value_counts_.resize(static_cast<size_t>(schema.num_fields()));
+
+  std::unordered_set<int> measures(schema.measure_indices().begin(),
+                                   schema.measure_indices().end());
+  std::unordered_set<int> dimensions(schema.dimension_indices().begin(),
+                                     schema.dimension_indices().end());
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    const Column& column = table.column(c);
+    catalog.column_stats_.push_back(ColumnStats::Build(column));
+    if (measures.count(c) > 0) {
+      catalog.histograms_[static_cast<size_t>(c)] =
+          Histogram::Build(column, options.histogram_cells);
+      catalog.top_entities_[static_cast<size_t>(c)] =
+          TopEntityList::Build(table, c, options.top_entities);
+    }
+    if (dimensions.count(c) > 0) {
+      ValueCountMap& counts = catalog.value_counts_[static_cast<size_t>(c)];
+      switch (column.type()) {
+        case DataType::kString: {
+          // Count codes first, then box once per distinct value.
+          std::unordered_map<uint32_t, int64_t> by_code;
+          for (uint32_t code : column.codes()) ++by_code[code];
+          for (const auto& [code, n] : by_code) {
+            counts.emplace(Value::String(column.dict()->Get(code)), n);
+          }
+          break;
+        }
+        case DataType::kInt64:
+          for (int64_t v : column.ints()) ++counts[Value::Int64(v)];
+          break;
+        case DataType::kDouble:
+          for (double v : column.doubles()) ++counts[Value::Double(v)];
+          break;
+      }
+    }
+  }
+  return catalog;
+}
+
+int64_t StatsCatalog::ValueCount(int column, const Value& v) const {
+  const ValueCountMap& counts = value_counts_[static_cast<size_t>(column)];
+  auto it = counts.find(v);
+  return it == counts.end() ? 0 : it->second;
+}
+
+double StatsCatalog::PredicateSelectivity(const Predicate& predicate) const {
+  if (table_rows_ == 0) return 0.0;
+  double selectivity = 1.0;
+  for (const AtomicPredicate& atom : predicate.atoms()) {
+    int64_t count = 0;
+    if (atom.is_range() && atom.value.is_numeric() &&
+        atom.high.is_numeric()) {
+      // Sum the frequencies of the dimension values inside the range.
+      double lo = atom.value.AsDouble();
+      double hi = atom.high.AsDouble();
+      for (const auto& [v, n] :
+           value_counts_[static_cast<size_t>(atom.column)]) {
+        if (!v.is_numeric()) continue;
+        double x = v.AsDouble();
+        if (x >= lo && x <= hi) count += n;
+      }
+    } else {
+      count = ValueCount(atom.column, atom.value);
+    }
+    selectivity *=
+        static_cast<double>(count) / static_cast<double>(table_rows_);
+  }
+  return selectivity;
+}
+
+}  // namespace paleo

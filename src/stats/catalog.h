@@ -1,0 +1,83 @@
+// Statistics catalog over the base relation R.
+//
+// Built once per relation (the paper computes these "upfront from the
+// base relation R") and consulted by the ranking-criteria finder
+// (top-entity lists, histograms, min/max/distinct filters) and by the
+// probabilistic model (dimension-column distinct counts).
+
+#ifndef PALEO_STATS_CATALOG_H_
+#define PALEO_STATS_CATALOG_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/predicate.h"
+#include "stats/column_stats.h"
+#include "stats/histogram.h"
+#include "stats/top_entities.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief Tuning knobs for catalog construction.
+struct CatalogOptions {
+  /// Cells per equi-width histogram (paper: 1000).
+  int histogram_cells = 1000;
+  /// Entities kept per top-entity list (paper: 1000).
+  int top_entities = 1000;
+};
+
+/// \brief Precomputed statistics for every column of a relation.
+class StatsCatalog {
+ public:
+  /// Scans the table once per column.
+  static StatsCatalog Build(const Table& table,
+                            const CatalogOptions& options = CatalogOptions());
+
+  const CatalogOptions& options() const { return options_; }
+
+  /// Per-column basic stats (all columns).
+  const ColumnStats& column_stats(int column) const {
+    return column_stats_[static_cast<size_t>(column)];
+  }
+
+  /// Histogram of a measure column; empty Histogram for non-measures.
+  const Histogram& histogram(int column) const {
+    return histograms_[static_cast<size_t>(column)];
+  }
+
+  /// Top-entity list of a measure column; empty list for non-measures.
+  const TopEntityList& top_entities(int column) const {
+    return top_entities_[static_cast<size_t>(column)];
+  }
+
+  /// Number of rows in the relation the catalog was built from.
+  int64_t table_rows() const { return table_rows_; }
+
+  /// Occurrences of `v` in a dimension column (0 if absent or not a
+  /// dimension column).
+  int64_t ValueCount(int column, const Value& v) const;
+
+  /// Estimated fraction of R's rows matching the conjunction, under
+  /// the usual attribute-independence assumption:
+  /// prod_i count(v_i)/|R|. 1.0 for the empty predicate. Used to order
+  /// equally suitable candidate queries — a candidate predicate that
+  /// covers every input entity despite rare values is very unlikely to
+  /// be a coincidence.
+  double PredicateSelectivity(const Predicate& predicate) const;
+
+ private:
+  using ValueCountMap = std::unordered_map<Value, int64_t, ValueHasher>;
+
+  CatalogOptions options_;
+  std::vector<ColumnStats> column_stats_;
+  std::vector<Histogram> histograms_;
+  std::vector<TopEntityList> top_entities_;
+  std::vector<ValueCountMap> value_counts_;  // dimension columns only
+  int64_t table_rows_ = 0;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_STATS_CATALOG_H_

@@ -1,0 +1,53 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace paleo {
+
+ColumnStats ColumnStats::Build(const Column& column) {
+  ColumnStats s;
+  s.row_count = static_cast<int64_t>(column.size());
+  switch (column.type()) {
+    case DataType::kString: {
+      // Dictionary codes present in the column may be a subset of the
+      // dictionary when the dictionary is shared (gathered tables), so
+      // count codes actually used.
+      std::unordered_set<uint32_t> seen(column.codes().begin(),
+                                        column.codes().end());
+      s.distinct_count = static_cast<int64_t>(seen.size());
+      return s;
+    }
+    case DataType::kInt64: {
+      std::unordered_set<int64_t> seen;
+      bool first = true;
+      for (int64_t v : column.ints()) {
+        double d = static_cast<double>(v);
+        if (first || d < s.min) s.min = d;
+        if (first || d > s.max) s.max = d;
+        first = false;
+        seen.insert(v);
+      }
+      s.distinct_count = static_cast<int64_t>(seen.size());
+      return s;
+    }
+    case DataType::kDouble: {
+      std::unordered_set<uint64_t> seen;
+      bool first = true;
+      for (double v : column.doubles()) {
+        if (first || v < s.min) s.min = v;
+        if (first || v > s.max) s.max = v;
+        first = false;
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        seen.insert(bits);
+      }
+      s.distinct_count = static_cast<int64_t>(seen.size());
+      return s;
+    }
+  }
+  return s;
+}
+
+}  // namespace paleo

@@ -1,0 +1,28 @@
+// Simple descriptive column statistics (paper Section 5: "small data
+// samples, histograms, or simple descriptive statistics computed
+// upfront from the base relation R").
+
+#ifndef PALEO_STATS_COLUMN_STATS_H_
+#define PALEO_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+
+#include "storage/column.h"
+
+namespace paleo {
+
+/// \brief Min / max / distinct-count summary of one column.
+struct ColumnStats {
+  double min = 0.0;           // numeric columns only
+  double max = 0.0;           // numeric columns only
+  int64_t distinct_count = 0;
+  int64_t row_count = 0;
+
+  /// One pass; distinct counting is exact (hash set over value bit
+  /// patterns for numerics, dictionary size for strings).
+  static ColumnStats Build(const Column& column);
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_STATS_COLUMN_STATS_H_

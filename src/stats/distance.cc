@@ -1,0 +1,210 @@
+#include "stats/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace paleo {
+
+double L1Distance(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  double d = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) d += std::abs(a[i] - b[i]);
+  for (size_t i = n; i < a.size(); ++i) d += std::abs(a[i]);
+  for (size_t i = n; i < b.size(); ++i) d += std::abs(b[i]);
+  return d;
+}
+
+double L2Distance(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  double d = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+  for (size_t i = n; i < a.size(); ++i) d += a[i] * a[i];
+  for (size_t i = n; i < b.size(); ++i) d += b[i] * b[i];
+  return std::sqrt(d);
+}
+
+double NormalizedL1(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double mass = 0.0;
+  for (double v : a) mass += std::abs(v);
+  for (double v : b) mass += std::abs(v);
+  if (mass == 0.0) return 0.0;
+  double d = L1Distance(a, b) / mass;
+  return std::min(d, 1.0);
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const std::string& s : sa) inter += sb.count(s);
+  return static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size() - inter);
+}
+
+namespace {
+
+std::unordered_map<std::string, int> PositionMap(
+    const std::vector<std::string>& list) {
+  std::unordered_map<std::string, int> pos;
+  for (size_t i = 0; i < list.size(); ++i) {
+    // First occurrence wins for duplicate entities.
+    pos.emplace(list[i], static_cast<int>(i) + 1);
+  }
+  return pos;
+}
+
+}  // namespace
+
+double FootruleTopK(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  auto pa = PositionMap(a);
+  auto pb = PositionMap(b);
+  // Fagin's location parameter: an absent element sits just past the
+  // end of the list it is missing from.
+  const int la = static_cast<int>(pa.size()) + 1;
+  const int lb = static_cast<int>(pb.size()) + 1;
+  double d = 0.0;
+  for (const auto& [e, i] : pa) {
+    auto it = pb.find(e);
+    int j = it == pb.end() ? lb : it->second;
+    d += std::abs(i - j);
+  }
+  for (const auto& [e, j] : pb) {
+    if (pa.find(e) == pa.end()) d += std::abs(la - j);
+  }
+  return d;
+}
+
+double NormalizedFootrule(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  auto pa = PositionMap(a);
+  auto pb = PositionMap(b);
+  int ka = static_cast<int>(pa.size());
+  int kb = static_cast<int>(pb.size());
+  if (ka == 0 && kb == 0) return 0.0;
+  // Maximum is attained by disjoint lists: every element of a pays
+  // (kb + 1 - 0 .. ) — compute directly.
+  double max_d = 0.0;
+  for (int i = 1; i <= ka; ++i) max_d += std::abs(kb + 1 - i);
+  for (int j = 1; j <= kb; ++j) max_d += std::abs(ka + 1 - j);
+  if (max_d == 0.0) return 0.0;
+  return FootruleTopK(a, b) / max_d;
+}
+
+double KendallTauTopK(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b, double p) {
+  auto pa = PositionMap(a);
+  auto pb = PositionMap(b);
+  std::vector<std::string> domain;
+  domain.reserve(pa.size() + pb.size());
+  for (const auto& [e, _] : pa) domain.push_back(e);
+  for (const auto& [e, _] : pb) {
+    if (pa.find(e) == pa.end()) domain.push_back(e);
+  }
+  std::sort(domain.begin(), domain.end());
+
+  double penalty = 0.0;
+  for (size_t x = 0; x < domain.size(); ++x) {
+    for (size_t y = x + 1; y < domain.size(); ++y) {
+      auto ia = pa.find(domain[x]);
+      auto ja = pa.find(domain[y]);
+      auto ib = pb.find(domain[x]);
+      auto jb = pb.find(domain[y]);
+      bool x_in_a = ia != pa.end(), y_in_a = ja != pa.end();
+      bool x_in_b = ib != pb.end(), y_in_b = jb != pb.end();
+      if (x_in_a && y_in_a && x_in_b && y_in_b) {
+        // Case 1: both pairs ranked in both lists.
+        bool order_a = ia->second < ja->second;
+        bool order_b = ib->second < jb->second;
+        if (order_a != order_b) penalty += 1.0;
+      } else if (x_in_a && y_in_a && (x_in_b != y_in_b)) {
+        // Case 2 via list a: both in a, one in b. The one in b is
+        // implicitly ranked above the missing one there.
+        bool order_a = ia->second < ja->second;  // x above y in a
+        bool order_b = x_in_b;                   // x above y in b iff x present
+        if (order_a != order_b) penalty += 1.0;
+      } else if (x_in_b && y_in_b && (x_in_a != y_in_a)) {
+        bool order_b = ib->second < jb->second;
+        bool order_a = x_in_a;
+        if (order_a != order_b) penalty += 1.0;
+      } else if ((x_in_a && !x_in_b && y_in_b && !y_in_a) ||
+                 (x_in_b && !x_in_a && y_in_a && !y_in_b)) {
+        // Case 3: x only in one list, y only in the other — the lists
+        // disagree for sure.
+        penalty += 1.0;
+      } else {
+        // Case 4: both elements confined to the same single list;
+        // nothing is known about the other list's order.
+        penalty += p;
+      }
+    }
+  }
+  return penalty;
+}
+
+double NormalizedKendallTau(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b, double p) {
+  auto pa = PositionMap(a);
+  auto pb = PositionMap(b);
+  double ka = static_cast<double>(pa.size());
+  double kb = static_cast<double>(pb.size());
+  if (ka == 0 && kb == 0) return 0.0;
+  // Disjoint lists: ka*kb cross pairs with penalty 1 plus within-list
+  // pairs with penalty p.
+  double max_penalty =
+      ka * kb + p * (ka * (ka - 1) / 2.0 + kb * (kb - 1) / 2.0);
+  if (max_penalty == 0.0) return 0.0;
+  return KendallTauTopK(a, b, p) / max_penalty;
+}
+
+double EarthMoversDistance(const Histogram& a, const Histogram& b) {
+  if (a.total_count() == 0 || b.total_count() == 0) return 0.0;
+  // Both histograms describe piecewise-uniform densities; EMD in 1-D is
+  // the integral of |CDF_a(x) - CDF_b(x)| dx. CDFs are piecewise linear
+  // with breakpoints at the cell edges, so integrate interval by
+  // interval over the merged breakpoint grid.
+  auto cdf = [](const Histogram& h, double x) -> double {
+    if (h.num_cells() == 0) return 0.0;
+    if (x <= h.min()) return 0.0;
+    if (x >= h.min() + h.cell_width() * h.num_cells()) return 1.0;
+    int cell = std::min(static_cast<int>((x - h.min()) / h.cell_width()),
+                        h.num_cells() - 1);
+    double below = 0.0;
+    for (int c = 0; c < cell; ++c) below += h.cell_count(c);
+    double frac = (x - h.CellLow(cell)) / h.cell_width();
+    below += frac * static_cast<double>(h.cell_count(cell));
+    return below / static_cast<double>(h.total_count());
+  };
+
+  std::vector<double> edges;
+  for (int c = 0; c <= a.num_cells(); ++c) edges.push_back(a.CellLow(c));
+  for (int c = 0; c <= b.num_cells(); ++c) edges.push_back(b.CellLow(c));
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  double emd = 0.0;
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    double x0 = edges[i], x1 = edges[i + 1];
+    double w = x1 - x0;
+    if (w <= 0.0) continue;
+    double d0 = cdf(a, x0) - cdf(b, x0);
+    double d1 = cdf(a, x1) - cdf(b, x1);
+    if (d0 * d1 >= 0.0) {
+      emd += (std::abs(d0) + std::abs(d1)) / 2.0 * w;
+    } else {
+      // Linear difference crosses zero inside the interval.
+      double t = w * std::abs(d0) / (std::abs(d0) + std::abs(d1));
+      emd += std::abs(d0) * t / 2.0 + std::abs(d1) * (w - t) / 2.0;
+    }
+  }
+  return emd;
+}
+
+}  // namespace paleo

@@ -1,0 +1,67 @@
+// Distance and similarity measures for ranked lists and value vectors.
+//
+// Used for (a) the histogram-based ranking-criteria heuristic (L1
+// distance, Section 5.2), (b) the suitability model (normalized L1,
+// Section 6.3), and (c) partial-match acceptance (Section 3.3), which
+// the paper grounds in Fagin et al.'s top-k variants of Kendall's tau
+// and Spearman's footrule, Jaccard distance, and L1/L2 on values.
+
+#ifndef PALEO_STATS_DISTANCE_H_
+#define PALEO_STATS_DISTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace paleo {
+
+/// Sum of absolute differences over aligned prefixes; unmatched tail
+/// elements (when sizes differ) each contribute their absolute value.
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance with the same tail convention as L1Distance.
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// L1 distance scaled into [0, 1] by the total mass of both vectors
+/// (0 = identical); used as `d` in the suitability s(Qc) = (1 - P[fp])
+/// * (1 - d).
+double NormalizedL1(const std::vector<double>& a,
+                    const std::vector<double>& b);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two string sets (1.0 when
+/// both are empty).
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Spearman's footrule distance between two top-k lists, in Fagin et
+/// al.'s location-based variant: an element absent from the other list
+/// is placed at position k+1. Returns the raw (unnormalized) sum.
+double FootruleTopK(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+/// Fagin et al.'s Kendall tau with penalty parameter p for pairs where
+/// both elements appear in only one list each (p = 0: optimistic,
+/// p = 0.5: neutral). Raw (unnormalized) count.
+double KendallTauTopK(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b, double p = 0.5);
+
+/// Normalized footrule in [0, 1]: FootruleTopK divided by its maximum
+/// (disjoint lists of the same length).
+double NormalizedFootrule(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Normalized Kendall tau in [0, 1].
+double NormalizedKendallTau(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b,
+                            double p = 0.5);
+
+/// 1-D Earth Mover's Distance between two histograms over comparable
+/// domains: the L1 distance between normalized CDFs scaled by the cell
+/// width (exact for equal-width aligned histograms; an approximation
+/// otherwise).
+double EarthMoversDistance(const Histogram& a, const Histogram& b);
+
+}  // namespace paleo
+
+#endif  // PALEO_STATS_DISTANCE_H_

@@ -1,0 +1,109 @@
+#include "storage/column.h"
+
+#include "common/logging.h"
+
+namespace paleo {
+
+Column::Column(DataType type, std::shared_ptr<StringDictionary> dict)
+    : type_(type), dict_(std::move(dict)) {
+  if (type_ == DataType::kString && dict_ == nullptr) {
+    dict_ = std::make_shared<StringDictionary>();
+  }
+}
+
+size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_.size();
+    case DataType::kDouble:
+      return doubles_.size();
+    case DataType::kString:
+      return codes_.size();
+  }
+  return 0;
+}
+
+Status Column::Append(const Value& v) {
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int64())
+        return Status::TypeError("cannot append " +
+                                 std::string(DataTypeToString(v.type())) +
+                                 " to INT64 column");
+      ints_.push_back(v.int64());
+      return Status::OK();
+    case DataType::kDouble:
+      if (!v.is_numeric())
+        return Status::TypeError("cannot append STRING to DOUBLE column");
+      doubles_.push_back(v.AsDouble());
+      return Status::OK();
+    case DataType::kString:
+      if (!v.is_string())
+        return Status::TypeError("cannot append " +
+                                 std::string(DataTypeToString(v.type())) +
+                                 " to STRING column");
+      codes_.push_back(dict_->GetOrAdd(v.str()));
+      return Status::OK();
+  }
+  return Status::Internal("unreachable column type");
+}
+
+void Column::AppendInt64(int64_t v) {
+  PALEO_DCHECK(type_ == DataType::kInt64);
+  ints_.push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  PALEO_DCHECK(type_ == DataType::kDouble);
+  doubles_.push_back(v);
+}
+
+void Column::AppendString(std::string_view v) {
+  PALEO_DCHECK(type_ == DataType::kString);
+  codes_.push_back(dict_->GetOrAdd(v));
+}
+
+void Column::AppendCode(uint32_t code) {
+  PALEO_DCHECK(type_ == DataType::kString);
+  PALEO_DCHECK(code < dict_->size());
+  codes_.push_back(code);
+}
+
+Value Column::GetValue(RowId row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(ints_[row]);
+    case DataType::kDouble:
+      return Value::Double(doubles_[row]);
+    case DataType::kString:
+      return Value::String(dict_->Get(codes_[row]));
+  }
+  return Value();
+}
+
+Column Column::Gather(const std::vector<RowId>& rows) const {
+  Column out(type_, dict_);
+  switch (type_) {
+    case DataType::kInt64:
+      out.ints_.reserve(rows.size());
+      for (RowId r : rows) out.ints_.push_back(ints_[r]);
+      break;
+    case DataType::kDouble:
+      out.doubles_.reserve(rows.size());
+      for (RowId r : rows) out.doubles_.push_back(doubles_[r]);
+      break;
+    case DataType::kString:
+      out.codes_.reserve(rows.size());
+      for (RowId r : rows) out.codes_.push_back(codes_[r]);
+      break;
+  }
+  return out;
+}
+
+size_t Column::MemoryUsage() const {
+  return ints_.capacity() * sizeof(int64_t) +
+         doubles_.capacity() * sizeof(double) +
+         codes_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace paleo

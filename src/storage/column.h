@@ -1,0 +1,93 @@
+// Typed column vectors.
+//
+// A Column owns a flat array of one physical type. String columns hold
+// uint32 codes plus a shared StringDictionary. Hot paths (mining,
+// aggregation) read the typed arrays directly; Value-based accessors
+// exist for boundaries and tests.
+
+#ifndef PALEO_STORAGE_COLUMN_H_
+#define PALEO_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "types/value.h"
+
+namespace paleo {
+
+/// Row identifier within a Table. 32 bits bound tables to ~4.3B rows,
+/// far beyond the scales this system targets, and halve tuple-set
+/// memory versus 64-bit ids.
+using RowId = uint32_t;
+
+/// \brief One typed column of a Table.
+class Column {
+ public:
+  /// Creates an empty column of the given type. String columns get a
+  /// fresh dictionary unless one is supplied.
+  explicit Column(DataType type,
+                  std::shared_ptr<StringDictionary> dict = nullptr);
+
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  /// Appends a value; returns TypeError on mismatch. Int64 values are
+  /// accepted into Double columns (widened), nothing else is coerced.
+  Status Append(const Value& v);
+
+  /// Typed appends (no checking beyond asserts; hot path for builders).
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+  void AppendCode(uint32_t code);
+
+  /// Typed in-place writers. Preconditions: matching type, row < size().
+  void SetInt64(RowId row, int64_t v) { ints_[row] = v; }
+  void SetDouble(RowId row, double v) { doubles_[row] = v; }
+  void SetCode(RowId row, uint32_t code) { codes_[row] = code; }
+
+  /// Typed readers. Preconditions: matching type, row < size().
+  int64_t Int64At(RowId row) const { return ints_[row]; }
+  double DoubleAt(RowId row) const { return doubles_[row]; }
+  uint32_t CodeAt(RowId row) const { return codes_[row]; }
+  const std::string& StringAt(RowId row) const {
+    return dict_->Get(codes_[row]);
+  }
+
+  /// Numeric value widened to double. Precondition: numeric column.
+  double NumericAt(RowId row) const {
+    return type_ == DataType::kInt64 ? static_cast<double>(ints_[row])
+                                     : doubles_[row];
+  }
+
+  /// Boxed read (any type).
+  Value GetValue(RowId row) const;
+
+  /// Raw arrays for scan loops.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<uint32_t>& codes() const { return codes_; }
+
+  const std::shared_ptr<StringDictionary>& dict() const { return dict_; }
+
+  /// New column containing rows[0], rows[1], ... in order; string
+  /// columns share this column's dictionary.
+  Column Gather(const std::vector<RowId>& rows) const;
+
+  /// Approximate heap footprint in bytes (excludes shared dictionary).
+  size_t MemoryUsage() const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> codes_;
+  std::shared_ptr<StringDictionary> dict_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_STORAGE_COLUMN_H_

@@ -1,0 +1,29 @@
+#include "storage/dictionary.h"
+
+namespace paleo {
+
+uint32_t StringDictionary::GetOrAdd(std::string_view s) {
+  auto it = code_by_string_.find(std::string(s));
+  if (it != code_by_string_.end()) return it->second;
+  uint32_t code = size();
+  strings_.emplace_back(s);
+  code_by_string_.emplace(strings_.back(), code);
+  return code;
+}
+
+uint32_t StringDictionary::Lookup(std::string_view s) const {
+  auto it = code_by_string_.find(std::string(s));
+  return it == code_by_string_.end() ? kInvalidCode : it->second;
+}
+
+size_t StringDictionary::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const std::string& s : strings_) {
+    bytes += sizeof(std::string) + s.capacity();
+    // Hash map entry: key string + code + bucket overhead (estimate).
+    bytes += sizeof(std::string) + s.capacity() + sizeof(uint32_t) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace paleo

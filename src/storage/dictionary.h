@@ -1,0 +1,47 @@
+// Dictionary encoding for string columns.
+//
+// Every string column stores 32-bit codes into a per-column
+// StringDictionary. Gathered tables (e.g. the in-memory slice R')
+// share the parent's dictionary via shared_ptr, so predicate constants
+// can be compared code-to-code without touching string data.
+
+#ifndef PALEO_STORAGE_DICTIONARY_H_
+#define PALEO_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace paleo {
+
+/// \brief Append-only mapping between strings and dense uint32 codes.
+class StringDictionary {
+ public:
+  static constexpr uint32_t kInvalidCode = UINT32_MAX;
+
+  StringDictionary() = default;
+
+  /// Returns the code for `s`, inserting it if new.
+  uint32_t GetOrAdd(std::string_view s);
+
+  /// Returns the code for `s`, or kInvalidCode if absent.
+  uint32_t Lookup(std::string_view s) const;
+
+  /// Precondition: code < size().
+  const std::string& Get(uint32_t code) const { return strings_[code]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(strings_.size()); }
+
+  /// Approximate heap footprint in bytes (for memory reporting).
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> code_by_string_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_STORAGE_DICTIONARY_H_

@@ -1,0 +1,124 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace paleo {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_fields()));
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(schema_.num_fields()) + " fields");
+  }
+  // Validate all cells before mutating any column so a failed append
+  // leaves the table unchanged.
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    const Value& v = row[static_cast<size_t>(i)];
+    DataType t = schema_.field(i).type;
+    bool ok = (t == DataType::kInt64 && v.is_int64()) ||
+              (t == DataType::kDouble && v.is_numeric()) ||
+              (t == DataType::kString && v.is_string());
+    if (!ok) {
+      return Status::TypeError("value " + v.ToString() + " does not fit " +
+                               schema_.field(i).name + " (" +
+                               DataTypeToString(t) + ")");
+    }
+  }
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    PALEO_RETURN_NOT_OK(
+        columns_[static_cast<size_t>(i)].Append(row[static_cast<size_t>(i)]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::CheckConsistent() {
+  if (columns_.empty()) {
+    num_rows_ = 0;
+    return Status::OK();
+  }
+  size_t n = columns_[0].size();
+  for (size_t i = 1; i < columns_.size(); ++i) {
+    if (columns_[i].size() != n) {
+      return Status::Internal(
+          "column " + schema_.field(static_cast<int>(i)).name + " has " +
+          std::to_string(columns_[i].size()) + " rows, expected " +
+          std::to_string(n));
+    }
+  }
+  num_rows_ = n;
+  return Status::OK();
+}
+
+Table Table::Gather(const std::vector<RowId>& rows) const {
+  Table out(schema_);
+  out.columns_.clear();
+  out.columns_.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    out.columns_.push_back(c.Gather(rows));
+  }
+  out.num_rows_ = rows.size();
+  return out;
+}
+
+size_t Table::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const Column& c : columns_) {
+    bytes += c.MemoryUsage();
+    if (c.dict() != nullptr) bytes += c.dict()->MemoryUsage();
+  }
+  return bytes;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  size_t n = std::min(max_rows, num_rows_);
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (const Field& f : schema_.fields()) header.push_back(f.name);
+  cells.push_back(header);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < num_columns(); ++c) {
+      row.push_back(GetValue(static_cast<RowId>(r), c).ToString());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::vector<size_t> widths(header.size(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      if (c > 0) out += "  ";
+      out += cells[r][c];
+      out.append(widths[c] - cells[r][c].size(), ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        if (c > 0) out += "  ";
+        out.append(widths[c], '-');
+      }
+      out += '\n';
+    }
+  }
+  if (n < num_rows_) {
+    out += "... (" + WithThousands(static_cast<int64_t>(num_rows_ - n)) +
+           " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace paleo

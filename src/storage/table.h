@@ -1,0 +1,78 @@
+// Columnar table: the representation of both the base relation R and
+// the in-memory slice R'.
+
+#ifndef PALEO_STORAGE_TABLE_H_
+#define PALEO_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace paleo {
+
+/// \brief Append-oriented columnar table.
+///
+/// Rows are appended through AppendRow (checked, Value-based) or by
+/// writing the typed columns directly via mutable_column (generators'
+/// hot path, followed by a CheckConsistent() call).
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return schema_.num_fields(); }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column* mutable_column(int i) { return &columns_[static_cast<size_t>(i)]; }
+
+  /// Appends one row; all columns must receive a type-compatible value.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Called after direct column writes; verifies equal column lengths
+  /// and updates num_rows().
+  Status CheckConsistent();
+
+  /// Boxed cell read.
+  Value GetValue(RowId row, int col) const {
+    return columns_[static_cast<size_t>(col)].GetValue(row);
+  }
+
+  /// The entity column (dictionary-coded string column).
+  const Column& entity_column() const {
+    return columns_[static_cast<size_t>(schema_.entity_index())];
+  }
+
+  /// Dictionary code of the entity of `row`.
+  uint32_t EntityCodeAt(RowId row) const {
+    return entity_column().CodeAt(row);
+  }
+
+  /// Number of distinct entities present (== entity dictionary size as
+  /// generators never register unused names).
+  uint32_t NumEntities() const { return entity_column().dict()->size(); }
+
+  /// New table with the given rows, in order; shares dictionaries.
+  Table Gather(const std::vector<RowId>& rows) const;
+
+  /// Approximate heap footprint in bytes, including dictionaries.
+  size_t MemoryUsage() const;
+
+  /// Renders the first `max_rows` rows as an aligned text table (for
+  /// examples and debugging).
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_STORAGE_TABLE_H_

@@ -1,0 +1,26 @@
+// Physical data types of table columns.
+
+#ifndef PALEO_TYPES_DATA_TYPE_H_
+#define PALEO_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+namespace paleo {
+
+/// \brief Physical column types. Strings are dictionary-encoded in
+/// storage; Int64 and Double are stored as flat arrays.
+enum class DataType : int {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// "INT64", "DOUBLE", or "STRING".
+const char* DataTypeToString(DataType type);
+
+/// True for kInt64 and kDouble — the types eligible as ranking criteria.
+bool IsNumeric(DataType type);
+
+}  // namespace paleo
+
+#endif  // PALEO_TYPES_DATA_TYPE_H_

@@ -1,0 +1,97 @@
+#include "types/schema.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace paleo {
+
+const char* FieldRoleToString(FieldRole role) {
+  switch (role) {
+    case FieldRole::kEntity:
+      return "ENTITY";
+    case FieldRole::kDimension:
+      return "DIMENSION";
+    case FieldRole::kMeasure:
+      return "MEASURE";
+    case FieldRole::kKey:
+      return "KEY";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<Schema> Schema::Make(std::vector<Field> fields) {
+  Schema schema;
+  std::unordered_set<std::string> names;
+  int entity_count = 0;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const Field& f = fields[i];
+    if (f.name.empty()) {
+      return Status::InvalidArgument("field " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    if (!names.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate field name: " + f.name);
+    }
+    if (f.role == FieldRole::kMeasure && !IsNumeric(f.type)) {
+      return Status::InvalidArgument("measure column " + f.name +
+                                     " must be numeric");
+    }
+    if (f.role == FieldRole::kEntity) ++entity_count;
+  }
+  if (entity_count != 1) {
+    return Status::InvalidArgument(
+        "schema must have exactly one entity column, got " +
+        std::to_string(entity_count));
+  }
+  schema.fields_ = std::move(fields);
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    const Field& f = schema.fields_[static_cast<size_t>(i)];
+    schema.index_by_name_.emplace(f.name, i);
+    switch (f.role) {
+      case FieldRole::kEntity:
+        schema.entity_index_ = i;
+        break;
+      case FieldRole::kDimension:
+        schema.dimension_indices_.push_back(i);
+        break;
+      case FieldRole::kMeasure:
+        schema.measure_indices_.push_back(i);
+        break;
+      case FieldRole::kKey:
+        break;
+    }
+  }
+  return schema;
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  auto it = index_by_name_.find(name);
+  return it == index_by_name_.end() ? -1 : it->second;
+}
+
+StatusOr<int> Schema::GetFieldIndex(const std::string& name) const {
+  int idx = FieldIndex(name);
+  if (idx < 0) return Status::NotFound("no field named " + name);
+  return idx;
+}
+
+int Schema::num_textual_columns() const {
+  int n = 0;
+  for (const Field& f : fields_) {
+    if (f.type == DataType::kString && f.role != FieldRole::kEntity) ++n;
+  }
+  return n;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    parts.push_back(f.name + ":" + DataTypeToString(f.type) + "/" +
+                    FieldRoleToString(f.role));
+  }
+  return "Schema(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace paleo

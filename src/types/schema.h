@@ -1,0 +1,102 @@
+// Relation schema: ordered fields with names, physical types, and
+// semantic roles.
+//
+// Roles matter to PALEO: equality predicates are mined over dimension
+// columns, ranking criteria are searched among measure columns, and key
+// columns are excluded from both (mirroring the paper's distinction
+// between textual columns, "non-key numerical columns", and keys).
+
+#ifndef PALEO_TYPES_SCHEMA_H_
+#define PALEO_TYPES_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/data_type.h"
+
+namespace paleo {
+
+/// \brief Semantic role of a column in the reverse-engineering task.
+enum class FieldRole : int {
+  /// The entity column Ae (exactly one per schema).
+  kEntity = 0,
+  /// Categorical column eligible for equality predicates. Usually
+  /// textual, but low-cardinality numerics (e.g. d_year) also qualify.
+  kDimension = 1,
+  /// Numeric column eligible as a ranking criterion.
+  kMeasure = 2,
+  /// Key or other column excluded from predicates and ranking.
+  kKey = 3,
+};
+
+const char* FieldRoleToString(FieldRole role);
+
+/// \brief One column: name, physical type, semantic role.
+struct Field {
+  std::string name;
+  DataType type = DataType::kString;
+  FieldRole role = FieldRole::kDimension;
+
+  Field() = default;
+  Field(std::string name_in, DataType type_in, FieldRole role_in)
+      : name(std::move(name_in)), type(type_in), role(role_in) {}
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && role == other.role;
+  }
+};
+
+/// \brief Immutable ordered collection of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Validates: non-empty unique names, exactly one entity column,
+  /// measures numeric, dimensions/entity of any type.
+  static StatusOr<Schema> Make(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with this name, or -1.
+  int FieldIndex(const std::string& name) const;
+  /// Status-returning lookup.
+  StatusOr<int> GetFieldIndex(const std::string& name) const;
+
+  /// Index of the unique entity column.
+  int entity_index() const { return entity_index_; }
+
+  /// Indices of all dimension columns (predicate-eligible), in schema
+  /// order.
+  const std::vector<int>& dimension_indices() const {
+    return dimension_indices_;
+  }
+  /// Indices of all measure columns (ranking-eligible), in schema order.
+  const std::vector<int>& measure_indices() const { return measure_indices_; }
+
+  /// Counts used by Table 5 of the paper.
+  int num_textual_columns() const;
+  int num_measure_columns() const {
+    return static_cast<int>(measure_indices_.size());
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_by_name_;
+  int entity_index_ = -1;
+  std::vector<int> dimension_indices_;
+  std::vector<int> measure_indices_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_TYPES_SCHEMA_H_

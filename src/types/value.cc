@@ -1,0 +1,63 @@
+#include "types/value.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace paleo {
+
+namespace {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a 64-bit with a seed mixed in; adequate for hash tables.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(int64());
+    case DataType::kDouble:
+      return FormatDouble(dbl());
+    case DataType::kString:
+      return str();
+  }
+  return "";
+}
+
+std::string Value::ToSql() const {
+  if (is_string()) return SqlQuote(str());
+  return ToString();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (rep_.index() != other.rep_.index())
+    return rep_.index() < other.rep_.index();
+  return rep_ < other.rep_;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kInt64: {
+      int64_t v = int64();
+      return HashBytes(&v, sizeof(v), 0x11);
+    }
+    case DataType::kDouble: {
+      double v = dbl();
+      return HashBytes(&v, sizeof(v), 0x22);
+    }
+    case DataType::kString:
+      return HashBytes(str().data(), str().size(), 0x33);
+  }
+  return 0;
+}
+
+}  // namespace paleo

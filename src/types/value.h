@@ -1,0 +1,83 @@
+// Runtime value: a small tagged union used at API boundaries (predicate
+// constants, query results, generated cells). Bulk data paths operate on
+// typed column arrays instead, so Value never appears in inner loops.
+
+#ifndef PALEO_TYPES_VALUE_H_
+#define PALEO_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "types/data_type.h"
+
+namespace paleo {
+
+/// \brief Dynamically typed cell value (int64, double, or string).
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  DataType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return !is_string(); }
+
+  /// Preconditions: matching type.
+  int64_t int64() const { return std::get<int64_t>(rep_); }
+  double dbl() const { return std::get<double>(rep_); }
+  const std::string& str() const { return std::get<std::string>(rep_); }
+
+  /// Numeric value widened to double. Precondition: is_numeric().
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(int64()) : dbl();
+  }
+
+  /// Value rendered for display ("CA", "42", "3.5").
+  std::string ToString() const;
+  /// Value rendered as a SQL literal ("'CA'", "42", "3.5").
+  std::string ToSql() const;
+
+  /// Exact equality: same type and same payload. Int64(2) != Double(2.0).
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Ordering within a type (used for deterministic output); compares
+  /// type tag first across types.
+  bool operator<(const Value& other) const;
+
+  /// 64-bit hash suitable for unordered containers.
+  uint64_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_TYPES_VALUE_H_

@@ -1,0 +1,256 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace paleo {
+
+const char* QueryFamilyToString(QueryFamily family) {
+  switch (family) {
+    case QueryFamily::kMaxA:
+      return "max(A)";
+    case QueryFamily::kAvgA:
+      return "avg(A)";
+    case QueryFamily::kSumA:
+      return "sum(A)";
+    case QueryFamily::kSumAB:
+      return "sum(A+B)";
+    case QueryFamily::kMulAB:
+      return "sum(A*B)";
+    case QueryFamily::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builds the ranking part of a query for a family over randomly
+/// chosen measure columns.
+void FillRanking(QueryFamily family, const std::vector<int>& measures,
+                 Rng* rng, TopKQuery* query) {
+  int a = measures[static_cast<size_t>(rng->Uniform(measures.size()))];
+  int b = a;
+  while (measures.size() > 1 && b == a) {
+    b = measures[static_cast<size_t>(rng->Uniform(measures.size()))];
+  }
+  switch (family) {
+    case QueryFamily::kMaxA:
+      query->expr = RankExpr::Column(a);
+      query->agg = AggFn::kMax;
+      break;
+    case QueryFamily::kAvgA:
+      query->expr = RankExpr::Column(a);
+      query->agg = AggFn::kAvg;
+      break;
+    case QueryFamily::kSumA:
+      query->expr = RankExpr::Column(a);
+      query->agg = AggFn::kSum;
+      break;
+    case QueryFamily::kSumAB:
+      query->expr = RankExpr::Add(a, b);
+      query->agg = AggFn::kSum;
+      break;
+    case QueryFamily::kMulAB:
+      query->expr = RankExpr::Mul(a, b);
+      query->agg = AggFn::kSum;
+      break;
+    case QueryFamily::kNone:
+      query->expr = RankExpr::Column(a);
+      query->agg = AggFn::kNone;
+      break;
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<WorkloadQuery>> WorkloadGen::Generate(
+    const Table& table, const WorkloadOptions& options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot generate workload on empty table");
+  }
+  const Schema& schema = table.schema();
+  const std::vector<int>& dims = schema.dimension_indices();
+  const std::vector<int>& measures = schema.measure_indices();
+  if (dims.empty() || measures.empty()) {
+    return Status::InvalidArgument(
+        "workload needs dimension and measure columns");
+  }
+
+  Executor executor;
+  Rng rng(options.seed);
+  std::vector<WorkloadQuery> out;
+  std::unordered_set<uint64_t> seen_queries;
+
+  // Per-dimension value frequencies, for the per-atom selectivity bound.
+  std::vector<std::unordered_map<Value, int64_t, ValueHasher>> value_counts(
+      static_cast<size_t>(schema.num_fields()));
+  for (int d : dims) {
+    auto& counts = value_counts[static_cast<size_t>(d)];
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      ++counts[table.GetValue(static_cast<RowId>(r), d)];
+    }
+  }
+  const double n_rows = static_cast<double>(table.num_rows());
+  auto atom_selectivity = [&](const AtomicPredicate& atom) {
+    const auto& counts = value_counts[static_cast<size_t>(atom.column)];
+    auto it = counts.find(atom.value);
+    return it == counts.end() ? 0.0
+                              : static_cast<double>(it->second) / n_rows;
+  };
+
+  for (QueryFamily family : options.families) {
+    for (int pred_size : options.predicate_sizes) {
+      if (pred_size > static_cast<int>(dims.size())) continue;
+      for (int k : options.ks) {
+        int produced = 0;
+        for (int attempt = 0;
+             attempt < options.max_attempts &&
+             produced < options.queries_per_config;
+             ++attempt) {
+          // Anchor the predicate on a random row's dimension values.
+          RowId anchor = static_cast<RowId>(
+              rng.Uniform(static_cast<uint64_t>(table.num_rows())));
+          std::vector<uint32_t> cols = rng.SampleWithoutReplacement(
+              static_cast<uint32_t>(dims.size()),
+              static_cast<uint32_t>(pred_size));
+          std::vector<AtomicPredicate> atoms;
+          atoms.reserve(cols.size());
+          bool atoms_ok = true;
+          for (uint32_t ci : cols) {
+            int col = dims[ci];
+            AtomicPredicate atom(col, table.GetValue(anchor, col));
+            atoms_ok &= atom_selectivity(atom) <= options.max_atom_selectivity;
+            atoms.push_back(std::move(atom));
+          }
+          if (!atoms_ok) continue;
+          TopKQuery query;
+          query.predicate = Predicate(std::move(atoms));
+          query.k = k;
+          FillRanking(family, measures, &rng, &query);
+          if (!seen_queries.insert(query.Hash()).second) continue;
+
+          size_t matches = executor.CountMatching(table, query.predicate);
+          double selectivity = static_cast<double>(matches) /
+                               static_cast<double>(table.num_rows());
+          if (selectivity > options.max_selectivity) continue;
+
+          PALEO_ASSIGN_OR_RETURN(TopKList list,
+                                 executor.Execute(table, query));
+          if (static_cast<int>(list.size()) != k) continue;
+
+          WorkloadQuery wq;
+          wq.name = std::string(QueryFamilyToString(family)) + "/|P|=" +
+                    std::to_string(pred_size) + "/k=" + std::to_string(k) +
+                    "/#" + std::to_string(produced);
+          wq.family = family;
+          wq.query = std::move(query);
+          wq.list = std::move(list);
+          wq.selectivity = selectivity;
+          out.push_back(std::move(wq));
+          ++produced;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<WorkloadQuery>> WorkloadGen::PaperExamples(
+    const Table& table, bool ssb, int k) {
+  const Schema& schema = table.schema();
+  Executor executor;
+  auto col = [&](const char* name) -> StatusOr<int> {
+    return schema.GetFieldIndex(name);
+  };
+
+  struct Spec {
+    std::string name;
+    QueryFamily family;
+    std::vector<std::pair<const char*, Value>> atoms;
+    const char* col_a;
+    const char* col_b;  // nullptr for single-column
+  };
+  std::vector<Spec> specs;
+  if (!ssb) {
+    specs.push_back({"TPCH/T6-1 max(o_totalprice)", QueryFamily::kMaxA,
+                     {{"p_type", Value::String("MEDIUM POLISHED STEEL")},
+                      {"s_region", Value::String("AMERICA")}},
+                     "o_totalprice",
+                     nullptr});
+    specs.push_back(
+        {"TPCH/T6-2 sum(ps_supplycost+ps_availqty)", QueryFamily::kSumAB,
+         {{"s_nation", Value::String("JAPAN")},
+          {"p_container", Value::String("JUMBO BAG")},
+          {"l_shipmode", Value::String("TRUCK")}},
+         "ps_supplycost",
+         "ps_availqty"});
+  } else {
+    specs.push_back({"SSB/T6-3 avg(lo_revenue)", QueryFamily::kAvgA,
+                     {{"s_nation", Value::String("UNITED STATES")},
+                      {"p_category", Value::String("MFGR#14")}},
+                     "lo_revenue",
+                     nullptr});
+    specs.push_back(
+        {"SSB/T6-4 sum(lo_extendedprice*lo_discount)", QueryFamily::kMulAB,
+         {{"p_brand1", Value::String("MFGR#2221")},
+          {"s_region", Value::String("ASIA")},
+          {"d_year", Value::Int64(1995)}},
+         "lo_extendedprice",
+         "lo_discount"});
+  }
+
+  std::vector<WorkloadQuery> out;
+  for (Spec& spec : specs) {
+    std::vector<AtomicPredicate> atoms;
+    for (auto& [name, value] : spec.atoms) {
+      PALEO_ASSIGN_OR_RETURN(int idx, col(name));
+      atoms.emplace_back(idx, std::move(value));
+    }
+    TopKQuery query;
+    query.predicate = Predicate(std::move(atoms));
+    query.k = k;
+    PALEO_ASSIGN_OR_RETURN(int a, col(spec.col_a));
+    switch (spec.family) {
+      case QueryFamily::kMaxA:
+        query.expr = RankExpr::Column(a);
+        query.agg = AggFn::kMax;
+        break;
+      case QueryFamily::kAvgA:
+        query.expr = RankExpr::Column(a);
+        query.agg = AggFn::kAvg;
+        break;
+      case QueryFamily::kSumAB: {
+        PALEO_ASSIGN_OR_RETURN(int b, col(spec.col_b));
+        query.expr = RankExpr::Add(a, b);
+        query.agg = AggFn::kSum;
+        break;
+      }
+      case QueryFamily::kMulAB: {
+        PALEO_ASSIGN_OR_RETURN(int b, col(spec.col_b));
+        query.expr = RankExpr::Mul(a, b);
+        query.agg = AggFn::kSum;
+        break;
+      }
+      default:
+        return Status::Internal("unexpected family in paper examples");
+    }
+    size_t matches = executor.CountMatching(table, query.predicate);
+    PALEO_ASSIGN_OR_RETURN(TopKList list, executor.Execute(table, query));
+
+    WorkloadQuery wq;
+    wq.name = std::move(spec.name);
+    wq.family = spec.family;
+    wq.query = std::move(query);
+    wq.list = std::move(list);
+    wq.selectivity = static_cast<double>(matches) /
+                     static_cast<double>(table.num_rows());
+    out.push_back(std::move(wq));
+  }
+  return out;
+}
+
+}  // namespace paleo

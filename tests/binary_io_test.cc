@@ -1,0 +1,116 @@
+// Tests for the binary relation format: round trips, CRC integrity,
+// and corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/tpch_gen.h"
+#include "datagen/traffic_gen.h"
+#include "io/binary_io.h"
+
+namespace paleo {
+namespace {
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.schema(), b.schema());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.GetValue(static_cast<RowId>(r), c),
+                b.GetValue(static_cast<RowId>(r), c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(BinaryIoTest, RoundTripsSmallTable) {
+  auto table = TrafficGen::PaperExample();
+  ASSERT_TRUE(table.ok());
+  std::string bytes = BinaryIo::Serialize(*table);
+  auto parsed = BinaryIo::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectTablesEqual(*table, *parsed);
+}
+
+TEST(BinaryIoTest, RoundTripsWideGeneratedTable) {
+  TpchGenOptions gen;
+  gen.scale_factor = 0.001;
+  auto table = TpchGen::Generate(gen);
+  ASSERT_TRUE(table.ok());
+  std::string bytes = BinaryIo::Serialize(*table);
+  auto parsed = BinaryIo::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectTablesEqual(*table, *parsed);
+  // Binary payload is far more compact than CSV for the same table.
+  EXPECT_LT(bytes.size(),
+            static_cast<size_t>(table->num_rows()) * 57 * 12);
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  EXPECT_TRUE(BinaryIo::Deserialize("").status().IsIoError());
+  EXPECT_TRUE(BinaryIo::Deserialize("NOPE....").status().IsIoError());
+}
+
+TEST(BinaryIoTest, RejectsCorruptionAnywhere) {
+  auto table = TrafficGen::PaperExample();
+  ASSERT_TRUE(table.ok());
+  std::string bytes = BinaryIo::Serialize(*table);
+  // Flip one byte at assorted offsets: every corruption must be caught
+  // (by CRC), never produce a wrong table.
+  for (size_t offset : {size_t{5}, size_t{20}, bytes.size() / 2,
+                        bytes.size() - 6}) {
+    std::string corrupted = bytes;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x5A);
+    auto result = BinaryIo::Deserialize(corrupted);
+    EXPECT_FALSE(result.ok()) << "offset " << offset;
+  }
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  auto table = TrafficGen::PaperExample();
+  ASSERT_TRUE(table.ok());
+  std::string bytes = BinaryIo::Serialize(*table);
+  for (size_t keep : {size_t{4}, size_t{10}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    auto result = BinaryIo::Deserialize(bytes.substr(0, keep));
+    EXPECT_FALSE(result.ok()) << "kept " << keep;
+  }
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  auto table = TrafficGen::PaperExample();
+  ASSERT_TRUE(table.ok());
+  std::string path = ::testing::TempDir() + "/paleo_binary_test.palb";
+  ASSERT_TRUE(BinaryIo::WriteFile(*table, path).ok());
+  auto loaded = BinaryIo::ReadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectTablesEqual(*table, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReadMissingFileIsIoError) {
+  EXPECT_TRUE(BinaryIo::ReadFile("/nonexistent/x.palb").status().IsIoError());
+}
+
+TEST(BinaryIoTest, EmptyTableRoundTrips) {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"v", DataType::kInt64, FieldRole::kMeasure},
+  });
+  Table empty(*schema);
+  auto parsed = BinaryIo::Deserialize(BinaryIo::Serialize(empty));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_rows(), 0u);
+  EXPECT_EQ(parsed->schema(), *schema);
+}
+
+}  // namespace
+}  // namespace paleo

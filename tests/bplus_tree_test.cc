@@ -1,0 +1,217 @@
+// Property-based and unit tests for the B+ tree.
+//
+// The reference oracle is std::map: after every batch of random
+// operations the tree must agree with the map on content and order,
+// and VerifyInvariants() must pass (occupancy bounds, sorted keys,
+// linked leaves, uniform depth, routing bounds).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/bplus_tree.h"
+
+namespace paleo {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<int, int> tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.Find(1), nullptr);
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_FALSE(tree.Begin().Valid());
+  tree.VerifyInvariants();
+}
+
+TEST(BPlusTreeTest, InsertAndFind) {
+  BPlusTree<int, std::string> tree;
+  EXPECT_TRUE(tree.Insert(2, "two"));
+  EXPECT_TRUE(tree.Insert(1, "one"));
+  EXPECT_TRUE(tree.Insert(3, "three"));
+  EXPECT_FALSE(tree.Insert(2, "dup"));  // duplicate rejected
+  EXPECT_EQ(tree.size(), 3u);
+  ASSERT_NE(tree.Find(2), nullptr);
+  EXPECT_EQ(*tree.Find(2), "two");
+  EXPECT_EQ(tree.Find(4), nullptr);
+  tree.VerifyInvariants();
+}
+
+TEST(BPlusTreeTest, IterationIsSorted) {
+  BPlusTree<int, int, 4> tree;
+  for (int v : {5, 3, 9, 1, 7, 2, 8, 4, 6, 0}) tree.Insert(v, v * 10);
+  std::vector<int> keys;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    keys.push_back(it.key());
+    EXPECT_EQ(it.value(), it.key() * 10);
+  }
+  EXPECT_EQ(keys, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  tree.VerifyInvariants();
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree<int, int, 4> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i);
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GT(tree.height(), 2);
+  tree.VerifyInvariants();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(tree.Find(i), nullptr) << i;
+  }
+}
+
+TEST(BPlusTreeTest, LowerBoundAndScan) {
+  BPlusTree<int, int, 4> tree;
+  for (int i = 0; i < 50; i += 2) tree.Insert(i, i);  // evens 0..48
+  auto it = tree.LowerBound(31);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 32);
+  it = tree.LowerBound(100);
+  EXPECT_FALSE(it.Valid());
+
+  std::vector<int> scanned;
+  tree.Scan(10, 20, [&](int k, int v) {
+    EXPECT_EQ(k, v);
+    scanned.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(scanned, (std::vector<int>{10, 12, 14, 16, 18, 20}));
+
+  // Early termination.
+  scanned.clear();
+  tree.Scan(0, 48, [&](int k, int) {
+    scanned.push_back(k);
+    return scanned.size() < 3;
+  });
+  EXPECT_EQ(scanned.size(), 3u);
+}
+
+TEST(BPlusTreeTest, EraseFromLeafRoot) {
+  BPlusTree<int, int> tree;
+  tree.Insert(1, 10);
+  tree.Insert(2, 20);
+  EXPECT_TRUE(tree.Erase(1));
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Find(1), nullptr);
+  ASSERT_NE(tree.Find(2), nullptr);
+  tree.VerifyInvariants();
+}
+
+TEST(BPlusTreeTest, EraseEverythingShrinksToEmpty) {
+  BPlusTree<int, int, 4> tree;
+  for (int i = 0; i < 200; ++i) tree.Insert(i, i);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Erase(i)) << i;
+    tree.VerifyInvariants();
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(BPlusTreeTest, EraseReverseOrder) {
+  BPlusTree<int, int, 4> tree;
+  for (int i = 0; i < 200; ++i) tree.Insert(i, i);
+  for (int i = 199; i >= 0; --i) {
+    ASSERT_TRUE(tree.Erase(i)) << i;
+    tree.VerifyInvariants();
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<std::string, int, 8> tree;
+  std::vector<std::string> names = {"delta", "alpha", "echo", "charlie",
+                                    "bravo"};
+  for (size_t i = 0; i < names.size(); ++i) {
+    tree.Insert(names[i], static_cast<int>(i));
+  }
+  std::vector<std::string> sorted;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) sorted.push_back(it.key());
+  EXPECT_EQ(sorted, (std::vector<std::string>{"alpha", "bravo", "charlie",
+                                              "delta", "echo"}));
+  tree.VerifyInvariants();
+}
+
+TEST(BPlusTreeTest, MoveConstructionTransfersContent) {
+  BPlusTree<int, int, 4> tree;
+  for (int i = 0; i < 50; ++i) tree.Insert(i, i);
+  BPlusTree<int, int, 4> moved(std::move(tree));
+  EXPECT_EQ(moved.size(), 50u);
+  ASSERT_NE(moved.Find(17), nullptr);
+  moved.VerifyInvariants();
+}
+
+// ---- Property tests: random operation mixes vs. std::map ----
+
+struct FuzzParams {
+  uint64_t seed;
+  int operations;
+  int key_range;
+  double erase_fraction;
+};
+
+class BPlusTreeFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(BPlusTreeFuzzTest, AgreesWithStdMap) {
+  const FuzzParams params = GetParam();
+  Rng rng(params.seed);
+  BPlusTree<int, int, 6> tree;
+  std::map<int, int> oracle;
+
+  for (int op = 0; op < params.operations; ++op) {
+    int key = static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(params.key_range)));
+    if (rng.NextDouble() < params.erase_fraction) {
+      bool tree_erased = tree.Erase(key);
+      bool oracle_erased = oracle.erase(key) > 0;
+      ASSERT_EQ(tree_erased, oracle_erased) << "op " << op;
+    } else {
+      int value = static_cast<int>(rng.Uniform(1000));
+      bool tree_inserted = tree.Insert(key, value);
+      bool oracle_inserted = oracle.emplace(key, value).second;
+      ASSERT_EQ(tree_inserted, oracle_inserted) << "op " << op;
+    }
+    if (op % 64 == 0) tree.VerifyInvariants();
+  }
+  tree.VerifyInvariants();
+
+  // Full content equality, in order.
+  ASSERT_EQ(tree.size(), oracle.size());
+  auto it = tree.Begin();
+  for (const auto& [k, v] : oracle) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+
+  // Point lookups for present and absent keys.
+  for (int key = 0; key < params.key_range; ++key) {
+    auto oracle_it = oracle.find(key);
+    int* found = tree.Find(key);
+    if (oracle_it == oracle.end()) {
+      EXPECT_EQ(found, nullptr);
+    } else {
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(*found, oracle_it->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMixes, BPlusTreeFuzzTest,
+    ::testing::Values(FuzzParams{1, 500, 100, 0.0},
+                      FuzzParams{2, 2000, 200, 0.3},
+                      FuzzParams{3, 2000, 50, 0.5},
+                      FuzzParams{4, 4000, 1000, 0.45},
+                      FuzzParams{5, 1000, 10, 0.5},
+                      FuzzParams{6, 3000, 300, 0.65}));
+
+}  // namespace
+}  // namespace paleo

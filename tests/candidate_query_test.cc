@@ -1,0 +1,126 @@
+// Tests for candidate query assembly and suitability ordering.
+
+#include <gtest/gtest.h>
+
+#include "datagen/traffic_gen.h"
+#include "paleo/candidate_query.h"
+#include "paleo/predicate_miner.h"
+#include "paleo/ranking_finder.h"
+
+namespace paleo {
+namespace {
+
+struct Fixture {
+  Table table;
+  EntityIndex index;
+  StatsCatalog catalog;
+  RPrime rprime;
+  MiningResult mining;
+  std::vector<GroupRanking> rankings;
+  TopKList list;
+
+  static Fixture Make(bool complete, double coverage = 1.0) {
+    auto t = TrafficGen::PaperExample();
+    EXPECT_TRUE(t.ok());
+    Table table = *std::move(t);
+    EntityIndex index = EntityIndex::Build(table);
+    StatsCatalog catalog = StatsCatalog::Build(table);
+    TopKList list;
+    list.Append("Lara Ellis", 784);
+    list.Append("Jane O'Neal", 699);
+    list.Append("John Smith", 654);
+    list.Append("Richard Fox", 596);
+    list.Append("Jack Stiles", 586);
+    auto rp = RPrime::Build(table, index, list);
+    EXPECT_TRUE(rp.ok());
+    RPrime rprime = *std::move(rp);
+    PaleoOptions options;
+    options.coverage_ratio = coverage;
+    PredicateMiner miner(rprime, options);
+    auto mining = miner.Mine();
+    EXPECT_TRUE(mining.ok());
+    RankingFinder finder(rprime, &catalog, options);
+    auto rankings = finder.Find(mining->groups, list, complete);
+    EXPECT_TRUE(rankings.ok());
+    return Fixture{std::move(table),   std::move(index),
+                   std::move(catalog), std::move(rprime),
+                   *std::move(mining), *std::move(rankings),
+                   std::move(list)};
+  }
+};
+
+TEST(CandidateQueryTest, CrossProductOfPredicatesAndCriteria) {
+  Fixture f = Fixture::Make(/*complete=*/true);
+  ProbModel model(f.catalog, f.rprime);
+  std::vector<CandidateQuery> candidates =
+      BuildCandidateQueries(f.mining, f.rankings, model, 5);
+  ASSERT_FALSE(candidates.empty());
+
+  size_t expected = 0;
+  for (const GroupRanking& gr : f.rankings) {
+    expected += gr.candidates.size() *
+                f.mining.groups[static_cast<size_t>(gr.group_id)]
+                    .predicate_ids.size();
+  }
+  EXPECT_EQ(candidates.size(), expected);
+  for (const CandidateQuery& cq : candidates) {
+    EXPECT_EQ(cq.query.k, 5);
+    EXPECT_EQ(cq.query.order, SortOrder::kDesc);
+    EXPECT_GE(cq.suitability, 0.0);
+    EXPECT_LE(cq.suitability, 1.0);
+  }
+}
+
+TEST(CandidateQueryTest, SortedBySuitabilityDescending) {
+  Fixture f = Fixture::Make(/*complete=*/false, /*coverage=*/0.2);
+  ProbModel model(f.catalog, f.rprime);
+  std::vector<CandidateQuery> candidates =
+      BuildCandidateQueries(f.mining, f.rankings, model, 5);
+  ASSERT_GT(candidates.size(), 1u);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].suitability, candidates[i].suitability);
+  }
+}
+
+TEST(CandidateQueryTest, FullCoverageCandidatesRankAboveFalsePositives) {
+  // With relaxed coverage, predicates that miss entities get
+  // p_false_positive = 1 over the complete R' and must sort last.
+  Fixture f = Fixture::Make(/*complete=*/false, /*coverage=*/0.2);
+  ProbModel model(f.catalog, f.rprime);
+  std::vector<CandidateQuery> candidates =
+      BuildCandidateQueries(f.mining, f.rankings, model, 5);
+  ASSERT_GT(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front().p_false_positive, 0.0);
+  bool has_certain_fp = false;
+  for (const CandidateQuery& cq : candidates) {
+    has_certain_fp |= (cq.p_false_positive == 1.0);
+  }
+  ASSERT_TRUE(has_certain_fp);
+  EXPECT_EQ(candidates.back().suitability, 0.0);
+}
+
+TEST(CandidateQueryTest, DeterministicOrdering) {
+  Fixture f1 = Fixture::Make(false, 0.2);
+  Fixture f2 = Fixture::Make(false, 0.2);
+  ProbModel m1(f1.catalog, f1.rprime);
+  ProbModel m2(f2.catalog, f2.rprime);
+  auto a = BuildCandidateQueries(f1.mining, f1.rankings, m1, 5);
+  auto b = BuildCandidateQueries(f2.mining, f2.rankings, m2, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].query == b[i].query) << i;
+  }
+}
+
+TEST(CandidateQueryTest, GroupsWithoutCriteriaContributeNothing) {
+  Fixture f = Fixture::Make(true);
+  ProbModel model(f.catalog, f.rprime);
+  std::vector<GroupRanking> empty_rankings = f.rankings;
+  for (GroupRanking& gr : empty_rankings) gr.candidates.clear();
+  auto candidates =
+      BuildCandidateQueries(f.mining, empty_rankings, model, 5);
+  EXPECT_TRUE(candidates.empty());
+}
+
+}  // namespace
+}  // namespace paleo

@@ -1,0 +1,301 @@
+// Tests for the data generators: schema shapes, determinism, value
+// domains, and the augmentation rules.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/augment.h"
+#include "datagen/ssb_gen.h"
+#include "datagen/text_pool.h"
+#include "datagen/tpch_gen.h"
+#include "datagen/traffic_gen.h"
+#include "engine/executor.h"
+
+namespace paleo {
+namespace {
+
+TEST(TextPoolTest, VocabularySizesMatchDbgen) {
+  EXPECT_EQ(TextPool::Nations().size(), 25u);
+  EXPECT_EQ(TextPool::Regions().size(), 5u);
+  EXPECT_EQ(TextPool::NationRegion().size(), 25u);
+  EXPECT_EQ(TextPool::PartTypes().size(), 150u);
+  EXPECT_EQ(TextPool::Containers().size(), 40u);
+  EXPECT_EQ(TextPool::Brands().size(), 25u);
+  EXPECT_EQ(TextPool::MarketSegments().size(), 5u);
+  EXPECT_EQ(TextPool::OrderPriorities().size(), 5u);
+  EXPECT_EQ(TextPool::ShipModes().size(), 7u);
+  EXPECT_EQ(TextPool::Colors().size(), 94u);
+}
+
+TEST(TextPoolTest, PaperQueryConstantsExist) {
+  // The Table 6 example queries must be expressible verbatim.
+  auto contains = [](const std::vector<std::string>& pool,
+                     const std::string& v) {
+    return std::find(pool.begin(), pool.end(), v) != pool.end();
+  };
+  EXPECT_TRUE(contains(TextPool::PartTypes(), "MEDIUM POLISHED STEEL"));
+  EXPECT_TRUE(contains(TextPool::Containers(), "JUMBO BAG"));
+  EXPECT_TRUE(contains(TextPool::Nations(), "JAPAN"));
+  EXPECT_TRUE(contains(TextPool::Nations(), "UNITED STATES"));
+  EXPECT_TRUE(contains(TextPool::Regions(), "AMERICA"));
+  EXPECT_TRUE(contains(TextPool::Regions(), "ASIA"));
+  EXPECT_TRUE(contains(TextPool::ShipModes(), "TRUCK"));
+  EXPECT_EQ(TextPool::SsbCategory(1, 4), "MFGR#14");
+  EXPECT_EQ(TextPool::SsbBrand(2, 2, 21), "MFGR#2221");
+}
+
+TEST(TextPoolTest, NameFormats) {
+  EXPECT_EQ(TextPool::CustomerName(17), "Customer#000000017");
+  EXPECT_EQ(TextPool::SupplierName(3), "Supplier#000000003");
+  EXPECT_EQ(TextPool::ClerkName(1000), "Clerk#000001000");
+}
+
+TEST(TrafficGenTest, PaperExampleReproducesTable2) {
+  auto table = TrafficGen::PaperExample();
+  ASSERT_TRUE(table.ok());
+  const Schema& schema = table->schema();
+
+  // The query from the paper's introduction.
+  TopKQuery q;
+  q.predicate = Predicate::Atom(schema.FieldIndex("state"),
+                                Value::String("CA"));
+  q.expr = RankExpr::Column(schema.FieldIndex("minutes"));
+  q.agg = AggFn::kMax;
+  q.k = 5;
+  Executor ex;
+  auto result = ex.Execute(*table, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 5u);
+  EXPECT_EQ(result->entry(0), TopKEntry("Lara Ellis", 784));
+  EXPECT_EQ(result->entry(1), TopKEntry("Jane O'Neal", 699));
+  EXPECT_EQ(result->entry(2), TopKEntry("John Smith", 654));
+  EXPECT_EQ(result->entry(3), TopKEntry("Richard Fox", 596));
+  EXPECT_EQ(result->entry(4), TopKEntry("Jack Stiles", 586));
+}
+
+TEST(TrafficGenTest, GenerateShapeAndDeterminism) {
+  TrafficGenOptions options;
+  options.num_customers = 40;
+  options.months_per_customer = 3;
+  auto a = TrafficGen::Generate(options);
+  auto b = TrafficGen::Generate(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_rows(), 120u);
+  EXPECT_EQ(a->NumEntities(), 40u);
+  // Bit-for-bit determinism.
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t r = 0; r < a->num_rows(); ++r) {
+    for (int c = 0; c < a->num_columns(); ++c) {
+      ASSERT_EQ(a->GetValue(static_cast<RowId>(r), c),
+                b->GetValue(static_cast<RowId>(r), c));
+    }
+  }
+}
+
+TEST(TrafficGenTest, RejectsInvalidOptions) {
+  TrafficGenOptions options;
+  options.months_per_customer = 13;
+  EXPECT_TRUE(TrafficGen::Generate(options).status().IsInvalidArgument());
+  options.months_per_customer = 6;
+  options.num_customers = 0;
+  EXPECT_TRUE(TrafficGen::Generate(options).status().IsInvalidArgument());
+}
+
+TEST(TpchGenTest, SchemaShapeMatchesPaperTable5) {
+  Schema schema = TpchGen::MakeSchema();
+  EXPECT_EQ(schema.num_fields(), 57);           // 57 columns
+  EXPECT_EQ(schema.num_textual_columns(), 27);  // 27 textual
+  EXPECT_EQ(schema.num_measure_columns(), 13);  // 13 non-key numeric
+  EXPECT_EQ(schema.field(schema.entity_index()).name, "c_name");
+}
+
+TEST(TpchGenTest, GeneratesConsistentRelation) {
+  TpchGenOptions options;
+  options.scale_factor = 0.002;
+  auto table = TpchGen::Generate(options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_GT(table->num_rows(), 1000u);
+  EXPECT_EQ(table->NumEntities(),
+            static_cast<uint32_t>(TpchGen::NumCustomers(0.002)));
+  // Region is functionally determined by nation.
+  const Schema& schema = table->schema();
+  int nation = schema.FieldIndex("c_nation");
+  int region = schema.FieldIndex("c_region");
+  for (size_t r = 0; r < std::min<size_t>(table->num_rows(), 500); ++r) {
+    std::string n = table->GetValue(static_cast<RowId>(r), nation).str();
+    std::string reg = table->GetValue(static_cast<RowId>(r), region).str();
+    auto it = std::find(TextPool::Nations().begin(),
+                        TextPool::Nations().end(), n);
+    ASSERT_NE(it, TextPool::Nations().end());
+    size_t idx = static_cast<size_t>(it - TextPool::Nations().begin());
+    EXPECT_EQ(reg, TextPool::Regions()[static_cast<size_t>(
+                       TextPool::NationRegion()[idx])]);
+  }
+}
+
+TEST(TpchGenTest, DeterministicAcrossRuns) {
+  TpchGenOptions options;
+  options.scale_factor = 0.001;
+  auto a = TpchGen::Generate(options);
+  auto b = TpchGen::Generate(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t r = 0; r < a->num_rows(); r += 97) {
+    for (int c = 0; c < a->num_columns(); ++c) {
+      ASSERT_EQ(a->GetValue(static_cast<RowId>(r), c),
+                b->GetValue(static_cast<RowId>(r), c));
+    }
+  }
+}
+
+TEST(TpchGenTest, RejectsNonPositiveScale) {
+  TpchGenOptions options;
+  options.scale_factor = 0.0;
+  EXPECT_TRUE(TpchGen::Generate(options).status().IsInvalidArgument());
+}
+
+TEST(SsbGenTest, SchemaShapeMatchesPaperTable5) {
+  Schema schema = SsbGen::MakeSchema();
+  EXPECT_EQ(schema.num_fields(), 60);           // 60 columns
+  EXPECT_EQ(schema.num_textual_columns(), 28);  // 28 textual
+  EXPECT_EQ(schema.num_measure_columns(), 20);  // 20 non-key numeric
+  // d_year is an Int64 *dimension*, so d_year = 1995 is minable.
+  int d_year = schema.FieldIndex("d_year");
+  ASSERT_GE(d_year, 0);
+  EXPECT_EQ(schema.field(d_year).type, DataType::kInt64);
+  EXPECT_EQ(schema.field(d_year).role, FieldRole::kDimension);
+}
+
+TEST(SsbGenTest, ManyTuplesPerEntity) {
+  SsbGenOptions options;
+  options.scale_factor = 0.003;
+  auto table = SsbGen::Generate(options);
+  ASSERT_TRUE(table.ok());
+  double avg = static_cast<double>(table->num_rows()) /
+               static_cast<double>(table->NumEntities());
+  // SSB's salient property (Table 5): ~300 tuples per entity.
+  EXPECT_GT(avg, 200.0);
+  EXPECT_LT(avg, 420.0);
+}
+
+TEST(AugmentTest, AddsClonesWithPerturbedMeasures) {
+  TrafficGenOptions gen_options;
+  gen_options.num_customers = 10;
+  gen_options.months_per_customer = 2;
+  auto base = TrafficGen::Generate(gen_options);
+  ASSERT_TRUE(base.ok());
+
+  AugmentOptions options;
+  options.clones_mean = 5;
+  options.clones_stddev = 1;
+  auto augmented = Augment(*base, options);
+  ASSERT_TRUE(augmented.ok());
+  // ~5 clones per entity on top of 20 original rows.
+  EXPECT_GT(augmented->num_rows(), base->num_rows() + 20);
+  EXPECT_LT(augmented->num_rows(), base->num_rows() + 100);
+  // Entities unchanged.
+  EXPECT_EQ(augmented->NumEntities(), base->NumEntities());
+
+  // Clones perturb measures upward: v' = v + v*|m| >= v (v positive
+  // here) and keep textual values from existing rows of the entity.
+  const Schema& schema = base->schema();
+  int minutes = schema.FieldIndex("minutes");
+  int state = schema.FieldIndex("state");
+  std::unordered_set<std::string> base_states;
+  for (size_t r = 0; r < base->num_rows(); ++r) {
+    base_states.insert(
+        base->GetValue(static_cast<RowId>(r), state).str());
+  }
+  int64_t base_min = INT64_MAX;
+  for (size_t r = 0; r < base->num_rows(); ++r) {
+    base_min = std::min(base_min,
+                        base->GetValue(static_cast<RowId>(r), minutes)
+                            .int64());
+  }
+  for (size_t r = base->num_rows(); r < augmented->num_rows(); ++r) {
+    EXPECT_GE(augmented->GetValue(static_cast<RowId>(r), minutes).int64(),
+              base_min);
+    EXPECT_TRUE(base_states.count(
+        augmented->GetValue(static_cast<RowId>(r), state).str()));
+  }
+}
+
+TEST(AugmentTest, OriginalRowsAreKeptVerbatim) {
+  TrafficGenOptions gen_options;
+  gen_options.num_customers = 5;
+  auto base = TrafficGen::Generate(gen_options);
+  ASSERT_TRUE(base.ok());
+  AugmentOptions options;
+  options.clones_mean = 2;
+  options.clones_stddev = 0.5;
+  auto augmented = Augment(*base, options);
+  ASSERT_TRUE(augmented.ok());
+  for (size_t r = 0; r < base->num_rows(); ++r) {
+    for (int c = 0; c < base->num_columns(); ++c) {
+      ASSERT_EQ(base->GetValue(static_cast<RowId>(r), c),
+                augmented->GetValue(static_cast<RowId>(r), c));
+    }
+  }
+}
+
+TEST(AugmentTest, RejectsNegativeStddev) {
+  auto base = TrafficGen::Generate(TrafficGenOptions{});
+  ASSERT_TRUE(base.ok());
+  AugmentOptions options;
+  options.clones_stddev = -1;
+  EXPECT_TRUE(Augment(*base, options).status().IsInvalidArgument());
+}
+
+TEST(PerturbDimensionsTest, ChangesRoughlyTheConfiguredFraction) {
+  TrafficGenOptions gen_options;
+  gen_options.num_customers = 200;
+  gen_options.months_per_customer = 5;
+  auto base = TrafficGen::Generate(gen_options);
+  ASSERT_TRUE(base.ok());
+  PerturbOptions options;
+  options.row_change_probability = 0.3;
+  auto perturbed = PerturbDimensions(*base, options);
+  ASSERT_TRUE(perturbed.ok());
+  ASSERT_EQ(perturbed->num_rows(), base->num_rows());
+
+  const Schema& schema = base->schema();
+  size_t changed = 0;
+  for (size_t r = 0; r < base->num_rows(); ++r) {
+    for (int d : schema.dimension_indices()) {
+      if (!(base->GetValue(static_cast<RowId>(r), d) ==
+            perturbed->GetValue(static_cast<RowId>(r), d))) {
+        ++changed;
+        break;
+      }
+    }
+  }
+  double fraction =
+      static_cast<double>(changed) / static_cast<double>(base->num_rows());
+  // Some draws rewrite a value to itself, so observed < configured.
+  EXPECT_GT(fraction, 0.15);
+  EXPECT_LT(fraction, 0.35);
+}
+
+TEST(PerturbDimensionsTest, MeasuresAndEntitiesUntouched) {
+  auto base = TrafficGen::Generate(TrafficGenOptions{});
+  ASSERT_TRUE(base.ok());
+  PerturbOptions options;
+  options.row_change_probability = 0.5;
+  auto perturbed = PerturbDimensions(*base, options);
+  ASSERT_TRUE(perturbed.ok());
+  const Schema& schema = base->schema();
+  for (size_t r = 0; r < base->num_rows(); ++r) {
+    ASSERT_EQ(base->EntityCodeAt(static_cast<RowId>(r)),
+              perturbed->EntityCodeAt(static_cast<RowId>(r)));
+    for (int m : schema.measure_indices()) {
+      ASSERT_EQ(base->GetValue(static_cast<RowId>(r), m),
+                perturbed->GetValue(static_cast<RowId>(r), m));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paleo

@@ -1,0 +1,130 @@
+// Tests for rank-distance and value-distance measures.
+
+#include <gtest/gtest.h>
+
+#include "stats/distance.h"
+
+namespace paleo {
+namespace {
+
+using StrList = std::vector<std::string>;
+
+TEST(L1DistanceTest, AlignedAndTails) {
+  EXPECT_EQ(L1Distance({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_EQ(L1Distance({1, 2}, {2, 4}), 3.0);
+  EXPECT_EQ(L1Distance({1, 2, 5}, {1, 2}), 5.0);  // tail pays |5|
+  EXPECT_EQ(L1Distance({}, {3, -4}), 7.0);
+}
+
+TEST(L2DistanceTest, Euclidean) {
+  EXPECT_EQ(L2Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_EQ(L2Distance({1}, {1}), 0.0);
+  EXPECT_EQ(L2Distance({}, {3, 4}), 5.0);
+}
+
+TEST(NormalizedL1Test, RangeAndIdentity) {
+  EXPECT_EQ(NormalizedL1({5, 5}, {5, 5}), 0.0);
+  double d = NormalizedL1({10, 0}, {0, 10});
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+  EXPECT_EQ(NormalizedL1({}, {}), 0.0);
+  // Completely different masses stay within [0, 1].
+  EXPECT_LE(NormalizedL1({1000000}, {1}), 1.0);
+}
+
+TEST(JaccardTest, Similarity) {
+  EXPECT_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_EQ(JaccardSimilarity({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+  EXPECT_EQ(JaccardSimilarity({}, {}), 1.0);
+  // Duplicates collapse to sets.
+  EXPECT_EQ(JaccardSimilarity({"a", "a"}, {"a"}), 1.0);
+}
+
+TEST(FootruleTest, IdenticalListsAreZero) {
+  EXPECT_EQ(FootruleTopK({"a", "b", "c"}, {"a", "b", "c"}), 0.0);
+}
+
+TEST(FootruleTest, SwapCosts) {
+  // a<->b swap: each moves one position.
+  EXPECT_EQ(FootruleTopK({"a", "b"}, {"b", "a"}), 2.0);
+}
+
+TEST(FootruleTest, MissingElementsUseLocationKPlus1) {
+  // a at position 1 in both; x only in left (|1 - 3|... location = 3),
+  // y only in right.
+  double d = FootruleTopK({"a", "x"}, {"a", "y"});
+  // x: |2 - 3| = 1; y: |3 - 2| = 1.
+  EXPECT_EQ(d, 2.0);
+}
+
+TEST(NormalizedFootruleTest, DisjointIsOneIdenticalIsZero) {
+  EXPECT_EQ(NormalizedFootrule({"a", "b"}, {"a", "b"}), 0.0);
+  EXPECT_EQ(NormalizedFootrule({"a", "b"}, {"x", "y"}), 1.0);
+  double mid = NormalizedFootrule({"a", "b", "c"}, {"c", "b", "a"});
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(KendallTauTest, IdenticalIsZero) {
+  EXPECT_EQ(KendallTauTopK({"a", "b", "c"}, {"a", "b", "c"}), 0.0);
+}
+
+TEST(KendallTauTest, FullReversalCountsAllPairs) {
+  EXPECT_EQ(KendallTauTopK({"a", "b", "c"}, {"c", "b", "a"}), 3.0);
+}
+
+TEST(KendallTauTest, DisjointListsUsePenaltyParameter) {
+  // Pairs within each list (penalty p) plus cross pairs (penalty 1).
+  // k=2 each: 2 within-list pairs * p + 4 cross pairs * 1.
+  EXPECT_EQ(KendallTauTopK({"a", "b"}, {"x", "y"}, 0.5), 5.0);
+  EXPECT_EQ(KendallTauTopK({"a", "b"}, {"x", "y"}, 0.0), 4.0);
+}
+
+TEST(KendallTauTest, CaseTwoInference) {
+  // Both a,b in left; only b in right -> right implies b above a.
+  // Left has a above b: contradiction, penalty 1.
+  EXPECT_EQ(KendallTauTopK({"a", "b"}, {"b"}, 0.0), 1.0);
+  // Left has b above a: agreement, no penalty.
+  EXPECT_EQ(KendallTauTopK({"b", "a"}, {"b"}, 0.0), 0.0);
+}
+
+TEST(NormalizedKendallTauTest, Bounds) {
+  EXPECT_EQ(NormalizedKendallTau({"a", "b"}, {"a", "b"}), 0.0);
+  EXPECT_EQ(NormalizedKendallTau({"a", "b"}, {"x", "y"}), 1.0);
+  double mid = NormalizedKendallTau({"a", "b", "c"}, {"a", "c", "b"});
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(EmdTest, IdenticalHistogramsAreZero) {
+  Histogram a = Histogram::BuildFromValues({1, 2, 3, 4, 5}, 10);
+  EXPECT_NEAR(EarthMoversDistance(a, a), 0.0, 1e-12);
+}
+
+TEST(EmdTest, ShiftedMassCostsTheShift) {
+  // Unit mass at 0 vs. unit mass at 10: EMD = 10 (up to cell effects).
+  Histogram a = Histogram::BuildFromValues({0.0, 0.0, 0.0}, 1);
+  Histogram b = Histogram::BuildFromValues({10.0, 10.0, 10.0}, 1);
+  EXPECT_NEAR(EarthMoversDistance(a, b), 10.0, 1.1);
+}
+
+TEST(EmdTest, SymmetricAndMonotone) {
+  Histogram a = Histogram::BuildFromValues({0, 1, 2, 3}, 8);
+  Histogram b = Histogram::BuildFromValues({5, 6, 7, 8}, 8);
+  Histogram c = Histogram::BuildFromValues({50, 60, 70, 80}, 8);
+  double ab = EarthMoversDistance(a, b);
+  double ba = EarthMoversDistance(b, a);
+  double ac = EarthMoversDistance(a, c);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  EXPECT_GT(ac, ab);
+}
+
+TEST(EmdTest, EmptyHistogramIsZero) {
+  Histogram empty = Histogram::BuildFromValues({}, 10);
+  Histogram a = Histogram::BuildFromValues({1, 2}, 10);
+  EXPECT_EQ(EarthMoversDistance(empty, a), 0.0);
+}
+
+}  // namespace
+}  // namespace paleo

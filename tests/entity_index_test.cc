@@ -1,0 +1,94 @@
+// Tests for the EntityIndex built over the entity column.
+
+#include <gtest/gtest.h>
+
+#include "datagen/traffic_gen.h"
+#include "index/entity_index.h"
+
+namespace paleo {
+namespace {
+
+Table SmallTable() {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"v", DataType::kInt64, FieldRole::kMeasure},
+  });
+  Table t(*schema);
+  const char* entities[] = {"b", "a", "b", "c", "a", "b"};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value::String(entities[i]),
+                             Value::Int64(static_cast<int64_t>(i))})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(EntityIndexTest, LookupReturnsAscendingRowIds) {
+  Table t = SmallTable();
+  EntityIndex index = EntityIndex::Build(t);
+  EXPECT_EQ(index.num_entities(), 3u);
+  EXPECT_EQ(index.Lookup("b"), (std::vector<RowId>{0, 2, 5}));
+  EXPECT_EQ(index.Lookup("a"), (std::vector<RowId>{1, 4}));
+  EXPECT_EQ(index.Lookup("c"), (std::vector<RowId>{3}));
+  index.VerifyInvariants();
+}
+
+TEST(EntityIndexTest, LookupMissingIsEmpty) {
+  Table t = SmallTable();
+  EntityIndex index = EntityIndex::Build(t);
+  EXPECT_TRUE(index.Lookup("zzz").empty());
+}
+
+TEST(EntityIndexTest, LookupAllMergesAndReportsMissing) {
+  Table t = SmallTable();
+  EntityIndex index = EntityIndex::Build(t);
+  std::vector<std::string> missing;
+  std::vector<RowId> rows = index.LookupAll({"a", "c", "nope"}, &missing);
+  EXPECT_EQ(rows, (std::vector<RowId>{1, 3, 4}));
+  EXPECT_EQ(missing, (std::vector<std::string>{"nope"}));
+}
+
+TEST(EntityIndexTest, PostingStatistics) {
+  Table t = SmallTable();
+  EntityIndex index = EntityIndex::Build(t);
+  EXPECT_EQ(index.MaxPostingLength(), 3u);
+  EXPECT_DOUBLE_EQ(index.AvgPostingLength(), 2.0);
+}
+
+TEST(EntityIndexTest, CoversEveryRowOfALargerRelation) {
+  TrafficGenOptions options;
+  options.num_customers = 300;
+  options.months_per_customer = 6;
+  auto table = TrafficGen::Generate(options);
+  ASSERT_TRUE(table.ok());
+  EntityIndex index = EntityIndex::Build(*table);
+  index.VerifyInvariants();
+
+  // Every row is reachable via its entity's posting list.
+  size_t total = 0;
+  const Column& entities = table->entity_column();
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const std::string& name = entities.StringAt(static_cast<RowId>(r));
+    const std::vector<RowId>& posting = index.Lookup(name);
+    EXPECT_TRUE(std::binary_search(posting.begin(), posting.end(),
+                                   static_cast<RowId>(r)));
+  }
+  for (size_t e = 0; e < index.num_entities(); ++e) total += 0;  // no-op
+  (void)total;
+  EXPECT_EQ(index.num_entities(), table->NumEntities());
+}
+
+TEST(EntityIndexTest, EmptyTable) {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"v", DataType::kInt64, FieldRole::kMeasure},
+  });
+  Table t(*schema);
+  EntityIndex index = EntityIndex::Build(t);
+  EXPECT_EQ(index.num_entities(), 0u);
+  EXPECT_EQ(index.AvgPostingLength(), 0.0);
+  EXPECT_TRUE(index.Lookup("x").empty());
+}
+
+}  // namespace
+}  // namespace paleo

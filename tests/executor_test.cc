@@ -1,0 +1,404 @@
+// Executor tests: hand-checked small cases plus a property suite that
+// cross-validates the columnar executor against a naive row-at-a-time
+// reference evaluator on generated data.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "datagen/traffic_gen.h"
+#include "engine/executor.h"
+
+namespace paleo {
+namespace {
+
+Schema TestSchema() {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"state", DataType::kString, FieldRole::kDimension},
+      {"v", DataType::kInt64, FieldRole::kMeasure},
+      {"w", DataType::kDouble, FieldRole::kMeasure},
+  });
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+Table TestTable() {
+  Table t(TestSchema());
+  struct Row {
+    const char* e;
+    const char* state;
+    int64_t v;
+    double w;
+  };
+  const Row rows[] = {
+      {"a", "CA", 10, 1.0}, {"a", "CA", 30, 2.0}, {"b", "CA", 20, 3.0},
+      {"b", "NY", 50, 4.0}, {"c", "CA", 25, 5.0}, {"c", "CA", 15, 6.0},
+      {"d", "NY", 40, 7.0},
+  };
+  for (const Row& r : rows) {
+    EXPECT_TRUE(t.AppendRow({Value::String(r.e), Value::String(r.state),
+                             Value::Int64(r.v), Value::Double(r.w)})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(ExecutorTest, MaxGroupByDesc) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kMax;
+  q.k = 10;
+  auto result = ex.Execute(t, q);
+  ASSERT_TRUE(result.ok());
+  // max per entity: a=30, b=50, c=25, d=40.
+  ASSERT_EQ(result->size(), 4u);
+  EXPECT_EQ(result->entry(0), TopKEntry("b", 50));
+  EXPECT_EQ(result->entry(1), TopKEntry("d", 40));
+  EXPECT_EQ(result->entry(2), TopKEntry("a", 30));
+  EXPECT_EQ(result->entry(3), TopKEntry("c", 25));
+}
+
+TEST(ExecutorTest, LimitTruncates) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kMax;
+  q.k = 2;
+  auto result = ex.Execute(t, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->entry(0).entity, "b");
+  EXPECT_EQ(result->entry(1).entity, "d");
+}
+
+TEST(ExecutorTest, PredicateFiltersBeforeAggregation) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.predicate = Predicate::Atom(1, Value::String("CA"));
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kMax;
+  q.k = 10;
+  auto result = ex.Execute(t, q);
+  ASSERT_TRUE(result.ok());
+  // CA rows only: a=30, b=20, c=25; d excluded.
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->entry(0), TopKEntry("a", 30));
+  EXPECT_EQ(result->entry(1), TopKEntry("c", 25));
+  EXPECT_EQ(result->entry(2), TopKEntry("b", 20));
+}
+
+TEST(ExecutorTest, SumAvgCountMin) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(2);
+  q.k = 10;
+
+  q.agg = AggFn::kSum;
+  auto sum = ex.Execute(t, q);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->entry(0), TopKEntry("b", 70));  // 20 + 50
+
+  q.agg = AggFn::kAvg;
+  auto avg = ex.Execute(t, q);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(avg->entry(0), TopKEntry("d", 40));  // singleton 40 > b's 35
+
+  q.agg = AggFn::kMin;
+  auto min = ex.Execute(t, q);
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min->entry(0), TopKEntry("d", 40));
+
+  q.agg = AggFn::kCount;
+  auto count = ex.Execute(t, q);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->entry(0).value, 2.0);
+}
+
+TEST(ExecutorTest, AscendingOrder) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kMax;
+  q.order = SortOrder::kAsc;
+  q.k = 2;
+  auto result = ex.Execute(t, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entry(0), TopKEntry("c", 25));
+  EXPECT_EQ(result->entry(1), TopKEntry("a", 30));
+}
+
+TEST(ExecutorTest, NoAggregationRanksRowsAndAllowsDuplicates) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kNone;
+  q.k = 3;
+  auto result = ex.Execute(t, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->entry(0), TopKEntry("b", 50));
+  EXPECT_EQ(result->entry(1), TopKEntry("d", 40));
+  EXPECT_EQ(result->entry(2), TopKEntry("a", 30));
+}
+
+TEST(ExecutorTest, TwoColumnExpressions) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Add(2, 3);
+  q.agg = AggFn::kSum;
+  q.k = 1;
+  auto result = ex.Execute(t, q);
+  ASSERT_TRUE(result.ok());
+  // b: (20+3) + (50+4) = 77.
+  EXPECT_EQ(result->entry(0), TopKEntry("b", 77));
+}
+
+TEST(ExecutorTest, TieBreakByEntityNameAscending) {
+  Table t(TestSchema());
+  for (const char* e : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(t.AppendRow({Value::String(e), Value::String("CA"),
+                             Value::Int64(7), Value::Double(1.0)})
+                    .ok());
+  }
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kMax;
+  q.k = 3;
+  auto result = ex.Execute(t, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entry(0).entity, "alpha");
+  EXPECT_EQ(result->entry(1).entity, "mid");
+  EXPECT_EQ(result->entry(2).entity, "zeta");
+}
+
+TEST(ExecutorTest, EmptyResultWhenPredicateMatchesNothing) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.predicate = Predicate::Atom(1, Value::String("ZZ"));
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kMax;
+  q.k = 5;
+  auto result = ex.Execute(t, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(ExecutorTest, ValidationErrors) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(1);  // string column as ranking criterion
+  q.agg = AggFn::kMax;
+  q.k = 5;
+  EXPECT_TRUE(ex.Execute(t, q).status().IsTypeError());
+
+  q.expr = RankExpr::Column(99);
+  EXPECT_TRUE(ex.Execute(t, q).status().IsInvalidArgument());
+
+  q.expr = RankExpr::Column(2);
+  q.k = 0;
+  EXPECT_TRUE(ex.Execute(t, q).status().IsInvalidArgument());
+}
+
+TEST(ExecutorTest, ExecuteOnRowsRestrictsScan) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kMax;
+  q.k = 10;
+  std::vector<RowId> rows = {0, 2, 4};  // a=10, b=20, c=25
+  auto result = ex.ExecuteOnRows(t, rows, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->entry(0), TopKEntry("c", 25));
+  EXPECT_EQ(result->entry(2), TopKEntry("a", 10));
+}
+
+TEST(ExecutorTest, StatsCountExecutionsAndRows) {
+  Table t = TestTable();
+  Executor ex;
+  TopKQuery q;
+  q.expr = RankExpr::Column(2);
+  q.agg = AggFn::kMax;
+  q.k = 1;
+  ASSERT_TRUE(ex.Execute(t, q).ok());
+  ASSERT_TRUE(ex.Execute(t, q).ok());
+  EXPECT_EQ(ex.stats().queries_executed, 2);
+  EXPECT_EQ(ex.stats().rows_scanned, 14);
+  ex.ResetStats();
+  EXPECT_EQ(ex.stats().queries_executed, 0);
+}
+
+TEST(ExecutorTest, CountMatching) {
+  Table t = TestTable();
+  Executor ex;
+  EXPECT_EQ(ex.CountMatching(t, Predicate::Atom(1, Value::String("CA"))),
+            5u);
+  EXPECT_EQ(ex.CountMatching(t, Predicate()), 7u);
+  EXPECT_EQ(ex.CountMatching(t, Predicate::Atom(1, Value::String("ZZ"))),
+            0u);
+}
+
+// ---- Property tests against a naive reference evaluator ----
+
+/// Row-at-a-time reference implementation of the query template.
+TopKList NaiveExecute(const Table& table, const TopKQuery& query) {
+  struct Acc {
+    double sum = 0, mx = -1e300, mn = 1e300;
+    int64_t count = 0;
+  };
+  std::vector<std::pair<double, std::string>> scored;
+  if (query.agg == AggFn::kNone) {
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (!query.predicate.Matches(table, static_cast<RowId>(r))) continue;
+      scored.emplace_back(query.expr.Eval(table, static_cast<RowId>(r)),
+                          table.entity_column().StringAt(
+                              static_cast<RowId>(r)));
+    }
+  } else {
+    std::map<std::string, Acc> groups;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (!query.predicate.Matches(table, static_cast<RowId>(r))) continue;
+      double v = query.expr.Eval(table, static_cast<RowId>(r));
+      Acc& acc =
+          groups[table.entity_column().StringAt(static_cast<RowId>(r))];
+      acc.sum += v;
+      acc.mx = std::max(acc.mx, v);
+      acc.mn = std::min(acc.mn, v);
+      ++acc.count;
+    }
+    for (const auto& [name, acc] : groups) {
+      double v = 0;
+      switch (query.agg) {
+        case AggFn::kMax:
+          v = acc.mx;
+          break;
+        case AggFn::kMin:
+          v = acc.mn;
+          break;
+        case AggFn::kSum:
+          v = acc.sum;
+          break;
+        case AggFn::kAvg:
+          v = acc.sum / static_cast<double>(acc.count);
+          break;
+        case AggFn::kCount:
+          v = static_cast<double>(acc.count);
+          break;
+        case AggFn::kNone:
+          break;
+      }
+      scored.emplace_back(v, name);
+    }
+  }
+  bool desc = query.order == SortOrder::kDesc;
+  std::stable_sort(scored.begin(), scored.end(),
+                   [&](const auto& a, const auto& b) {
+                     if (a.first != b.first)
+                       return desc ? a.first > b.first : a.first < b.first;
+                     return a.second < b.second;
+                   });
+  if (scored.size() > static_cast<size_t>(query.k)) {
+    scored.resize(static_cast<size_t>(query.k));
+  }
+  TopKList out;
+  for (auto& [v, name] : scored) out.Append(name, v);
+  return out;
+}
+
+struct CrossCheckParams {
+  uint64_t seed;
+  AggFn agg;
+};
+
+class ExecutorCrossCheckTest
+    : public ::testing::TestWithParam<CrossCheckParams> {};
+
+TEST_P(ExecutorCrossCheckTest, MatchesNaiveEvaluator) {
+  const CrossCheckParams params = GetParam();
+  TrafficGenOptions gen_options;
+  gen_options.num_customers = 120;
+  gen_options.months_per_customer = 5;
+  gen_options.seed = params.seed;
+  auto table = TrafficGen::Generate(gen_options);
+  ASSERT_TRUE(table.ok());
+
+  Executor ex;
+  Rng rng(params.seed * 31 + 7);
+  const Schema& schema = table->schema();
+  for (int trial = 0; trial < 25; ++trial) {
+    TopKQuery q;
+    q.agg = params.agg;
+    q.k = 1 + static_cast<int>(rng.Uniform(20));
+    q.order = rng.Bernoulli(0.2) ? SortOrder::kAsc : SortOrder::kDesc;
+    // Random predicate of size 0..2 anchored on a random row.
+    int pred_size = static_cast<int>(rng.Uniform(3));
+    RowId anchor = static_cast<RowId>(
+        rng.Uniform(static_cast<uint64_t>(table->num_rows())));
+    std::vector<AtomicPredicate> atoms;
+    const auto& dims = schema.dimension_indices();
+    for (int i = 0; i < pred_size && i < static_cast<int>(dims.size());
+         ++i) {
+      int col = dims[static_cast<size_t>(
+          rng.Uniform(static_cast<uint64_t>(dims.size())))];
+      bool duplicate = false;
+      for (const auto& a : atoms) duplicate |= (a.column == col);
+      if (duplicate) continue;
+      atoms.emplace_back(col, table->GetValue(anchor, col));
+    }
+    q.predicate = Predicate(std::move(atoms));
+    // Random ranking expression.
+    const auto& measures = schema.measure_indices();
+    int a = measures[static_cast<size_t>(
+        rng.Uniform(static_cast<uint64_t>(measures.size())))];
+    int b = measures[static_cast<size_t>(
+        rng.Uniform(static_cast<uint64_t>(measures.size())))];
+    switch (rng.Uniform(3)) {
+      case 0:
+        q.expr = RankExpr::Column(a);
+        break;
+      case 1:
+        q.expr = a == b ? RankExpr::Column(a) : RankExpr::Add(a, b);
+        break;
+      default:
+        q.expr = a == b ? RankExpr::Column(a) : RankExpr::Mul(a, b);
+        break;
+    }
+
+    auto fast = ex.Execute(*table, q);
+    ASSERT_TRUE(fast.ok());
+    TopKList slow = NaiveExecute(*table, q);
+    EXPECT_TRUE(fast->InstanceEquals(slow))
+        << "trial " << trial << "\nquery: " << q.ToSql(schema)
+        << "\nfast:\n"
+        << fast->ToString() << "\nslow:\n"
+        << slow.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, ExecutorCrossCheckTest,
+    ::testing::Values(CrossCheckParams{11, AggFn::kMax},
+                      CrossCheckParams{12, AggFn::kMin},
+                      CrossCheckParams{13, AggFn::kSum},
+                      CrossCheckParams{14, AggFn::kAvg},
+                      CrossCheckParams{15, AggFn::kCount},
+                      CrossCheckParams{16, AggFn::kNone}));
+
+}  // namespace
+}  // namespace paleo

@@ -1,0 +1,326 @@
+// Tests for Algorithm 1 (candidate predicate mining): correctness,
+// completeness, downward closure, grouping, and relaxed coverage.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/traffic_gen.h"
+#include "paleo/predicate_miner.h"
+
+namespace paleo {
+namespace {
+
+struct Fixture {
+  Table table;
+  EntityIndex index;
+  TopKList list;
+  RPrime rprime;
+
+  static Fixture Make(const TopKList& list) {
+    auto t = TrafficGen::PaperExample();
+    EXPECT_TRUE(t.ok());
+    Table table = *std::move(t);
+    EntityIndex index = EntityIndex::Build(table);
+    auto rp = RPrime::Build(table, index, list);
+    EXPECT_TRUE(rp.ok());
+    return Fixture{std::move(table), std::move(index), list,
+                   *std::move(rp)};
+  }
+};
+
+TopKList PaperList() {
+  TopKList l;
+  l.Append("Lara Ellis", 784);
+  l.Append("Jane O'Neal", 699);
+  l.Append("John Smith", 654);
+  l.Append("Richard Fox", 596);
+  l.Append("Jack Stiles", 586);
+  return l;
+}
+
+/// Reference check of Definition 1 directly over the slice.
+bool IsCandidate(const RPrime& rp, const Predicate& predicate) {
+  std::set<uint32_t> covered;
+  for (size_t r = 0; r < rp.num_rows(); ++r) {
+    if (predicate.Matches(rp.table(), static_cast<RowId>(r))) {
+      covered.insert(rp.row_entity()[r]);
+    }
+  }
+  return static_cast<int>(covered.size()) == rp.num_entities();
+}
+
+TEST(PredicateMinerTest, FindsThePaperPredicates) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  PredicateMiner miner(f.rprime, options);
+  auto result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+
+  // All five customers are CA/XL, so state='CA', plan='XL', and their
+  // conjunction must all be candidates.
+  const Schema& schema = f.table.schema();
+  Predicate ca = Predicate::Atom(schema.FieldIndex("state"),
+                                 Value::String("CA"));
+  Predicate xl = Predicate::Atom(schema.FieldIndex("plan"),
+                                 Value::String("XL"));
+  auto ca_xl = ca.And(xl.atoms().front());
+  ASSERT_TRUE(ca_xl.ok());
+
+  std::set<std::string> mined;
+  for (const MinedPredicate& p : result->predicates) {
+    mined.insert(p.predicate.ToSql(schema));
+  }
+  EXPECT_TRUE(mined.count(ca.ToSql(schema))) << "missing state='CA'";
+  EXPECT_TRUE(mined.count(xl.ToSql(schema))) << "missing plan='XL'";
+  EXPECT_TRUE(mined.count(ca_xl->ToSql(schema)));
+  // City predicates cannot cover five customers in five cities.
+  for (const MinedPredicate& p : result->predicates) {
+    for (const AtomicPredicate& atom : p.predicate.atoms()) {
+      EXPECT_NE(atom.column, schema.FieldIndex("city"));
+    }
+  }
+}
+
+TEST(PredicateMinerTest, AllMinedPredicatesSatisfyDefinition1) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  PredicateMiner miner(f.rprime, options);
+  auto result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->predicates.empty());
+  for (const MinedPredicate& p : result->predicates) {
+    EXPECT_TRUE(IsCandidate(f.rprime, p.predicate))
+        << p.predicate.ToSql(f.table.schema());
+    EXPECT_EQ(p.covered_entities, f.rprime.num_entities());
+  }
+}
+
+TEST(PredicateMinerTest, CompleteForAtomicAndPairs) {
+  // Exhaustively enumerate atomic and 2-atom predicates over the slice
+  // and verify the miner found every candidate.
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  options.max_predicate_size = 2;
+  PredicateMiner miner(f.rprime, options);
+  auto result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+
+  std::set<uint64_t> mined_hashes;
+  for (const MinedPredicate& p : result->predicates) {
+    mined_hashes.insert(p.predicate.Hash());
+  }
+
+  const Schema& schema = f.table.schema();
+  const Table& slice = f.rprime.table();
+  const auto& dims = schema.dimension_indices();
+  // Collect the distinct values of each dimension column in the slice.
+  std::vector<std::vector<Value>> values(dims.size());
+  for (size_t d = 0; d < dims.size(); ++d) {
+    std::set<std::string> seen;
+    for (size_t r = 0; r < slice.num_rows(); ++r) {
+      Value v = slice.GetValue(static_cast<RowId>(r), dims[d]);
+      if (seen.insert(v.ToString()).second) values[d].push_back(v);
+    }
+  }
+  int checked = 0;
+  for (size_t d1 = 0; d1 < dims.size(); ++d1) {
+    for (const Value& v1 : values[d1]) {
+      Predicate atom = Predicate::Atom(dims[d1], v1);
+      EXPECT_EQ(mined_hashes.count(atom.Hash()) > 0,
+                IsCandidate(f.rprime, atom))
+          << atom.ToSql(schema);
+      for (size_t d2 = d1 + 1; d2 < dims.size(); ++d2) {
+        for (const Value& v2 : values[d2]) {
+          auto pair = atom.And({dims[d2], v2});
+          ASSERT_TRUE(pair.ok());
+          EXPECT_EQ(mined_hashes.count(pair->Hash()) > 0,
+                    IsCandidate(f.rprime, *pair))
+              << pair->ToSql(schema);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(PredicateMinerTest, DownwardClosureHolds) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  PredicateMiner miner(f.rprime, options);
+  auto result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  std::set<uint64_t> mined_hashes;
+  for (const MinedPredicate& p : result->predicates) {
+    mined_hashes.insert(p.predicate.Hash());
+  }
+  // Every sub-predicate of a mined predicate must itself be mined.
+  for (const MinedPredicate& p : result->predicates) {
+    if (p.predicate.size() < 2) continue;
+    for (const AtomicPredicate& drop : p.predicate.atoms()) {
+      std::vector<AtomicPredicate> rest;
+      for (const AtomicPredicate& a : p.predicate.atoms()) {
+        if (!(a == drop)) rest.push_back(a);
+      }
+      EXPECT_TRUE(mined_hashes.count(Predicate(rest).Hash()))
+          << "missing sub-predicate of "
+          << p.predicate.ToSql(f.table.schema());
+    }
+  }
+}
+
+TEST(PredicateMinerTest, NoDuplicatePredicates) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  PredicateMiner miner(f.rprime, options);
+  auto result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  std::set<uint64_t> hashes;
+  for (const MinedPredicate& p : result->predicates) {
+    EXPECT_TRUE(hashes.insert(p.predicate.Hash()).second)
+        << "duplicate: " << p.predicate.ToSql(f.table.schema());
+  }
+}
+
+TEST(PredicateMinerTest, GroupsShareIdenticalTupleSets) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  PredicateMiner miner(f.rprime, options);
+  auto result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  // state='CA', plan='XL', and their conjunction select all 8 slice
+  // rows, so they must share one group (Figure 3's scenario).
+  const Schema& schema = f.table.schema();
+  int group_ca = -1, group_xl = -1, group_both = -1;
+  for (const MinedPredicate& p : result->predicates) {
+    std::string sql = p.predicate.ToSql(schema);
+    if (sql == "state = 'CA'") group_ca = p.group_id;
+    if (sql == "plan = 'XL'") group_xl = p.group_id;
+    if (sql == "state = 'CA' AND plan = 'XL'") group_both = p.group_id;
+  }
+  ASSERT_GE(group_ca, 0);
+  ASSERT_GE(group_xl, 0);
+  ASSERT_GE(group_both, 0);
+  EXPECT_EQ(group_ca, group_xl);
+  EXPECT_EQ(group_ca, group_both);
+  EXPECT_LT(static_cast<size_t>(result->groups.size()),
+            result->predicates.size() + 1);
+  // Group bookkeeping is consistent.
+  for (size_t g = 0; g < result->groups.size(); ++g) {
+    for (int pid : result->groups[g].predicate_ids) {
+      EXPECT_EQ(result->predicates[static_cast<size_t>(pid)].group_id,
+                static_cast<int>(g));
+    }
+    EXPECT_EQ(result->groups[g].covered_entities,
+              f.rprime.num_entities());
+  }
+}
+
+TEST(PredicateMinerTest, MaxSizeCapsSearch) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  options.max_predicate_size = 1;
+  PredicateMiner miner(f.rprime, options);
+  auto result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  for (const MinedPredicate& p : result->predicates) {
+    // Atoms only, plus the optional empty conjunction.
+    EXPECT_LE(p.predicate.size(), 1);
+  }
+}
+
+TEST(PredicateMinerTest, EmptyPredicateCandidateIsOptional) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions with;
+  with.include_empty_predicate = true;
+  auto with_result = PredicateMiner(f.rprime, with).Mine();
+  ASSERT_TRUE(with_result.ok());
+  bool has_true = false;
+  for (const MinedPredicate& p : with_result->predicates) {
+    if (p.predicate.IsTrue()) {
+      has_true = true;
+      // It selects every slice row and covers every entity.
+      const PredicateGroup& g =
+          with_result->groups[static_cast<size_t>(p.group_id)];
+      EXPECT_EQ(g.rows.size(), f.rprime.num_rows());
+      EXPECT_EQ(p.covered_entities, f.rprime.num_entities());
+    }
+  }
+  EXPECT_TRUE(has_true);
+
+  PaleoOptions without;
+  without.include_empty_predicate = false;
+  auto without_result = PredicateMiner(f.rprime, without).Mine();
+  ASSERT_TRUE(without_result.ok());
+  for (const MinedPredicate& p : without_result->predicates) {
+    EXPECT_FALSE(p.predicate.IsTrue());
+  }
+}
+
+TEST(PredicateMinerTest, PredicatesBySizeCountsMatch) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  PredicateMiner miner(f.rprime, options);
+  auto result = miner.Mine();
+  ASSERT_TRUE(result.ok());
+  std::vector<int> recount(result->predicates_by_size.size(), 0);
+  for (const MinedPredicate& p : result->predicates) {
+    ASSERT_LT(static_cast<size_t>(p.predicate.size()), recount.size());
+    ++recount[static_cast<size_t>(p.predicate.size())];
+  }
+  EXPECT_EQ(recount, result->predicates_by_size);
+}
+
+TEST(PredicateMinerTest, RelaxedCoverageAdmitsPartialPredicates) {
+  // Lara Ellis is the only San Diego customer; with coverage 1.0 the
+  // city='San Diego' predicate is not a candidate, but with a relaxed
+  // ratio such partial predicates qualify.
+  Fixture f = Fixture::Make(PaperList());
+  const Schema& schema = f.table.schema();
+
+  PaleoOptions strict;
+  PredicateMiner strict_miner(f.rprime, strict);
+  auto strict_result = strict_miner.Mine();
+  ASSERT_TRUE(strict_result.ok());
+
+  PaleoOptions relaxed;
+  relaxed.coverage_ratio = 0.2;  // 1 of 5 entities suffices
+  PredicateMiner relaxed_miner(f.rprime, relaxed);
+  auto relaxed_result = relaxed_miner.Mine();
+  ASSERT_TRUE(relaxed_result.ok());
+
+  EXPECT_GT(relaxed_result->predicates.size(),
+            strict_result->predicates.size());
+  bool found_san_diego = false;
+  for (const MinedPredicate& p : relaxed_result->predicates) {
+    if (p.predicate.ToSql(schema) == "city = 'San Diego'") {
+      found_san_diego = true;
+      EXPECT_EQ(p.covered_entities, 1);
+    }
+  }
+  EXPECT_TRUE(found_san_diego);
+  // Every strict candidate is also a relaxed candidate (monotonicity).
+  std::set<uint64_t> relaxed_hashes;
+  for (const MinedPredicate& p : relaxed_result->predicates) {
+    relaxed_hashes.insert(p.predicate.Hash());
+  }
+  for (const MinedPredicate& p : strict_result->predicates) {
+    EXPECT_TRUE(relaxed_hashes.count(p.predicate.Hash()));
+  }
+}
+
+TEST(PredicateMinerTest, InvalidOptionsRejected) {
+  Fixture f = Fixture::Make(PaperList());
+  PaleoOptions options;
+  options.coverage_ratio = 0.0;
+  EXPECT_TRUE(
+      PredicateMiner(f.rprime, options).Mine().status().IsInvalidArgument());
+  options.coverage_ratio = 1.0;
+  options.max_predicate_size = 0;
+  EXPECT_TRUE(
+      PredicateMiner(f.rprime, options).Mine().status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace paleo

@@ -1,0 +1,194 @@
+// Tests for atomic/conjunctive predicates and their bound form.
+
+#include <gtest/gtest.h>
+
+#include "engine/predicate.h"
+#include "engine/query.h"
+#include "engine/rank_expr.h"
+
+namespace paleo {
+namespace {
+
+Schema TestSchema() {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"state", DataType::kString, FieldRole::kDimension},
+      {"plan", DataType::kString, FieldRole::kDimension},
+      {"year", DataType::kInt64, FieldRole::kDimension},
+      {"score", DataType::kDouble, FieldRole::kMeasure},
+  });
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+Table TestTable() {
+  Table t(TestSchema());
+  struct Row {
+    const char* e;
+    const char* state;
+    const char* plan;
+    int64_t year;
+    double score;
+  };
+  const Row rows[] = {
+      {"a", "CA", "XL", 2020, 1.0}, {"b", "CA", "M", 2020, 2.0},
+      {"c", "NY", "XL", 2021, 3.0}, {"d", "CA", "XL", 2021, 4.0},
+      {"e", "TX", "S", 2020, 5.0},
+  };
+  for (const Row& r : rows) {
+    EXPECT_TRUE(t.AppendRow({Value::String(r.e), Value::String(r.state),
+                             Value::String(r.plan), Value::Int64(r.year),
+                             Value::Double(r.score)})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(PredicateTest, EmptyPredicateIsTrue) {
+  Predicate p;
+  EXPECT_TRUE(p.IsTrue());
+  EXPECT_EQ(p.size(), 0);
+  Table t = TestTable();
+  for (RowId r = 0; r < 5; ++r) EXPECT_TRUE(p.Matches(t, r));
+  EXPECT_EQ(p.ToSql(TestSchema()), "TRUE");
+}
+
+TEST(PredicateTest, AtomsAreSortedByColumn) {
+  Predicate p({{3, Value::Int64(2020)}, {1, Value::String("CA")}});
+  ASSERT_EQ(p.size(), 2);
+  EXPECT_EQ(p.atoms()[0].column, 1);
+  EXPECT_EQ(p.atoms()[1].column, 3);
+}
+
+TEST(PredicateTest, AndRejectsSameColumn) {
+  Predicate p = Predicate::Atom(1, Value::String("CA"));
+  auto extended = p.And({1, Value::String("NY")});
+  EXPECT_TRUE(extended.status().IsInvalidArgument());
+  auto ok = p.And({2, Value::String("XL")});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2);
+}
+
+TEST(PredicateTest, MatchesRowwise) {
+  Table t = TestTable();
+  Predicate ca_xl({{1, Value::String("CA")}, {2, Value::String("XL")}});
+  EXPECT_TRUE(ca_xl.Matches(t, 0));
+  EXPECT_FALSE(ca_xl.Matches(t, 1));  // plan M
+  EXPECT_FALSE(ca_xl.Matches(t, 2));  // NY
+  EXPECT_TRUE(ca_xl.Matches(t, 3));
+}
+
+TEST(PredicateTest, IntDimensionEquality) {
+  Table t = TestTable();
+  Predicate y2021 = Predicate::Atom(3, Value::Int64(2021));
+  EXPECT_FALSE(y2021.Matches(t, 0));
+  EXPECT_TRUE(y2021.Matches(t, 2));
+  EXPECT_TRUE(y2021.Matches(t, 3));
+}
+
+TEST(PredicateTest, SubsetAndOverlap) {
+  Predicate small = Predicate::Atom(1, Value::String("CA"));
+  Predicate big({{1, Value::String("CA")}, {2, Value::String("XL")}});
+  Predicate other = Predicate::Atom(3, Value::Int64(2020));
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_TRUE(small.SubsetOf(small));
+  EXPECT_TRUE(Predicate().SubsetOf(small));
+  EXPECT_EQ(small.OverlapWith(big), 1);
+  EXPECT_EQ(big.OverlapWith(other), 0);
+  Predicate different_value = Predicate::Atom(1, Value::String("NY"));
+  EXPECT_FALSE(different_value.SubsetOf(big));
+  EXPECT_EQ(different_value.OverlapWith(big), 0);
+}
+
+TEST(PredicateTest, ToSqlRendersConjunction) {
+  Predicate p({{1, Value::String("CA")}, {3, Value::Int64(2020)}});
+  EXPECT_EQ(p.ToSql(TestSchema()), "state = 'CA' AND year = 2020");
+}
+
+TEST(PredicateTest, HashAndEquality) {
+  Predicate a({{1, Value::String("CA")}, {2, Value::String("XL")}});
+  Predicate b({{2, Value::String("XL")}, {1, Value::String("CA")}});
+  Predicate c({{1, Value::String("NY")}, {2, Value::String("XL")}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(BoundPredicateTest, MatchesLikeUnbound) {
+  Table t = TestTable();
+  Predicate p({{1, Value::String("CA")}, {3, Value::Int64(2020)}});
+  BoundPredicate bound(p, t);
+  for (RowId r = 0; r < 5; ++r) {
+    EXPECT_EQ(bound.Matches(r), p.Matches(t, r)) << "row " << r;
+  }
+}
+
+TEST(BoundPredicateTest, UnknownStringConstantNeverMatches) {
+  Table t = TestTable();
+  BoundPredicate bound(Predicate::Atom(1, Value::String("ZZ")), t);
+  for (RowId r = 0; r < 5; ++r) EXPECT_FALSE(bound.Matches(r));
+}
+
+TEST(BoundPredicateTest, TypeMismatchNeverMatches) {
+  Table t = TestTable();
+  // String constant against an Int64 column.
+  BoundPredicate bound(Predicate::Atom(3, Value::String("2020")), t);
+  for (RowId r = 0; r < 5; ++r) EXPECT_FALSE(bound.Matches(r));
+}
+
+TEST(RankExprTest, EvalAndCanonicalization) {
+  Table t = TestTable();
+  RankExpr col = RankExpr::Column(4);
+  EXPECT_EQ(col.Eval(t, 2), 3.0);
+  RankExpr add_ab = RankExpr::Add(3, 4);
+  RankExpr add_ba = RankExpr::Add(4, 3);
+  EXPECT_EQ(add_ab, add_ba);  // commutative canonical form
+  EXPECT_EQ(add_ab.Eval(t, 0), 2021.0);
+  RankExpr mul = RankExpr::Mul(3, 4);
+  EXPECT_EQ(mul.Eval(t, 1), 2020.0 * 2.0);
+}
+
+TEST(RankExprTest, ToSql) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(RankExpr::Column(4).ToSql(schema), "score");
+  EXPECT_EQ(RankExpr::Add(3, 4).ToSql(schema), "year + score");
+  EXPECT_EQ(RankExpr::Mul(4, 3).ToSql(schema), "year * score");
+}
+
+TEST(TopKQueryTest, ToSqlFullTemplate) {
+  Schema schema = TestSchema();
+  TopKQuery q;
+  q.predicate = Predicate({{1, Value::String("CA")}});
+  q.expr = RankExpr::Column(4);
+  q.agg = AggFn::kMax;
+  q.k = 5;
+  EXPECT_EQ(q.ToSql(schema),
+            "SELECT e, max(score) FROM R WHERE state = 'CA' "
+            "GROUP BY e ORDER BY max(score) DESC LIMIT 5");
+}
+
+TEST(TopKQueryTest, ToSqlNoAggregationOmitsGroupBy) {
+  Schema schema = TestSchema();
+  TopKQuery q;
+  q.expr = RankExpr::Column(4);
+  q.agg = AggFn::kNone;
+  q.k = 3;
+  EXPECT_EQ(q.ToSql(schema),
+            "SELECT e, score FROM R ORDER BY score DESC LIMIT 3");
+}
+
+TEST(TopKQueryTest, SameRankingComparesCriterionOnly) {
+  TopKQuery a, b;
+  a.expr = b.expr = RankExpr::Column(4);
+  a.agg = b.agg = AggFn::kSum;
+  a.predicate = Predicate::Atom(1, Value::String("CA"));
+  b.predicate = Predicate::Atom(2, Value::String("XL"));
+  EXPECT_TRUE(a.SameRanking(b));
+  b.agg = AggFn::kMax;
+  EXPECT_FALSE(a.SameRanking(b));
+}
+
+}  // namespace
+}  // namespace paleo

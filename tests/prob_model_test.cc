@@ -1,0 +1,182 @@
+// Tests for the Section 6 probability model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/traffic_gen.h"
+#include "paleo/predicate_miner.h"
+#include "paleo/prob_model.h"
+#include "paleo/sampler.h"
+
+namespace paleo {
+namespace {
+
+struct Fixture {
+  Table table;
+  EntityIndex index;
+  StatsCatalog catalog;
+  TopKList list;
+
+  static Fixture Make() {
+    auto t = TrafficGen::PaperExample();
+    EXPECT_TRUE(t.ok());
+    Table table = *std::move(t);
+    EntityIndex index = EntityIndex::Build(table);
+    StatsCatalog catalog = StatsCatalog::Build(table);
+    TopKList list;
+    list.Append("Lara Ellis", 784);
+    list.Append("Jane O'Neal", 699);
+    list.Append("John Smith", 654);
+    list.Append("Richard Fox", 596);
+    list.Append("Jack Stiles", 586);
+    return Fixture{std::move(table), std::move(index), std::move(catalog),
+                   std::move(list)};
+  }
+};
+
+TEST(ProbModelTest, TupleExistsProbabilityUsesDistinctCounts) {
+  Fixture f = Fixture::Make();
+  auto rp = RPrime::Build(f.table, f.index, f.list);
+  ASSERT_TRUE(rp.ok());
+  ProbModel model(f.catalog, *rp);
+
+  const Schema& schema = f.table.schema();
+  int state = schema.FieldIndex("state");
+  int plan = schema.FieldIndex("plan");
+  int64_t d_state = f.catalog.column_stats(state).distinct_count;
+  int64_t d_plan = f.catalog.column_stats(plan).distinct_count;
+  ASSERT_GT(d_state, 1);
+  ASSERT_GT(d_plan, 1);
+
+  Predicate p_state = Predicate::Atom(state, Value::String("CA"));
+  EXPECT_DOUBLE_EQ(model.TupleExistsProbability(p_state),
+                   1.0 / static_cast<double>(d_state));
+  auto both = p_state.And({plan, Value::String("XL")});
+  ASSERT_TRUE(both.ok());
+  EXPECT_DOUBLE_EQ(
+      model.TupleExistsProbability(*both),
+      1.0 / static_cast<double>(d_state) / static_cast<double>(d_plan));
+  // Empty predicate: certainty.
+  EXPECT_DOUBLE_EQ(model.TupleExistsProbability(Predicate()), 1.0);
+}
+
+TEST(ProbModelTest, FalsePositiveZeroWithFullCoverage) {
+  Fixture f = Fixture::Make();
+  auto rp = RPrime::Build(f.table, f.index, f.list);
+  ASSERT_TRUE(rp.ok());
+  PaleoOptions options;
+  PredicateMiner miner(*rp, options);
+  auto mining = miner.Mine();
+  ASSERT_TRUE(mining.ok());
+  ProbModel model(f.catalog, *rp);
+  for (const MinedPredicate& p : mining->predicates) {
+    const PredicateGroup& g =
+        mining->groups[static_cast<size_t>(p.group_id)];
+    EXPECT_DOUBLE_EQ(model.FalsePositiveProbability(p.predicate, g), 0.0);
+  }
+}
+
+TEST(ProbModelTest, UncoveredEntityWithNoUnseenTuplesIsCertainFalsePositive) {
+  Fixture f = Fixture::Make();
+  // Full R' (no unseen tuples) but a predicate whose group misses an
+  // entity: if an entity has zero unseen tuples and none of its seen
+  // tuples match, the predicate is a false positive with certainty.
+  auto rp = RPrime::Build(f.table, f.index, f.list);
+  ASSERT_TRUE(rp.ok());
+  PaleoOptions options;
+  options.coverage_ratio = 0.2;
+  PredicateMiner miner(*rp, options);
+  auto mining = miner.Mine();
+  ASSERT_TRUE(mining.ok());
+  ProbModel model(f.catalog, *rp);
+  bool checked = false;
+  for (const MinedPredicate& p : mining->predicates) {
+    const PredicateGroup& g =
+        mining->groups[static_cast<size_t>(p.group_id)];
+    if (g.covered_entities < rp->num_entities()) {
+      EXPECT_DOUBLE_EQ(model.FalsePositiveProbability(p.predicate, g), 1.0)
+          << p.predicate.ToSql(f.table.schema());
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(ProbModelTest, FalsePositiveDecreasesWithMoreUnseenTuples) {
+  // Under sampling, entities with many unseen tuples might still hide a
+  // matching tuple, so P[fp] < 1 and shrinks as unseen grows.
+  Fixture f = Fixture::Make();
+  auto sample = Sampler::UniformPerEntity(
+      f.index, f.list.DistinctEntities(), 0.5, 7);
+  ASSERT_TRUE(sample.ok());
+  auto rp = RPrime::Build(f.table, f.index, f.list, &*sample);
+  ASSERT_TRUE(rp.ok());
+
+  PaleoOptions options;
+  options.coverage_ratio = 0.2;
+  PredicateMiner miner(*rp, options);
+  auto mining = miner.Mine();
+  ASSERT_TRUE(mining.ok());
+  ProbModel model(f.catalog, *rp);
+  for (const MinedPredicate& p : mining->predicates) {
+    const PredicateGroup& g =
+        mining->groups[static_cast<size_t>(p.group_id)];
+    double p_fp = model.FalsePositiveProbability(p.predicate, g);
+    EXPECT_GE(p_fp, 0.0);
+    EXPECT_LE(p_fp, 1.0);
+    if (g.covered_entities == rp->num_entities()) {
+      EXPECT_EQ(p_fp, 0.0);
+    }
+  }
+}
+
+TEST(ProbModelTest, SuitabilityCombinesBothFactors) {
+  EXPECT_DOUBLE_EQ(ProbModel::Suitability(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbModel::Suitability(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ProbModel::Suitability(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ProbModel::Suitability(0.5, 0.5), 0.25);
+  // Clamped inputs.
+  EXPECT_DOUBLE_EQ(ProbModel::Suitability(-1.0, -2.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbModel::Suitability(2.0, 0.0), 0.0);
+}
+
+TEST(ProbModelTest, HypergeometricPmfBasics) {
+  // Drawing 2 of 4 items, 2 marked: P[k marked] follows 2,2/6;... total
+  // C(4,2)=6 draws: k=0 -> 1/6, k=1 -> 4/6, k=2 -> 1/6.
+  EXPECT_NEAR(ProbModel::HypergeometricPmf(2, 4, 2, 0), 1.0 / 6, 1e-12);
+  EXPECT_NEAR(ProbModel::HypergeometricPmf(2, 4, 2, 1), 4.0 / 6, 1e-12);
+  EXPECT_NEAR(ProbModel::HypergeometricPmf(2, 4, 2, 2), 1.0 / 6, 1e-12);
+  // Out-of-support values are zero.
+  EXPECT_EQ(ProbModel::HypergeometricPmf(2, 4, 2, 3), 0.0);
+  EXPECT_EQ(ProbModel::HypergeometricPmf(5, 4, 2, 1), 0.0);
+}
+
+TEST(ProbModelTest, HypergeometricPmfSumsToOne) {
+  double total = 0.0;
+  for (int k = 0; k <= 10; ++k) {
+    total += ProbModel::HypergeometricPmf(6, 20, 10, k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ProbModelTest, ProbAtLeastOneSampledMonotoneInSampleSize) {
+  double prev = 0.0;
+  for (int64_t n = 1; n <= 20; ++n) {
+    double p = ProbModel::ProbAtLeastOneSampled(3, 20, n);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+  EXPECT_NEAR(ProbModel::ProbAtLeastOneSampled(3, 20, 20), 1.0, 1e-12);
+  EXPECT_EQ(ProbModel::ProbAtLeastOneSampled(0, 20, 10), 0.0);
+}
+
+TEST(ProbModelTest, ProbAllEntitiesCoveredPowersUp) {
+  double one = ProbModel::ProbAtLeastOneSampled(2, 30, 10);
+  double all = ProbModel::ProbAllEntitiesCovered(2, 30, 10, 5);
+  EXPECT_NEAR(all, std::pow(one, 5), 1e-12);
+  EXPECT_LT(all, one);
+}
+
+}  // namespace
+}  // namespace paleo

@@ -1,0 +1,252 @@
+// Tests for ranking criteria identification (Section 5 / Figure 4).
+
+#include <gtest/gtest.h>
+
+#include "datagen/traffic_gen.h"
+#include "engine/executor.h"
+#include "paleo/predicate_miner.h"
+#include "paleo/ranking_finder.h"
+#include "stats/catalog.h"
+
+namespace paleo {
+namespace {
+
+struct Fixture {
+  Table table;
+  EntityIndex index;
+  StatsCatalog catalog;
+  RPrime rprime;
+  MiningResult mining;
+  PaleoOptions options;
+
+  static Fixture Make(const TopKList& list, PaleoOptions options = {}) {
+    auto t = TrafficGen::PaperExample();
+    EXPECT_TRUE(t.ok());
+    Table table = *std::move(t);
+    EntityIndex index = EntityIndex::Build(table);
+    StatsCatalog catalog = StatsCatalog::Build(table);
+    auto rp = RPrime::Build(table, index, list);
+    EXPECT_TRUE(rp.ok());
+    RPrime rprime = *std::move(rp);
+    PredicateMiner miner(rprime, options);
+    auto mining = miner.Mine();
+    EXPECT_TRUE(mining.ok());
+    return Fixture{std::move(table), std::move(index), std::move(catalog),
+                   std::move(rprime), *std::move(mining), options};
+  }
+};
+
+TopKList PaperList() {
+  TopKList l;
+  l.Append("Lara Ellis", 784);
+  l.Append("Jane O'Neal", 699);
+  l.Append("John Smith", 654);
+  l.Append("Richard Fox", 596);
+  l.Append("Jack Stiles", 586);
+  return l;
+}
+
+TEST(RankingFinderTest, IdentifiesMaxMinutesExactly) {
+  Fixture f = Fixture::Make(PaperList());
+  RankingFinder finder(f.rprime, &f.catalog, f.options);
+  RankingSearchInfo info;
+  auto rankings = finder.Find(f.mining.groups, PaperList(),
+                              /*assume_complete=*/true, &info);
+  ASSERT_TRUE(rankings.ok());
+
+  int minutes = f.table.schema().FieldIndex("minutes");
+  bool found = false;
+  for (const GroupRanking& gr : *rankings) {
+    for (const RankingCandidate& c : gr.candidates) {
+      EXPECT_TRUE(c.exact);
+      EXPECT_EQ(c.distance, 0.0);
+      if (c.agg == AggFn::kMax && c.expr == RankExpr::Column(minutes)) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "max(minutes) not identified";
+  // The paper-list values come straight from the minutes column's top
+  // entities, so the cheap technique should have carried the day.
+  EXPECT_TRUE(info.used_top_entities);
+}
+
+TEST(RankingFinderTest, NoCandidatesForUnrelatedValues) {
+  // A list whose values match no column aggregation.
+  TopKList bogus;
+  bogus.Append("Lara Ellis", 123456.0);
+  bogus.Append("Jane O'Neal", 123455.0);
+  bogus.Append("John Smith", 123454.0);
+  bogus.Append("Richard Fox", 123453.0);
+  bogus.Append("Jack Stiles", 123452.0);
+  Fixture f = Fixture::Make(bogus);
+  RankingFinder finder(f.rprime, &f.catalog, f.options);
+  auto rankings = finder.Find(f.mining.groups, bogus,
+                              /*assume_complete=*/true);
+  ASSERT_TRUE(rankings.ok());
+  for (const GroupRanking& gr : *rankings) {
+    EXPECT_TRUE(gr.candidates.empty());
+  }
+}
+
+TEST(RankingFinderTest, SumCriterionIdentified) {
+  // Build an input list from a sum(minutes) query.
+  auto t = TrafficGen::PaperExample();
+  ASSERT_TRUE(t.ok());
+  const Schema& schema = t->schema();
+  Executor ex;
+  TopKQuery q;
+  q.predicate = Predicate::Atom(schema.FieldIndex("state"),
+                                Value::String("CA"));
+  q.expr = RankExpr::Column(schema.FieldIndex("minutes"));
+  q.agg = AggFn::kSum;
+  q.k = 5;
+  auto list = ex.Execute(*t, q);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 5u);
+
+  Fixture f = Fixture::Make(*list);
+  RankingFinder finder(f.rprime, &f.catalog, f.options);
+  auto rankings = finder.Find(f.mining.groups, *list,
+                              /*assume_complete=*/true);
+  ASSERT_TRUE(rankings.ok());
+  bool found = false;
+  for (const GroupRanking& gr : *rankings) {
+    for (const RankingCandidate& c : gr.candidates) {
+      if (c.agg == AggFn::kSum &&
+          c.expr == RankExpr::Column(schema.FieldIndex("minutes"))) {
+        found = c.exact;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RankingFinderTest, TwoColumnSumIdentified) {
+  auto t = TrafficGen::PaperExample();
+  ASSERT_TRUE(t.ok());
+  const Schema& schema = t->schema();
+  Executor ex;
+  TopKQuery q;
+  q.predicate = Predicate::Atom(schema.FieldIndex("state"),
+                                Value::String("CA"));
+  q.expr = RankExpr::Add(schema.FieldIndex("minutes"),
+                         schema.FieldIndex("sms"));
+  q.agg = AggFn::kSum;
+  q.k = 5;
+  auto list = ex.Execute(*t, q);
+  ASSERT_TRUE(list.ok());
+
+  Fixture f = Fixture::Make(*list);
+  RankingFinder finder(f.rprime, &f.catalog, f.options);
+  auto rankings = finder.Find(f.mining.groups, *list,
+                              /*assume_complete=*/true);
+  ASSERT_TRUE(rankings.ok());
+  bool found = false;
+  for (const GroupRanking& gr : *rankings) {
+    for (const RankingCandidate& c : gr.candidates) {
+      if (c.agg == AggFn::kSum && c.expr == q.expr) found = c.exact;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RankingFinderTest, NoAggregationIdentified) {
+  auto t = TrafficGen::PaperExample();
+  ASSERT_TRUE(t.ok());
+  const Schema& schema = t->schema();
+  Executor ex;
+  TopKQuery q;
+  q.predicate = Predicate::Atom(schema.FieldIndex("state"),
+                                Value::String("CA"));
+  q.expr = RankExpr::Column(schema.FieldIndex("data_mb"));
+  q.agg = AggFn::kNone;
+  q.k = 6;
+  auto list = ex.Execute(*t, q);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 6u);
+
+  Fixture f = Fixture::Make(*list);
+  RankingFinder finder(f.rprime, &f.catalog, f.options);
+  auto rankings = finder.Find(f.mining.groups, *list,
+                              /*assume_complete=*/true);
+  ASSERT_TRUE(rankings.ok());
+  bool found = false;
+  for (const GroupRanking& gr : *rankings) {
+    for (const RankingCandidate& c : gr.candidates) {
+      if (c.agg == AggFn::kNone && c.expr == q.expr) found = c.exact;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RankingFinderTest, SampledModeScoresAllCriteria) {
+  Fixture f = Fixture::Make(PaperList());
+  RankingFinder finder(f.rprime, &f.catalog, f.options);
+  auto rankings = finder.Find(f.mining.groups, PaperList(),
+                              /*assume_complete=*/false);
+  ASSERT_TRUE(rankings.ok());
+  // In sampled mode nothing is filtered: each group carries scored
+  // candidates for single columns and pairs.
+  for (const GroupRanking& gr : *rankings) {
+    EXPECT_GT(gr.candidates.size(), 3u);
+    bool some_exact = false;
+    for (const RankingCandidate& c : gr.candidates) {
+      EXPECT_GE(c.distance, 0.0);
+      EXPECT_LE(c.distance, 1.0);
+      some_exact |= c.exact;
+    }
+    // The true criterion (max(minutes)) is present and exact, since
+    // this "sample" is actually complete.
+    EXPECT_TRUE(some_exact);
+  }
+}
+
+TEST(RankingFinderTest, ExactCriterionHasSmallestDistance) {
+  Fixture f = Fixture::Make(PaperList());
+  RankingFinder finder(f.rprime, &f.catalog, f.options);
+  auto rankings = finder.Find(f.mining.groups, PaperList(),
+                              /*assume_complete=*/false);
+  ASSERT_TRUE(rankings.ok());
+  for (const GroupRanking& gr : *rankings) {
+    double exact_distance = 1e9, best_distance = 1e9;
+    for (const RankingCandidate& c : gr.candidates) {
+      best_distance = std::min(best_distance, c.distance);
+      if (c.exact) exact_distance = std::min(exact_distance, c.distance);
+    }
+    EXPECT_EQ(exact_distance, best_distance);
+    EXPECT_NEAR(exact_distance, 0.0, 1e-12);
+  }
+}
+
+TEST(RankingFinderTest, WorksWithoutCatalog) {
+  Fixture f = Fixture::Make(PaperList());
+  RankingFinder finder(f.rprime, nullptr, f.options);
+  RankingSearchInfo info;
+  auto rankings = finder.Find(f.mining.groups, PaperList(),
+                              /*assume_complete=*/true, &info);
+  ASSERT_TRUE(rankings.ok());
+  EXPECT_FALSE(info.used_top_entities);
+  EXPECT_FALSE(info.used_histograms);
+  EXPECT_TRUE(info.used_fallback);
+  int minutes = f.table.schema().FieldIndex("minutes");
+  bool found = false;
+  for (const GroupRanking& gr : *rankings) {
+    for (const RankingCandidate& c : gr.candidates) {
+      found |= (c.agg == AggFn::kMax &&
+                c.expr == RankExpr::Column(minutes));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RankingFinderTest, EmptyGroupsYieldEmptyRankings) {
+  Fixture f = Fixture::Make(PaperList());
+  RankingFinder finder(f.rprime, &f.catalog, f.options);
+  auto rankings = finder.Find({}, PaperList(), true);
+  ASSERT_TRUE(rankings.ok());
+  EXPECT_TRUE(rankings->empty());
+}
+
+}  // namespace
+}  // namespace paleo

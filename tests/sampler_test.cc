@@ -1,0 +1,149 @@
+// Tests for the R' samplers (Section 6.4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/traffic_gen.h"
+#include "paleo/options.h"
+#include "paleo/sampler.h"
+
+namespace paleo {
+namespace {
+
+struct Fixture {
+  Table table;
+  EntityIndex index;
+  std::vector<std::string> entities;
+
+  static Fixture Make() {
+    TrafficGenOptions options;
+    options.num_customers = 30;
+    options.months_per_customer = 10;
+    auto t = TrafficGen::Generate(options);
+    EXPECT_TRUE(t.ok());
+    Table table = *std::move(t);
+    EntityIndex index = EntityIndex::Build(table);
+    std::vector<std::string> entities;
+    const StringDictionary& dict = *table.entity_column().dict();
+    for (uint32_t c = 0; c < 8; ++c) entities.push_back(dict.Get(c));
+    return Fixture{std::move(table), std::move(index),
+                   std::move(entities)};
+  }
+};
+
+TEST(SamplerTest, UniformPerEntitySamplesTheRequestedFraction) {
+  Fixture f = Fixture::Make();
+  auto sample = Sampler::UniformPerEntity(f.index, f.entities, 0.3, 42);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(std::is_sorted(sample->begin(), sample->end()));
+  // Each of the 8 entities has 10 tuples -> ceil(3) = 3 each.
+  EXPECT_EQ(sample->size(), 24u);
+  // Every sampled row belongs to a requested entity.
+  std::set<std::string> requested(f.entities.begin(), f.entities.end());
+  for (RowId r : *sample) {
+    EXPECT_TRUE(requested.count(f.table.entity_column().StringAt(r)));
+  }
+}
+
+TEST(SamplerTest, UniformPerEntityKeepsAtLeastOneTuple) {
+  Fixture f = Fixture::Make();
+  auto sample = Sampler::UniformPerEntity(f.index, f.entities, 0.01, 42);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), f.entities.size());
+}
+
+TEST(SamplerTest, UniformPerEntityFullFractionIsEverything) {
+  Fixture f = Fixture::Make();
+  auto sample = Sampler::UniformPerEntity(f.index, f.entities, 1.0, 42);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 80u);
+}
+
+TEST(SamplerTest, UniformPerEntityDeterministicBySeed) {
+  Fixture f = Fixture::Make();
+  auto a = Sampler::UniformPerEntity(f.index, f.entities, 0.4, 1);
+  auto b = Sampler::UniformPerEntity(f.index, f.entities, 0.4, 1);
+  auto c = Sampler::UniformPerEntity(f.index, f.entities, 0.4, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+TEST(SamplerTest, UniformPerEntitySkipsMissingEntities) {
+  Fixture f = Fixture::Make();
+  std::vector<std::string> with_ghost = f.entities;
+  with_ghost.push_back("Ghost");
+  auto sample = Sampler::UniformPerEntity(f.index, with_ghost, 0.3, 42);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 24u);  // ghost contributes nothing
+}
+
+TEST(SamplerTest, ByEntityTakesAllTuplesOfChosenEntities) {
+  Fixture f = Fixture::Make();
+  auto sample = Sampler::ByEntity(f.index, f.entities, 0.5, 42);
+  ASSERT_TRUE(sample.ok());
+  // 4 of 8 entities, 10 tuples each.
+  EXPECT_EQ(sample->size(), 40u);
+  // Entities present in the sample have ALL their tuples present.
+  std::set<std::string> sampled_entities;
+  for (RowId r : *sample) {
+    sampled_entities.insert(f.table.entity_column().StringAt(r));
+  }
+  EXPECT_EQ(sampled_entities.size(), 4u);
+  for (const std::string& e : sampled_entities) {
+    const auto& posting = f.index.Lookup(e);
+    for (RowId r : posting) {
+      EXPECT_TRUE(std::binary_search(sample->begin(), sample->end(), r));
+    }
+  }
+}
+
+TEST(SamplerTest, ByEntityAlwaysKeepsAtLeastOne) {
+  Fixture f = Fixture::Make();
+  auto sample = Sampler::ByEntity(f.index, f.entities, 0.01, 42);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 10u);  // one entity, all its tuples
+}
+
+TEST(SamplerTest, InvalidFractionsRejected) {
+  Fixture f = Fixture::Make();
+  EXPECT_TRUE(Sampler::UniformPerEntity(f.index, f.entities, 0.0, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Sampler::UniformPerEntity(f.index, f.entities, 1.5, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Sampler::ByEntity(f.index, f.entities, -0.1, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CoverageScheduleTest, MatchesPaperAnchors) {
+  EXPECT_DOUBLE_EQ(CoverageRatioForSample(0.05), 0.5);
+  EXPECT_DOUBLE_EQ(CoverageRatioForSample(0.10), 0.6);
+  EXPECT_DOUBLE_EQ(CoverageRatioForSample(0.20), 0.7);
+  EXPECT_DOUBLE_EQ(CoverageRatioForSample(0.30), 0.8);
+  EXPECT_DOUBLE_EQ(CoverageRatioForSample(1.00), 1.0);
+}
+
+TEST(CoverageScheduleTest, InterpolatesAndClamps) {
+  EXPECT_DOUBLE_EQ(CoverageRatioForSample(0.01), 0.5);  // below first anchor
+  double mid = CoverageRatioForSample(0.15);
+  EXPECT_GT(mid, 0.6);
+  EXPECT_LT(mid, 0.7);
+  EXPECT_DOUBLE_EQ(CoverageRatioForSample(2.0), 1.0);
+  // Monotone non-decreasing.
+  double prev = 0.0;
+  for (double fr = 0.01; fr <= 1.0; fr += 0.01) {
+    double r = CoverageRatioForSample(fr);
+    EXPECT_GE(r, prev - 1e-12);
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace paleo

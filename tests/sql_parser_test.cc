@@ -1,0 +1,167 @@
+// Tests for the template-dialect SQL parser, including a ToSql
+// round-trip property suite over generated workloads.
+
+#include <gtest/gtest.h>
+
+#include "datagen/traffic_gen.h"
+#include "engine/sql_parser.h"
+#include "workload/workload.h"
+
+namespace paleo {
+namespace {
+
+Schema TestSchema() { return TrafficGen::MakeSchema(); }
+
+TEST(SqlParserTest, ParsesTheIntroductionQuery) {
+  Schema schema = TestSchema();
+  auto q = ParseTopKQuery(
+      "SELECT name, max(minutes) FROM traffic WHERE state = 'CA' "
+      "GROUP BY name ORDER BY max(minutes) DESC LIMIT 5",
+      schema);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->agg, AggFn::kMax);
+  EXPECT_EQ(q->expr, RankExpr::Column(schema.FieldIndex("minutes")));
+  EXPECT_EQ(q->k, 5);
+  EXPECT_EQ(q->order, SortOrder::kDesc);
+  ASSERT_EQ(q->predicate.size(), 1);
+  EXPECT_EQ(q->predicate.atoms()[0].column, schema.FieldIndex("state"));
+  EXPECT_EQ(q->predicate.atoms()[0].value, Value::String("CA"));
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  Schema schema = TestSchema();
+  auto q = ParseTopKQuery(
+      "select name, SUM(minutes) from t group by name "
+      "order by sum(minutes) desc limit 10",
+      schema);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->agg, AggFn::kSum);
+}
+
+TEST(SqlParserTest, TwoColumnExpressions) {
+  Schema schema = TestSchema();
+  auto add = ParseTopKQuery(
+      "SELECT name, sum(minutes + sms) FROM t GROUP BY name "
+      "ORDER BY sum(minutes + sms) DESC LIMIT 5",
+      schema);
+  ASSERT_TRUE(add.ok()) << add.status().ToString();
+  EXPECT_EQ(add->expr, RankExpr::Add(schema.FieldIndex("minutes"),
+                                     schema.FieldIndex("sms")));
+  auto mul = ParseTopKQuery(
+      "SELECT name, sum(sms * data_mb) FROM t GROUP BY name "
+      "ORDER BY sum(data_mb * sms) DESC LIMIT 5",
+      schema);
+  // Commutative canonicalization makes the two orders equal.
+  ASSERT_TRUE(mul.ok()) << mul.status().ToString();
+  EXPECT_EQ(mul->expr, RankExpr::Mul(schema.FieldIndex("sms"),
+                                     schema.FieldIndex("data_mb")));
+}
+
+TEST(SqlParserTest, NoAggregationOmitsGroupBy) {
+  Schema schema = TestSchema();
+  auto q = ParseTopKQuery(
+      "SELECT name, minutes FROM t ORDER BY minutes ASC LIMIT 3", schema);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->agg, AggFn::kNone);
+  EXPECT_EQ(q->order, SortOrder::kAsc);
+  EXPECT_TRUE(q->predicate.IsTrue());
+}
+
+TEST(SqlParserTest, MultiAtomPredicateWithEscapedQuote) {
+  Schema schema = TestSchema();
+  auto q = ParseTopKQuery(
+      "SELECT name, max(minutes) FROM t WHERE state = 'CA' AND "
+      "city = 'O''Fallon' GROUP BY name ORDER BY max(minutes) DESC "
+      "LIMIT 5",
+      schema);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->predicate.size(), 2);
+  bool found = false;
+  for (const AtomicPredicate& a : q->predicate.atoms()) {
+    if (a.value == Value::String("O'Fallon")) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SqlParserTest, NumericLiteralsFollowColumnType) {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"year", DataType::kInt64, FieldRole::kDimension},
+      {"rate", DataType::kDouble, FieldRole::kDimension},
+      {"v", DataType::kInt64, FieldRole::kMeasure},
+  });
+  auto q = ParseTopKQuery(
+      "SELECT e, max(v) FROM t WHERE year = 1995 AND rate = 0.05 "
+      "GROUP BY e ORDER BY max(v) DESC LIMIT 5",
+      *schema);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  for (const AtomicPredicate& a : q->predicate.atoms()) {
+    if (a.column == 1) {
+      EXPECT_EQ(a.value, Value::Int64(1995));
+    }
+    if (a.column == 2) {
+      EXPECT_EQ(a.value, Value::Double(0.05));
+    }
+  }
+  // Decimal literal on an INT64 column is a type error.
+  EXPECT_TRUE(ParseTopKQuery(
+                  "SELECT e, max(v) FROM t WHERE year = 19.5 GROUP BY e "
+                  "ORDER BY max(v) DESC LIMIT 5",
+                  *schema)
+                  .status()
+                  .IsTypeError());
+}
+
+TEST(SqlParserTest, RejectsMalformedQueries) {
+  Schema schema = TestSchema();
+  auto expect_bad = [&](const char* sql) {
+    EXPECT_FALSE(ParseTopKQuery(sql, schema).ok()) << sql;
+  };
+  expect_bad("");
+  expect_bad("SELECT name FROM t ORDER BY minutes DESC LIMIT 5");
+  expect_bad("SELECT city, max(minutes) FROM t GROUP BY city "
+             "ORDER BY max(minutes) DESC LIMIT 5");  // non-entity
+  expect_bad("SELECT name, max(minutes) FROM t ORDER BY max(minutes) "
+             "DESC LIMIT 5");  // aggregate without GROUP BY
+  expect_bad("SELECT name, minutes FROM t GROUP BY name ORDER BY minutes "
+             "DESC LIMIT 5");  // GROUP BY without aggregate
+  expect_bad("SELECT name, max(nope) FROM t GROUP BY name ORDER BY "
+             "max(nope) DESC LIMIT 5");  // unknown column
+  expect_bad("SELECT name, max(minutes) FROM t GROUP BY name ORDER BY "
+             "max(sms) DESC LIMIT 5");  // mismatched rankings
+  expect_bad("SELECT name, max(minutes) FROM t GROUP BY name ORDER BY "
+             "max(minutes) DESC LIMIT 0");  // bad k
+  expect_bad("SELECT name, max(minutes) FROM t GROUP BY name ORDER BY "
+             "max(minutes) DESC LIMIT 5 extra");  // trailing tokens
+  expect_bad("SELECT name, max(minutes) FROM t WHERE state = 'CA GROUP "
+             "BY name ORDER BY max(minutes) DESC LIMIT 5");  // bad quote
+  expect_bad("SELECT name, max(minutes) FROM t WHERE state = 'CA' AND "
+             "state = 'NY' GROUP BY name ORDER BY max(minutes) DESC "
+             "LIMIT 5");  // duplicate column
+  expect_bad("SELECT name, median(minutes) FROM t GROUP BY name ORDER "
+             "BY median(minutes) DESC LIMIT 5");  // unknown aggregate
+}
+
+TEST(SqlParserTest, RoundTripsGeneratedWorkloads) {
+  auto table = TrafficGen::Generate(TrafficGenOptions{});
+  ASSERT_TRUE(table.ok());
+  WorkloadOptions options;
+  options.families = {QueryFamily::kMaxA,  QueryFamily::kAvgA,
+                      QueryFamily::kSumA,  QueryFamily::kSumAB,
+                      QueryFamily::kMulAB, QueryFamily::kNone};
+  options.predicate_sizes = {1, 2};
+  options.ks = {5, 20};
+  options.queries_per_config = 2;
+  auto workload = WorkloadGen::Generate(*table, options);
+  ASSERT_TRUE(workload.ok());
+  ASSERT_GT(workload->size(), 10u);
+  for (const WorkloadQuery& wq : *workload) {
+    std::string sql = wq.query.ToSql(table->schema());
+    auto parsed = ParseTopKQuery(sql, table->schema());
+    ASSERT_TRUE(parsed.ok()) << sql << "\n" << parsed.status().ToString();
+    EXPECT_TRUE(*parsed == wq.query) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace paleo

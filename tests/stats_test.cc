@@ -1,0 +1,197 @@
+// Tests for column statistics, top-entity lists, and the catalog.
+
+#include <gtest/gtest.h>
+
+#include "datagen/traffic_gen.h"
+#include "stats/catalog.h"
+#include "stats/column_stats.h"
+#include "stats/top_entities.h"
+
+namespace paleo {
+namespace {
+
+TEST(ColumnStatsTest, Int64Stats) {
+  Column col(DataType::kInt64);
+  for (int64_t v : {5, -3, 5, 10, 0}) col.AppendInt64(v);
+  ColumnStats s = ColumnStats::Build(col);
+  EXPECT_EQ(s.row_count, 5);
+  EXPECT_EQ(s.min, -3.0);
+  EXPECT_EQ(s.max, 10.0);
+  EXPECT_EQ(s.distinct_count, 4);
+}
+
+TEST(ColumnStatsTest, DoubleStats) {
+  Column col(DataType::kDouble);
+  for (double v : {1.5, 1.5, 2.5}) col.AppendDouble(v);
+  ColumnStats s = ColumnStats::Build(col);
+  EXPECT_EQ(s.min, 1.5);
+  EXPECT_EQ(s.max, 2.5);
+  EXPECT_EQ(s.distinct_count, 2);
+}
+
+TEST(ColumnStatsTest, StringDistinctCountsUsedCodesOnly) {
+  Column base(DataType::kString);
+  for (const char* s : {"a", "b", "c", "a"}) base.AppendString(s);
+  ColumnStats s1 = ColumnStats::Build(base);
+  EXPECT_EQ(s1.distinct_count, 3);
+  // A gathered subset shares the 3-entry dictionary but uses 1 code.
+  Column subset = base.Gather({0, 3});
+  ColumnStats s2 = ColumnStats::Build(subset);
+  EXPECT_EQ(s2.distinct_count, 1);
+}
+
+TEST(ColumnStatsTest, EmptyColumn) {
+  Column col(DataType::kInt64);
+  ColumnStats s = ColumnStats::Build(col);
+  EXPECT_EQ(s.row_count, 0);
+  EXPECT_EQ(s.distinct_count, 0);
+}
+
+Table RankedTable() {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"v", DataType::kInt64, FieldRole::kMeasure},
+  });
+  Table t(*schema);
+  // Entity maxima: a=90 (rows 10,90), b=50, c=70, d=20.
+  struct Row {
+    const char* e;
+    int64_t v;
+  };
+  for (const Row& r : std::initializer_list<Row>{
+           {"a", 10}, {"a", 90}, {"b", 50}, {"c", 70}, {"d", 20}}) {
+    EXPECT_TRUE(t.AppendRow({Value::String(r.e), Value::Int64(r.v)}).ok());
+  }
+  return t;
+}
+
+TEST(TopEntityListTest, RanksByPerEntityMax) {
+  Table t = RankedTable();
+  TopEntityList top = TopEntityList::Build(t, 1, 10);
+  ASSERT_EQ(top.size(), 4u);
+  const StringDictionary& dict = *t.entity_column().dict();
+  EXPECT_EQ(dict.Get(top.entity_codes()[0]), "a");
+  EXPECT_EQ(dict.Get(top.entity_codes()[1]), "c");
+  EXPECT_EQ(dict.Get(top.entity_codes()[2]), "b");
+  EXPECT_EQ(dict.Get(top.entity_codes()[3]), "d");
+  EXPECT_EQ(top.values(), (std::vector<double>{90, 70, 50, 20}));
+}
+
+TEST(TopEntityListTest, TruncatesToTopN) {
+  Table t = RankedTable();
+  TopEntityList top = TopEntityList::Build(t, 1, 2);
+  ASSERT_EQ(top.size(), 2u);
+  const StringDictionary& dict = *t.entity_column().dict();
+  EXPECT_EQ(dict.Get(top.entity_codes()[0]), "a");
+  EXPECT_EQ(dict.Get(top.entity_codes()[1]), "c");
+  EXPECT_TRUE(top.ContainsEntity(top.entity_codes()[0]));
+}
+
+TEST(TopEntityListTest, CountIntersection) {
+  Table t = RankedTable();
+  TopEntityList top = TopEntityList::Build(t, 1, 2);  // {a, c}
+  const StringDictionary& dict = *t.entity_column().dict();
+  uint32_t a = dict.Lookup("a"), b = dict.Lookup("b"), c = dict.Lookup("c");
+  EXPECT_EQ(top.CountIntersection({a, b, c}), 2);
+  EXPECT_EQ(top.CountIntersection({b}), 0);
+  EXPECT_EQ(top.CountIntersection({}), 0);
+}
+
+TEST(StatsCatalogTest, BuildsPerColumnStructures) {
+  TrafficGenOptions options;
+  options.num_customers = 50;
+  auto table = TrafficGen::Generate(options);
+  ASSERT_TRUE(table.ok());
+  CatalogOptions catalog_options;
+  catalog_options.histogram_cells = 100;
+  catalog_options.top_entities = 25;
+  StatsCatalog catalog = StatsCatalog::Build(*table, catalog_options);
+
+  const Schema& schema = table->schema();
+  EXPECT_EQ(catalog.table_rows(),
+            static_cast<int64_t>(table->num_rows()));
+  for (int m : schema.measure_indices()) {
+    EXPECT_EQ(catalog.histogram(m).total_count(),
+              static_cast<int64_t>(table->num_rows()));
+    EXPECT_EQ(catalog.histogram(m).num_cells(), 100);
+    EXPECT_LE(catalog.top_entities(m).size(), 25u);
+    EXPECT_GT(catalog.top_entities(m).size(), 0u);
+    EXPECT_GE(catalog.column_stats(m).max, catalog.column_stats(m).min);
+  }
+  // Non-measure columns get stats but no histograms/top lists.
+  for (int d : schema.dimension_indices()) {
+    EXPECT_GT(catalog.column_stats(d).distinct_count, 0);
+    EXPECT_EQ(catalog.histogram(d).total_count(), 0);
+    EXPECT_EQ(catalog.top_entities(d).size(), 0u);
+  }
+}
+
+TEST(StatsCatalogTest, ValueCountsMatchData) {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"state", DataType::kString, FieldRole::kDimension},
+      {"year", DataType::kInt64, FieldRole::kDimension},
+      {"v", DataType::kInt64, FieldRole::kMeasure},
+  });
+  Table t(*schema);
+  struct Row {
+    const char* e;
+    const char* state;
+    int64_t year;
+  };
+  for (const Row& r : std::initializer_list<Row>{{"a", "CA", 2020},
+                                                 {"b", "CA", 2021},
+                                                 {"c", "NY", 2020},
+                                                 {"d", "CA", 2020}}) {
+    ASSERT_TRUE(t.AppendRow({Value::String(r.e), Value::String(r.state),
+                             Value::Int64(r.year), Value::Int64(1)})
+                    .ok());
+  }
+  StatsCatalog catalog = StatsCatalog::Build(t);
+  int state = schema->FieldIndex("state");
+  int year = schema->FieldIndex("year");
+  EXPECT_EQ(catalog.ValueCount(state, Value::String("CA")), 3);
+  EXPECT_EQ(catalog.ValueCount(state, Value::String("NY")), 1);
+  EXPECT_EQ(catalog.ValueCount(state, Value::String("TX")), 0);
+  EXPECT_EQ(catalog.ValueCount(year, Value::Int64(2020)), 3);
+  EXPECT_EQ(catalog.ValueCount(year, Value::Int64(1999)), 0);
+  // Measure columns have no value counts.
+  EXPECT_EQ(catalog.ValueCount(schema->FieldIndex("v"), Value::Int64(1)),
+            0);
+}
+
+TEST(StatsCatalogTest, PredicateSelectivityMultipliesFrequencies) {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"state", DataType::kString, FieldRole::kDimension},
+      {"plan", DataType::kString, FieldRole::kDimension},
+      {"v", DataType::kInt64, FieldRole::kMeasure},
+  });
+  Table t(*schema);
+  // 4 rows: CA appears 2/4, XL appears 1/4.
+  const char* states[] = {"CA", "CA", "NY", "TX"};
+  const char* plans[] = {"XL", "M", "M", "S"};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::String("e" + std::to_string(i)),
+                             Value::String(states[i]),
+                             Value::String(plans[i]), Value::Int64(i)})
+                    .ok());
+  }
+  StatsCatalog catalog = StatsCatalog::Build(t);
+  int state = schema->FieldIndex("state");
+  int plan = schema->FieldIndex("plan");
+  EXPECT_DOUBLE_EQ(catalog.PredicateSelectivity(Predicate()), 1.0);
+  EXPECT_DOUBLE_EQ(catalog.PredicateSelectivity(
+                       Predicate::Atom(state, Value::String("CA"))),
+                   0.5);
+  Predicate both({{state, Value::String("CA")},
+                  {plan, Value::String("XL")}});
+  EXPECT_DOUBLE_EQ(catalog.PredicateSelectivity(both), 0.5 * 0.25);
+  // Unknown values drive the estimate to zero.
+  EXPECT_DOUBLE_EQ(catalog.PredicateSelectivity(
+                       Predicate::Atom(state, Value::String("ZZ"))),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace paleo

@@ -1,0 +1,199 @@
+// Tests for the columnar storage: dictionary, columns, table.
+
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/table.h"
+
+namespace paleo {
+namespace {
+
+TEST(DictionaryTest, GetOrAddAssignsDenseCodes) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("b"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Get(0), "a");
+  EXPECT_EQ(dict.Get(1), "b");
+}
+
+TEST(DictionaryTest, LookupMissingReturnsInvalid) {
+  StringDictionary dict;
+  dict.GetOrAdd("x");
+  EXPECT_EQ(dict.Lookup("x"), 0u);
+  EXPECT_EQ(dict.Lookup("y"), StringDictionary::kInvalidCode);
+}
+
+TEST(DictionaryTest, HandlesEmptyString) {
+  StringDictionary dict;
+  uint32_t code = dict.GetOrAdd("");
+  EXPECT_EQ(dict.Lookup(""), code);
+  EXPECT_EQ(dict.Get(code), "");
+}
+
+TEST(ColumnTest, Int64AppendAndRead) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(5);
+  col.AppendInt64(-7);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.Int64At(0), 5);
+  EXPECT_EQ(col.Int64At(1), -7);
+  EXPECT_EQ(col.NumericAt(1), -7.0);
+  EXPECT_EQ(col.GetValue(0), Value::Int64(5));
+}
+
+TEST(ColumnTest, DoubleAppendAndRead) {
+  Column col(DataType::kDouble);
+  col.AppendDouble(1.25);
+  EXPECT_EQ(col.DoubleAt(0), 1.25);
+  EXPECT_EQ(col.NumericAt(0), 1.25);
+  EXPECT_EQ(col.GetValue(0), Value::Double(1.25));
+}
+
+TEST(ColumnTest, StringAppendUsesDictionary) {
+  Column col(DataType::kString);
+  col.AppendString("CA");
+  col.AppendString("NY");
+  col.AppendString("CA");
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.CodeAt(0), col.CodeAt(2));
+  EXPECT_NE(col.CodeAt(0), col.CodeAt(1));
+  EXPECT_EQ(col.StringAt(1), "NY");
+  EXPECT_EQ(col.dict()->size(), 2u);
+}
+
+TEST(ColumnTest, CheckedAppendEnforcesTypes) {
+  Column col(DataType::kInt64);
+  EXPECT_TRUE(col.Append(Value::Int64(1)).ok());
+  EXPECT_TRUE(col.Append(Value::String("x")).IsTypeError());
+  EXPECT_TRUE(col.Append(Value::Double(1.0)).IsTypeError());
+
+  Column dcol(DataType::kDouble);
+  // Int64 widens into Double columns.
+  EXPECT_TRUE(dcol.Append(Value::Int64(3)).ok());
+  EXPECT_EQ(dcol.DoubleAt(0), 3.0);
+  EXPECT_TRUE(dcol.Append(Value::String("x")).IsTypeError());
+}
+
+TEST(ColumnTest, SettersOverwriteInPlace) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(1);
+  col.SetInt64(0, 9);
+  EXPECT_EQ(col.Int64At(0), 9);
+}
+
+TEST(ColumnTest, GatherPreservesOrderAndSharesDictionary) {
+  Column col(DataType::kString);
+  for (const char* s : {"a", "b", "c", "d"}) col.AppendString(s);
+  Column picked = col.Gather({3, 1});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked.StringAt(0), "d");
+  EXPECT_EQ(picked.StringAt(1), "b");
+  EXPECT_EQ(picked.dict().get(), col.dict().get());
+}
+
+Schema TestSchema() {
+  auto schema = Schema::Make({
+      {"e", DataType::kString, FieldRole::kEntity},
+      {"dim", DataType::kString, FieldRole::kDimension},
+      {"val", DataType::kInt64, FieldRole::kMeasure},
+  });
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+TEST(TableTest, AppendRowRoundTrip) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("e1"), Value::String("x"),
+                           Value::Int64(10)})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value::String("e2"), Value::String("y"),
+                           Value::Int64(20)})
+                  .ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetValue(0, 0), Value::String("e1"));
+  EXPECT_EQ(t.GetValue(1, 2), Value::Int64(20));
+}
+
+TEST(TableTest, AppendRowRejectsWrongArityAtomically) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.AppendRow({Value::String("e1")}).IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendRowRejectsWrongTypeWithoutPartialWrite) {
+  Table t(TestSchema());
+  // Type error in the last column must not leave the first columns
+  // longer than the others.
+  EXPECT_TRUE(t.AppendRow({Value::String("e1"), Value::String("x"),
+                           Value::String("oops")})
+                  .IsTypeError());
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_TRUE(t.CheckConsistent().ok());
+}
+
+TEST(TableTest, EntityHelpers) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::String("x"),
+                           Value::Int64(1)})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value::String("b"), Value::String("x"),
+                           Value::Int64(2)})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::String("y"),
+                           Value::Int64(3)})
+                  .ok());
+  EXPECT_EQ(t.NumEntities(), 2u);
+  EXPECT_EQ(t.EntityCodeAt(0), t.EntityCodeAt(2));
+  EXPECT_NE(t.EntityCodeAt(0), t.EntityCodeAt(1));
+}
+
+TEST(TableTest, GatherProducesConsistentSlice) {
+  Table t(TestSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::String("e" + std::to_string(i % 3)),
+                             Value::String(i % 2 ? "odd" : "even"),
+                             Value::Int64(i)})
+                    .ok());
+  }
+  Table slice = t.Gather({1, 4, 7});
+  EXPECT_EQ(slice.num_rows(), 3u);
+  EXPECT_EQ(slice.GetValue(0, 2), Value::Int64(1));
+  EXPECT_EQ(slice.GetValue(2, 2), Value::Int64(7));
+  // Shared dictionary: codes agree with the base table.
+  EXPECT_EQ(slice.EntityCodeAt(0), t.EntityCodeAt(1));
+}
+
+TEST(TableTest, CheckConsistentDetectsRaggedColumns) {
+  Table t(TestSchema());
+  t.mutable_column(0)->AppendString("a");
+  // Columns 1 and 2 left empty -> inconsistent.
+  EXPECT_TRUE(t.CheckConsistent().IsInternal());
+}
+
+TEST(TableTest, ToStringRendersHeaderAndRows) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("e1"), Value::String("x"),
+                           Value::Int64(10)})
+                  .ok());
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("dim"), std::string::npos);
+  EXPECT_NE(s.find("e1"), std::string::npos);
+  EXPECT_NE(s.find("10"), std::string::npos);
+}
+
+TEST(TableTest, MemoryUsageGrowsWithData) {
+  Table t(TestSchema());
+  size_t before = t.MemoryUsage();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::String("e" + std::to_string(i)),
+                             Value::String("x"), Value::Int64(i)})
+                    .ok());
+  }
+  EXPECT_GT(t.MemoryUsage(), before);
+}
+
+}  // namespace
+}  // namespace paleo

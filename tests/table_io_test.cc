@@ -1,0 +1,134 @@
+// Tests for CSV relation import/export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "datagen/traffic_gen.h"
+#include "io/table_io.h"
+
+namespace paleo {
+namespace {
+
+TEST(TableIoTest, ParsesAnnotatedHeader) {
+  auto table = TableIo::FromCsv(
+      "name:STRING:ENTITY,state:STRING:DIM,minutes:INT64:MEASURE,"
+      "id:INT64:KEY\n"
+      "John Smith,CA,654,1\n"
+      "Jane O'Neal,CA,699,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  const Schema& schema = table->schema();
+  EXPECT_EQ(schema.entity_index(), 0);
+  EXPECT_EQ(schema.dimension_indices(), (std::vector<int>{1}));
+  EXPECT_EQ(schema.measure_indices(), (std::vector<int>{2}));
+  EXPECT_EQ(schema.field(3).role, FieldRole::kKey);
+  EXPECT_EQ(table->GetValue(1, 0), Value::String("Jane O'Neal"));
+  EXPECT_EQ(table->GetValue(0, 2), Value::Int64(654));
+}
+
+TEST(TableIoTest, InfersTypesAndDefaultRoles) {
+  // No annotations: first string column becomes the entity; numerics
+  // become measures.
+  auto table = TableIo::FromCsv(
+      "name,city,amount,score\n"
+      "alice,SF,12,1.5\n"
+      "bob,LA,7,2.25\n");
+  ASSERT_TRUE(table.ok());
+  const Schema& schema = table->schema();
+  EXPECT_EQ(schema.field(0).role, FieldRole::kEntity);
+  EXPECT_EQ(schema.field(1).role, FieldRole::kDimension);
+  EXPECT_EQ(schema.field(2).type, DataType::kInt64);
+  EXPECT_EQ(schema.field(2).role, FieldRole::kMeasure);
+  EXPECT_EQ(schema.field(3).type, DataType::kDouble);
+  EXPECT_EQ(table->GetValue(1, 3), Value::Double(2.25));
+}
+
+TEST(TableIoTest, QuotedFieldsWithSeparatorsAndQuotes) {
+  auto table = TableIo::FromCsv(
+      "name:STRING:ENTITY,notes:STRING:DIM,v:INT64:MEASURE\n"
+      "\"Smith, John\",\"said \"\"hi\"\"\",3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->GetValue(0, 0), Value::String("Smith, John"));
+  EXPECT_EQ(table->GetValue(0, 1), Value::String("said \"hi\""));
+}
+
+TEST(TableIoTest, CrlfAndBlankLinesTolerated) {
+  auto table = TableIo::FromCsv(
+      "e:STRING:ENTITY,v:INT64:MEASURE\r\n\r\na,1\r\nb,2\r\n\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(TableIoTest, ErrorsAreDescriptive) {
+  EXPECT_TRUE(TableIo::FromCsv("").status().IsInvalidArgument());
+  EXPECT_TRUE(TableIo::FromCsv("e:STRING:ENTITY,v:INT64:MEASURE\n")
+                  .status()
+                  .IsInvalidArgument());  // no data rows
+  EXPECT_TRUE(TableIo::FromCsv(
+                  "e:STRING:ENTITY,v:INT64:MEASURE\na,1\nb\n")
+                  .status()
+                  .IsInvalidArgument());  // ragged row
+  EXPECT_TRUE(TableIo::FromCsv(
+                  "e:STRING:ENTITY,v:INT64:MEASURE\na,xyz\n")
+                  .status()
+                  .IsTypeError());  // bad int
+  EXPECT_TRUE(TableIo::FromCsv(
+                  "e:WIDGET:ENTITY,v:INT64:MEASURE\na,1\n")
+                  .status()
+                  .IsInvalidArgument());  // unknown type
+  EXPECT_TRUE(TableIo::FromCsv(
+                  "e:STRING:BOSS,v:INT64:MEASURE\na,1\n")
+                  .status()
+                  .IsInvalidArgument());  // unknown role
+  EXPECT_TRUE(TableIo::FromCsv("e:STRING:ENTITY,v:INT64:MEASURE\n\"a,1\n")
+                  .status()
+                  .IsInvalidArgument());  // unterminated quote
+  // Two entity columns.
+  EXPECT_TRUE(TableIo::FromCsv(
+                  "a:STRING:ENTITY,b:STRING:ENTITY,v:INT64:MEASURE\n"
+                  "x,y,1\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TableIoTest, RoundTripsGeneratedRelation) {
+  TrafficGenOptions options;
+  options.num_customers = 25;
+  options.months_per_customer = 3;
+  auto original = TrafficGen::Generate(options);
+  ASSERT_TRUE(original.ok());
+  std::string csv = TableIo::ToCsv(*original);
+  auto parsed = TableIo::FromCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_rows(), original->num_rows());
+  EXPECT_EQ(parsed->schema(), original->schema());
+  for (size_t r = 0; r < original->num_rows(); ++r) {
+    for (int c = 0; c < original->num_columns(); ++c) {
+      ASSERT_EQ(parsed->GetValue(static_cast<RowId>(r), c),
+                original->GetValue(static_cast<RowId>(r), c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(TableIoTest, FileRoundTrip) {
+  auto table = TrafficGen::PaperExample();
+  ASSERT_TRUE(table.ok());
+  std::string path = ::testing::TempDir() + "/paleo_io_test.csv";
+  ASSERT_TRUE(TableIo::WriteCsvFile(*table, path).ok());
+  auto loaded = TableIo::ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), table->num_rows());
+  EXPECT_EQ(loaded->schema(), table->schema());
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, ReadMissingFileIsIoError) {
+  EXPECT_TRUE(
+      TableIo::ReadCsvFile("/nonexistent/paleo.csv").status().IsIoError());
+}
+
+}  // namespace
+}  // namespace paleo

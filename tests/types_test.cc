@@ -1,0 +1,146 @@
+// Tests for the type system: DataType, Value, Schema.
+
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace paleo {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "STRING");
+}
+
+TEST(DataTypeTest, IsNumeric) {
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+}
+
+TEST(ValueTest, TypeTagsAndAccessors) {
+  Value i = Value::Int64(42);
+  Value d = Value::Double(3.5);
+  Value s = Value::String("CA");
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_TRUE(i.is_numeric());
+  EXPECT_TRUE(d.is_numeric());
+  EXPECT_FALSE(s.is_numeric());
+  EXPECT_EQ(i.int64(), 42);
+  EXPECT_EQ(d.dbl(), 3.5);
+  EXPECT_EQ(s.str(), "CA");
+  EXPECT_EQ(i.AsDouble(), 42.0);
+  EXPECT_EQ(d.AsDouble(), 3.5);
+}
+
+TEST(ValueTest, EqualityIsTypeStrict) {
+  EXPECT_EQ(Value::Int64(2), Value::Int64(2));
+  EXPECT_NE(Value::Int64(2), Value::Double(2.0));
+  EXPECT_NE(Value::String("2"), Value::Int64(2));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+  EXPECT_NE(Value::String("x"), Value::String("y"));
+}
+
+TEST(ValueTest, ToStringAndToSql) {
+  EXPECT_EQ(Value::Int64(7).ToString(), "7");
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::String("CA").ToString(), "CA");
+  EXPECT_EQ(Value::Int64(7).ToSql(), "7");
+  EXPECT_EQ(Value::String("CA").ToSql(), "'CA'");
+  EXPECT_EQ(Value::String("O'Neal").ToSql(), "'O''Neal'");
+}
+
+TEST(ValueTest, OrderingWithinAndAcrossTypes) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_LT(Value::Double(1.0), Value::Double(1.5));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  // Cross-type order is by type tag (int < double < string).
+  EXPECT_LT(Value::Int64(100), Value::Double(-5.0));
+  EXPECT_LT(Value::Double(100.0), Value::String(""));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Int64(5).Hash());
+  EXPECT_NE(Value::Int64(5).Hash(), Value::Int64(6).Hash());
+  EXPECT_NE(Value::Int64(5).Hash(), Value::Double(5.0).Hash());
+}
+
+std::vector<Field> BasicFields() {
+  return {
+      {"name", DataType::kString, FieldRole::kEntity},
+      {"state", DataType::kString, FieldRole::kDimension},
+      {"year", DataType::kInt64, FieldRole::kDimension},
+      {"minutes", DataType::kInt64, FieldRole::kMeasure},
+      {"price", DataType::kDouble, FieldRole::kMeasure},
+      {"id", DataType::kInt64, FieldRole::kKey},
+  };
+}
+
+TEST(SchemaTest, MakeValidSchema) {
+  auto schema = Schema::Make(BasicFields());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_fields(), 6);
+  EXPECT_EQ(schema->entity_index(), 0);
+  EXPECT_EQ(schema->dimension_indices(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(schema->measure_indices(), (std::vector<int>{3, 4}));
+  EXPECT_EQ(schema->num_measure_columns(), 2);
+  EXPECT_EQ(schema->num_textual_columns(), 1);  // state only
+}
+
+TEST(SchemaTest, FieldLookup) {
+  auto schema = Schema::Make(BasicFields());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->FieldIndex("price"), 4);
+  EXPECT_EQ(schema->FieldIndex("nope"), -1);
+  auto idx = schema->GetFieldIndex("minutes");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 3);
+  EXPECT_TRUE(schema->GetFieldIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto fields = BasicFields();
+  fields[1].name = "name";
+  EXPECT_TRUE(Schema::Make(fields).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto fields = BasicFields();
+  fields[2].name = "";
+  EXPECT_TRUE(Schema::Make(fields).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsMissingEntity) {
+  auto fields = BasicFields();
+  fields[0].role = FieldRole::kDimension;
+  EXPECT_TRUE(Schema::Make(fields).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsTwoEntities) {
+  auto fields = BasicFields();
+  fields[1].role = FieldRole::kEntity;
+  EXPECT_TRUE(Schema::Make(fields).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsNonNumericMeasure) {
+  auto fields = BasicFields();
+  fields.push_back({"bad", DataType::kString, FieldRole::kMeasure});
+  EXPECT_TRUE(Schema::Make(fields).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ToStringMentionsFields) {
+  auto schema = Schema::Make(BasicFields());
+  ASSERT_TRUE(schema.ok());
+  std::string s = schema->ToString();
+  EXPECT_NE(s.find("name:STRING/ENTITY"), std::string::npos);
+  EXPECT_NE(s.find("price:DOUBLE/MEASURE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paleo
