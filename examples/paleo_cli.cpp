@@ -11,12 +11,24 @@
 //                    first one)
 //   --partial        accept approximate matches (Section 3.3)
 //   --max-pred N     cap conjunction size (default 3)
-//   --budget N       cap candidate-query executions (default unlimited)
+//   --budget N       cap candidate-query executions per validation pass
+//                    (default unlimited; stops silently, paper's knob)
+//   --timeout-ms N   wall-clock deadline for the whole run; on expiry
+//                    prints the queries validated in time plus the best
+//                    unvalidated candidates as near misses
+//   --max-executions N
+//                    governed cap on executions across all validation
+//                    passes; like --timeout-ms, degrades gracefully
+//                    with near misses instead of stopping silently
 //   --sep C          field separator for both files (default ',')
 //   --execute SQL    skip reverse engineering: run the given template
 //                    query over the relation and print its result list
 //                    (the second positional argument is then optional)
 //   --verbose        print a step-by-step explanation of the run
+//
+// Exit status: 0 on success (valid queries found, or --execute ran),
+// 1 when no valid query was found or any input failed to load/parse
+// (the reason goes to stderr), 2 on usage errors.
 //
 // Examples (after `cmake --build build`):
 //   ./build/examples/paleo_cli relation.csv list.csv --all
@@ -24,6 +36,7 @@
 //       max(minutes) FROM R WHERE state = 'CA' GROUP BY name ORDER BY
 //       max(minutes) DESC LIMIT 5" (one line)
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,10 +67,26 @@ paleo::StatusOr<paleo::Table> LoadRelation(const std::string& path,
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <relation.csv> [<topk_list.csv>] [--all] "
-               "[--partial] [--max-pred N] [--budget N] [--sep C] "
-               "[--execute SQL] [--verbose]\n",
+               "[--partial] [--max-pred N] [--budget N] [--timeout-ms N] "
+               "[--max-executions N] [--sep C] [--execute SQL] "
+               "[--verbose]\n",
                argv0);
   return 2;
+}
+
+/// Strict integer flag parsing: rejects trailing garbage and negatives
+/// instead of silently reading 0 like atoi would.
+bool ParseInt64Flag(const char* flag, const char* text, int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = static_cast<int64_t>(v);
+  return true;
 }
 
 }  // namespace
@@ -87,9 +116,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--partial") == 0) {
       options.match_mode = MatchMode::kPartial;
     } else if (std::strcmp(argv[i], "--max-pred") == 0 && i + 1 < argc) {
-      options.max_predicate_size = std::atoi(argv[++i]);
+      int64_t v = 0;
+      if (!ParseInt64Flag("--max-pred", argv[++i], &v)) return 2;
+      options.max_predicate_size = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
-      options.max_query_executions = std::atoll(argv[++i]);
+      if (!ParseInt64Flag("--budget", argv[++i],
+                          &options.max_query_executions)) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      if (!ParseInt64Flag("--timeout-ms", argv[++i],
+                          &options.deadline_ms)) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--max-executions") == 0 &&
+               i + 1 < argc) {
+      if (!ParseInt64Flag("--max-executions", argv[++i],
+                          &options.max_validation_executions)) {
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--sep") == 0 && i + 1 < argc) {
       sep = argv[++i][0];
     } else {
@@ -130,6 +175,10 @@ int main(int argc, char** argv) {
   }
   std::ostringstream list_buffer;
   list_buffer << list_in.rdbuf();
+  if (list_in.bad()) {
+    std::fprintf(stderr, "error reading %s\n", list_path);
+    return 1;
+  }
   auto input = TopKList::FromCsv(list_buffer.str(), sep);
   if (!input.ok()) {
     std::fprintf(stderr, "failed to parse top-k list: %s\n",
@@ -158,6 +207,15 @@ int main(int argc, char** argv) {
                static_cast<long long>(report->tuple_sets),
                static_cast<long long>(report->candidate_queries),
                static_cast<long long>(report->executed_queries));
+  if (report->termination != TerminationReason::kCompleted) {
+    std::fprintf(stderr, "stopped early: %s\n",
+                 TerminationReasonToString(report->termination));
+    for (const CandidateQuery& cq : report->near_misses) {
+      std::fprintf(stderr, "near miss (unvalidated, s=%.3f): %s\n",
+                   cq.suitability,
+                   cq.query.ToSql(table->schema()).c_str());
+    }
+  }
   if (!report->found()) {
     std::printf("no valid query found\n");
     return 1;

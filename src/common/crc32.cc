@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace paleo {
+
+namespace {
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const auto kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  const auto& table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Finish(Crc32Update(Crc32Init(), data, size));
+}
+
+}  // namespace paleo

@@ -1,0 +1,35 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//
+// Shared by the binary table format's trailing checksum and by any
+// subsystem that wants cheap corruption detection. The incremental API
+// lets callers checksum streamed or scattered buffers without
+// concatenating them:
+//
+//   uint32_t crc = Crc32Init();
+//   crc = Crc32Update(crc, a.data(), a.size());
+//   crc = Crc32Update(crc, b.data(), b.size());
+//   uint32_t digest = Crc32Finish(crc);
+
+#ifndef PALEO_COMMON_CRC32_H_
+#define PALEO_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace paleo {
+
+/// Starts an incremental CRC-32 computation.
+uint32_t Crc32Init();
+
+/// Folds `size` bytes into a running CRC started with Crc32Init().
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+/// Finalizes a running CRC into the standard digest.
+uint32_t Crc32Finish(uint32_t crc);
+
+/// One-shot CRC-32 of a byte range.
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace paleo
+
+#endif  // PALEO_COMMON_CRC32_H_

@@ -1,0 +1,40 @@
+#include "common/run_budget.h"
+
+#include <limits>
+
+namespace paleo {
+
+const char* TerminationReasonToString(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kCompleted:
+      return "completed";
+    case TerminationReason::kDeadline:
+      return "deadline";
+    case TerminationReason::kExecutionBudget:
+      return "execution budget";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+void RunBudget::Tighten(const RunBudget& other) {
+  if (other.has_deadline_ &&
+      (!has_deadline_ || other.deadline_ < deadline_)) {
+    has_deadline_ = true;
+    deadline_ = other.deadline_;
+  }
+  if (other.max_executions_ > 0 &&
+      (max_executions_ == 0 || other.max_executions_ < max_executions_)) {
+    max_executions_ = other.max_executions_;
+  }
+  if (cancel_ == nullptr) cancel_ = other.cancel_;
+}
+
+double RunBudget::RemainingMillis() const {
+  if (!has_deadline_) return std::numeric_limits<double>::max();
+  return std::chrono::duration<double, std::milli>(deadline_ - Clock::now())
+      .count();
+}
+
+}  // namespace paleo

@@ -1,0 +1,173 @@
+// Resource governance for long-running pipeline work.
+//
+// A RunBudget bounds one reverse-engineering run by three independent
+// limits, any of which may be absent:
+//
+//   - a wall-clock deadline (steady_clock, immune to clock jumps),
+//   - a cap on candidate-query executions, and
+//   - a cooperative CancellationToken an external thread may trip.
+//
+// The budget is observed, never enforced preemptively: pipeline stages
+// poll it at bounded intervals (BudgetGate amortizes the clock read
+// over `stride` iterations) and wind down gracefully when it is
+// exhausted, returning whatever results they have produced so far.
+// Exhaustion is therefore a degradation, not an error — the reason is
+// carried out-of-band as a TerminationReason.
+
+#ifndef PALEO_COMMON_RUN_BUDGET_H_
+#define PALEO_COMMON_RUN_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace paleo {
+
+/// \brief Why a governed run stopped.
+enum class TerminationReason : int {
+  /// Ran to natural completion; results are exhaustive.
+  kCompleted = 0,
+  /// The wall-clock deadline passed mid-run.
+  kDeadline = 1,
+  /// The candidate-query execution cap was reached.
+  kExecutionBudget = 2,
+  /// The CancellationToken was tripped.
+  kCancelled = 3,
+};
+
+/// "completed", "deadline", "execution budget", or "cancelled".
+const char* TerminationReasonToString(TerminationReason reason);
+
+/// \brief Cooperative cancellation flag, safe to trip from any thread
+/// while a run polls it. The token must outlive every RunBudget that
+/// references it.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token for another run.
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief One run's resource limits. Default-constructed budgets are
+/// unlimited and never exhaust, so `const RunBudget*` parameters accept
+/// nullptr and an all-default budget interchangeably.
+class RunBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunBudget() = default;
+
+  static RunBudget Unlimited() { return RunBudget(); }
+
+  /// Sets the deadline to now + `ms`. Non-positive `ms` clears it.
+  void SetDeadlineAfterMillis(int64_t ms) {
+    has_deadline_ = ms > 0;
+    if (has_deadline_) {
+      deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+    }
+  }
+  /// Caps candidate-query executions; 0 or negative means unlimited.
+  void set_max_executions(int64_t n) { max_executions_ = n > 0 ? n : 0; }
+  /// Attaches a cancellation token (not owned; may be nullptr).
+  void set_cancellation_token(const CancellationToken* token) {
+    cancel_ = token;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  int64_t max_executions() const { return max_executions_; }
+
+  /// True when no limit is configured (the common fast path: callers
+  /// holding such a budget skip polling entirely).
+  bool IsUnlimited() const {
+    return !has_deadline_ && max_executions_ == 0 && cancel_ == nullptr;
+  }
+
+  /// Tightens this budget to the intersection with `other`: the earlier
+  /// deadline, the smaller execution cap, and either token (this
+  /// budget's token wins if both are set).
+  void Tighten(const RunBudget& other);
+
+  /// Polls every limit. `executions_used` is the pipeline-wide
+  /// candidate-query execution count so far (pass 0 from stages that do
+  /// not execute queries). Cancellation is reported first, then the
+  /// deadline, then the execution cap, so a cancelled run never
+  /// masquerades as a timeout.
+  TerminationReason Check(int64_t executions_used = 0) const {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return TerminationReason::kCancelled;
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return TerminationReason::kDeadline;
+    }
+    if (max_executions_ > 0 && executions_used >= max_executions_) {
+      return TerminationReason::kExecutionBudget;
+    }
+    return TerminationReason::kCompleted;
+  }
+
+  bool Exhausted(int64_t executions_used = 0) const {
+    return Check(executions_used) != TerminationReason::kCompleted;
+  }
+
+  /// Milliseconds until the deadline (negative once past); a large
+  /// positive value when no deadline is set.
+  double RemainingMillis() const;
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  int64_t max_executions_ = 0;
+  const CancellationToken* cancel_ = nullptr;
+};
+
+/// \brief Amortized budget poll for tight loops.
+///
+/// Tick() consults the budget once every `stride` calls (and on the
+/// first), so a scan loop pays one branch and one counter increment per
+/// iteration instead of a clock read. Once exhausted the gate latches:
+/// every later Tick() reports the same reason without re-polling.
+class BudgetGate {
+ public:
+  /// `budget` may be nullptr (the gate then never trips). A null or
+  /// unlimited budget short-circuits Tick() to a single comparison.
+  explicit BudgetGate(const RunBudget* budget, uint32_t stride = 1024)
+      : budget_(budget != nullptr && !budget->IsUnlimited() ? budget
+                                                           : nullptr),
+        stride_(stride == 0 ? 1 : stride) {}
+
+  /// Returns kCompleted while the budget holds, the terminal reason
+  /// once it does not.
+  TerminationReason Tick(int64_t executions_used = 0) {
+    if (budget_ == nullptr) return TerminationReason::kCompleted;
+    if (reason_ != TerminationReason::kCompleted) return reason_;
+    if (count_++ % stride_ != 0) return TerminationReason::kCompleted;
+    reason_ = budget_->Check(executions_used);
+    return reason_;
+  }
+
+  /// Last polled reason (kCompleted until the gate trips).
+  TerminationReason reason() const { return reason_; }
+  bool exhausted() const {
+    return reason_ != TerminationReason::kCompleted;
+  }
+
+ private:
+  const RunBudget* budget_;
+  uint32_t stride_;
+  uint32_t count_ = 0;
+  TerminationReason reason_ = TerminationReason::kCompleted;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_COMMON_RUN_BUDGET_H_

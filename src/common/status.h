@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kUnsupported = 6,
   kInternal = 7,
   kIoError = 8,
+  kCancelled = 9,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -69,6 +70,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  /// Work interrupted by a RunBudget (deadline, execution cap, or
+  /// cooperative cancellation). Governed callers treat this as a
+  /// wind-down signal, not a failure.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -90,6 +97,7 @@ class Status {
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

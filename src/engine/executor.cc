@@ -50,14 +50,16 @@ struct HeapEntry {
 }  // namespace
 
 StatusOr<TopKList> Executor::Execute(const Table& table,
-                                     const TopKQuery& query) {
-  return ExecuteImpl(table, nullptr, query);
+                                     const TopKQuery& query,
+                                     const RunBudget* budget) {
+  return ExecuteImpl(table, nullptr, query, budget);
 }
 
 StatusOr<TopKList> Executor::ExecuteOnRows(const Table& table,
                                            const std::vector<RowId>& rows,
-                                           const TopKQuery& query) {
-  return ExecuteImpl(table, &rows, query);
+                                           const TopKQuery& query,
+                                           const RunBudget* budget) {
+  return ExecuteImpl(table, &rows, query, budget);
 }
 
 size_t Executor::CountMatching(const Table& table,
@@ -76,7 +78,8 @@ size_t Executor::CountMatching(const Table& table,
 
 StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
                                          const std::vector<RowId>* rows,
-                                         const TopKQuery& query) {
+                                         const TopKQuery& query,
+                                         const RunBudget* budget) {
   PALEO_RETURN_NOT_OK(ValidateQuery(table, query));
   ++stats_.queries_executed;
 
@@ -99,22 +102,44 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
     ++stats_.index_assisted;
   }
 
-  auto visit_rows = [&](auto&& fn) {
+  // The scan / group-by loop polls the budget every few thousand rows
+  // (one branch per row otherwise), so even a full scan of a large
+  // relation notices a deadline or cancellation within microseconds.
+  // Returns false when interrupted; the partial aggregation state is
+  // then discarded.
+  BudgetGate gate(budget, /*stride=*/4096);
+  auto visit_rows = [&](auto&& fn) -> bool {
+    size_t visited = 0;
+    bool completed = true;
     if (rows != nullptr) {
-      if (from_index) {
-        // Postings already satisfy the whole conjunction.
-        for (RowId r : *rows) fn(r, true);
-      } else {
-        for (RowId r : *rows) fn(r, bound.Matches(r));
+      for (RowId r : *rows) {
+        if (gate.Tick() != TerminationReason::kCompleted) {
+          completed = false;
+          break;
+        }
+        ++visited;
+        // Postings already satisfy the whole conjunction when the rows
+        // came from the index.
+        fn(r, from_index || bound.Matches(r));
       }
-      stats_.rows_scanned += static_cast<int64_t>(rows->size());
     } else {
       size_t n = table.num_rows();
       for (size_t r = 0; r < n; ++r) {
+        if (gate.Tick() != TerminationReason::kCompleted) {
+          completed = false;
+          break;
+        }
+        ++visited;
         fn(static_cast<RowId>(r), bound.Matches(static_cast<RowId>(r)));
       }
-      stats_.rows_scanned += static_cast<int64_t>(n);
     }
+    stats_.rows_scanned += static_cast<int64_t>(visited);
+    return completed;
+  };
+  auto interrupted = [&]() -> Status {
+    return Status::Cancelled(
+        std::string("query execution interrupted (") +
+        TerminationReasonToString(gate.reason()) + ")");
   };
 
   // Orders a before b when a ranks better; ties by entity name
@@ -130,10 +155,12 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
 
   if (query.agg == AggFn::kNone) {
     // No GROUP BY: rank individual rows.
-    visit_rows([&](RowId r, bool matches) {
-      if (!matches) return;
-      results.push_back(HeapEntry{query.expr.Eval(table, r), r});
-    });
+    if (!visit_rows([&](RowId r, bool matches) {
+          if (!matches) return;
+          results.push_back(HeapEntry{query.expr.Eval(table, r), r});
+        })) {
+      return interrupted();
+    }
     auto name_of = [&](uint32_t row) -> const std::string& {
       return dict.Get(entities.CodeAt(row));
     };
@@ -155,13 +182,15 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
   // Grouped aggregation keyed by dense entity code.
   std::vector<AggState> groups(dict.size());
   std::vector<uint32_t> touched;
-  visit_rows([&](RowId r, bool matches) {
-    if (!matches) return;
-    uint32_t code = entities.CodeAt(r);
-    AggState& g = groups[code];
-    if (g.count == 0) touched.push_back(code);
-    g.Add(query.expr.Eval(table, r));
-  });
+  if (!visit_rows([&](RowId r, bool matches) {
+        if (!matches) return;
+        uint32_t code = entities.CodeAt(r);
+        AggState& g = groups[code];
+        if (g.count == 0) touched.push_back(code);
+        g.Add(query.expr.Eval(table, r));
+      })) {
+    return interrupted();
+  }
 
   results.reserve(touched.size());
   for (uint32_t code : touched) {

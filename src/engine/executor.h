@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_budget.h"
 #include "common/status.h"
 #include "engine/query.h"
 #include "engine/topk_list.h"
@@ -52,15 +53,21 @@ class Executor {
   }
 
   /// Runs `query` over `table`. Errors on non-numeric ranking columns
-  /// or invalid column indices.
-  StatusOr<TopKList> Execute(const Table& table, const TopKQuery& query);
+  /// or invalid column indices. When `budget` is set, the scan and
+  /// group-by loop poll it every few thousand rows and abandon the
+  /// execution with Status::Cancelled once the deadline passes or the
+  /// cancellation token trips (a partially scanned result would be
+  /// wrong, so interruption cannot return a list).
+  StatusOr<TopKList> Execute(const Table& table, const TopKQuery& query,
+                             const RunBudget* budget = nullptr);
 
   /// Runs `query` restricted to the given rows of `table` (used to
   /// evaluate ranking criteria over tuple sets of R'). Rows must be
   /// valid ids into `table`.
   StatusOr<TopKList> ExecuteOnRows(const Table& table,
                                    const std::vector<RowId>& rows,
-                                   const TopKQuery& query);
+                                   const TopKQuery& query,
+                                   const RunBudget* budget = nullptr);
 
   /// Number of rows of `table` matching `predicate` (selectivity
   /// numerator; Table 6).
@@ -72,7 +79,8 @@ class Executor {
  private:
   StatusOr<TopKList> ExecuteImpl(const Table& table,
                                  const std::vector<RowId>* rows,
-                                 const TopKQuery& query);
+                                 const TopKQuery& query,
+                                 const RunBudget* budget);
 
   Stats stats_;
   const DimensionIndex* dimension_index_ = nullptr;

@@ -1,6 +1,5 @@
 #include "io/binary_io.h"
 
-#include <array>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -73,27 +72,6 @@ class Reader {
 };
 
 }  // namespace
-
-uint32_t Crc32(const void* data, size_t size) {
-  // Table-driven reflected CRC-32 (polynomial 0xEDB88320).
-  static const auto kTable = [] {
-    std::array<uint32_t, 256> table{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-      }
-      table[i] = c;
-    }
-    return table;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < size; ++i) {
-    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 std::string BinaryIo::Serialize(const Table& table) {
   Writer w;
@@ -181,6 +159,23 @@ StatusOr<Table> BinaryIo::Deserialize(std::string_view bytes) {
 
   uint64_t n_rows = 0;
   PALEO_RETURN_NOT_OK(r.U64(&n_rows));
+  // Structural validation before decoding anything: the declared row
+  // count must fit in the remaining payload. Every row costs at least
+  // 4 bytes (a dictionary code) in a string column and 8 in a numeric
+  // one, so an absurd count is rejected up front instead of grinding
+  // through (and allocating for) a doomed decode loop.
+  {
+    uint64_t min_bytes_per_row = 0;
+    for (uint32_t c = 0; c < n_cols; ++c) {
+      min_bytes_per_row +=
+          schema.field(static_cast<int>(c)).type == DataType::kString ? 4 : 8;
+    }
+    if (min_bytes_per_row > 0 &&
+        n_rows > r.Remaining() / min_bytes_per_row) {
+      return Status::IoError("row count " + std::to_string(n_rows) +
+                             " exceeds file size");
+    }
+  }
   Table table(schema);
   for (uint32_t c = 0; c < n_cols; ++c) {
     Column* col = table.mutable_column(static_cast<int>(c));
@@ -188,6 +183,12 @@ StatusOr<Table> BinaryIo::Deserialize(std::string_view bytes) {
       case DataType::kString: {
         uint32_t dict_size = 0;
         PALEO_RETURN_NOT_OK(r.U32(&dict_size));
+        // Each dictionary entry occupies at least its 4-byte length.
+        if (dict_size > r.Remaining() / 4) {
+          return Status::IoError("dictionary size " +
+                                 std::to_string(dict_size) +
+                                 " exceeds file size");
+        }
         for (uint32_t i = 0; i < dict_size; ++i) {
           std::string entry;
           PALEO_RETURN_NOT_OK(r.Str(&entry));
@@ -195,6 +196,11 @@ StatusOr<Table> BinaryIo::Deserialize(std::string_view bytes) {
           if (code != i) {
             return Status::IoError("duplicate dictionary entry: " + entry);
           }
+        }
+        if (n_rows > r.Remaining() / sizeof(uint32_t)) {
+          return Status::IoError(
+              "string column " + schema.field(static_cast<int>(c)).name +
+              ": code array truncated");
         }
         for (uint64_t row = 0; row < n_rows; ++row) {
           uint32_t code = 0;
@@ -207,6 +213,11 @@ StatusOr<Table> BinaryIo::Deserialize(std::string_view bytes) {
         break;
       }
       case DataType::kInt64:
+        if (n_rows > r.Remaining() / sizeof(int64_t)) {
+          return Status::IoError(
+              "int64 column " + schema.field(static_cast<int>(c)).name +
+              ": value array truncated");
+        }
         for (uint64_t row = 0; row < n_rows; ++row) {
           int64_t v = 0;
           PALEO_RETURN_NOT_OK(r.I64(&v));
@@ -214,6 +225,11 @@ StatusOr<Table> BinaryIo::Deserialize(std::string_view bytes) {
         }
         break;
       case DataType::kDouble:
+        if (n_rows > r.Remaining() / sizeof(double)) {
+          return Status::IoError(
+              "double column " + schema.field(static_cast<int>(c)).name +
+              ": value array truncated");
+        }
         for (uint64_t row = 0; row < n_rows; ++row) {
           double v = 0;
           PALEO_RETURN_NOT_OK(r.F64(&v));

@@ -24,6 +24,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/crc32.h"
 #include "common/status.h"
 #include "storage/table.h"
 
@@ -42,9 +43,6 @@ class BinaryIo {
   static Status WriteFile(const Table& table, const std::string& path);
   static StatusOr<Table> ReadFile(const std::string& path);
 };
-
-/// CRC-32 (IEEE 802.3, reflected) of a byte range.
-uint32_t Crc32(const void* data, size_t size);
 
 }  // namespace paleo
 

@@ -1,0 +1,101 @@
+#include "io/fault_injection.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+
+namespace paleo {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+    case FaultKind::kShortRead:
+      return "short-read";
+    case FaultKind::kGarbageRun:
+      return "garbage-run";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  return std::string(FaultKindToString(kind)) + " at offset " +
+         std::to_string(offset) + ", span " + std::to_string(span);
+}
+
+FaultEvent FaultInjector::Corrupt(std::string* bytes) {
+  FaultEvent event;
+  if (bytes->empty()) return event;
+  const size_t n = bytes->size();
+  event.kind = static_cast<FaultKind>(rng_.Uniform(4));
+  switch (event.kind) {
+    case FaultKind::kTruncate: {
+      event.offset = static_cast<size_t>(rng_.Uniform(n));
+      event.span = n - event.offset;
+      bytes->resize(event.offset);
+      break;
+    }
+    case FaultKind::kBitFlip: {
+      event.span = 1 + static_cast<size_t>(rng_.Uniform(8));
+      event.offset = static_cast<size_t>(rng_.Uniform(n));
+      for (size_t i = 0; i < event.span; ++i) {
+        size_t pos = static_cast<size_t>(rng_.Uniform(n));
+        (*bytes)[pos] = static_cast<char>(
+            static_cast<unsigned char>((*bytes)[pos]) ^
+            (1u << rng_.Uniform(8)));
+      }
+      break;
+    }
+    case FaultKind::kShortRead: {
+      event.offset = static_cast<size_t>(rng_.Uniform(n));
+      size_t max_span = n - event.offset;
+      event.span =
+          1 + static_cast<size_t>(rng_.Uniform(std::min<size_t>(
+                  max_span, 1 + static_cast<size_t>(rng_.Uniform(64)))));
+      bytes->erase(event.offset, event.span);
+      break;
+    }
+    case FaultKind::kGarbageRun: {
+      event.offset = static_cast<size_t>(rng_.Uniform(n));
+      size_t max_span = n - event.offset;
+      event.span = 1 + static_cast<size_t>(
+                           rng_.Uniform(std::min<size_t>(max_span, 32)));
+      for (size_t i = 0; i < event.span; ++i) {
+        (*bytes)[event.offset + i] =
+            static_cast<char>(rng_.Uniform(256));
+      }
+      break;
+    }
+  }
+  if (fix_crc_ && bytes->size() >= sizeof(uint32_t) + 4) {
+    // Recompute the PALB trailing CRC over everything after the 4-byte
+    // magic, making the checksum consistent with the corrupted body.
+    size_t payload_end = bytes->size() - sizeof(uint32_t);
+    uint32_t crc = Crc32(bytes->data() + 4, payload_end - 4);
+    std::memcpy(bytes->data() + payload_end, &crc, sizeof(crc));
+  }
+  return event;
+}
+
+StatusOr<std::string> FaultInjector::ReadFileCorrupted(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("error reading " + path);
+  }
+  std::string bytes = buffer.str();
+  Corrupt(&bytes);
+  return bytes;
+}
+
+}  // namespace paleo

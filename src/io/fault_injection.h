@@ -1,0 +1,82 @@
+// Deterministic I/O fault injection for hardening tests.
+//
+// A FaultInjector perturbs byte buffers the way broken storage and
+// interrupted transfers do — truncated tails, flipped bits, short
+// reads that silently drop a middle chunk, and overwritten runs — all
+// driven by an explicit seed so every failing case is replayable from
+// its seed alone. Tests wrap a loader with it and assert the invariant
+// the io/ layer promises: every injected fault surfaces as a Status,
+// never as a crash, hang, or silently wrong table.
+//
+//   FaultInjector fi(seed);
+//   std::string bytes = BinaryIo::Serialize(table);
+//   FaultEvent fault = fi.Corrupt(&bytes);
+//   auto reloaded = BinaryIo::Deserialize(bytes);   // must not crash
+//
+// set_fix_crc(true) recomputes the PALB trailing checksum after the
+// mutation, deliberately defeating the CRC so the parser's structural
+// validation (magic, version, counts, per-column lengths) is what gets
+// exercised.
+
+#ifndef PALEO_IO_FAULT_INJECTION_H_
+#define PALEO_IO_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace paleo {
+
+/// \brief The kinds of corruption the injector produces.
+enum class FaultKind : int {
+  /// The buffer loses its tail from a random offset on.
+  kTruncate = 0,
+  /// One to eight random bits flip.
+  kBitFlip = 1,
+  /// A run of bytes vanishes from the middle (a short read spliced
+  /// over by the next chunk).
+  kShortRead = 2,
+  /// A run of bytes is overwritten with random garbage.
+  kGarbageRun = 3,
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// \brief One injected fault, for diagnostics in failing tests.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kBitFlip;
+  /// Byte offset the fault starts at.
+  size_t offset = 0;
+  /// Bytes removed/overwritten, or bits flipped for kBitFlip.
+  size_t span = 0;
+  std::string ToString() const;
+};
+
+/// \brief Seeded source of replayable I/O faults.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// After corrupting, recompute and re-append a valid PALB trailing
+  /// CRC (only meaningful for binary-table buffers; buffers shorter
+  /// than a CRC are left alone). Off by default.
+  void set_fix_crc(bool fix) { fix_crc_ = fix; }
+
+  /// Applies one random fault to `bytes` in place and reports it.
+  /// Empty buffers are returned unchanged.
+  FaultEvent Corrupt(std::string* bytes);
+
+  /// Reads a file and corrupts its contents with one fault — the
+  /// drop-in faulty counterpart of reading the file directly.
+  StatusOr<std::string> ReadFileCorrupted(const std::string& path);
+
+ private:
+  Rng rng_;
+  bool fix_crc_ = false;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_IO_FAULT_INJECTION_H_

@@ -79,6 +79,11 @@ std::string ExplainReport(const ReverseEngineerReport& report,
     out += Line("smart skips:", WithThousands(report.skip_events));
   }
 
+  if (report.termination != TerminationReason::kCompleted) {
+    out += Line("stopped early:",
+                TerminationReasonToString(report.termination));
+  }
+
   if (report.found()) {
     out += "Result: " + std::to_string(report.valid.size()) +
            " valid quer" + (report.valid.size() == 1 ? "y" : "ies") + "\n";
@@ -90,6 +95,16 @@ std::string ExplainReport(const ReverseEngineerReport& report,
     }
   } else {
     out += "Result: no valid query found\n";
+  }
+
+  if (!report.near_misses.empty()) {
+    out += "Near misses (best candidates the budget never validated):\n";
+    for (const CandidateQuery& cq : report.near_misses) {
+      char score[64];
+      std::snprintf(score, sizeof(score), "  s=%.3f  ", cq.suitability);
+      out += score;
+      out += cq.query.ToSql(schema) + "\n";
+    }
   }
 
   if (options.show_candidates > 0 && !report.candidates.empty()) {

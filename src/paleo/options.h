@@ -95,6 +95,22 @@ struct PaleoOptions {
   /// collapses under correlated tuples (see ProbModel).
   bool use_observed_match_rate = true;
 
+  // ---- Resource governance (beyond the paper) ----
+  /// Wall-clock deadline for one Run()/RunOnSample() call, in
+  /// milliseconds; 0 = unlimited, the paper's behaviour (results are
+  /// then bit-for-bit identical to an ungoverned run). On expiry the
+  /// run winds down gracefully instead of erroring: the report keeps
+  /// every query validated so far, termination is kDeadline, and the
+  /// best candidates that never got executed are surfaced as
+  /// near_misses.
+  int64_t deadline_ms = 0;
+  /// Cap on candidate-query executions per run, counted across all
+  /// validation passes; 0 = unlimited. Unlike max_query_executions
+  /// (the paper's per-pass knob above, which stops silently), hitting
+  /// this cap is reported as TerminationReason::kExecutionBudget with
+  /// near misses. Both caps may be set; the tighter one wins.
+  int64_t max_validation_executions = 0;
+
   /// Build secondary indexes on R's dimension columns and answer
   /// candidate-query executions by posting-list intersection instead
   /// of full scans. Results are identical; validation wall-clock drops

@@ -9,6 +9,26 @@
 
 namespace paleo {
 
+namespace {
+
+/// Near misses surfaced on budget exhaustion are capped: they are best
+/// guesses for a human (or a retry with a larger budget), not an
+/// exhaustive dump of the candidate space.
+constexpr size_t kMaxNearMisses = 16;
+
+/// Copies the unvalidated candidates (ascending index = suitability
+/// order) into the report's near-miss list, up to the cap.
+void AppendNearMisses(const std::vector<CandidateQuery>& candidates,
+                      const std::vector<size_t>& unvalidated,
+                      ReverseEngineerReport* report) {
+  for (size_t idx : unvalidated) {
+    if (report->near_misses.size() >= kMaxNearMisses) break;
+    report->near_misses.push_back(candidates[idx]);
+  }
+}
+
+}  // namespace
+
 Paleo::Paleo(const Table* base, PaleoOptions options)
     : base_(base),
       options_(std::move(options)),
@@ -22,26 +42,47 @@ Paleo::Paleo(const Table* base, PaleoOptions options)
 }
 
 StatusOr<ReverseEngineerReport> Paleo::Run(const TopKList& input,
-                                           bool keep_candidates) {
+                                           bool keep_candidates,
+                                           const RunBudget* budget) {
   return RunImpl(input, nullptr, options_.coverage_ratio,
-                 /*assume_complete=*/true, keep_candidates);
+                 /*assume_complete=*/true, keep_candidates, budget);
 }
 
 StatusOr<ReverseEngineerReport> Paleo::RunOnSample(
     const TopKList& input, const std::vector<RowId>& sample_rows,
     double sample_fraction, bool keep_candidates,
-    double coverage_ratio_override) {
+    double coverage_ratio_override, const RunBudget* budget) {
   double coverage = coverage_ratio_override > 0.0
                         ? coverage_ratio_override
                         : CoverageRatioForSample(sample_fraction);
   return RunImpl(input, &sample_rows, coverage, /*assume_complete=*/false,
-                 keep_candidates);
+                 keep_candidates, budget);
 }
 
 StatusOr<ReverseEngineerReport> Paleo::RunImpl(
     const TopKList& input, const std::vector<RowId>* sample_rows,
-    double coverage_ratio, bool assume_complete, bool keep_candidates) {
+    double coverage_ratio, bool assume_complete, bool keep_candidates,
+    const RunBudget* external_budget) {
   ReverseEngineerReport report;
+
+  // ---- Resource governance ----
+  // The effective budget is the intersection of the options' knobs
+  // (deadline_ms anchored at this call, max_validation_executions) and
+  // the caller's external budget (deadline, cap, cancellation token).
+  // With neither configured, `governed` stays nullptr and every stage
+  // runs exactly as the ungoverned paper pipeline.
+  RunBudget budget;
+  budget.SetDeadlineAfterMillis(options_.deadline_ms);
+  budget.set_max_executions(options_.max_validation_executions);
+  if (external_budget != nullptr) budget.Tighten(*external_budget);
+  const RunBudget* governed = budget.IsUnlimited() ? nullptr : &budget;
+  // The first stage to exhaust the budget names the reason; later
+  // stages are skipped or wound down and cannot overwrite it.
+  auto note_termination = [&report](TerminationReason reason) {
+    if (report.termination == TerminationReason::kCompleted) {
+      report.termination = reason;
+    }
+  };
 
   // ---- Step 1: retrieve R' and mine candidate predicates ----
   Timer step_timer;
@@ -53,7 +94,8 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   PaleoOptions step_options = options_;
   step_options.coverage_ratio = coverage_ratio;
   PredicateMiner miner(rprime, step_options);
-  PALEO_ASSIGN_OR_RETURN(MiningResult mining, miner.Mine());
+  PALEO_ASSIGN_OR_RETURN(MiningResult mining, miner.Mine(governed));
+  note_termination(mining.termination);
   report.candidate_predicates =
       static_cast<int64_t>(mining.predicates.size());
   report.predicates_by_size = mining.predicates_by_size;
@@ -66,7 +108,8 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   PALEO_ASSIGN_OR_RETURN(
       std::vector<GroupRanking> rankings,
       finder.Find(mining.groups, input, assume_complete,
-                  &report.ranking_info));
+                  &report.ranking_info, /*exhaustive=*/false, governed));
+  note_termination(report.ranking_info.termination);
 
   // ORDER BY direction: ascending only when the input values are
   // non-decreasing with at least one increase (matching the ranking
@@ -88,8 +131,21 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   // ---- Step 3: validate candidate queries against R ----
   step_timer.Reset();
   Validator validator(*base_, &executor_, options_);
-  PALEO_ASSIGN_OR_RETURN(ValidationOutcome outcome,
-                         validator.Validate(candidates, input));
+  ValidationOutcome outcome;
+  if (report.termination == TerminationReason::kCompleted) {
+    PALEO_ASSIGN_OR_RETURN(
+        outcome, validator.Validate(candidates, input, governed,
+                                    /*prior_executions=*/0));
+    note_termination(outcome.termination);
+    AppendNearMisses(candidates, outcome.unvalidated, &report);
+  } else {
+    // The budget ran out before validation started: nothing was
+    // executed, so every assembled candidate is a near miss.
+    for (size_t i = 0;
+         i < candidates.size() && i < kMaxNearMisses; ++i) {
+      report.near_misses.push_back(candidates[i]);
+    }
+  }
   report.valid = std::move(outcome.valid);
   report.executed_queries = outcome.executions;
   report.skip_events = outcome.skip_events;
@@ -100,13 +156,18 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   // which is usually right but can be shadowed by a coincidental exact
   // match (e.g. max == avg == sum over one-row tuple sets). If nothing
   // validated against R, redo the ranking search exhaustively and
-  // validate only the criteria the first pass did not try.
-  if (assume_complete && report.valid.empty()) {
+  // validate only the criteria the first pass did not try. Skipped
+  // when the budget is already exhausted — the near misses above are
+  // the best answer the budget affords.
+  if (assume_complete && report.valid.empty() &&
+      report.termination == TerminationReason::kCompleted) {
     step_timer.Reset();
+    RankingSearchInfo deep_info;
     PALEO_ASSIGN_OR_RETURN(
         std::vector<GroupRanking> all_rankings,
         finder.Find(mining.groups, input, /*assume_complete=*/true,
-                    /*info=*/nullptr, /*exhaustive=*/true));
+                    &deep_info, /*exhaustive=*/true, governed));
+    note_termination(deep_info.termination);
     std::vector<CandidateQuery> all_candidates = BuildCandidateQueries(
         mining, all_rankings, model, static_cast<int>(input.size()), order);
     std::unordered_set<uint64_t> already_tried;
@@ -124,8 +185,20 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
     report.timings.find_ranking_ms += step_timer.ElapsedMillis();
 
     step_timer.Reset();
-    PALEO_ASSIGN_OR_RETURN(ValidationOutcome retry,
-                           validator.Validate(fresh, input));
+    ValidationOutcome retry;
+    if (report.termination == TerminationReason::kCompleted) {
+      PALEO_ASSIGN_OR_RETURN(
+          retry, validator.Validate(fresh, input, governed,
+                                    report.executed_queries));
+      note_termination(retry.termination);
+      AppendNearMisses(fresh, retry.unvalidated, &report);
+    } else {
+      for (size_t i = 0;
+           i < fresh.size() && report.near_misses.size() < kMaxNearMisses;
+           ++i) {
+        report.near_misses.push_back(fresh[i]);
+      }
+    }
     for (ValidQuery& vq : retry.valid) {
       vq.executions_at_discovery += report.executed_queries;
       report.valid.push_back(std::move(vq));

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/run_budget.h"
 #include "common/status.h"
 #include "engine/executor.h"
 #include "engine/topk_list.h"
@@ -79,6 +80,18 @@ struct ReverseEngineerReport {
   StepTimings timings;
   RankingSearchInfo ranking_info;
 
+  /// Why the run stopped. kCompleted means the pipeline ran to
+  /// exhaustion (the only possible value without a RunBudget); any
+  /// other value means the budget ran out and `valid` holds only what
+  /// was confirmed before that.
+  TerminationReason termination = TerminationReason::kCompleted;
+
+  /// When the budget ran out mid-validation: the best candidates (in
+  /// suitability order, capped) that never got executed against R.
+  /// They are PALEO's ranked best guesses at the answer — unvalidated,
+  /// but actionable.
+  std::vector<CandidateQuery> near_misses;
+
   /// The scored candidate list (retained when
   /// PaleoOptions-independent `keep_candidates` argument is set).
   std::vector<CandidateQuery> candidates;
@@ -99,8 +112,17 @@ class Paleo {
   Executor* executor() { return &executor_; }
 
   /// Reverse engineers `input` against the full R' (Sections 3-5, 7).
+  ///
+  /// `budget` (optional, not owned, must outlive the call) adds
+  /// caller-side resource limits — e.g. a CancellationToken tripped by
+  /// a serving thread — on top of the options' deadline_ms /
+  /// max_validation_executions knobs; the tighter limit wins. Budget
+  /// exhaustion is not an error: the report carries a non-kCompleted
+  /// termination reason, every query validated in time, and the top
+  /// unvalidated candidates as near_misses.
   StatusOr<ReverseEngineerReport> Run(const TopKList& input,
-                                      bool keep_candidates = false);
+                                      bool keep_candidates = false,
+                                      const RunBudget* budget = nullptr);
 
   /// Reverse engineers `input` on the given sample of R's rows
   /// (sorted global row ids, e.g. from Sampler). The coverage ratio
@@ -109,12 +131,14 @@ class Paleo {
   StatusOr<ReverseEngineerReport> RunOnSample(
       const TopKList& input, const std::vector<RowId>& sample_rows,
       double sample_fraction, bool keep_candidates = false,
-      double coverage_ratio_override = -1.0);
+      double coverage_ratio_override = -1.0,
+      const RunBudget* budget = nullptr);
 
  private:
   StatusOr<ReverseEngineerReport> RunImpl(
       const TopKList& input, const std::vector<RowId>* sample_rows,
-      double coverage_ratio, bool assume_complete, bool keep_candidates);
+      double coverage_ratio, bool assume_complete, bool keep_candidates,
+      const RunBudget* external_budget);
 
   const Table* base_;
   PaleoOptions options_;

@@ -38,13 +38,17 @@ int Popcount(const std::vector<uint64_t>& bits) {
 
 }  // namespace
 
-StatusOr<MiningResult> PredicateMiner::Mine() const {
+StatusOr<MiningResult> PredicateMiner::Mine(const RunBudget* budget) const {
   if (options_.coverage_ratio <= 0.0 || options_.coverage_ratio > 1.0) {
     return Status::InvalidArgument("coverage_ratio must be in (0, 1]");
   }
   if (options_.max_predicate_size < 1) {
     return Status::InvalidArgument("max_predicate_size must be >= 1");
   }
+  // Budget poll for the mining loops. Once the gate trips, every loop
+  // below unwinds and the partial result is assembled as usual with a
+  // non-kCompleted termination reason.
+  BudgetGate gate(budget, /*stride=*/1024);
   const Table& slice = rprime_.table();
   const Schema& schema = slice.schema();
   const std::vector<uint32_t>& row_entity = rprime_.row_entity();
@@ -60,12 +64,14 @@ StatusOr<MiningResult> PredicateMiner::Mine() const {
   // ---- Level 1: atomic predicates ----
   std::vector<LevelEntry> level1;
   for (int col_idx : schema.dimension_indices()) {
+    if (gate.exhausted()) break;
     const Column& col = slice.column(col_idx);
     // Bucket local rows by value. Keys are normalized to uint64 (dict
     // code, int64 bits, or double bits).
     std::unordered_map<uint64_t, TupleSet> buckets;
     const size_t n = slice.num_rows();
     for (size_t r = 0; r < n; ++r) {
+      if (gate.Tick() != TerminationReason::kCompleted) break;
       uint64_t key = 0;
       switch (col.type()) {
         case DataType::kString:
@@ -82,6 +88,10 @@ StatusOr<MiningResult> PredicateMiner::Mine() const {
       }
       buckets[key].push_back(static_cast<RowId>(r));
     }
+    // A column interrupted mid-bucketing would yield predicates with
+    // incomplete tuple sets — wrong, not merely partial — so its work
+    // is discarded wholesale.
+    if (gate.exhausted()) break;
     // Deterministic order: sort bucket keys.
     std::vector<uint64_t> keys;
     keys.reserve(buckets.size());
@@ -89,6 +99,7 @@ StatusOr<MiningResult> PredicateMiner::Mine() const {
     std::sort(keys.begin(), keys.end());
     std::vector<uint64_t> scratch;
     for (uint64_t key : keys) {
+      if (gate.Tick() != TerminationReason::kCompleted) break;
       TupleSet& rows = buckets[key];
       int covered = CountCoveredEntities(rows, row_entity, m, &scratch);
       if (covered < required) continue;
@@ -123,6 +134,7 @@ StatusOr<MiningResult> PredicateMiner::Mine() const {
   // the right end until covered, then shrink the left end.
   if (options_.mine_range_predicates) {
     for (int col_idx : schema.dimension_indices()) {
+      if (gate.exhausted()) break;
       const Column& col = slice.column(col_idx);
       if (!IsNumeric(col.type())) continue;
       const size_t n = slice.num_rows();
@@ -148,6 +160,7 @@ StatusOr<MiningResult> PredicateMiner::Mine() const {
       double best_lo = 0, best_hi = 0;
       bool found = false;
       for (size_t right = 0; right < points.size(); ++right) {
+        if (gate.Tick() != TerminationReason::kCompleted) break;
         if (per_entity[points[right].entity]++ == 0) ++covered;
         while (covered >= required) {
           double width = points[right].v - points[left].v;
@@ -161,7 +174,9 @@ StatusOr<MiningResult> PredicateMiner::Mine() const {
           ++left;
         }
       }
-      if (!found) continue;
+      // An interrupted sweep may have missed a tighter interval;
+      // discard rather than emit a possibly-suboptimal range.
+      if (gate.exhausted() || !found) continue;
 
       TupleSet rows;
       for (const Point& p : points) {
@@ -192,12 +207,18 @@ StatusOr<MiningResult> PredicateMiner::Mine() const {
   // ---- Levels 2..max: column-increasing extension ----
   std::vector<std::vector<LevelEntry>> levels;
   levels.push_back(std::move(level1));
-  for (int size = 2; size <= options_.max_predicate_size; ++size) {
+  for (int size = 2;
+       size <= options_.max_predicate_size && !gate.exhausted(); ++size) {
     const std::vector<LevelEntry>& prev = levels.back();
     std::vector<LevelEntry> next;
     std::vector<uint64_t> scratch;
     for (const LevelEntry& base : prev) {
+      if (gate.exhausted()) break;
       for (const LevelEntry& atom : levels[0]) {
+        // Each extension is an intersection of two complete tuple
+        // sets, so stopping between extensions loses candidates but
+        // never emits a wrong one.
+        if (gate.Tick() != TerminationReason::kCompleted) break;
         // Strictly increasing column order: every conjunction is
         // generated exactly once and same-column conflicts are
         // impossible.
@@ -277,6 +298,7 @@ StatusOr<MiningResult> PredicateMiner::Mine() const {
       result.predicates.push_back(std::move(mined));
     }
   }
+  result.termination = gate.reason();
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_budget.h"
 #include "common/status.h"
 #include "engine/predicate.h"
 #include "paleo/options.h"
@@ -55,6 +56,10 @@ struct MiningResult {
   /// predicates_by_size[s] = number of candidate predicates with s
   /// atoms (index 0 unused).
   std::vector<int> predicates_by_size;
+  /// kCompleted when the level-wise search ran to exhaustion;
+  /// otherwise the search stopped early and `predicates` holds only
+  /// what was mined before the budget ran out.
+  TerminationReason termination = TerminationReason::kCompleted;
 };
 
 /// \brief Algorithm 1 implementation.
@@ -66,8 +71,11 @@ class PredicateMiner {
   /// Runs the level-wise search. Correct and complete with respect to
   /// R' (property (i) of the paper): every returned predicate is a
   /// candidate, and every candidate up to max_predicate_size is
-  /// returned.
-  StatusOr<MiningResult> Mine() const;
+  /// returned. When `budget` is set, the search polls it at bounded
+  /// intervals and degrades gracefully: on exhaustion the result
+  /// carries the predicates mined so far and a non-kCompleted
+  /// termination reason instead of an error.
+  StatusOr<MiningResult> Mine(const RunBudget* budget = nullptr) const;
 
  private:
   const RPrime& rprime_;

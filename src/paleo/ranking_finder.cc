@@ -26,10 +26,14 @@ struct Stage {
 
 StatusOr<std::vector<GroupRanking>> RankingFinder::Find(
     const std::vector<PredicateGroup>& groups, const TopKList& input,
-    bool assume_complete, RankingSearchInfo* info, bool exhaustive) const {
+    bool assume_complete, RankingSearchInfo* info, bool exhaustive,
+    const RunBudget* budget) const {
   RankingSearchInfo local_info;
   if (info == nullptr) info = &local_info;
   *info = RankingSearchInfo();
+  // Polled between criterion evaluations (each evaluation scans a
+  // whole tuple set, so a small stride keeps the reaction prompt).
+  BudgetGate gate(budget, /*stride=*/8);
 
   const Table& slice = rprime_.table();
   const Schema& schema = slice.schema();
@@ -277,6 +281,7 @@ StatusOr<std::vector<GroupRanking>> RankingFinder::Find(
       -> bool {
     bool any_exact = false;
     for (size_t g = 0; g < groups.size(); ++g) {
+      if (gate.exhausted()) break;
       const TupleSet& rows = groups[g].rows;
       auto already_have = [&](const RankExpr& expr) {
         for (const RankingCandidate& existing : rankings[g].candidates) {
@@ -321,8 +326,9 @@ StatusOr<std::vector<GroupRanking>> RankingFinder::Find(
           }
         }
         std::vector<double> per_entity(static_cast<size_t>(m));
-        for (size_t i = 0; i < measures.size(); ++i) {
+        for (size_t i = 0; i < measures.size() && !gate.exhausted(); ++i) {
           for (size_t j = i + 1; j < measures.size(); ++j) {
+            if (gate.Tick() != TerminationReason::kCompleted) break;
             if (options_.enable_sum_of_two) {
               RankExpr expr = RankExpr::Add(measures[i], measures[j]);
               if (!already_have(expr)) {
@@ -356,6 +362,7 @@ StatusOr<std::vector<GroupRanking>> RankingFinder::Find(
         }
       } else {
         for (int c : columns) {
+          if (gate.Tick() != TerminationReason::kCompleted) break;
           RankExpr expr = RankExpr::Column(c);
           if (!already_have(expr)) emit(evaluate(rows, expr, stage.agg));
         }
@@ -394,6 +401,7 @@ StatusOr<std::vector<GroupRanking>> RankingFinder::Find(
   bool top_cols_ready = false, hist_cols_ready = false;
 
   for (const Stage& stage : plan) {
+    if (gate.exhausted()) break;
     std::vector<int> columns;
     switch (stage.technique) {
       case Technique::kTopEntities:
@@ -444,6 +452,7 @@ StatusOr<std::vector<GroupRanking>> RankingFinder::Find(
       gr.candidates.resize(cap);
     }
   }
+  info->termination = gate.reason();
   return rankings;
 }
 

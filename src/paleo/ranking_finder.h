@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "common/run_budget.h"
 #include "common/status.h"
 #include "engine/rank_expr.h"
 #include "engine/topk_list.h"
@@ -56,6 +57,9 @@ struct RankingSearchInfo {
   int histogram_candidate_columns = 0;
   /// Criteria evaluations performed over R' tuple sets.
   int64_t tuple_set_evaluations = 0;
+  /// kCompleted when the Figure 4 walk finished; otherwise the search
+  /// stopped early on a RunBudget and the rankings are partial.
+  TerminationReason termination = TerminationReason::kCompleted;
 };
 
 /// \brief Figure 4 search driver.
@@ -79,10 +83,15 @@ class RankingFinder {
   /// when no candidate from the cheap walk validates against R: a
   /// coincidental exact match on R' (e.g. max == avg over one-row
   /// tuple sets) can otherwise shadow the true criterion.
+  ///
+  /// When `budget` is set, the walk polls it between criterion
+  /// evaluations and stops early on exhaustion, returning the criteria
+  /// found so far (each individually complete) with
+  /// info->termination recording the reason.
   StatusOr<std::vector<GroupRanking>> Find(
       const std::vector<PredicateGroup>& groups, const TopKList& input,
       bool assume_complete, RankingSearchInfo* info = nullptr,
-      bool exhaustive = false) const;
+      bool exhaustive = false, const RunBudget* budget = nullptr) const;
 
  private:
   const RPrime& rprime_;

@@ -6,6 +6,23 @@
 
 namespace paleo {
 
+namespace {
+
+/// Maps an exhausted budget to its reason; used after the budget check
+/// or the executor reported interruption. Falls back to kCancelled
+/// when the budget itself no longer reports exhaustion (only possible
+/// with an externally reset token).
+TerminationReason ExhaustionReason(const RunBudget* budget,
+                                   int64_t executions_used) {
+  if (budget == nullptr) return TerminationReason::kCancelled;
+  TerminationReason reason = budget->Check(executions_used);
+  return reason == TerminationReason::kCompleted
+             ? TerminationReason::kCancelled
+             : reason;
+}
+
+}  // namespace
+
 bool Validator::Accepts(const TopKList& result, const TopKList& input) const {
   if (options_.match_mode == MatchMode::kExact) {
     return result.InstanceEquals(input, options_.rel_eps);
@@ -22,20 +39,43 @@ bool Validator::Accepts(const TopKList& result, const TopKList& input) const {
 }
 
 StatusOr<ValidationOutcome> Validator::RankedValidation(
-    const std::vector<CandidateQuery>& candidates,
-    const TopKList& input) const {
+    const std::vector<CandidateQuery>& candidates, const TopKList& input,
+    const RunBudget* budget, int64_t prior_executions) const {
   ValidationOutcome outcome;
   outcome.passes = 1;
-  for (const CandidateQuery& cq : candidates) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
     if (options_.max_query_executions > 0 &&
         outcome.executions >= options_.max_query_executions) {
       break;
     }
-    PALEO_ASSIGN_OR_RETURN(TopKList result,
-                           executor_->Execute(base_, cq.query));
+    if (outcome.termination == TerminationReason::kCompleted &&
+        budget != nullptr &&
+        budget->Exhausted(prior_executions + outcome.executions)) {
+      outcome.termination =
+          ExhaustionReason(budget, prior_executions + outcome.executions);
+    }
+    if (outcome.termination != TerminationReason::kCompleted) {
+      // Budget gone: record the rest as unvalidated instead of
+      // executing them.
+      outcome.unvalidated.push_back(i);
+      continue;
+    }
+    auto result = executor_->Execute(base_, candidates[i].query, budget);
+    if (!result.ok()) {
+      if (result.status().IsCancelled()) {
+        // The deadline passed (or the token tripped) mid-scan; the
+        // partial execution does not count.
+        outcome.termination = ExhaustionReason(
+            budget, prior_executions + outcome.executions);
+        outcome.unvalidated.push_back(i);
+        continue;
+      }
+      return result.status();
+    }
     ++outcome.executions;
-    if (Accepts(result, input)) {
-      outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
+    if (Accepts(*result, input)) {
+      outcome.valid.push_back(
+          ValidQuery{candidates[i].query, outcome.executions});
       if (options_.stop_at_first_valid) break;
     }
   }
@@ -43,8 +83,8 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
 }
 
 StatusOr<ValidationOutcome> Validator::SmartValidation(
-    const std::vector<CandidateQuery>& candidates,
-    const TopKList& input) const {
+    const std::vector<CandidateQuery>& candidates, const TopKList& input,
+    const RunBudget* budget, int64_t prior_executions) const {
   ValidationOutcome outcome;
   const double tau = options_.smart_jaccard_threshold;
 
@@ -57,6 +97,36 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
     return options_.max_query_executions <= 0 ||
            outcome.executions < options_.max_query_executions;
   };
+  // Governed check: trips the outcome's termination once the RunBudget
+  // is exhausted (checked before each execution; cheap otherwise).
+  auto governed_left = [&]() {
+    if (outcome.termination != TerminationReason::kCompleted) return false;
+    if (budget != nullptr &&
+        budget->Exhausted(prior_executions + outcome.executions)) {
+      outcome.termination =
+          ExhaustionReason(budget, prior_executions + outcome.executions);
+      return false;
+    }
+    return true;
+  };
+  // Executes candidates[idx]; returns false when the run should wind
+  // down (budget exhausted mid-scan). Errors propagate via `failure`.
+  Status failure = Status::OK();
+  auto execute = [&](size_t idx, TopKList* result) {
+    auto executed = executor_->Execute(base_, candidates[idx].query, budget);
+    if (!executed.ok()) {
+      if (executed.status().IsCancelled()) {
+        outcome.termination = ExhaustionReason(
+            budget, prior_executions + outcome.executions);
+      } else {
+        failure = executed.status();
+      }
+      return false;
+    }
+    ++outcome.executions;
+    *result = std::move(executed).value();
+    return true;
+  };
 
   while (!queue.empty()) {
     ++outcome.passes;
@@ -67,11 +137,10 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
     size_t pos = 0;
     // Phase 1: execute in order until some result's entities overlap L
     // beyond tau — that candidate becomes Qfm.
-    for (; pos < queue.size() && budget_left(); ++pos) {
+    for (; pos < queue.size() && budget_left() && governed_left(); ++pos) {
       const CandidateQuery& cq = candidates[queue[pos]];
-      PALEO_ASSIGN_OR_RETURN(TopKList result,
-                             executor_->Execute(base_, cq.query));
-      ++outcome.executions;
+      TopKList result;
+      if (!execute(queue[pos], &result)) break;
       if (Accepts(result, input)) {
         outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
         if (options_.stop_at_first_valid) return outcome;
@@ -83,10 +152,11 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
         break;
       }
     }
+    if (!failure.ok()) return failure;
 
     // Phase 2: execute the remainder, skipping candidates unrelated to
     // Qfm.
-    for (; pos < queue.size() && budget_left(); ++pos) {
+    for (; pos < queue.size() && budget_left() && governed_left(); ++pos) {
       const CandidateQuery& cq = candidates[queue[pos]];
       if (first_match != nullptr) {
         bool no_predicate_overlap =
@@ -100,15 +170,26 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
           continue;
         }
       }
-      PALEO_ASSIGN_OR_RETURN(TopKList result,
-                             executor_->Execute(base_, cq.query));
-      ++outcome.executions;
+      TopKList result;
+      if (!execute(queue[pos], &result)) break;
       if (Accepts(result, input)) {
         outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
         if (options_.stop_at_first_valid) return outcome;
       }
     }
+    if (!failure.ok()) return failure;
 
+    if (outcome.termination != TerminationReason::kCompleted) {
+      // Wind down: everything not yet executed this pass — the queue
+      // tail plus this pass's skips — was never validated. Ascending
+      // index order restores suitability order.
+      outcome.unvalidated.assign(queue.begin() + static_cast<ptrdiff_t>(pos),
+                                 queue.end());
+      outcome.unvalidated.insert(outcome.unvalidated.end(), skipped.begin(),
+                                 skipped.end());
+      std::sort(outcome.unvalidated.begin(), outcome.unvalidated.end());
+      return outcome;
+    }
     if (!budget_left()) break;
     // Retry the skipped candidates; terminates because phase 1 always
     // executes at least the first queued candidate.
@@ -118,13 +199,13 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
 }
 
 StatusOr<ValidationOutcome> Validator::Validate(
-    const std::vector<CandidateQuery>& candidates,
-    const TopKList& input) const {
+    const std::vector<CandidateQuery>& candidates, const TopKList& input,
+    const RunBudget* budget, int64_t prior_executions) const {
   switch (options_.validation_strategy) {
     case ValidationStrategy::kRanked:
-      return RankedValidation(candidates, input);
+      return RankedValidation(candidates, input, budget, prior_executions);
     case ValidationStrategy::kSmart:
-      return SmartValidation(candidates, input);
+      return SmartValidation(candidates, input, budget, prior_executions);
   }
   return Status::Internal("unknown validation strategy");
 }

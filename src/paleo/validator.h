@@ -9,6 +9,14 @@
 // the ranking criterion is confirmed by value overlap, candidates with
 // a different criterion. Skipped candidates are retried in later
 // passes, so no valid query is ever lost.
+//
+// Both strategies are resource-governed: with a RunBudget they poll
+// the deadline/cancellation before every execution (and the executor
+// polls mid-scan), count executions against the budget's cap, and on
+// exhaustion wind down gracefully — the outcome keeps every query
+// validated so far, records the termination reason, and lists the
+// candidates that never got executed so the caller can surface them
+// as near misses.
 
 #ifndef PALEO_PALEO_VALIDATOR_H_
 #define PALEO_PALEO_VALIDATOR_H_
@@ -16,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_budget.h"
 #include "common/status.h"
 #include "engine/executor.h"
 #include "paleo/candidate_query.h"
@@ -38,6 +47,12 @@ struct ValidationOutcome {
   int64_t skip_events = 0;
   /// Passes over the candidate list (smart strategy; 1 for ranked).
   int passes = 0;
+  /// kCompleted when every candidate was considered; otherwise the
+  /// RunBudget ran out and `unvalidated` lists the indices (into the
+  /// input candidate vector, ascending = suitability order) that were
+  /// never executed.
+  TerminationReason termination = TerminationReason::kCompleted;
+  std::vector<size_t> unvalidated;
   bool found() const { return !valid.empty(); }
 };
 
@@ -53,19 +68,24 @@ class Validator {
   bool Accepts(const TopKList& result, const TopKList& input) const;
 
   /// Sequential execution in the given (suitability) order.
+  /// `prior_executions` is the pipeline-wide execution count before
+  /// this call, charged against the budget's execution cap.
   StatusOr<ValidationOutcome> RankedValidation(
-      const std::vector<CandidateQuery>& candidates,
-      const TopKList& input) const;
+      const std::vector<CandidateQuery>& candidates, const TopKList& input,
+      const RunBudget* budget = nullptr,
+      int64_t prior_executions = 0) const;
 
   /// Algorithm 3.
   StatusOr<ValidationOutcome> SmartValidation(
-      const std::vector<CandidateQuery>& candidates,
-      const TopKList& input) const;
+      const std::vector<CandidateQuery>& candidates, const TopKList& input,
+      const RunBudget* budget = nullptr,
+      int64_t prior_executions = 0) const;
 
   /// Dispatches on options.validation_strategy.
   StatusOr<ValidationOutcome> Validate(
-      const std::vector<CandidateQuery>& candidates,
-      const TopKList& input) const;
+      const std::vector<CandidateQuery>& candidates, const TopKList& input,
+      const RunBudget* budget = nullptr,
+      int64_t prior_executions = 0) const;
 
  private:
   const Table& base_;
