@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kInternal = 7,
   kIoError = 8,
   kCancelled = 9,
+  kResourceExhausted = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -76,6 +77,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  /// A bounded resource (admission queue, session table) is full and
+  /// the request was shed rather than queued. Retryable by the caller
+  /// after backoff.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -98,6 +105,9 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -81,7 +81,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
                                          const TopKQuery& query,
                                          const RunBudget* budget) {
   PALEO_RETURN_NOT_OK(ValidateQuery(table, query));
-  ++stats_.queries_executed;
+  stats_.queries_executed.fetch_add(1, std::memory_order_relaxed);
 
   BoundPredicate bound(query.predicate, table);
   const Column& entities = table.entity_column();
@@ -99,7 +99,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
     index_rows = dimension_index_->Match(query.predicate);
     rows = &index_rows;
     from_index = true;
-    ++stats_.index_assisted;
+    stats_.index_assisted.fetch_add(1, std::memory_order_relaxed);
   }
 
   // The scan / group-by loop polls the budget every few thousand rows
@@ -133,7 +133,8 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
         fn(static_cast<RowId>(r), bound.Matches(static_cast<RowId>(r)));
       }
     }
-    stats_.rows_scanned += static_cast<int64_t>(visited);
+    stats_.rows_scanned.fetch_add(static_cast<int64_t>(visited),
+                                  std::memory_order_relaxed);
     return completed;
   };
   auto interrupted = [&]() -> Status {

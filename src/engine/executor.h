@@ -8,6 +8,7 @@
 #ifndef PALEO_ENGINE_EXECUTOR_H_
 #define PALEO_ENGINE_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -27,15 +28,24 @@ class DimensionIndex;
 /// row id for no-aggregation queries), so repeated executions and
 /// executions through different-but-equivalent predicates produce
 /// identical lists.
+///
+/// Thread safety: Execute / ExecuteOnRows / CountMatching may be
+/// called concurrently from any number of threads — the tables they
+/// read are immutable and the stats counters are atomic (relaxed;
+/// totals are exact, cross-counter snapshots are not). Configuration
+/// (SetDimensionIndex, ResetStats) is not synchronized: call it before
+/// sharing the executor, never mid-flight.
 class Executor {
  public:
   /// Counters accumulated across Execute calls (reset manually).
+  /// Atomic so concurrent executions through one shared executor (the
+  /// parallel validator, the discovery service) keep exact totals.
   struct Stats {
-    int64_t queries_executed = 0;
-    int64_t rows_scanned = 0;
+    std::atomic<int64_t> queries_executed{0};
+    std::atomic<int64_t> rows_scanned{0};
     /// Executions answered from dimension-index postings instead of a
     /// full scan.
-    int64_t index_assisted = 0;
+    std::atomic<int64_t> index_assisted{0};
   };
 
   Executor() = default;
@@ -74,7 +84,11 @@ class Executor {
   size_t CountMatching(const Table& table, const Predicate& predicate);
 
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  void ResetStats() {
+    stats_.queries_executed.store(0, std::memory_order_relaxed);
+    stats_.rows_scanned.store(0, std::memory_order_relaxed);
+    stats_.index_assisted.store(0, std::memory_order_relaxed);
+  }
 
  private:
   StatusOr<TopKList> ExecuteImpl(const Table& table,

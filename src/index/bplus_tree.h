@@ -14,8 +14,13 @@
 //  * VerifyInvariants() checks the full set of structural invariants and
 //    backs the property-based test suite.
 //
-// Not thread-safe; callers serialize access, as all PALEO phases are
-// single-threaded per task.
+// Thread contract: mutation (Insert/Erase) is single-threaded, but the
+// tree is immutable after its build phase in every PALEO use (the
+// entity index builds it once per relation), and all read paths
+// (Lookup, Scan*, height, VerifyInvariants) are const with no hidden
+// mutable state — so any number of threads may read one built tree
+// concurrently with no synchronization. This is what lets the
+// discovery service share one index across all sessions.
 
 #ifndef PALEO_INDEX_BPLUS_TREE_H_
 #define PALEO_INDEX_BPLUS_TREE_H_

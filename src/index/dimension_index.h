@@ -8,6 +8,10 @@
 // index is an optional substrate improvement that changes none of the
 // measured quantities (executions, candidates) — only wall-clock.
 // bench_micro_executor quantifies the difference.
+//
+// Immutable after Build(): Lookup/Covers/Match are const, allocate
+// only caller-local state, and may run concurrently from any number of
+// threads over one shared instance.
 
 #ifndef PALEO_INDEX_DIMENSION_INDEX_H_
 #define PALEO_INDEX_DIMENSION_INDEX_H_

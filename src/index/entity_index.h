@@ -5,6 +5,10 @@
 // any input list L is Lookup() of each entity followed by Table::Gather
 // to materialize R' (paper Section 3.1: "SELECT * FROM R WHERE Ae IN
 // [e, f, g, m, o]").
+//
+// Immutable after Build(): every member below is const and touches no
+// hidden mutable state, so one index instance is safely shared by any
+// number of concurrent readers (the discovery service relies on this).
 
 #ifndef PALEO_INDEX_ENTITY_INDEX_H_
 #define PALEO_INDEX_ENTITY_INDEX_H_

@@ -111,6 +111,19 @@ struct PaleoOptions {
   /// near misses. Both caps may be set; the tighter one wins.
   int64_t max_validation_executions = 0;
 
+  /// Fan candidate-query executions of the validation step out across
+  /// a ThreadPool (passed to Paleo::RunConcurrent or the Validator):
+  /// up to this many executions run concurrently, results commit in
+  /// suitability-rank order, and the first validated query cancels
+  /// outstanding lower-rank siblings. <= 1, or a missing pool, keeps
+  /// the sequential paths. The set of valid queries (and with
+  /// stop_at_first_valid the single reported query) is identical to a
+  /// sequential run — speculation beyond the commit point is discarded
+  /// exactly where the sequential smart scheduler would have skipped
+  /// or stopped — but wall-clock-dependent side counts
+  /// (speculative_executions, timings) differ.
+  int num_threads = 1;
+
   /// Build secondary indexes on R's dimension columns and answer
   /// candidate-query executions by posting-list intersection instead
   /// of full scans. Results are identical; validation wall-clock drops

@@ -45,7 +45,8 @@ StatusOr<ReverseEngineerReport> Paleo::Run(const TopKList& input,
                                            bool keep_candidates,
                                            const RunBudget* budget) {
   return RunImpl(input, nullptr, options_.coverage_ratio,
-                 /*assume_complete=*/true, keep_candidates, budget);
+                 /*assume_complete=*/true, keep_candidates, budget,
+                 options_, &executor_, /*pool=*/nullptr);
 }
 
 StatusOr<ReverseEngineerReport> Paleo::RunOnSample(
@@ -56,13 +57,32 @@ StatusOr<ReverseEngineerReport> Paleo::RunOnSample(
                         ? coverage_ratio_override
                         : CoverageRatioForSample(sample_fraction);
   return RunImpl(input, &sample_rows, coverage, /*assume_complete=*/false,
-                 keep_candidates, budget);
+                 keep_candidates, budget, options_, &executor_,
+                 /*pool=*/nullptr);
+}
+
+StatusOr<ReverseEngineerReport> Paleo::RunConcurrent(
+    const TopKList& input, const RunBudget* budget, ThreadPool* pool,
+    const PaleoOptions* options_override) const {
+  const PaleoOptions& options =
+      options_override != nullptr ? *options_override : options_;
+  // All mutable state is this stack-local executor; the shared read
+  // structures (base table, indexes, catalog) are immutable after
+  // construction, so concurrent calls never synchronize.
+  Executor executor;
+  if (dimension_index_ != nullptr && options.use_dimension_index) {
+    executor.SetDimensionIndex(dimension_index_.get(), base_);
+  }
+  return RunImpl(input, nullptr, options.coverage_ratio,
+                 /*assume_complete=*/true, /*keep_candidates=*/false,
+                 budget, options, &executor, pool);
 }
 
 StatusOr<ReverseEngineerReport> Paleo::RunImpl(
     const TopKList& input, const std::vector<RowId>* sample_rows,
     double coverage_ratio, bool assume_complete, bool keep_candidates,
-    const RunBudget* external_budget) {
+    const RunBudget* external_budget, const PaleoOptions& options,
+    Executor* executor, ThreadPool* pool) const {
   ReverseEngineerReport report;
 
   // ---- Resource governance ----
@@ -72,8 +92,8 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   // With neither configured, `governed` stays nullptr and every stage
   // runs exactly as the ungoverned paper pipeline.
   RunBudget budget;
-  budget.SetDeadlineAfterMillis(options_.deadline_ms);
-  budget.set_max_executions(options_.max_validation_executions);
+  budget.SetDeadlineAfterMillis(options.deadline_ms);
+  budget.set_max_executions(options.max_validation_executions);
   if (external_budget != nullptr) budget.Tighten(*external_budget);
   const RunBudget* governed = budget.IsUnlimited() ? nullptr : &budget;
   // The first stage to exhaust the budget names the reason; later
@@ -91,7 +111,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   report.rprime_rows = static_cast<int64_t>(rprime.num_rows());
   report.rprime_bytes = rprime.table().MemoryUsage();
 
-  PaleoOptions step_options = options_;
+  PaleoOptions step_options = options;
   step_options.coverage_ratio = coverage_ratio;
   PredicateMiner miner(rprime, step_options);
   PALEO_ASSIGN_OR_RETURN(MiningResult mining, miner.Mine(governed));
@@ -122,7 +142,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
           : SortOrder::kDesc;
 
   ProbModel model(catalog_, rprime);
-  model.set_use_observed_match_rate(options_.use_observed_match_rate);
+  model.set_use_observed_match_rate(options.use_observed_match_rate);
   std::vector<CandidateQuery> candidates = BuildCandidateQueries(
       mining, rankings, model, static_cast<int>(input.size()), order);
   report.candidate_queries = static_cast<int64_t>(candidates.size());
@@ -130,7 +150,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
 
   // ---- Step 3: validate candidate queries against R ----
   step_timer.Reset();
-  Validator validator(*base_, &executor_, options_);
+  Validator validator(*base_, executor, options, pool);
   ValidationOutcome outcome;
   if (report.termination == TerminationReason::kCompleted) {
     PALEO_ASSIGN_OR_RETURN(
@@ -148,6 +168,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   }
   report.valid = std::move(outcome.valid);
   report.executed_queries = outcome.executions;
+  report.speculative_executions = outcome.speculative_executions;
   report.skip_events = outcome.skip_events;
   report.timings.validation_ms = step_timer.ElapsedMillis();
 
@@ -204,6 +225,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
       report.valid.push_back(std::move(vq));
     }
     report.executed_queries += retry.executions;
+    report.speculative_executions += retry.speculative_executions;
     report.skip_events += retry.skip_events;
     report.timings.validation_ms += step_timer.ElapsedMillis();
     if (keep_candidates) {

@@ -46,6 +46,8 @@
 
 namespace paleo {
 
+class ThreadPool;
+
 /// \brief Wall-clock cost of the three pipeline steps (Figure 7).
 struct StepTimings {
   double find_predicates_ms = 0.0;
@@ -69,8 +71,12 @@ struct ReverseEngineerReport {
   int64_t tuple_sets = 0;
   int64_t candidate_queries = 0;
 
-  /// Validation effort.
+  /// Validation effort. executed_queries counts committed executions
+  /// and is identical under sequential and parallel validation;
+  /// speculative_executions counts parallel-only discarded look-ahead
+  /// work (always 0 sequentially).
   int64_t executed_queries = 0;
+  int64_t speculative_executions = 0;
   int64_t skip_events = 0;
 
   /// R' shape.
@@ -98,6 +104,14 @@ struct ReverseEngineerReport {
 };
 
 /// \brief The PALEO system bound to one base relation.
+///
+/// Thread safety: construction and the mutating accessors
+/// (mutable_options, executor, Run, RunOnSample) are single-threaded.
+/// Once built, the shared read structures (table, entity index,
+/// catalog, dimension index) are immutable, so any number of threads
+/// may call RunConcurrent() on one instance simultaneously — each call
+/// gets its own Executor and leaves the instance untouched. This is
+/// the entry point the DiscoveryService serves requests through.
 class Paleo {
  public:
   /// `base` must outlive this object. Builds the entity index and the
@@ -134,11 +148,26 @@ class Paleo {
       double coverage_ratio_override = -1.0,
       const RunBudget* budget = nullptr);
 
+  /// Thread-safe Run(): identical pipeline and results, but every
+  /// piece of mutable state (the executor and its counters) is local
+  /// to the call, so concurrent invocations on one shared instance
+  /// never interfere. `pool` (optional, not owned) enables parallel
+  /// candidate validation when the effective options' num_threads > 1.
+  /// `options_override` (optional, not owned) replaces the instance
+  /// options for this request — e.g. a per-request deadline_ms — while
+  /// still using the indexes built at construction (a request cannot
+  /// enable use_dimension_index if the instance was built without it).
+  StatusOr<ReverseEngineerReport> RunConcurrent(
+      const TopKList& input, const RunBudget* budget = nullptr,
+      ThreadPool* pool = nullptr,
+      const PaleoOptions* options_override = nullptr) const;
+
  private:
   StatusOr<ReverseEngineerReport> RunImpl(
       const TopKList& input, const std::vector<RowId>* sample_rows,
       double coverage_ratio, bool assume_complete, bool keep_candidates,
-      const RunBudget* external_budget);
+      const RunBudget* external_budget, const PaleoOptions& options,
+      Executor* executor, ThreadPool* pool) const;
 
   const Table* base_;
   PaleoOptions options_;

@@ -1,7 +1,11 @@
 #include "paleo/validator.h"
 
 #include <algorithm>
+#include <future>
+#include <numeric>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "stats/distance.h"
 
 namespace paleo {
@@ -198,13 +202,239 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
   return outcome;
 }
 
+namespace {
+
+/// One candidate execution's outcome, carried through a pool future.
+/// Default-constructed (ran == false) when the pool skipped the task
+/// because the sibling-cancellation token had already tripped.
+struct ExecResult {
+  Status status = Status::OK();
+  TopKList list;
+  bool ran = false;
+};
+
+}  // namespace
+
+StatusOr<ValidationOutcome> Validator::ParallelValidation(
+    const std::vector<CandidateQuery>& candidates, const TopKList& input,
+    bool smart, const RunBudget* budget, int64_t prior_executions) const {
+  ValidationOutcome outcome;
+  const double tau = options_.smart_jaccard_threshold;
+  // In-flight window: one slot per configured validation thread. The
+  // window is also the speculation depth — results past the commit
+  // point may be discarded, so oversizing it wastes executions without
+  // adding concurrency.
+  const size_t window =
+      static_cast<size_t>(std::max(2, options_.num_threads));
+
+  // Trips when validation stops needing its outstanding executions:
+  // first valid query found (stop_at_first_valid), budget exhausted, or
+  // a hard execution error. Queued siblings are then skipped by the
+  // pool; in-flight ones abort at their next mid-scan budget poll.
+  CancellationToken stop;
+  // Per-task budget: the request's deadline plus the sibling token.
+  // The request's own cancellation token is polled by the commit loop
+  // (which then trips `stop`), so a request cancel reaches in-flight
+  // scans with at most one commit of latency.
+  RunBudget task_budget;
+  if (budget != nullptr) task_budget = *budget;
+  task_budget.set_max_executions(0);  // cap is enforced at commit
+  task_budget.set_cancellation_token(&stop);
+
+  struct Slot {
+    enum class State { kPending, kLaunched, kSkipped };
+    State state = State::kPending;
+    std::future<ExecResult> future;
+  };
+
+  auto budget_left = [&]() {
+    return options_.max_query_executions <= 0 ||
+           outcome.executions < options_.max_query_executions;
+  };
+
+  std::vector<size_t> queue(candidates.size());
+  std::iota(queue.begin(), queue.end(), size_t{0});
+
+  while (!queue.empty()) {
+    ++outcome.passes;
+    std::vector<Slot> slots(queue.size());
+    std::vector<size_t> skipped;
+    const CandidateQuery* qfm = nullptr;
+    bool ranking_confirmed = false;
+    size_t commit_pos = 0;
+    size_t launch_pos = 0;
+    size_t inflight = 0;
+
+    // Algorithm 3's skip rule, decidable only once Qfm is known.
+    auto should_skip = [&](const CandidateQuery& cq) {
+      if (!smart || qfm == nullptr) return false;
+      bool no_predicate_overlap =
+          cq.query.predicate.OverlapWith(qfm->query.predicate) == 0;
+      bool wrong_ranking =
+          ranking_confirmed && !cq.query.SameRanking(qfm->query);
+      return no_predicate_overlap || wrong_ranking;
+    };
+
+    // Joins every outstanding execution (they finish promptly: queued
+    // ones are skipped via `stop`, running ones abort at the next
+    // budget poll). Required before returning — tasks reference
+    // stack-local state.
+    auto drain = [&]() {
+      for (size_t i = commit_pos; i < slots.size(); ++i) {
+        if (slots[i].state == Slot::State::kLaunched &&
+            slots[i].future.valid()) {
+          pool_->WaitHelping(slots[i].future);
+          ExecResult r = slots[i].future.get();
+          if (r.ran && r.status.ok()) ++outcome.speculative_executions;
+        }
+      }
+    };
+
+    // Budget exhausted: everything uncommitted — the queue tail plus
+    // this pass's skips — was never validated, exactly as in the
+    // sequential wind-down. Ascending order restores suitability order.
+    auto wind_down = [&]() {
+      stop.Cancel();
+      drain();
+      outcome.unvalidated.assign(
+          queue.begin() + static_cast<ptrdiff_t>(commit_pos), queue.end());
+      outcome.unvalidated.insert(outcome.unvalidated.end(), skipped.begin(),
+                                 skipped.end());
+      std::sort(outcome.unvalidated.begin(), outcome.unvalidated.end());
+    };
+
+    while (commit_pos < queue.size()) {
+      // The sequential paths stop executing once the paper's silent
+      // per-pass cap is hit; mirror that before any further work.
+      if (!budget_left()) {
+        stop.Cancel();
+        drain();
+        return outcome;
+      }
+      if (outcome.termination == TerminationReason::kCompleted &&
+          budget != nullptr &&
+          budget->Exhausted(prior_executions + outcome.executions)) {
+        outcome.termination = ExhaustionReason(
+            budget, prior_executions + outcome.executions);
+      }
+      if (outcome.termination != TerminationReason::kCompleted) {
+        wind_down();
+        return outcome;
+      }
+
+      // Launch ahead in rank order, up to the window. Skip decisions
+      // taken here are final only when Qfm is already known (launch_pos
+      // is always past the Qfm commit then); otherwise the candidate is
+      // launched speculatively and re-judged at commit.
+      while (inflight < window && launch_pos < queue.size()) {
+        if (options_.max_query_executions > 0 &&
+            outcome.executions + static_cast<int64_t>(inflight) >=
+                options_.max_query_executions) {
+          break;  // speculating past the cap is pure waste
+        }
+        const CandidateQuery* cq = &candidates[queue[launch_pos]];
+        if (should_skip(*cq)) {
+          slots[launch_pos].state = Slot::State::kSkipped;
+          ++launch_pos;
+          continue;
+        }
+        slots[launch_pos].future = pool_->Submit(
+            [this, cq, &task_budget]() -> ExecResult {
+              ExecResult r;
+              r.ran = true;
+              auto executed =
+                  executor_->Execute(base_, cq->query, &task_budget);
+              if (!executed.ok()) {
+                r.status = executed.status();
+              } else {
+                r.list = std::move(executed).value();
+              }
+              return r;
+            },
+            /*priority=*/1, &stop);
+        slots[launch_pos].state = Slot::State::kLaunched;
+        ++inflight;
+        ++launch_pos;
+      }
+
+      Slot& slot = slots[commit_pos];
+      if (slot.state == Slot::State::kSkipped) {
+        skipped.push_back(queue[commit_pos]);
+        ++outcome.skip_events;
+        ++commit_pos;
+        continue;
+      }
+      pool_->WaitHelping(slot.future);
+      ExecResult result = slot.future.get();
+      --inflight;
+      const CandidateQuery& cq = candidates[queue[commit_pos]];
+
+      // Re-judge the skip rule now that every earlier result has
+      // committed: a speculative execution the sequential scheduler
+      // would have skipped is discarded and retried next pass.
+      if (should_skip(cq)) {
+        if (result.ran && result.status.ok()) {
+          ++outcome.speculative_executions;
+        }
+        skipped.push_back(queue[commit_pos]);
+        ++outcome.skip_events;
+        ++commit_pos;
+        continue;
+      }
+      if (!result.ran || !result.status.ok()) {
+        if (!result.ran || result.status.IsCancelled()) {
+          // Deadline (or an externally tripped token) hit mid-scan.
+          outcome.termination = ExhaustionReason(
+              budget, prior_executions + outcome.executions);
+          wind_down();
+          return outcome;
+        }
+        stop.Cancel();
+        drain();
+        return result.status;
+      }
+      ++outcome.executions;
+      if (Accepts(result.list, input)) {
+        outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
+        if (options_.stop_at_first_valid) {
+          // The paper's early termination: the first validated query
+          // cancels its outstanding lower-rank siblings.
+          stop.Cancel();
+          drain();
+          return outcome;
+        }
+      }
+      if (smart && qfm == nullptr &&
+          result.list.EntityJaccard(input) >= tau) {
+        qfm = &cq;
+        ranking_confirmed = result.list.ValueJaccard(input, 1e-6) > tau;
+      }
+      ++commit_pos;
+    }
+
+    if (!budget_left()) break;
+    queue = std::move(skipped);
+  }
+  return outcome;
+}
+
 StatusOr<ValidationOutcome> Validator::Validate(
     const std::vector<CandidateQuery>& candidates, const TopKList& input,
     const RunBudget* budget, int64_t prior_executions) const {
+  const bool parallel =
+      pool_ != nullptr && options_.num_threads > 1 && candidates.size() > 1;
   switch (options_.validation_strategy) {
     case ValidationStrategy::kRanked:
+      if (parallel) {
+        return ParallelValidation(candidates, input, /*smart=*/false,
+                                  budget, prior_executions);
+      }
       return RankedValidation(candidates, input, budget, prior_executions);
     case ValidationStrategy::kSmart:
+      if (parallel) {
+        return ParallelValidation(candidates, input, /*smart=*/true,
+                                  budget, prior_executions);
+      }
       return SmartValidation(candidates, input, budget, prior_executions);
   }
   return Status::Internal("unknown validation strategy");

@@ -17,6 +17,19 @@
 // validated so far, records the termination reason, and lists the
 // candidates that never got executed so the caller can surface them
 // as near misses.
+//
+// With a ThreadPool and options.num_threads > 1, candidate executions
+// fan out across the pool: up to num_threads run concurrently while
+// results COMMIT strictly in suitability-rank order, which keeps the
+// paper's semantics bit-for-bit — Qfm is still the first committed
+// result crossing the Jaccard threshold, skip decisions replay the
+// sequential smart schedule (a speculative execution the sequential
+// scheduler would have skipped is discarded and retried next pass),
+// and the first validated query cancels outstanding lower-rank
+// siblings through a CancellationToken wired into their executions.
+// The valid set, execution count, skip events, and pass count are
+// identical to the sequential run; only wall clock and the
+// speculative_executions side counter differ.
 
 #ifndef PALEO_PALEO_VALIDATOR_H_
 #define PALEO_PALEO_VALIDATOR_H_
@@ -31,6 +44,8 @@
 #include "paleo/options.h"
 
 namespace paleo {
+
+class ThreadPool;
 
 /// \brief One validated (accepted) query.
 struct ValidQuery {
@@ -53,15 +68,22 @@ struct ValidationOutcome {
   /// never executed.
   TerminationReason termination = TerminationReason::kCompleted;
   std::vector<size_t> unvalidated;
+  /// Parallel validation only: executions whose results were discarded
+  /// because the rank-order commit decided the sequential scheduler
+  /// would have skipped (or never reached) them. Not counted in
+  /// `executions`.
+  int64_t speculative_executions = 0;
   bool found() const { return !valid.empty(); }
 };
 
 /// \brief Executes candidate queries against R and accepts matches.
 class Validator {
  public:
+  /// `pool` (optional, not owned) enables parallel validation when
+  /// options.num_threads > 1; nullptr keeps every path sequential.
   Validator(const Table& base, Executor* executor,
-            const PaleoOptions& options)
-      : base_(base), executor_(executor), options_(options) {}
+            const PaleoOptions& options, ThreadPool* pool = nullptr)
+      : base_(base), executor_(executor), options_(options), pool_(pool) {}
 
   /// Exact instance-equivalence or partial-match acceptance, per
   /// options.match_mode.
@@ -81,16 +103,25 @@ class Validator {
       const RunBudget* budget = nullptr,
       int64_t prior_executions = 0) const;
 
-  /// Dispatches on options.validation_strategy.
+  /// Dispatches on options.validation_strategy, and onto the parallel
+  /// rank-order-commit implementation when a pool is attached and
+  /// options.num_threads > 1.
   StatusOr<ValidationOutcome> Validate(
       const std::vector<CandidateQuery>& candidates, const TopKList& input,
       const RunBudget* budget = nullptr,
       int64_t prior_executions = 0) const;
 
  private:
+  /// Windowed parallel validation; `smart` replays Algorithm 3's skip
+  /// schedule, false gives parallel ranked validation.
+  StatusOr<ValidationOutcome> ParallelValidation(
+      const std::vector<CandidateQuery>& candidates, const TopKList& input,
+      bool smart, const RunBudget* budget, int64_t prior_executions) const;
+
   const Table& base_;
   Executor* executor_;
   const PaleoOptions& options_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace paleo

@@ -1,0 +1,139 @@
+#include "service/discovery_service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace paleo {
+
+DiscoveryService::DiscoveryService(const Table* base,
+                                   PaleoOptions paleo_options,
+                                   DiscoveryServiceOptions service_options)
+    : paleo_options_(std::move(paleo_options)),
+      service_options_(service_options),
+      paleo_(base, paleo_options_),
+      queue_(service_options.queue_capacity),
+      pool_(service_options.num_workers > 0
+                ? service_options.num_workers
+                : ThreadPool::DefaultNumThreads()) {}
+
+DiscoveryService::~DiscoveryService() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  // Trip every live session so queued ones finalize without running
+  // and mid-flight ones wind down at their next budget poll; then let
+  // the pool (destroyed first, as the last member) drain the dispatch
+  // jobs that assign the terminal states.
+  CancelAll();
+  queue_.Close();
+}
+
+StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
+    TopKList input) {
+  return Submit(std::move(input), paleo_options_);
+}
+
+StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
+    TopKList input, PaleoOptions request_options) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("discovery service is shutting down");
+  }
+  // The deadline moves out of the pipeline options and into the
+  // session budget, anchored at admission: a request that waits in the
+  // queue burns its own deadline, not the worker's time.
+  int64_t deadline_ms = request_options.deadline_ms > 0
+                            ? request_options.deadline_ms
+                            : service_options_.default_deadline_ms;
+  request_options.deadline_ms = 0;
+  auto session =
+      std::make_shared<Session>(next_id_.fetch_add(1, std::memory_order_relaxed),
+                                std::move(input), std::move(request_options));
+  if (deadline_ms > 0) {
+    session->mutable_budget()->SetDeadlineAfterMillis(deadline_ms);
+  }
+  if (!queue_.TryPush(session)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.capacity()) +
+        " requests pending); retry after backoff");
+  }
+  {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    live_.push_back(session);
+  }
+  // One dispatch job per admitted session, FIFO at priority 0 (below
+  // validation subtasks, so running requests finish first).
+  pool_.Submit([this]() { Dispatch(); }, /*priority=*/0);
+  return session;
+}
+
+void DiscoveryService::Dispatch() {
+  std::shared_ptr<Session> session = queue_.Pop();
+  if (session == nullptr) return;
+
+  // The counter for the session's terminal state is published BEFORE
+  // Finish* makes that state visible: a client returning from Wait()
+  // must always find itself already counted in stats().
+  TerminationReason pre_check = session->budget().Check(0);
+  if (pre_check != TerminationReason::kCompleted) {
+    // Cancelled or expired while still queued: terminal without a run.
+    CountTerminal(Session::TerminalStateForUnrun(pre_check));
+    session->FinishWithoutRunning(pre_check);
+  } else {
+    session->MarkRunning();
+    auto result = paleo_.RunConcurrent(session->input(), &session->budget(),
+                                       &pool_, &session->options());
+    CountTerminal(Session::TerminalStateFor(result));
+    session->Finish(std::move(result));
+  }
+
+  // Drop this session (and any other already-collected ones) from the
+  // live list; CancelAll only needs sessions that can still change.
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [&](const std::weak_ptr<Session>& weak) {
+                               auto locked = weak.lock();
+                               return locked == nullptr ||
+                                      locked == session;
+                             }),
+              live_.end());
+}
+
+void DiscoveryService::CountTerminal(SessionState state) {
+  switch (state) {
+    case SessionState::kDone:
+      done_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SessionState::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SessionState::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SessionState::kExpired:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;  // unreachable: callers pass terminal states only
+  }
+}
+
+void DiscoveryService::CancelAll() {
+  std::lock_guard<std::mutex> lock(live_mutex_);
+  for (const std::weak_ptr<Session>& weak : live_) {
+    if (auto session = weak.lock()) session->Cancel();
+  }
+}
+
+DiscoveryServiceStats DiscoveryService::stats() const {
+  DiscoveryServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.done = done_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace paleo

@@ -1,0 +1,143 @@
+// Concurrent discovery service: PALEO as a servable engine.
+//
+// One DiscoveryService owns one read-only base relation together with
+// the structures PALEO computes upfront (entity B+ tree, statistics
+// catalog, dimension indexes) — built once, shared immutably by every
+// request — plus a work-stealing ThreadPool that runs both the
+// admitted sessions and their intra-request parallel validation
+// subtasks.
+//
+// Request lifecycle:
+//   Submit() -> admission control: the bounded RequestQueue accepts
+//     the session or sheds the request with Status::ResourceExhausted.
+//     The per-request deadline is anchored HERE, so time spent queued
+//     burns the same budget as time spent running.
+//   dispatch -> a pool worker pops the oldest session; if its budget
+//     is already exhausted (cancelled or expired while queued) the
+//     session is finalized without running, otherwise the worker runs
+//     Paleo::RunConcurrent governed by the session budget.
+//   Wait/Poll/Cancel -> on the Session handle, from any thread.
+//
+// Scheduling: session dispatch runs at pool priority 0, validation
+// subtasks at priority 1, so admitted requests finish before new ones
+// start and a session blocked on its own subtasks lends its thread to
+// the pool (WaitHelping) — the scheduler cannot deadlock even with
+// every worker occupied by sessions.
+
+#ifndef PALEO_SERVICE_DISCOVERY_SERVICE_H_
+#define PALEO_SERVICE_DISCOVERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/run_budget.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/topk_list.h"
+#include "paleo/options.h"
+#include "paleo/paleo.h"
+#include "service/request_queue.h"
+#include "service/session.h"
+#include "storage/table.h"
+
+namespace paleo {
+
+/// \brief Serving-side knobs, distinct from the pipeline's
+/// PaleoOptions.
+struct DiscoveryServiceOptions {
+  /// Worker threads; requests run concurrently up to this many.
+  /// 0 = hardware concurrency.
+  int num_workers = 0;
+  /// Admitted-but-unstarted sessions the queue holds before Submit
+  /// sheds with ResourceExhausted.
+  size_t queue_capacity = 64;
+  /// Deadline applied to requests whose options leave deadline_ms at
+  /// 0; 0 = unlimited. Anchored at admission.
+  int64_t default_deadline_ms = 0;
+};
+
+/// \brief Aggregate counters; a consistent-enough snapshot for
+/// monitoring (individual counters are exact, cross-counter skew is
+/// possible mid-flight).
+struct DiscoveryServiceStats {
+  int64_t submitted = 0;  // admission attempts
+  int64_t shed = 0;       // rejected at admission (queue full)
+  int64_t done = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t expired = 0;
+  int64_t Finished() const { return done + failed + cancelled + expired; }
+};
+
+/// \brief Multi-tenant front end over one shared Paleo instance.
+///
+/// Thread-safe: Submit and the session handles may be used from any
+/// number of client threads. Destruction cancels queued and running
+/// sessions, drains the pool, and leaves every session in a terminal
+/// state (no Wait() ever hangs across shutdown).
+class DiscoveryService {
+ public:
+  /// `base` must outlive the service. Builds the shared read
+  /// structures once (same cost as one Paleo construction).
+  DiscoveryService(const Table* base, PaleoOptions paleo_options,
+                   DiscoveryServiceOptions service_options = {});
+  ~DiscoveryService();
+
+  DiscoveryService(const DiscoveryService&) = delete;
+  DiscoveryService& operator=(const DiscoveryService&) = delete;
+
+  /// Admits a request with the service's default pipeline options.
+  StatusOr<std::shared_ptr<Session>> Submit(TopKList input);
+
+  /// Admits a request with per-request pipeline options (deadline_ms,
+  /// num_threads, match mode, ... — the indexes stay the service's).
+  /// Sheds with ResourceExhausted when the admission queue is full,
+  /// Cancelled after shutdown began.
+  StatusOr<std::shared_ptr<Session>> Submit(TopKList input,
+                                            PaleoOptions request_options);
+
+  /// Trips every live session's cancellation token (queued and
+  /// running). Sessions still reach their terminal states through the
+  /// normal dispatch path.
+  void CancelAll();
+
+  DiscoveryServiceStats stats() const;
+  /// Sessions admitted and not yet started.
+  size_t queue_depth() const { return queue_.size(); }
+  int num_workers() const { return pool_.num_threads(); }
+  /// The shared engine (for schema access etc.). Do not mutate.
+  const Paleo& engine() const { return paleo_; }
+
+ private:
+  void Dispatch();  // runs on a pool worker: pop + run one session
+  void CountTerminal(SessionState state);
+
+  const PaleoOptions paleo_options_;
+  const DiscoveryServiceOptions service_options_;
+  Paleo paleo_;
+  RequestQueue queue_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> done_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> expired_{0};
+
+  // Live sessions, for CancelAll; pruned on finish.
+  std::mutex live_mutex_;
+  std::vector<std::weak_ptr<Session>> live_;
+
+  // Last member: destroyed first, joining every dispatch and
+  // validation task while the rest of the service is still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_SERVICE_DISCOVERY_SERVICE_H_

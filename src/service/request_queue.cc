@@ -1,0 +1,42 @@
+#include "service/request_queue.h"
+
+#include <utility>
+
+namespace paleo {
+
+RequestQueue::RequestQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RequestQueue::TryPush(std::shared_ptr<Session> session) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || sessions_.size() >= capacity_) return false;
+    sessions_.push_back(std::move(session));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::shared_ptr<Session> RequestQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this]() { return closed_ || !sessions_.empty(); });
+  if (sessions_.empty()) return nullptr;
+  std::shared_ptr<Session> session = std::move(sessions_.front());
+  sessions_.pop_front();
+  return session;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace paleo

@@ -1,0 +1,57 @@
+// Bounded admission queue of the discovery service.
+//
+// Admission control is the service's first line of defense: the queue
+// holds sessions that were accepted but not yet started, and TryPush
+// refuses — load-shedding, surfaced to clients as
+// Status::ResourceExhausted — once `capacity` requests are waiting.
+// Rejecting at the door keeps queue wait (and therefore deadline burn)
+// bounded for the requests that are admitted, instead of letting an
+// unbounded backlog time every later request out.
+
+#ifndef PALEO_SERVICE_REQUEST_QUEUE_H_
+#define PALEO_SERVICE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace paleo {
+
+class Session;
+
+/// \brief Bounded MPMC FIFO of admitted-but-unstarted sessions.
+/// All methods are thread-safe.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity);
+
+  /// Enqueues the session; false when the queue is at capacity or
+  /// closed (the caller sheds the request).
+  bool TryPush(std::shared_ptr<Session> session);
+
+  /// Oldest queued session; blocks while the queue is open and empty.
+  /// After Close(), drains the remaining sessions and then returns
+  /// nullptr forever.
+  std::shared_ptr<Session> Pop();
+
+  /// Refuses further pushes and unblocks every waiting Pop. Sessions
+  /// already queued are still delivered (so their terminal state can
+  /// be assigned by the dispatcher).
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::shared_ptr<Session>> sessions_;
+  bool closed_ = false;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_SERVICE_REQUEST_QUEUE_H_

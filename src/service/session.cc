@@ -1,0 +1,132 @@
+#include "service/session.h"
+
+namespace paleo {
+
+const char* SessionStateToString(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kFailed:
+      return "failed";
+    case SessionState::kCancelled:
+      return "cancelled";
+    case SessionState::kExpired:
+      return "expired";
+  }
+  return "unknown";
+}
+
+bool IsTerminal(SessionState state) {
+  return state == SessionState::kDone || state == SessionState::kFailed ||
+         state == SessionState::kCancelled ||
+         state == SessionState::kExpired;
+}
+
+Session::Session(Id id, TopKList input, PaleoOptions options)
+    : id_(id), input_(std::move(input)), options_(std::move(options)) {
+  budget_.set_cancellation_token(&cancel_);
+}
+
+SessionState Session::Poll() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+SessionState Session::Wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  terminal_.wait(lock, [this]() { return IsTerminal(state_); });
+  return state_;
+}
+
+SessionState Session::WaitFor(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  terminal_.wait_for(lock, timeout,
+                     [this]() { return IsTerminal(state_); });
+  return state_;
+}
+
+const ReverseEngineerReport* Session::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!result_.has_value() || !result_->ok()) return nullptr;
+  return &result_->value();
+}
+
+Status Session::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!result_.has_value()) return Status::OK();
+  return result_->status();
+}
+
+double Session::queue_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_wait_ms_;
+}
+
+double Session::run_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return run_ms_;
+}
+
+void Session::MarkRunning() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = SessionState::kRunning;
+  started_at_ = Clock::now();
+  queue_wait_ms_ =
+      std::chrono::duration<double, std::milli>(started_at_ - admitted_at_)
+          .count();
+}
+
+void Session::FinishLocked(SessionState state,
+                           StatusOr<ReverseEngineerReport> result) {
+  state_ = state;
+  result_.emplace(std::move(result));
+  if (started_at_ != Clock::time_point{}) {
+    run_ms_ =
+        std::chrono::duration<double, std::milli>(Clock::now() - started_at_)
+            .count();
+  }
+}
+
+SessionState Session::TerminalStateFor(
+    const StatusOr<ReverseEngineerReport>& result) {
+  if (!result.ok()) return SessionState::kFailed;
+  switch (result->termination) {
+    case TerminationReason::kCancelled:
+      return SessionState::kCancelled;
+    case TerminationReason::kDeadline:
+      return SessionState::kExpired;
+    default:
+      // kCompleted and kExecutionBudget both delivered a usable
+      // report; the termination reason inside it tells them apart.
+      return SessionState::kDone;
+  }
+}
+
+SessionState Session::TerminalStateForUnrun(TerminationReason reason) {
+  return reason == TerminationReason::kDeadline ? SessionState::kExpired
+                                                : SessionState::kCancelled;
+}
+
+void Session::Finish(StatusOr<ReverseEngineerReport> result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FinishLocked(TerminalStateFor(result), std::move(result));
+  }
+  terminal_.notify_all();
+}
+
+void Session::FinishWithoutRunning(TerminationReason reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ReverseEngineerReport report;
+    report.termination = reason;
+    FinishLocked(TerminalStateForUnrun(reason), std::move(report));
+  }
+  terminal_.notify_all();
+}
+
+}  // namespace paleo

@@ -1,0 +1,152 @@
+// One reverse-engineering request's lifecycle inside the discovery
+// service.
+//
+// State machine (single writer: the dispatching worker; Cancel() from
+// any thread only trips the cooperative token):
+//
+//   kQueued --> kRunning --> { kDone | kFailed | kCancelled | kExpired }
+//       \------------------> { kCancelled | kExpired }   (never started)
+//
+// Exactly one terminal state is ever assigned; Wait() blocks until it
+// is. Terminal states mirror how the run ended: kDone for a report
+// that ran to completion or hit the execution budget (both carry
+// results), kExpired when the deadline passed (queued too long or
+// mid-run), kCancelled when the client's Cancel() won the race, and
+// kFailed for a hard error. kExpired/kCancelled sessions still expose
+// whatever degraded report the governed pipeline produced.
+
+#ifndef PALEO_SERVICE_SESSION_H_
+#define PALEO_SERVICE_SESSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/run_budget.h"
+#include "common/status.h"
+#include "engine/topk_list.h"
+#include "paleo/options.h"
+#include "paleo/paleo.h"
+
+namespace paleo {
+
+/// \brief Where a session is in its lifecycle.
+enum class SessionState : int {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       // terminal: report available
+  kFailed = 3,     // terminal: hard error, status available
+  kCancelled = 4,  // terminal: client cancelled
+  kExpired = 5,    // terminal: deadline passed
+};
+
+/// "queued", "running", "done", "failed", "cancelled", or "expired".
+const char* SessionStateToString(SessionState state);
+
+bool IsTerminal(SessionState state);
+
+/// \brief One submitted request: input, effective options, budget,
+/// synchronized outcome. Thread-safe throughout; created and finished
+/// by the DiscoveryService, observed (Wait/Poll/Cancel) by any thread.
+class Session {
+ public:
+  using Id = uint64_t;
+
+  /// `options` are the request's effective pipeline options (the
+  /// service already merged per-request overrides and moved the
+  /// deadline into the budget, anchored at admission so queue wait
+  /// counts against it).
+  Session(Id id, TopKList input, PaleoOptions options);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Id id() const { return id_; }
+  const TopKList& input() const { return input_; }
+  const PaleoOptions& options() const { return options_; }
+  /// The request budget the pipeline is governed by (deadline anchored
+  /// at admission + this session's cancellation token).
+  const RunBudget& budget() const { return budget_; }
+
+  /// Current state, non-blocking.
+  SessionState Poll() const;
+
+  /// Blocks until the session reaches a terminal state; returns it.
+  SessionState Wait() const;
+
+  /// Wait with a timeout; returns the state at expiry (possibly still
+  /// non-terminal). Mostly for tests and impatient clients.
+  SessionState WaitFor(std::chrono::milliseconds timeout) const;
+
+  /// Trips the cooperative cancellation token. The run (queued or
+  /// mid-flight) winds down at its next budget poll and the dispatcher
+  /// assigns the terminal state; Cancel itself never blocks and is
+  /// idempotent.
+  void Cancel() { cancel_.Cancel(); }
+
+  /// The report, when a terminal state carries one (kDone always;
+  /// kCancelled/kExpired when the run got far enough to wind down
+  /// gracefully). nullptr otherwise.
+  const ReverseEngineerReport* report() const;
+
+  /// OK unless the session failed (kFailed: the pipeline's error).
+  Status status() const;
+
+  /// Milliseconds spent queued before dispatch, and running. 0 until
+  /// the respective phase completes.
+  double queue_wait_ms() const;
+  double run_ms() const;
+
+  // ---- Service-internal transitions (single writer) ----
+
+  /// The terminal state Finish() / FinishWithoutRunning() will assign
+  /// for this outcome. Exposed so the service can publish its
+  /// aggregate counters *before* the state becomes visible (a client
+  /// returning from Wait() then always sees itself counted).
+  static SessionState TerminalStateFor(
+      const StatusOr<ReverseEngineerReport>& result);
+  static SessionState TerminalStateForUnrun(TerminationReason reason);
+
+  /// kQueued -> kRunning, stamping the queue-wait clock.
+  void MarkRunning();
+  /// Assigns the terminal state implied by `result` (see file
+  /// comment) and wakes every waiter.
+  void Finish(StatusOr<ReverseEngineerReport> result);
+  /// Terminal state for a session that never ran (cancelled or expired
+  /// while queued): synthesizes an empty degraded report.
+  void FinishWithoutRunning(TerminationReason reason);
+
+  /// The token the budget polls; the service wires it into the
+  /// per-request RunBudget.
+  CancellationToken* cancellation_token() { return &cancel_; }
+  RunBudget* mutable_budget() { return &budget_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void FinishLocked(SessionState state,
+                    StatusOr<ReverseEngineerReport> result);
+
+  const Id id_;
+  const TopKList input_;
+  const PaleoOptions options_;
+  CancellationToken cancel_;
+  RunBudget budget_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable terminal_;
+  SessionState state_ = SessionState::kQueued;
+  std::optional<StatusOr<ReverseEngineerReport>> result_;
+
+  const Clock::time_point admitted_at_ = Clock::now();
+  Clock::time_point started_at_{};
+  double queue_wait_ms_ = 0.0;
+  double run_ms_ = 0.0;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_SERVICE_SESSION_H_

@@ -4,6 +4,10 @@
 // base relation R") and consulted by the ranking-criteria finder
 // (top-entity lists, histograms, min/max/distinct filters) and by the
 // probabilistic model (dimension-column distinct counts).
+//
+// Immutable after Build(): all accessors are const (map lookups go
+// through find(), never operator[]), so one catalog serves any number
+// of concurrent reverse-engineering sessions without synchronization.
 
 #ifndef PALEO_STATS_CATALOG_H_
 #define PALEO_STATS_CATALOG_H_

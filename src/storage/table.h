@@ -20,6 +20,12 @@ namespace paleo {
 /// Rows are appended through AppendRow (checked, Value-based) or by
 /// writing the typed columns directly via mutable_column (generators'
 /// hot path, followed by a CheckConsistent() call).
+///
+/// Thread contract: appends are single-threaded; once loading is done
+/// the table is read-only in every PALEO path, and all read accessors
+/// are const with no hidden mutable state, so one table (and the
+/// dictionaries it shares with Gather()ed slices) may be read
+/// concurrently by any number of threads.
 class Table {
  public:
   explicit Table(Schema schema);

@@ -1,0 +1,264 @@
+// Work-stealing ThreadPool tests: futures, priority ordering,
+// cancellation-skip semantics, nested fork-join via WaitHelping, and
+// destruction draining.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/run_budget.h"
+#include "common/status.h"
+
+namespace paleo {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, NumThreadsClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.num_threads(), 1);
+  auto f = pool.Submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsPositive) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, VoidTasksComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(
+        pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, StatusResultsTravelThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return Status::OK(); });
+  auto bad = pool.Submit(
+      [] { return Status::InvalidArgument("bad input"); });
+  EXPECT_TRUE(ok.get().ok());
+  Status s = bad.get();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+}
+
+TEST(ThreadPoolTest, HigherPriorityLeavesGlobalQueueFirst) {
+  // One worker, blocked while we stack the global queue; the
+  // unblocked worker must then drain it priority-first.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = pool.Submit([open] { open.wait(); });
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  auto record = [&order_mutex, &order](int tag) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(tag);
+  };
+  futures.push_back(pool.Submit([&record] { record(0); }, /*priority=*/0));
+  futures.push_back(pool.Submit([&record] { record(1); }, /*priority=*/0));
+  futures.push_back(pool.Submit([&record] { record(10); }, /*priority=*/1));
+  futures.push_back(pool.Submit([&record] { record(11); }, /*priority=*/1));
+  futures.push_back(pool.Submit([&record] { record(2); }, /*priority=*/0));
+
+  gate.set_value();
+  blocker.get();
+  for (auto& f : futures) f.get();
+  // Priority 1 first (in submission order), then priority 0 FIFO.
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 10);
+  EXPECT_EQ(order[1], 11);
+  EXPECT_EQ(order[2], 0);
+  EXPECT_EQ(order[3], 1);
+  EXPECT_EQ(order[4], 2);
+}
+
+TEST(ThreadPoolTest, CancelledTaskIsSkippedWithDefaultResult) {
+  ThreadPool pool(1);
+  CancellationToken cancel;
+  cancel.Cancel();
+  std::atomic<bool> ran{false};
+  auto f = pool.Submit(
+      [&ran] {
+        ran.store(true);
+        return 7;
+      },
+      /*priority=*/0, &cancel);
+  EXPECT_EQ(f.get(), 0);  // value-initialized, not 7
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, CancellationTripsQueuedButNotStartedTasks) {
+  ThreadPool pool(1);
+  CancellationToken cancel;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = pool.Submit([open] { open.wait(); });
+
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit(
+        [&ran] {
+          ran.fetch_add(1);
+          return 1;
+        },
+        /*priority=*/0, &cancel));
+  }
+  cancel.Cancel();  // while all 16 still sit in the queue
+  gate.set_value();
+  blocker.get();
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 0);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, WaitHelpingJoinsNestedForkJoin) {
+  // Every task fans out subtasks into the same pool and joins them
+  // with WaitHelping. With a single worker this deadlocks unless the
+  // waiter lends itself to the pool.
+  ThreadPool pool(1);
+  auto outer = pool.Submit([&pool] {
+    std::vector<std::future<int>> inner;
+    for (int i = 0; i < 8; ++i) {
+      inner.push_back(pool.Submit([i] { return i; }, /*priority=*/1));
+    }
+    int sum = 0;
+    for (auto& f : inner) {
+      pool.WaitHelping(f);
+      sum += f.get();
+    }
+    return sum;
+  });
+  pool.WaitHelping(outer);
+  EXPECT_EQ(outer.get(), 28);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedForkJoinOnSmallPool) {
+  ThreadPool pool(2);
+  // Recursive parallel sum of 1..256 via divide and conquer.
+  std::function<int64_t(int, int)> sum = [&](int lo, int hi) -> int64_t {
+    if (hi - lo <= 8) {
+      int64_t s = 0;
+      for (int i = lo; i < hi; ++i) s += i;
+      return s;
+    }
+    int mid = lo + (hi - lo) / 2;
+    auto left = pool.Submit([&sum, lo, mid] { return sum(lo, mid); },
+                            /*priority=*/1);
+    int64_t right = sum(mid, hi);
+    pool.WaitHelping(left);
+    return left.get() + right;
+  };
+  auto root = pool.Submit([&sum] { return sum(1, 257); });
+  pool.WaitHelping(root);
+  EXPECT_EQ(root.get(), 256 * 257 / 2);
+}
+
+TEST(ThreadPoolTest, ManyProducersManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&pool, &total] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 64; ++i) {
+        futures.push_back(
+            pool.Submit([&total, i] { total.fetch_add(i); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(total.load(), 8 * (63 * 64 / 2));
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.Submit([&ran] {
+        ran.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }));
+    }
+    // Pool destroyed with most tasks still queued.
+  }
+  // Every future must be fulfilled — destruction never abandons tasks.
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, RunPendingTaskFromNonWorkerThread) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<bool> started{false};
+  auto blocker = pool.Submit([&started, open] {
+    started.store(true);
+    open.wait();
+  });
+  // Ensure the worker (not this thread, below) owns the blocker.
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  std::atomic<bool> ran{false};
+  auto f = pool.Submit([&ran] { ran.store(true); });
+  // The single worker is blocked; this thread picks up the task.
+  while (!pool.RunPendingTask()) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(ran.load());
+  f.get();
+  gate.set_value();
+  blocker.get();
+}
+
+TEST(ThreadPoolTest, QueueDepthReflectsBacklog) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = pool.Submit([open] { open.wait(); });
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([] {}));
+  }
+  EXPECT_GE(pool.QueueDepth(), 1u);
+  gate.set_value();
+  blocker.get();
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace
+}  // namespace paleo
