@@ -46,7 +46,7 @@ int Run() {
                                                 list.DistinctEntities(),
                                                 0.30, seed);
       PALEO_CHECK(sample.ok());
-      PaleoOptions& options = *paleo.mutable_options();
+      PaleoOptions options = paleo.options();
       options.validation_strategy = ValidationStrategy::kSmart;
       options.stop_at_first_valid = true;
       options.max_query_executions = env.max_executions;
@@ -54,9 +54,13 @@ int Run() {
       // By-entity samples keep complete entities, so full coverage of
       // the *kept* entities is the right bar; the run still treats R''
       // as a sample for the suitability model.
-      auto report = paleo.RunOnSample(list, *sample, 0.30,
-                                      /*keep_candidates=*/false,
-                                      by_entity ? 0.30 : -1.0);
+      RunRequest request;
+      request.input = &list;
+      request.sample_rows = &*sample;
+      request.sample_fraction = 0.30;
+      request.coverage_ratio_override = by_entity ? 0.30 : -1.0;
+      request.options_override = &options;
+      auto report = paleo.Run(request);
       PALEO_CHECK(report.ok());
       stats.predicates += static_cast<double>(report->candidate_predicates);
       if (report->found()) {

@@ -1,0 +1,122 @@
+// End-to-end pipeline benchmark under the observability layer's three
+// states: off (null handles), metrics registry attached, and metrics
+// plus span tracing. The obs-off variant is the baseline every other
+// number is judged against — the nullable-handle convention promises
+// that disabled instrumentation costs one well-predicted branch per
+// would-be event, so obs_off must sit within noise of the pre-obs
+// pipeline and the metrics variant within a couple percent of obs_off.
+//
+// Also measures the raw per-event cost of the disabled and enabled
+// handle paths in isolation (BM_DisabledEventCost / BM_EnabledEventCost)
+// — nanoseconds against the pipeline's microsecond-scale work items.
+//
+// bench/run_benchmarks.sh runs this binary with --benchmark_out to
+// produce the machine-readable BENCH_pr3.json checked in at the repo
+// root.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_env.h"
+#include "obs/metrics.h"
+#include "paleo/paleo.h"
+#include "paleo/pipeline_metrics.h"
+#include "workload/workload.h"
+
+namespace paleo {
+namespace {
+
+/// One shared relation + engine + hidden query; built once. Scale is
+/// capped so an iteration stays in the low milliseconds — we are
+/// measuring instrumentation overhead, not TPC-H.
+struct Fixture {
+  Table table;
+  Paleo paleo;
+  TopKList list;
+
+  Fixture(Table t, TopKList l)
+      : table(std::move(t)),
+        paleo(&table, PaleoOptions{}),
+        list(std::move(l)) {}
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    bench::Env env;
+    env.scale_factor = std::min(env.scale_factor, 0.003);
+    Table table = bench::BuildTpch(env);
+    WorkloadOptions wl;
+    wl.families = {QueryFamily::kMaxA};
+    wl.predicate_sizes = {2};
+    wl.ks = {10};
+    wl.queries_per_config = 1;
+    auto workload = WorkloadGen::Generate(table, wl);
+    PALEO_CHECK(workload.ok() && !workload->empty());
+    TopKList list = (*workload)[0].list;
+    return new Fixture(std::move(table), std::move(list));
+  }();
+  return *fixture;
+}
+
+void RunOnce(benchmark::State& state, obs::MetricsRegistry* registry,
+             bool collect_trace) {
+  Fixture& f = SharedFixture();
+  int64_t executed = 0;
+  for (auto _ : state) {
+    RunRequest request;
+    request.input = &f.list;
+    request.metrics = registry;
+    request.collect_trace = collect_trace;
+    auto report = f.paleo.Run(request);
+    PALEO_CHECK(report.ok() && report->found());
+    executed += report->executed_queries;
+    benchmark::DoNotOptimize(report->executed_queries);
+  }
+  state.SetItemsProcessed(executed);
+}
+
+void BM_ReverseEngineer_ObsOff(benchmark::State& state) {
+  RunOnce(state, nullptr, false);
+}
+BENCHMARK(BM_ReverseEngineer_ObsOff)->Unit(benchmark::kMillisecond);
+
+void BM_ReverseEngineer_Metrics(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  RunOnce(state, &registry, false);
+}
+BENCHMARK(BM_ReverseEngineer_Metrics)->Unit(benchmark::kMillisecond);
+
+void BM_ReverseEngineer_MetricsAndTrace(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  RunOnce(state, &registry, true);
+}
+BENCHMARK(BM_ReverseEngineer_MetricsAndTrace)
+    ->Unit(benchmark::kMillisecond);
+
+/// The disabled path in isolation: one counter event plus one
+/// histogram event through null handles.
+void BM_DisabledEventCost(benchmark::State& state) {
+  PipelineMetrics metrics = PipelineMetrics::Bind(nullptr);
+  for (auto _ : state) {
+    obs::Inc(metrics.candidates_executed);
+    obs::Observe(metrics.run_ms, 1.0);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DisabledEventCost);
+
+/// The enabled path: same two events against live instruments.
+void BM_EnabledEventCost(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  PipelineMetrics metrics = PipelineMetrics::Bind(&registry);
+  for (auto _ : state) {
+    obs::Inc(metrics.candidates_executed);
+    obs::Observe(metrics.run_ms, 1.0);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EnabledEventCost);
+
+}  // namespace
+}  // namespace paleo

@@ -79,7 +79,9 @@ RunResult DriveService(const Table& table,
         if (r >= total_requests) break;
         const size_t wi = static_cast<size_t>(r) % workload.size();
         Clock::time_point submitted = Clock::now();
-        auto session = service.Submit(workload[wi].list);
+        ServiceRequest request;
+        request.input = workload[wi].list;
+        auto session = service.Submit(std::move(request));
         if (!session.ok()) {
           failures.fetch_add(1);
           continue;
@@ -137,7 +139,9 @@ int Run() {
                   env.scale_factor);
       continue;
     }
-    auto report = paleo.Run(wq.list);
+    RunRequest reference_request;
+    reference_request.input = &wq.list;
+    auto report = paleo.Run(reference_request);
     PALEO_CHECK(report.ok()) << report.status().ToString();
     PALEO_CHECK(report->found()) << wq.name;
     Reference ref;

@@ -46,13 +46,17 @@ inline QueryEval EvaluateFull(Paleo* paleo, const TopKList& input,
                               bool count_all_valid,
                               int64_t max_executions,
                               int max_predicate_size = 3) {
-  PaleoOptions& options = *paleo->mutable_options();
+  PaleoOptions options = paleo->options();
   options.max_predicate_size = max_predicate_size;
   options.include_empty_predicate = false;  // match the paper's counts
   options.validation_strategy = strategy;
   options.stop_at_first_valid = !count_all_valid;
   options.max_query_executions = count_all_valid ? 0 : max_executions;
-  auto report = paleo->Run(input);
+  RunRequest request;
+  request.input = &input;
+  request.options_override = &options;
+  request.executor = paleo->executor();
+  auto report = paleo->Run(request);
   PALEO_CHECK(report.ok()) << report.status().ToString();
 
   QueryEval eval;
@@ -75,7 +79,7 @@ inline QueryEval EvaluateSampled(Paleo* paleo, const TopKList& input,
                                  ValidationStrategy strategy,
                                  int64_t max_executions,
                                  int max_predicate_size = 3) {
-  PaleoOptions& options = *paleo->mutable_options();
+  PaleoOptions options = paleo->options();
   options.max_predicate_size = max_predicate_size;
   options.include_empty_predicate = false;  // match the paper's counts
   options.validation_strategy = strategy;
@@ -85,7 +89,13 @@ inline QueryEval EvaluateSampled(Paleo* paleo, const TopKList& input,
   auto sample = Sampler::UniformPerEntity(
       paleo->index(), input.DistinctEntities(), sample_fraction, seed);
   PALEO_CHECK(sample.ok()) << sample.status().ToString();
-  auto report = paleo->RunOnSample(input, *sample, sample_fraction);
+  RunRequest request;
+  request.input = &input;
+  request.sample_rows = &*sample;
+  request.sample_fraction = sample_fraction;
+  request.options_override = &options;
+  request.executor = paleo->executor();
+  auto report = paleo->Run(request);
   PALEO_CHECK(report.ok()) << report.status().ToString();
 
   QueryEval eval;

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the observability benchmark (bench_paleo) and writes its
+# machine-readable results as google-benchmark JSON, then prints the
+# relative overhead of the metrics / metrics+trace variants against the
+# obs-off baseline.
+#
+#   bench/run_benchmarks.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR      cmake build tree (default: build)
+#   BENCH_ARGS     extra google-benchmark flags, e.g.
+#                  "--benchmark_repetitions=5"
+#   PALEO_SF etc.  forwarded to the bench fixture (see bench_env.h)
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_pr3.json}"
+BIN="${BUILD_DIR}/bench/bench_paleo"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not built (cmake --build ${BUILD_DIR} --target bench_paleo)" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+
+echo
+echo "wrote ${OUT}"
+
+# Overhead summary relative to the obs-off baseline (best-effort; the
+# JSON itself is the artifact).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${OUT}" <<'EOF'
+import json, sys
+
+from statistics import median
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+times = {}
+for b in data["benchmarks"]:
+    if b.get("run_type", "iteration") == "iteration":
+        times.setdefault(b["name"], []).append(b["real_time"])
+base = times.get("BM_ReverseEngineer_ObsOff")
+if base:
+    for name in ("BM_ReverseEngineer_Metrics",
+                 "BM_ReverseEngineer_MetricsAndTrace"):
+        if name in times:
+            pct = (median(times[name]) / median(base) - 1.0) * 100.0
+            print(f"{name}: {pct:+.2f}% vs obs-off baseline (medians)")
+EOF
+fi

@@ -25,6 +25,8 @@
 //                    query over the relation and print its result list
 //                    (the second positional argument is then optional)
 //   --verbose        print a step-by-step explanation of the run
+//   --trace-out F    record a structured span trace of the run and
+//                    write it as JSON to file F ('-' for stdout)
 //
 // Exit status: 0 on success (valid queries found, or --execute ran),
 // 1 when no valid query was found or any input failed to load/parse
@@ -69,7 +71,7 @@ int Usage(const char* argv0) {
                "usage: %s <relation.csv> [<topk_list.csv>] [--all] "
                "[--partial] [--max-pred N] [--budget N] [--timeout-ms N] "
                "[--max-executions N] [--sep C] [--execute SQL] "
-               "[--verbose]\n",
+               "[--verbose] [--trace-out FILE]\n",
                argv0);
   return 2;
 }
@@ -106,11 +108,14 @@ int main(int argc, char** argv) {
   PaleoOptions options;
   char sep = ',';
   bool verbose = false;
+  const char* trace_out = nullptr;
   for (int i = first_flag; i < argc; ++i) {
     if (std::strcmp(argv[i], "--execute") == 0 && i + 1 < argc) {
       execute_sql = argv[++i];
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--all") == 0) {
       options.stop_at_first_valid = false;
     } else if (std::strcmp(argv[i], "--partial") == 0) {
@@ -190,7 +195,11 @@ int main(int argc, char** argv) {
                table->num_rows(), table->NumEntities(), input->size());
 
   Paleo paleo(&*table, options);
-  auto report = paleo.Run(*input, /*keep_candidates=*/verbose);
+  RunRequest request;
+  request.input = &*input;
+  request.keep_candidates = verbose;
+  request.collect_trace = trace_out != nullptr || verbose;
+  auto report = paleo.Run(request);
   if (!report.ok()) {
     std::fprintf(stderr, "PALEO failed: %s\n",
                  report.status().ToString().c_str());
@@ -199,6 +208,19 @@ int main(int argc, char** argv) {
   if (verbose) {
     std::fprintf(stderr, "%s",
                  ExplainReport(*report, table->schema()).c_str());
+  }
+  if (trace_out != nullptr && report->trace != nullptr) {
+    std::string json = report->trace->ToJson();
+    if (std::strcmp(trace_out, "-") == 0) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(trace_out, std::ios::binary);
+      out << json << '\n';
+      if (!out) {
+        std::fprintf(stderr, "cannot write trace to %s\n", trace_out);
+        return 1;
+      }
+    }
   }
   std::fprintf(stderr,
                "%lld candidate predicates, %lld tuple sets, %lld candidate "

@@ -24,6 +24,10 @@
 //                    (default: none)
 //   --sep C          field separator for both file kinds (default ',')
 //   --quiet          summary only, no per-request lines
+//   --metrics-every N
+//                    dump the service's metrics registry (Prometheus
+//                    text format) to stderr every N seconds while the
+//                    run is in flight, plus a final dump at the end
 //
 // Exit status: 0 when every request reached a terminal state and none
 // failed, 1 on load errors or failed sessions, 2 on usage errors.
@@ -36,6 +40,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,7 +72,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <relation.csv> <workload.txt> [--threads N] "
                "[--clients N] [--repeat N] [--queue N] [--deadline-ms N] "
-               "[--sep C] [--quiet]\n",
+               "[--sep C] [--quiet] [--metrics-every N]\n",
                argv0);
   return 2;
 }
@@ -110,6 +115,7 @@ int main(int argc, char** argv) {
   int64_t repeat = 1;
   int64_t queue_capacity = 64;
   int64_t deadline_ms = 0;
+  int64_t metrics_every_s = 0;
   char sep = ',';
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
@@ -129,6 +135,11 @@ int main(int argc, char** argv) {
       sep = argv[++i][0];
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--metrics-every") == 0 &&
+               i + 1 < argc) {
+      if (!ParseInt64Flag("--metrics-every", argv[++i], &metrics_every_s)) {
+        return 2;
+      }
     } else {
       return Usage(argv[0]);
     }
@@ -203,6 +214,24 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> latencies(
       static_cast<size_t>(clients));
 
+  // Periodic metrics reporter: wakes every --metrics-every seconds
+  // (or immediately at shutdown) and dumps the registry to stderr.
+  std::mutex reporter_mutex;
+  std::condition_variable reporter_cv;
+  bool reporter_stop = false;
+  std::thread reporter;
+  if (metrics_every_s > 0) {
+    reporter = std::thread([&] {
+      std::unique_lock<std::mutex> lock(reporter_mutex);
+      while (!reporter_cv.wait_for(lock,
+                                   std::chrono::seconds(metrics_every_s),
+                                   [&] { return reporter_stop; })) {
+        std::string text = service.metrics().RenderText();
+        std::fprintf(stderr, "# ---- metrics ----\n%s", text.c_str());
+      }
+    });
+  }
+
   using WallClock = std::chrono::steady_clock;
   WallClock::time_point start = WallClock::now();
   std::vector<std::thread> client_threads;
@@ -214,13 +243,18 @@ int main(int argc, char** argv) {
         const NamedList& item =
             workload[static_cast<size_t>(r) % workload.size()];
         WallClock::time_point submitted = WallClock::now();
+        auto make_request = [&item]() {
+          ServiceRequest request;
+          request.input = item.list;
+          return request;
+        };
         StatusOr<std::shared_ptr<Session>> session =
-            service.Submit(item.list);
+            service.Submit(make_request());
         while (!session.ok() &&
                session.status().IsResourceExhausted()) {
           // Shed at admission: back off and retry (closed-loop client).
           std::this_thread::sleep_for(std::chrono::milliseconds(5));
-          session = service.Submit(item.list);
+          session = service.Submit(make_request());
         }
         if (!session.ok()) {
           failed.fetch_add(1);
@@ -250,6 +284,16 @@ int main(int argc, char** argv) {
   for (auto& t : client_threads) t.join();
   double elapsed_s =
       std::chrono::duration<double>(WallClock::now() - start).count();
+  if (reporter.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(reporter_mutex);
+      reporter_stop = true;
+    }
+    reporter_cv.notify_all();
+    reporter.join();
+    std::fprintf(stderr, "# ---- final metrics ----\n%s",
+                 service.metrics().RenderText().c_str());
+  }
 
   std::vector<double> all;
   for (auto& per_client : latencies) {

@@ -49,7 +49,9 @@ int main() {
   // Exact matching fails on the drifted data.
   PaleoOptions exact;
   Paleo strict(&*today, exact);
-  auto strict_report = strict.Run(*input);
+  RunRequest strict_request;
+  strict_request.input = &*input;
+  auto strict_report = strict.Run(strict_request);
   std::printf("Exact matching on today's data: %s\n\n",
               strict_report.ok() && strict_report->found()
                   ? "found (data drift did not affect this list)"
@@ -67,10 +69,12 @@ int main() {
   for (size_t r = 0; r < today->num_rows(); ++r) {
     all_rows[r] = static_cast<RowId>(r);
   }
-  auto report = relaxed.RunOnSample(*input, all_rows,
-                                    /*sample_fraction=*/1.0,
-                                    /*keep_candidates=*/false,
-                                    /*coverage_ratio_override=*/0.8);
+  RunRequest relaxed_request;
+  relaxed_request.input = &*input;
+  relaxed_request.sample_rows = &all_rows;
+  relaxed_request.sample_fraction = 1.0;
+  relaxed_request.coverage_ratio_override = 0.8;
+  auto report = relaxed.Run(relaxed_request);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;

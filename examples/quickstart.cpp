@@ -34,10 +34,12 @@ int main() {
   std::printf("Input list L:\n%s\n", input.ToString().c_str());
 
   // 3. Reverse engineer. Construction builds the B+ tree entity index
-  //    and the statistics catalog; Run() executes the three-step
-  //    pipeline.
+  //    and the statistics catalog; Run(RunRequest) executes the
+  //    three-step pipeline for one request.
   Paleo paleo(&*table, PaleoOptions{});
-  auto report = paleo.Run(input);
+  RunRequest request;
+  request.input = &input;
+  auto report = paleo.Run(request);
   if (!report.ok()) {
     std::fprintf(stderr, "PALEO failed: %s\n",
                  report.status().ToString().c_str());

@@ -53,7 +53,9 @@ int main() {
               "#candidates", "executions", "found");
   for (double pct : {5.0, 10.0, 20.0, 30.0, 100.0}) {
     if (pct >= 100.0) {
-      auto report = paleo.Run(hidden.list);
+      RunRequest request;
+      request.input = &hidden.list;
+      auto report = paleo.Run(request);
       if (!report.ok()) continue;
       std::printf("%10.0f %12lld %12lld %12lld %8s\n", pct,
                   static_cast<long long>(report->candidate_predicates),
@@ -65,7 +67,11 @@ int main() {
     auto sample = Sampler::UniformPerEntity(
         paleo.index(), hidden.list.DistinctEntities(), pct / 100.0, 1234);
     if (!sample.ok()) continue;
-    auto report = paleo.RunOnSample(hidden.list, *sample, pct / 100.0);
+    RunRequest request;
+    request.input = &hidden.list;
+    request.sample_rows = &*sample;
+    request.sample_fraction = pct / 100.0;
+    auto report = paleo.Run(request);
     if (!report.ok()) continue;
     std::printf("%10.0f %12lld %12lld %12lld %8s\n", pct,
                 static_cast<long long>(report->candidate_predicates),

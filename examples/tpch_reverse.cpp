@@ -58,7 +58,9 @@ int main() {
     std::printf("--- %s\n", wq.name.c_str());
     std::printf("hidden:    %s\n",
                 wq.query.ToSql(table->schema()).c_str());
-    auto report = paleo.Run(wq.list);
+    RunRequest request;
+    request.input = &wq.list;
+    auto report = paleo.Run(request);
     if (!report.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    report.status().ToString().c_str());

@@ -82,6 +82,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
                                          const RunBudget* budget) {
   PALEO_RETURN_NOT_OK(ValidateQuery(table, query));
   stats_.queries_executed.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(metrics_.queries_executed);
 
   BoundPredicate bound(query.predicate, table);
   const Column& entities = table.entity_column();
@@ -100,6 +101,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
     rows = &index_rows;
     from_index = true;
     stats_.index_assisted.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(metrics_.index_assisted);
   }
 
   // The scan / group-by loop polls the budget every few thousand rows
@@ -135,6 +137,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
     }
     stats_.rows_scanned.fetch_add(static_cast<int64_t>(visited),
                                   std::memory_order_relaxed);
+    obs::Inc(metrics_.rows_scanned, static_cast<int64_t>(visited));
     return completed;
   };
   auto interrupted = [&]() -> Status {

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "engine/query.h"
 #include "engine/topk_list.h"
+#include "obs/metrics.h"
 #include "storage/table.h"
 
 namespace paleo {
@@ -48,7 +49,20 @@ class Executor {
     std::atomic<int64_t> index_assisted{0};
   };
 
+  /// Optional registry-backed counters mirrored alongside Stats, so a
+  /// serving process can export executor activity without polling every
+  /// executor instance. All-null (one branch per event) by default.
+  struct MetricHandles {
+    obs::Counter* queries_executed = nullptr;
+    obs::Counter* rows_scanned = nullptr;
+    obs::Counter* index_assisted = nullptr;
+  };
+
   Executor() = default;
+
+  /// Binds registry counters; same configuration contract as
+  /// SetDimensionIndex (set before sharing, never mid-flight).
+  void SetMetrics(MetricHandles handles) { metrics_ = handles; }
 
   /// Attaches secondary dimension indexes built over `indexed_table`.
   /// Subsequent Execute calls against that exact table evaluate fully
@@ -97,6 +111,7 @@ class Executor {
                                  const RunBudget* budget);
 
   Stats stats_;
+  MetricHandles metrics_;
   const DimensionIndex* dimension_index_ = nullptr;
   const Table* indexed_table_ = nullptr;
 };

@@ -1,0 +1,197 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace paleo {
+namespace obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double OffsetMs(Clock::time_point base, Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(t - base).count();
+}
+
+std::string FormatMs(double ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Trace::SpanId Trace::StartSpan(std::string_view name, SpanId parent) {
+  Span span;
+  span.name.assign(name.data(), name.size());
+  span.parent = parent;
+  span.start = Clock::now();
+  spans_.push_back(std::move(span));
+  return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void Trace::EndSpan(SpanId id) {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  Span& span = spans_[static_cast<size_t>(id)];
+  if (!span.finished()) span.end = Clock::now();
+}
+
+void Trace::AddAttr(SpanId id, std::string_view key, int64_t value) {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  SpanAttr attr;
+  attr.key.assign(key.data(), key.size());
+  attr.kind = SpanAttr::Kind::kInt;
+  attr.i = value;
+  spans_[static_cast<size_t>(id)].attrs.push_back(std::move(attr));
+}
+
+void Trace::AddAttr(SpanId id, std::string_view key, double value) {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  SpanAttr attr;
+  attr.key.assign(key.data(), key.size());
+  attr.kind = SpanAttr::Kind::kDouble;
+  attr.d = value;
+  spans_[static_cast<size_t>(id)].attrs.push_back(std::move(attr));
+}
+
+void Trace::AddAttr(SpanId id, std::string_view key,
+                    std::string_view value) {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  SpanAttr attr;
+  attr.key.assign(key.data(), key.size());
+  attr.kind = SpanAttr::Kind::kString;
+  attr.s.assign(value.data(), value.size());
+  spans_[static_cast<size_t>(id)].attrs.push_back(std::move(attr));
+}
+
+Trace::SpanId Trace::Adopt(const Trace& other, SpanId parent) {
+  if (other.spans_.empty()) return kNoSpan;
+  const SpanId base = static_cast<SpanId>(spans_.size());
+  spans_.reserve(spans_.size() + other.spans_.size());
+  for (const Span& span : other.spans_) {
+    Span copy = span;
+    copy.parent = span.parent == kNoSpan ? parent : span.parent + base;
+    spans_.push_back(std::move(copy));
+  }
+  return base;
+}
+
+const Span* Trace::FindSpan(std::string_view name) const {
+  for (const Span& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::string Trace::ToJson() const {
+  if (spans_.empty()) return "[]";
+  // Child lists by parent, preserving arena (creation) order.
+  std::vector<std::vector<SpanId>> children(spans_.size());
+  std::vector<SpanId> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    SpanId parent = spans_[i].parent;
+    if (parent == kNoSpan) {
+      roots.push_back(static_cast<SpanId>(i));
+    } else {
+      children[static_cast<size_t>(parent)].push_back(
+          static_cast<SpanId>(i));
+    }
+  }
+  const Clock::time_point base = spans_[static_cast<size_t>(
+      roots.empty() ? 0 : roots.front())].start;
+
+  std::string out;
+  // Recursive lambda over the tree.
+  auto render = [&](auto&& self, SpanId id) -> void {
+    const Span& span = spans_[static_cast<size_t>(id)];
+    out += "{\"name\":";
+    AppendJsonString(span.name, &out);
+    out += ",\"start_ms\":" + FormatMs(OffsetMs(base, span.start));
+    out += ",\"duration_ms\":" + FormatMs(span.duration_ms());
+    if (!span.attrs.empty()) {
+      out += ",\"attrs\":{";
+      for (size_t a = 0; a < span.attrs.size(); ++a) {
+        if (a > 0) out += ',';
+        const SpanAttr& attr = span.attrs[a];
+        AppendJsonString(attr.key, &out);
+        out += ':';
+        switch (attr.kind) {
+          case SpanAttr::Kind::kInt:
+            out += std::to_string(attr.i);
+            break;
+          case SpanAttr::Kind::kDouble:
+            out += FormatDouble(attr.d);
+            break;
+          case SpanAttr::Kind::kString:
+            AppendJsonString(attr.s, &out);
+            break;
+        }
+      }
+      out += '}';
+    }
+    const auto& kids = children[static_cast<size_t>(id)];
+    if (!kids.empty()) {
+      out += ",\"children\":[";
+      for (size_t k = 0; k < kids.size(); ++k) {
+        if (k > 0) out += ',';
+        self(self, kids[k]);
+      }
+      out += ']';
+    }
+    out += '}';
+  };
+
+  if (roots.size() == 1) {
+    render(render, roots.front());
+  } else {
+    out += '[';
+    for (size_t r = 0; r < roots.size(); ++r) {
+      if (r > 0) out += ',';
+      render(render, roots[r]);
+    }
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace paleo

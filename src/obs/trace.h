@@ -1,0 +1,163 @@
+// Structured per-request tracing: one Trace is a tree of timed spans
+// with typed attributes, covering a whole reverse-engineering request
+// (service admission -> queue -> run -> miner -> ranking finder ->
+// per-candidate validation).
+//
+// Design:
+//   - Spans live in an arena (std::vector) and reference each other by
+//     index, so building a trace is append-only and a dump walks the
+//     arena once. Start/end are steady_clock time points, which makes
+//     Adopt() (grafting the pipeline's run trace under a session span)
+//     a plain copy — all traces in one process share the clock base.
+//   - A Trace is NOT thread-safe. Each request builds its own trace
+//     from the thread driving its pipeline (the parallel validator
+//     records spans only from the single-threaded commit loop), and
+//     service handoffs (queue push/pop, Session::Finish) already
+//     synchronize, so no extra locking is needed or taken.
+//   - Every recording entry point is null-tolerant: ScopedSpan and the
+//     Trace* helpers reduce to one branch when tracing is off, the
+//     same contract as the metrics handles.
+//
+// ToJson() renders the tree as nested objects with millisecond offsets
+// relative to the root span's start — the `paleo_cli --trace-out`
+// format and the input to ExplainTrace().
+
+#ifndef PALEO_OBS_TRACE_H_
+#define PALEO_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paleo {
+namespace obs {
+
+/// \brief One typed span attribute (int64, double, or string).
+struct SpanAttr {
+  enum class Kind : int { kInt, kDouble, kString };
+  std::string key;
+  Kind kind = Kind::kInt;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+};
+
+/// \brief One timed node of the span tree.
+struct Span {
+  std::string name;
+  int32_t parent = -1;  // index into Trace::spans(); -1 = root
+  std::chrono::steady_clock::time_point start{};
+  std::chrono::steady_clock::time_point end{};
+  std::vector<SpanAttr> attrs;
+
+  bool finished() const {
+    return end != std::chrono::steady_clock::time_point{};
+  }
+  double duration_ms() const {
+    if (!finished()) return 0.0;
+    return std::chrono::duration<double, std::milli>(end - start).count();
+  }
+};
+
+/// \brief Append-only span tree for one request.
+class Trace {
+ public:
+  using SpanId = int32_t;
+  static constexpr SpanId kNoSpan = -1;
+
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+  Trace(Trace&&) = default;
+  Trace& operator=(Trace&&) = default;
+
+  /// Opens a span under `parent` (kNoSpan = top level) and returns its
+  /// id. Ids are stable (arena indices).
+  SpanId StartSpan(std::string_view name, SpanId parent = kNoSpan);
+
+  /// Closes the span (idempotent: the first end wins).
+  void EndSpan(SpanId id);
+
+  void AddAttr(SpanId id, std::string_view key, int64_t value);
+  void AddAttr(SpanId id, std::string_view key, double value);
+  void AddAttr(SpanId id, std::string_view key, std::string_view value);
+
+  /// Grafts a copy of `other`'s span tree under `parent` (its top-level
+  /// spans become children of `parent`). Returns the id of the first
+  /// adopted span, or kNoSpan when `other` is empty.
+  SpanId Adopt(const Trace& other, SpanId parent);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+  size_t size() const { return spans_.size(); }
+  const Span& span(SpanId id) const {
+    return spans_[static_cast<size_t>(id)];
+  }
+
+  /// First span with the given name (depth-first arena order), or
+  /// nullptr.
+  const Span* FindSpan(std::string_view name) const;
+
+  /// Nested-object JSON dump; offsets in ms relative to the first
+  /// top-level span's start:
+  ///   {"name":"run","start_ms":0.0,"duration_ms":12.4,
+  ///    "attrs":{"candidates":130},"children":[...]}
+  /// Multiple roots render as a JSON array.
+  std::string ToJson() const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+/// \brief RAII span, tolerant of a null trace (one branch per call).
+///
+/// Not copyable; ends the span on destruction unless End() already ran.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Trace* trace, std::string_view name,
+             Trace::SpanId parent = Trace::kNoSpan)
+      : trace_(trace),
+        id_(trace != nullptr ? trace->StartSpan(name, parent)
+                             : Trace::kNoSpan) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : trace_(other.trace_), id_(other.id_) {
+    other.trace_ = nullptr;
+  }
+  ~ScopedSpan() { End(); }
+
+  void End() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+    trace_ = nullptr;
+  }
+
+  template <typename T>
+  void AddAttr(std::string_view key, T value) {
+    if (trace_ != nullptr) trace_->AddAttr(id_, key, value);
+  }
+
+  /// The underlying trace and id, for parenting child spans; trace()
+  /// is null when tracing is off or the span already ended.
+  Trace* trace() const { return trace_; }
+  Trace::SpanId id() const { return id_; }
+
+ private:
+  Trace* trace_ = nullptr;
+  Trace::SpanId id_ = Trace::kNoSpan;
+};
+
+/// \brief (trace, parent-span) pair threaded through pipeline stages so
+/// they can hang their spans under the caller's span. Null trace = off.
+struct TraceContext {
+  Trace* trace = nullptr;
+  Trace::SpanId parent = Trace::kNoSpan;
+};
+
+}  // namespace obs
+}  // namespace paleo
+
+#endif  // PALEO_OBS_TRACE_H_

@@ -138,6 +138,56 @@ std::string ExplainReport(const ReverseEngineerReport& report,
     out += Line("validation:", FormatMs(report.timings.validation_ms));
     out += Line("total:", FormatMs(report.timings.total_ms()));
   }
+
+  if (options.show_trace && report.trace != nullptr &&
+      !report.trace->empty()) {
+    out += "Spans\n";
+    const std::vector<obs::Span>& spans = report.trace->spans();
+    // Arena order is creation order, so parents precede children and
+    // the walk below renders the tree chronologically; depth comes
+    // from the parent chain.
+    std::vector<int> depth(spans.size(), 0);
+    int rendered = 0;
+    int64_t suppressed = 0;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const obs::Span& span = spans[i];
+      if (span.parent >= 0) {
+        depth[i] = depth[static_cast<size_t>(span.parent)] + 1;
+      }
+      if (rendered >= options.max_trace_spans) {
+        ++suppressed;
+        continue;
+      }
+      ++rendered;
+      out += "  ";
+      out.append(static_cast<size_t>(2 * depth[i]), ' ');
+      out += span.name;
+      out += "  " + std::string(FormatMs(span.duration_ms()));
+      std::vector<std::string> attrs;
+      for (const obs::SpanAttr& attr : span.attrs) {
+        switch (attr.kind) {
+          case obs::SpanAttr::Kind::kInt:
+            attrs.push_back(attr.key + "=" + std::to_string(attr.i));
+            break;
+          case obs::SpanAttr::Kind::kDouble: {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%s=%.4g", attr.key.c_str(),
+                          attr.d);
+            attrs.push_back(buf);
+            break;
+          }
+          case obs::SpanAttr::Kind::kString:
+            attrs.push_back(attr.key + "=" + attr.s);
+            break;
+        }
+      }
+      if (!attrs.empty()) out += "  [" + Join(attrs, ", ") + "]";
+      out += '\n';
+    }
+    if (suppressed > 0) {
+      out += "  ... (" + WithThousands(suppressed) + " more spans)\n";
+    }
+  }
   return out;
 }
 

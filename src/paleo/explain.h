@@ -18,6 +18,12 @@ struct ExplainOptions {
   int show_candidates = 5;
   /// Include per-step wall-clock timings.
   bool show_timings = true;
+  /// Include the span breakdown (requires the report to have been
+  /// produced with RunRequest::collect_trace).
+  bool show_trace = true;
+  /// Cap on rendered spans; per-candidate execute/commit spans past
+  /// the cap collapse into one "... (N more)" line.
+  int max_trace_spans = 40;
 };
 
 /// Renders a multi-line explanation of `report` against the relation's

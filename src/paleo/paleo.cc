@@ -1,6 +1,7 @@
 #include "paleo/paleo.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 
@@ -41,49 +42,106 @@ Paleo::Paleo(const Table* base, PaleoOptions options)
   }
 }
 
+StatusOr<ReverseEngineerReport> Paleo::Run(const RunRequest& request) const {
+  if (request.input == nullptr) {
+    return Status::InvalidArgument("RunRequest.input must be set");
+  }
+  const PaleoOptions& options = request.options_override != nullptr
+                                    ? *request.options_override
+                                    : options_;
+
+  // A request-private executor is what makes this call thread-safe;
+  // callers that pass their own (the legacy wrappers, tooling that
+  // wants cumulative Stats) opt out of that.
+  Executor local_executor;
+  Executor* executor = request.executor;
+  if (executor == nullptr) {
+    executor = &local_executor;
+    if (dimension_index_ != nullptr && options.use_dimension_index) {
+      local_executor.SetDimensionIndex(dimension_index_.get(), base_);
+    }
+  }
+
+  PipelineMetrics metrics = PipelineMetrics::Bind(request.metrics);
+  if (request.executor == nullptr) {
+    // Mirror the executor's counters into the registry. A
+    // caller-provided executor keeps whatever binding its owner chose
+    // (it may be shared across runs with a different registry).
+    executor->SetMetrics({metrics.executor_queries,
+                          metrics.executor_rows_scanned,
+                          metrics.executor_index_assisted});
+  }
+
+  std::shared_ptr<obs::Trace> trace;
+  if (request.collect_trace) trace = std::make_shared<obs::Trace>();
+
+  obs::Inc(metrics.runs_total);
+  Timer run_timer;
+  auto result = RunImpl(request, options, executor, metrics, trace.get());
+  obs::Observe(metrics.run_ms, run_timer.ElapsedMillis());
+  if (result.ok()) {
+    if (result->found()) obs::Inc(metrics.runs_found);
+    result->trace = std::move(trace);
+  }
+  return result;
+}
+
 StatusOr<ReverseEngineerReport> Paleo::Run(const TopKList& input,
                                            bool keep_candidates,
                                            const RunBudget* budget) {
-  return RunImpl(input, nullptr, options_.coverage_ratio,
-                 /*assume_complete=*/true, keep_candidates, budget,
-                 options_, &executor_, /*pool=*/nullptr);
+  RunRequest request;
+  request.input = &input;
+  request.keep_candidates = keep_candidates;
+  request.budget = budget;
+  request.executor = &executor_;
+  return Run(request);
 }
 
 StatusOr<ReverseEngineerReport> Paleo::RunOnSample(
     const TopKList& input, const std::vector<RowId>& sample_rows,
     double sample_fraction, bool keep_candidates,
     double coverage_ratio_override, const RunBudget* budget) {
-  double coverage = coverage_ratio_override > 0.0
-                        ? coverage_ratio_override
-                        : CoverageRatioForSample(sample_fraction);
-  return RunImpl(input, &sample_rows, coverage, /*assume_complete=*/false,
-                 keep_candidates, budget, options_, &executor_,
-                 /*pool=*/nullptr);
+  RunRequest request;
+  request.input = &input;
+  request.sample_rows = &sample_rows;
+  request.sample_fraction = sample_fraction;
+  request.coverage_ratio_override = coverage_ratio_override;
+  request.keep_candidates = keep_candidates;
+  request.budget = budget;
+  request.executor = &executor_;
+  return Run(request);
 }
 
 StatusOr<ReverseEngineerReport> Paleo::RunConcurrent(
     const TopKList& input, const RunBudget* budget, ThreadPool* pool,
     const PaleoOptions* options_override) const {
-  const PaleoOptions& options =
-      options_override != nullptr ? *options_override : options_;
-  // All mutable state is this stack-local executor; the shared read
-  // structures (base table, indexes, catalog) are immutable after
-  // construction, so concurrent calls never synchronize.
-  Executor executor;
-  if (dimension_index_ != nullptr && options.use_dimension_index) {
-    executor.SetDimensionIndex(dimension_index_.get(), base_);
-  }
-  return RunImpl(input, nullptr, options.coverage_ratio,
-                 /*assume_complete=*/true, /*keep_candidates=*/false,
-                 budget, options, &executor, pool);
+  RunRequest request;
+  request.input = &input;
+  request.budget = budget;
+  request.pool = pool;
+  request.options_override = options_override;
+  return Run(request);
 }
 
 StatusOr<ReverseEngineerReport> Paleo::RunImpl(
-    const TopKList& input, const std::vector<RowId>* sample_rows,
-    double coverage_ratio, bool assume_complete, bool keep_candidates,
-    const RunBudget* external_budget, const PaleoOptions& options,
-    Executor* executor, ThreadPool* pool) const {
+    const RunRequest& request, const PaleoOptions& options,
+    Executor* executor, const PipelineMetrics& metrics,
+    obs::Trace* trace) const {
+  const TopKList& input = *request.input;
+  const std::vector<RowId>* sample_rows = request.sample_rows;
+  const bool assume_complete = sample_rows == nullptr;
+  const double coverage_ratio =
+      assume_complete ? options.coverage_ratio
+      : request.coverage_ratio_override > 0.0
+          ? request.coverage_ratio_override
+          : CoverageRatioForSample(request.sample_fraction);
+  const bool keep_candidates = request.keep_candidates;
+
   ReverseEngineerReport report;
+
+  obs::ScopedSpan run_span(trace, "run");
+  run_span.AddAttr("k", static_cast<int64_t>(input.size()));
+  run_span.AddAttr("sampled", static_cast<int64_t>(!assume_complete));
 
   // ---- Resource governance ----
   // The effective budget is the intersection of the options' knobs
@@ -94,7 +152,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   RunBudget budget;
   budget.SetDeadlineAfterMillis(options.deadline_ms);
   budget.set_max_executions(options.max_validation_executions);
-  if (external_budget != nullptr) budget.Tighten(*external_budget);
+  if (request.budget != nullptr) budget.Tighten(*request.budget);
   const RunBudget* governed = budget.IsUnlimited() ? nullptr : &budget;
   // The first stage to exhaust the budget names the reason; later
   // stages are skipped or wound down and cannot overwrite it.
@@ -106,6 +164,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
 
   // ---- Step 1: retrieve R' and mine candidate predicates ----
   Timer step_timer;
+  obs::ScopedSpan mine_span(trace, "find_predicates", run_span.id());
   PALEO_ASSIGN_OR_RETURN(RPrime rprime,
                          RPrime::Build(*base_, index_, input, sample_rows));
   report.rprime_rows = static_cast<int64_t>(rprime.num_rows());
@@ -121,9 +180,17 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   report.predicates_by_size = mining.predicates_by_size;
   report.tuple_sets = static_cast<int64_t>(mining.groups.size());
   report.timings.find_predicates_ms = step_timer.ElapsedMillis();
+  obs::Inc(metrics.candidate_predicates, report.candidate_predicates);
+  obs::Observe(metrics.step_find_predicates_ms,
+               report.timings.find_predicates_ms);
+  mine_span.AddAttr("rprime_rows", report.rprime_rows);
+  mine_span.AddAttr("candidate_predicates", report.candidate_predicates);
+  mine_span.AddAttr("tuple_sets", report.tuple_sets);
+  mine_span.End();
 
   // ---- Step 2: identify ranking criteria ----
   step_timer.Reset();
+  obs::ScopedSpan rank_span(trace, "find_ranking", run_span.id());
   RankingFinder finder(rprime, &catalog_, step_options);
   PALEO_ASSIGN_OR_RETURN(
       std::vector<GroupRanking> rankings,
@@ -147,10 +214,19 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
       mining, rankings, model, static_cast<int>(input.size()), order);
   report.candidate_queries = static_cast<int64_t>(candidates.size());
   report.timings.find_ranking_ms = step_timer.ElapsedMillis();
+  obs::Inc(metrics.candidate_queries, report.candidate_queries);
+  obs::Observe(metrics.step_find_ranking_ms,
+               report.timings.find_ranking_ms);
+  rank_span.AddAttr("tuple_set_evaluations",
+                    report.ranking_info.tuple_set_evaluations);
+  rank_span.AddAttr("candidate_queries", report.candidate_queries);
+  rank_span.End();
 
   // ---- Step 3: validate candidate queries against R ----
   step_timer.Reset();
-  Validator validator(*base_, executor, options, pool);
+  obs::ScopedSpan validate_span(trace, "validate", run_span.id());
+  Validator validator(*base_, executor, options, request.pool, metrics,
+                      obs::TraceContext{trace, validate_span.id()});
   ValidationOutcome outcome;
   if (report.termination == TerminationReason::kCompleted) {
     PALEO_ASSIGN_OR_RETURN(
@@ -171,6 +247,12 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   report.speculative_executions = outcome.speculative_executions;
   report.skip_events = outcome.skip_events;
   report.timings.validation_ms = step_timer.ElapsedMillis();
+  obs::Observe(metrics.step_validation_ms, report.timings.validation_ms);
+  validate_span.AddAttr("executed", outcome.executions);
+  validate_span.AddAttr("skipped", outcome.skip_events);
+  validate_span.AddAttr("valid",
+                        static_cast<int64_t>(report.valid.size()));
+  validate_span.End();
 
   // ---- Progressive deepening (complete R' only) ----
   // The Figure 4 walk stops at the first technique with exact criteria,
@@ -182,7 +264,10 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   // the best answer the budget affords.
   if (assume_complete && report.valid.empty() &&
       report.termination == TerminationReason::kCompleted) {
+    obs::ScopedSpan deepen_span(trace, "deepen", run_span.id());
     step_timer.Reset();
+    obs::ScopedSpan deep_rank_span(trace, "find_ranking",
+                                   deepen_span.id());
     RankingSearchInfo deep_info;
     PALEO_ASSIGN_OR_RETURN(
         std::vector<GroupRanking> all_rankings,
@@ -204,13 +289,23 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
     report.candidate_queries =
         static_cast<int64_t>(candidates.size() + fresh.size());
     report.timings.find_ranking_ms += step_timer.ElapsedMillis();
+    obs::Inc(metrics.candidate_queries,
+             static_cast<int64_t>(fresh.size()));
+    deep_rank_span.AddAttr("fresh_candidates",
+                           static_cast<int64_t>(fresh.size()));
+    deep_rank_span.End();
 
     step_timer.Reset();
+    obs::ScopedSpan deep_validate_span(trace, "validate",
+                                       deepen_span.id());
+    Validator deep_validator(
+        *base_, executor, options, request.pool, metrics,
+        obs::TraceContext{trace, deep_validate_span.id()});
     ValidationOutcome retry;
     if (report.termination == TerminationReason::kCompleted) {
       PALEO_ASSIGN_OR_RETURN(
-          retry, validator.Validate(fresh, input, governed,
-                                    report.executed_queries));
+          retry, deep_validator.Validate(fresh, input, governed,
+                                         report.executed_queries));
       note_termination(retry.termination);
       AppendNearMisses(fresh, retry.unvalidated, &report);
     } else {
@@ -228,10 +323,21 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
     report.speculative_executions += retry.speculative_executions;
     report.skip_events += retry.skip_events;
     report.timings.validation_ms += step_timer.ElapsedMillis();
+    obs::Observe(metrics.step_validation_ms, step_timer.ElapsedMillis());
+    deep_validate_span.AddAttr("executed", retry.executions);
+    deep_validate_span.AddAttr(
+        "valid", static_cast<int64_t>(retry.valid.size()));
+    deep_validate_span.End();
     if (keep_candidates) {
       for (CandidateQuery& cq : fresh) candidates.push_back(std::move(cq));
     }
   }
+
+  obs::Inc(metrics.near_misses,
+           static_cast<int64_t>(report.near_misses.size()));
+  run_span.AddAttr("termination",
+                   TerminationReasonToString(report.termination));
+  run_span.AddAttr("valid", static_cast<int64_t>(report.valid.size()));
 
   if (keep_candidates) report.candidates = std::move(candidates);
   return report;

@@ -17,11 +17,15 @@
 //   }
 //
 // Construction builds the B+ tree entity index and the statistics
-// catalog once; Run() executes the three-step pipeline of Figure 2
-// (find predicates -> find ranking criteria -> validate candidate
-// queries) for one input list. RunOnSample() works on a sample of R'
-// (Section 6.4) with relaxed coverage and the probabilistic
-// suitability model.
+// catalog once; Run(const RunRequest&) executes the three-step
+// pipeline of Figure 2 (find predicates -> find ranking criteria ->
+// validate candidate queries) for one input list. The RunRequest
+// carries everything that varies per request — the input, an optional
+// sample spec (Section 6.4), budget, thread pool, per-request options
+// override, and observability sinks (a MetricsRegistry and a trace
+// switch) — so one canonical entry point serves sequential, sampled,
+// and concurrent callers alike. The older Run/RunOnSample/
+// RunConcurrent signatures remain as thin wrappers.
 
 #ifndef PALEO_PALEO_PALEO_H_
 #define PALEO_PALEO_PALEO_H_
@@ -35,7 +39,10 @@
 #include "engine/topk_list.h"
 #include "index/dimension_index.h"
 #include "index/entity_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "paleo/candidate_query.h"
+#include "paleo/pipeline_metrics.h"
 #include "paleo/options.h"
 #include "paleo/predicate_miner.h"
 #include "paleo/ranking_finder.h"
@@ -101,17 +108,79 @@ struct ReverseEngineerReport {
   /// The scored candidate list (retained when
   /// PaleoOptions-independent `keep_candidates` argument is set).
   std::vector<CandidateQuery> candidates;
+
+  /// The run's span tree (set when RunRequest::collect_trace; shared
+  /// so the report stays copyable). Root span "run" with children
+  /// "find_predicates" / "find_ranking" / "validate" (and "deepen"
+  /// when the progressive-deepening pass ran); per-candidate
+  /// "execute" / "commit" spans hang under the validation spans.
+  std::shared_ptr<obs::Trace> trace;
+};
+
+/// \brief Everything that varies per reverse-engineering request.
+///
+/// All pointers are non-owning and must outlive the Run() call. Only
+/// `input` is required; the zero-initialised remainder reproduces the
+/// classic Run(input) behaviour with a private per-call executor.
+struct RunRequest {
+  /// The top-k list L to reverse engineer. Required.
+  const TopKList* input = nullptr;
+
+  /// Sample spec (Section 6.4): when `sample_rows` is set the pipeline
+  /// runs on that sample of R's rows (sorted global row ids, e.g. from
+  /// Sampler) with relaxed coverage — CoverageRatioForSample(
+  /// sample_fraction) unless `coverage_ratio_override` > 0 — and the
+  /// probabilistic suitability model (assume_complete = false).
+  const std::vector<RowId>* sample_rows = nullptr;
+  double sample_fraction = 1.0;
+  double coverage_ratio_override = -1.0;
+
+  /// Retain the scored candidate list in the report.
+  bool keep_candidates = false;
+
+  /// Caller-side resource limits layered on top of the options'
+  /// deadline_ms / max_validation_executions knobs; the tighter limit
+  /// wins. Budget exhaustion is not an error (see the report's
+  /// `termination` / `near_misses`).
+  const RunBudget* budget = nullptr;
+
+  /// Enables parallel candidate validation when the effective options'
+  /// num_threads > 1.
+  ThreadPool* pool = nullptr;
+
+  /// Replaces the instance options for this request — e.g. a
+  /// per-request deadline_ms — while still using the indexes built at
+  /// construction (a request cannot enable use_dimension_index if the
+  /// instance was built without it). This is the only supported way to
+  /// vary options per request; the instance options are immutable.
+  const PaleoOptions* options_override = nullptr;
+
+  /// Executor to run candidate queries through. nullptr (the default)
+  /// gives the request a private stack-local executor, which is what
+  /// makes Run() safe to call concurrently; passing one shares its
+  /// accumulated Stats across runs (the legacy wrappers pass the
+  /// member executor) at the cost of that thread safety.
+  Executor* executor = nullptr;
+
+  /// Observability sinks. `metrics` (not owned) receives the
+  /// paleo_* counters and histograms (see paleo/pipeline_metrics.h);
+  /// `collect_trace` builds the report's span tree. Both default off,
+  /// costing one branch per would-be event.
+  obs::MetricsRegistry* metrics = nullptr;
+  bool collect_trace = false;
 };
 
 /// \brief The PALEO system bound to one base relation.
 ///
-/// Thread safety: construction and the mutating accessors
-/// (mutable_options, executor, Run, RunOnSample) are single-threaded.
-/// Once built, the shared read structures (table, entity index,
-/// catalog, dimension index) are immutable, so any number of threads
-/// may call RunConcurrent() on one instance simultaneously — each call
-/// gets its own Executor and leaves the instance untouched. This is
-/// the entry point the DiscoveryService serves requests through.
+/// Thread safety: once built, everything the pipeline reads (table,
+/// entity index, catalog, dimension index, the instance options) is
+/// immutable, so any number of threads may call Run(const RunRequest&)
+/// on one instance simultaneously as long as each request leaves
+/// RunRequest::executor null (the default) — each call then gets its
+/// own Executor and leaves the instance untouched. This is the entry
+/// point the DiscoveryService serves requests through. The legacy
+/// Run/RunOnSample wrappers share the member executor and are
+/// single-threaded, as before.
 class Paleo {
  public:
   /// `base` must outlive this object. Builds the entity index and the
@@ -120,57 +189,48 @@ class Paleo {
 
   const Table& base() const { return *base_; }
   const PaleoOptions& options() const { return options_; }
-  PaleoOptions* mutable_options() { return &options_; }
   const EntityIndex& index() const { return index_; }
   const StatsCatalog& catalog() const { return catalog_; }
   Executor* executor() { return &executor_; }
 
-  /// Reverse engineers `input` against the full R' (Sections 3-5, 7).
-  ///
-  /// `budget` (optional, not owned, must outlive the call) adds
-  /// caller-side resource limits — e.g. a CancellationToken tripped by
-  /// a serving thread — on top of the options' deadline_ms /
-  /// max_validation_executions knobs; the tighter limit wins. Budget
-  /// exhaustion is not an error: the report carries a non-kCompleted
-  /// termination reason, every query validated in time, and the top
-  /// unvalidated candidates as near_misses.
+  /// The canonical entry point: reverse engineers `*request.input`
+  /// against the full R' (Sections 3-5, 7) or the request's sample
+  /// (Section 6.4), under the request's budget/options/observability.
+  /// Thread-safe when request.executor is null (the default).
+  StatusOr<ReverseEngineerReport> Run(const RunRequest& request) const;
+
+  /// DEPRECATED: thin wrapper over Run(const RunRequest&) kept for
+  /// source compatibility; shares the member executor, so it is
+  /// single-threaded. Prefer the RunRequest form.
   StatusOr<ReverseEngineerReport> Run(const TopKList& input,
                                       bool keep_candidates = false,
                                       const RunBudget* budget = nullptr);
 
-  /// Reverse engineers `input` on the given sample of R's rows
-  /// (sorted global row ids, e.g. from Sampler). The coverage ratio
-  /// follows CoverageRatioForSample(sample_fraction) unless the
-  /// options override it with a positive `coverage_ratio_override`.
+  /// DEPRECATED: thin wrapper over Run(const RunRequest&) with the
+  /// request's sample fields filled in; shares the member executor.
   StatusOr<ReverseEngineerReport> RunOnSample(
       const TopKList& input, const std::vector<RowId>& sample_rows,
       double sample_fraction, bool keep_candidates = false,
       double coverage_ratio_override = -1.0,
       const RunBudget* budget = nullptr);
 
-  /// Thread-safe Run(): identical pipeline and results, but every
-  /// piece of mutable state (the executor and its counters) is local
-  /// to the call, so concurrent invocations on one shared instance
-  /// never interfere. `pool` (optional, not owned) enables parallel
-  /// candidate validation when the effective options' num_threads > 1.
-  /// `options_override` (optional, not owned) replaces the instance
-  /// options for this request — e.g. a per-request deadline_ms — while
-  /// still using the indexes built at construction (a request cannot
-  /// enable use_dimension_index if the instance was built without it).
+  /// DEPRECATED: thin wrapper over Run(const RunRequest&) with a null
+  /// request executor — i.e. plain Run(), which is already
+  /// thread-safe. Prefer the RunRequest form.
   StatusOr<ReverseEngineerReport> RunConcurrent(
       const TopKList& input, const RunBudget* budget = nullptr,
       ThreadPool* pool = nullptr,
       const PaleoOptions* options_override = nullptr) const;
 
  private:
-  StatusOr<ReverseEngineerReport> RunImpl(
-      const TopKList& input, const std::vector<RowId>* sample_rows,
-      double coverage_ratio, bool assume_complete, bool keep_candidates,
-      const RunBudget* external_budget, const PaleoOptions& options,
-      Executor* executor, ThreadPool* pool) const;
+  StatusOr<ReverseEngineerReport> RunImpl(const RunRequest& request,
+                                          const PaleoOptions& options,
+                                          Executor* executor,
+                                          const PipelineMetrics& metrics,
+                                          obs::Trace* trace) const;
 
   const Table* base_;
-  PaleoOptions options_;
+  const PaleoOptions options_;
   EntityIndex index_;
   StatsCatalog catalog_;
   // Built only when options_.use_dimension_index.

@@ -1,0 +1,54 @@
+#include "paleo/pipeline_metrics.h"
+
+namespace paleo {
+
+PipelineMetrics PipelineMetrics::Bind(obs::MetricsRegistry* registry) {
+  PipelineMetrics m;
+  if (registry == nullptr) return m;
+  m.runs_total = registry->FindOrCreateCounter(
+      "paleo_runs_total", "Reverse-engineering runs started.");
+  m.runs_found = registry->FindOrCreateCounter(
+      "paleo_runs_found_total", "Runs that validated at least one query.");
+  m.run_ms = registry->FindOrCreateHistogram(
+      "paleo_run_ms", "End-to-end run latency in milliseconds.");
+  m.step_find_predicates_ms = registry->FindOrCreateHistogram(
+      "paleo_step_ms", "Per-step pipeline latency in milliseconds.",
+      "step=\"find_predicates\"");
+  m.step_find_ranking_ms = registry->FindOrCreateHistogram(
+      "paleo_step_ms", "Per-step pipeline latency in milliseconds.",
+      "step=\"find_ranking\"");
+  m.step_validation_ms = registry->FindOrCreateHistogram(
+      "paleo_step_ms", "Per-step pipeline latency in milliseconds.",
+      "step=\"validation\"");
+  m.candidate_predicates = registry->FindOrCreateCounter(
+      "paleo_candidate_predicates_total",
+      "Candidate predicates mined (Algorithm 1).");
+  m.candidate_queries = registry->FindOrCreateCounter(
+      "paleo_candidate_queries_total", "Candidate queries assembled.");
+  m.candidates_executed = registry->FindOrCreateCounter(
+      "paleo_validation_candidates_total",
+      "Validation candidates, by outcome.", "outcome=\"executed\"");
+  m.candidates_speculative = registry->FindOrCreateCounter(
+      "paleo_validation_candidates_total",
+      "Validation candidates, by outcome.", "outcome=\"speculative\"");
+  m.candidates_skipped = registry->FindOrCreateCounter(
+      "paleo_validation_candidates_total",
+      "Validation candidates, by outcome.", "outcome=\"skipped\"");
+  m.validation_passes = registry->FindOrCreateCounter(
+      "paleo_validation_passes_total",
+      "Passes over the candidate list (Algorithm 3 rounds).");
+  m.near_misses = registry->FindOrCreateCounter(
+      "paleo_near_misses_total",
+      "Unvalidated best-guess candidates surfaced on budget exhaustion.");
+  m.executor_queries = registry->FindOrCreateCounter(
+      "paleo_executor_queries_total", "Queries executed by the engine.");
+  m.executor_rows_scanned = registry->FindOrCreateCounter(
+      "paleo_executor_rows_scanned_total",
+      "Rows visited by the executor's scan and group-by loops.");
+  m.executor_index_assisted = registry->FindOrCreateCounter(
+      "paleo_executor_index_assisted_total",
+      "Executions answered from dimension-index postings.");
+  return m;
+}
+
+}  // namespace paleo

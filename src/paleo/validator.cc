@@ -47,6 +47,7 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
     const RunBudget* budget, int64_t prior_executions) const {
   ValidationOutcome outcome;
   outcome.passes = 1;
+  obs::Inc(metrics_.validation_passes);
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (options_.max_query_executions > 0 &&
         outcome.executions >= options_.max_query_executions) {
@@ -64,6 +65,7 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
       outcome.unvalidated.push_back(i);
       continue;
     }
+    obs::ScopedSpan span(trace_.trace, "execute", trace_.parent);
     auto result = executor_->Execute(base_, candidates[i].query, budget);
     if (!result.ok()) {
       if (result.status().IsCancelled()) {
@@ -72,12 +74,17 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
         outcome.termination = ExhaustionReason(
             budget, prior_executions + outcome.executions);
         outcome.unvalidated.push_back(i);
+        span.AddAttr("interrupted", int64_t{1});
         continue;
       }
       return result.status();
     }
     ++outcome.executions;
-    if (Accepts(*result, input)) {
+    obs::Inc(metrics_.candidates_executed);
+    const bool accepted = Accepts(*result, input);
+    span.AddAttr("candidate", static_cast<int64_t>(i));
+    span.AddAttr("accepted", static_cast<int64_t>(accepted));
+    if (accepted) {
       outcome.valid.push_back(
           ValidQuery{candidates[i].query, outcome.executions});
       if (options_.stop_at_first_valid) break;
@@ -117,23 +124,28 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
   // down (budget exhausted mid-scan). Errors propagate via `failure`.
   Status failure = Status::OK();
   auto execute = [&](size_t idx, TopKList* result) {
+    obs::ScopedSpan span(trace_.trace, "execute", trace_.parent);
+    span.AddAttr("candidate", static_cast<int64_t>(idx));
     auto executed = executor_->Execute(base_, candidates[idx].query, budget);
     if (!executed.ok()) {
       if (executed.status().IsCancelled()) {
         outcome.termination = ExhaustionReason(
             budget, prior_executions + outcome.executions);
+        span.AddAttr("interrupted", int64_t{1});
       } else {
         failure = executed.status();
       }
       return false;
     }
     ++outcome.executions;
+    obs::Inc(metrics_.candidates_executed);
     *result = std::move(executed).value();
     return true;
   };
 
   while (!queue.empty()) {
     ++outcome.passes;
+    obs::Inc(metrics_.validation_passes);
     std::vector<size_t> skipped;
     const CandidateQuery* first_match = nullptr;
     bool ranking_confirmed = false;
@@ -171,6 +183,7 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
         if (no_predicate_overlap || wrong_ranking) {
           skipped.push_back(queue[pos]);
           ++outcome.skip_events;
+          obs::Inc(metrics_.candidates_skipped);
           continue;
         }
       }
@@ -257,6 +270,7 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
 
   while (!queue.empty()) {
     ++outcome.passes;
+    obs::Inc(metrics_.validation_passes);
     std::vector<Slot> slots(queue.size());
     std::vector<size_t> skipped;
     const CandidateQuery* qfm = nullptr;
@@ -285,7 +299,10 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
             slots[i].future.valid()) {
           pool_->WaitHelping(slots[i].future);
           ExecResult r = slots[i].future.get();
-          if (r.ran && r.status.ok()) ++outcome.speculative_executions;
+          if (r.ran && r.status.ok()) {
+            ++outcome.speculative_executions;
+            obs::Inc(metrics_.candidates_speculative);
+          }
         }
       }
     };
@@ -361,9 +378,14 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
       if (slot.state == Slot::State::kSkipped) {
         skipped.push_back(queue[commit_pos]);
         ++outcome.skip_events;
+        obs::Inc(metrics_.candidates_skipped);
         ++commit_pos;
         continue;
       }
+      // Span recorded from this (single) commit thread only; it times
+      // the wait-for-result plus the commit decision.
+      obs::ScopedSpan span(trace_.trace, "commit", trace_.parent);
+      span.AddAttr("candidate", static_cast<int64_t>(queue[commit_pos]));
       pool_->WaitHelping(slot.future);
       ExecResult result = slot.future.get();
       --inflight;
@@ -375,9 +397,12 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
       if (should_skip(cq)) {
         if (result.ran && result.status.ok()) {
           ++outcome.speculative_executions;
+          obs::Inc(metrics_.candidates_speculative);
+          span.AddAttr("speculative", int64_t{1});
         }
         skipped.push_back(queue[commit_pos]);
         ++outcome.skip_events;
+        obs::Inc(metrics_.candidates_skipped);
         ++commit_pos;
         continue;
       }
@@ -394,7 +419,10 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
         return result.status;
       }
       ++outcome.executions;
-      if (Accepts(result.list, input)) {
+      obs::Inc(metrics_.candidates_executed);
+      const bool accepted = Accepts(result.list, input);
+      span.AddAttr("accepted", static_cast<int64_t>(accepted));
+      if (accepted) {
         outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
         if (options_.stop_at_first_valid) {
           // The paper's early termination: the first validated query

@@ -40,8 +40,10 @@
 #include "common/run_budget.h"
 #include "common/status.h"
 #include "engine/executor.h"
+#include "obs/trace.h"
 #include "paleo/candidate_query.h"
 #include "paleo/options.h"
+#include "paleo/pipeline_metrics.h"
 
 namespace paleo {
 
@@ -81,9 +83,22 @@ class Validator {
  public:
   /// `pool` (optional, not owned) enables parallel validation when
   /// options.num_threads > 1; nullptr keeps every path sequential.
+  ///
+  /// `metrics` (nullable handles) and `trace` (null trace = off) report
+  /// per-candidate outcomes. Sequential validation records one
+  /// "execute" span per execution; parallel validation records one
+  /// "commit" span per committed candidate, from the single-threaded
+  /// commit loop only (a Trace is not thread-safe, so pool workers
+  /// never touch it).
   Validator(const Table& base, Executor* executor,
-            const PaleoOptions& options, ThreadPool* pool = nullptr)
-      : base_(base), executor_(executor), options_(options), pool_(pool) {}
+            const PaleoOptions& options, ThreadPool* pool = nullptr,
+            PipelineMetrics metrics = {}, obs::TraceContext trace = {})
+      : base_(base),
+        executor_(executor),
+        options_(options),
+        pool_(pool),
+        metrics_(metrics),
+        trace_(trace) {}
 
   /// Exact instance-equivalence or partial-match acceptance, per
   /// options.match_mode.
@@ -122,6 +137,8 @@ class Validator {
   Executor* executor_;
   const PaleoOptions& options_;
   ThreadPool* pool_ = nullptr;
+  PipelineMetrics metrics_;
+  obs::TraceContext trace_;
 };
 
 }  // namespace paleo

@@ -13,9 +13,41 @@ DiscoveryService::DiscoveryService(const Table* base,
       service_options_(service_options),
       paleo_(base, paleo_options_),
       queue_(service_options.queue_capacity),
+      service_metrics_(BindServiceMetrics()),
       pool_(service_options.num_workers > 0
                 ? service_options.num_workers
                 : ThreadPool::DefaultNumThreads()) {}
+
+DiscoveryService::ServiceMetrics DiscoveryService::BindServiceMetrics() {
+  ServiceMetrics m;
+  m.submitted = metrics_.FindOrCreateCounter(
+      "paleo_service_submitted_total", "Admission attempts.");
+  m.shed = metrics_.FindOrCreateCounter(
+      "paleo_service_shed_total",
+      "Requests rejected at admission (queue full).");
+  m.done = metrics_.FindOrCreateCounter(
+      "paleo_service_sessions_total", "Terminal sessions, by state.",
+      "state=\"done\"");
+  m.failed = metrics_.FindOrCreateCounter(
+      "paleo_service_sessions_total", "Terminal sessions, by state.",
+      "state=\"failed\"");
+  m.cancelled = metrics_.FindOrCreateCounter(
+      "paleo_service_sessions_total", "Terminal sessions, by state.",
+      "state=\"cancelled\"");
+  m.expired = metrics_.FindOrCreateCounter(
+      "paleo_service_sessions_total", "Terminal sessions, by state.",
+      "state=\"expired\"");
+  m.queue_depth = metrics_.FindOrCreateGauge(
+      "paleo_service_queue_depth",
+      "Sessions admitted and not yet started.");
+  m.queue_wait_ms = metrics_.FindOrCreateHistogram(
+      "paleo_service_queue_wait_ms",
+      "Milliseconds between admission and dispatch.");
+  m.run_ms = metrics_.FindOrCreateHistogram(
+      "paleo_service_run_ms",
+      "Milliseconds a dispatched session spent running.");
+  return m;
+}
 
 DiscoveryService::~DiscoveryService() {
   shutdown_.store(true, std::memory_order_relaxed);
@@ -29,34 +61,52 @@ DiscoveryService::~DiscoveryService() {
 
 StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
     TopKList input) {
-  return Submit(std::move(input), paleo_options_);
+  ServiceRequest request;
+  request.input = std::move(input);
+  return Submit(std::move(request));
 }
 
 StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
     TopKList input, PaleoOptions request_options) {
+  ServiceRequest request;
+  request.input = std::move(input);
+  request.options = std::move(request_options);
+  return Submit(std::move(request));
+}
+
+StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
+    ServiceRequest request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(service_metrics_.submitted);
   if (shutdown_.load(std::memory_order_relaxed)) {
     return Status::Cancelled("discovery service is shutting down");
   }
+  PaleoOptions effective_options =
+      request.options.has_value() ? *std::move(request.options)
+                                  : paleo_options_;
+  request.options.reset();
   // The deadline moves out of the pipeline options and into the
   // session budget, anchored at admission: a request that waits in the
   // queue burns its own deadline, not the worker's time.
-  int64_t deadline_ms = request_options.deadline_ms > 0
-                            ? request_options.deadline_ms
+  int64_t deadline_ms = effective_options.deadline_ms > 0
+                            ? effective_options.deadline_ms
                             : service_options_.default_deadline_ms;
-  request_options.deadline_ms = 0;
+  effective_options.deadline_ms = 0;
   auto session =
       std::make_shared<Session>(next_id_.fetch_add(1, std::memory_order_relaxed),
-                                std::move(input), std::move(request_options));
+                                std::move(request),
+                                std::move(effective_options));
   if (deadline_ms > 0) {
     session->mutable_budget()->SetDeadlineAfterMillis(deadline_ms);
   }
   if (!queue_.TryPush(session)) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(service_metrics_.shed);
     return Status::ResourceExhausted(
         "admission queue full (" + std::to_string(queue_.capacity()) +
         " requests pending); retry after backoff");
   }
+  obs::Add(service_metrics_.queue_depth, 1);
   {
     std::lock_guard<std::mutex> lock(live_mutex_);
     live_.push_back(session);
@@ -70,6 +120,7 @@ StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
 void DiscoveryService::Dispatch() {
   std::shared_ptr<Session> session = queue_.Pop();
   if (session == nullptr) return;
+  obs::Add(service_metrics_.queue_depth, -1);
 
   // The counter for the session's terminal state is published BEFORE
   // Finish* makes that state visible: a client returning from Wait()
@@ -81,8 +132,25 @@ void DiscoveryService::Dispatch() {
     session->FinishWithoutRunning(pre_check);
   } else {
     session->MarkRunning();
-    auto result = paleo_.RunConcurrent(session->input(), &session->budget(),
-                                       &pool_, &session->options());
+    obs::Observe(service_metrics_.queue_wait_ms, session->queue_wait_ms());
+    RunRequest run_request;
+    run_request.input = &session->input();
+    run_request.keep_candidates = session->keep_candidates();
+    run_request.budget = &session->budget();
+    run_request.pool = &pool_;
+    run_request.options_override = &session->options();
+    run_request.metrics = &metrics_;
+    run_request.collect_trace = session->collect_trace();
+    const auto run_started = std::chrono::steady_clock::now();
+    auto result = paleo_.Run(run_request);
+    // Like CountTerminal, the latency sample is published before
+    // Finish makes the terminal state visible (a client returning
+    // from Wait() always finds it recorded), so it is measured here
+    // rather than read back from the session.
+    obs::Observe(service_metrics_.run_ms,
+                 std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - run_started)
+                     .count());
     CountTerminal(Session::TerminalStateFor(result));
     session->Finish(std::move(result));
   }
@@ -103,15 +171,19 @@ void DiscoveryService::CountTerminal(SessionState state) {
   switch (state) {
     case SessionState::kDone:
       done_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(service_metrics_.done);
       break;
     case SessionState::kFailed:
       failed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(service_metrics_.failed);
       break;
     case SessionState::kCancelled:
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(service_metrics_.cancelled);
       break;
     case SessionState::kExpired:
       expired_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(service_metrics_.expired);
       break;
     default:
       break;  // unreachable: callers pass terminal states only

@@ -15,7 +15,8 @@
 //   dispatch -> a pool worker pops the oldest session; if its budget
 //     is already exhausted (cancelled or expired while queued) the
 //     session is finalized without running, otherwise the worker runs
-//     Paleo::RunConcurrent governed by the session budget.
+//     Paleo::Run(RunRequest) governed by the session budget, with the
+//     service's MetricsRegistry and (when requested) a trace attached.
 //   Wait/Poll/Cancel -> on the Session handle, from any thread.
 //
 // Scheduling: session dispatch runs at pool priority 0, validation
@@ -37,6 +38,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/topk_list.h"
+#include "obs/metrics.h"
 #include "paleo/options.h"
 #include "paleo/paleo.h"
 #include "service/request_queue.h"
@@ -89,13 +91,19 @@ class DiscoveryService {
   DiscoveryService(const DiscoveryService&) = delete;
   DiscoveryService& operator=(const DiscoveryService&) = delete;
 
-  /// Admits a request with the service's default pipeline options.
-  StatusOr<std::shared_ptr<Session>> Submit(TopKList input);
-
-  /// Admits a request with per-request pipeline options (deadline_ms,
-  /// num_threads, match mode, ... — the indexes stay the service's).
+  /// The canonical admission path: a ServiceRequest job (input,
+  /// optional per-request options, keep_candidates, collect_trace).
   /// Sheds with ResourceExhausted when the admission queue is full,
   /// Cancelled after shutdown began.
+  StatusOr<std::shared_ptr<Session>> Submit(ServiceRequest request);
+
+  /// DEPRECATED: thin wrapper; admits `input` with the service's
+  /// default pipeline options. Prefer the ServiceRequest form.
+  StatusOr<std::shared_ptr<Session>> Submit(TopKList input);
+
+  /// DEPRECATED: thin wrapper with per-request pipeline options
+  /// (deadline_ms, num_threads, match mode, ... — the indexes stay
+  /// the service's). Prefer the ServiceRequest form.
   StatusOr<std::shared_ptr<Session>> Submit(TopKList input,
                                             PaleoOptions request_options);
 
@@ -111,14 +119,36 @@ class DiscoveryService {
   /// The shared engine (for schema access etc.). Do not mutate.
   const Paleo& engine() const { return paleo_; }
 
+  /// The service's metrics registry: service-level series
+  /// (paleo_service_*) plus the pipeline/executor series every run
+  /// reports into it. RenderText() gives the Prometheus-style dump the
+  /// server CLI exports.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
+  /// Registry handles resolved once at construction.
+  struct ServiceMetrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* done = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* queue_wait_ms = nullptr;
+    obs::Histogram* run_ms = nullptr;
+  };
+
   void Dispatch();  // runs on a pool worker: pop + run one session
   void CountTerminal(SessionState state);
+  ServiceMetrics BindServiceMetrics();
 
   const PaleoOptions paleo_options_;
   const DiscoveryServiceOptions service_options_;
   Paleo paleo_;
   RequestQueue queue_;
+  obs::MetricsRegistry metrics_;
+  const ServiceMetrics service_metrics_;
 
   std::atomic<uint64_t> next_id_{1};
   std::atomic<bool> shutdown_{false};

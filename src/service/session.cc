@@ -26,9 +26,15 @@ bool IsTerminal(SessionState state) {
          state == SessionState::kExpired;
 }
 
-Session::Session(Id id, TopKList input, PaleoOptions options)
-    : id_(id), input_(std::move(input)), options_(std::move(options)) {
+Session::Session(Id id, ServiceRequest request, PaleoOptions options)
+    : id_(id), request_(std::move(request)), options_(std::move(options)) {
   budget_.set_cancellation_token(&cancel_);
+  if (request_.collect_trace) {
+    trace_ = std::make_shared<obs::Trace>();
+    session_span_ = trace_->StartSpan("session");
+    trace_->AddAttr(session_span_, "id", static_cast<int64_t>(id_));
+    queued_span_ = trace_->StartSpan("queued", session_span_);
+  }
 }
 
 SessionState Session::Poll() const {
@@ -61,6 +67,11 @@ Status Session::status() const {
   return result_->status();
 }
 
+std::shared_ptr<const obs::Trace> Session::trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
 double Session::queue_wait_ms() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_wait_ms_;
@@ -78,6 +89,7 @@ void Session::MarkRunning() {
   queue_wait_ms_ =
       std::chrono::duration<double, std::milli>(started_at_ - admitted_at_)
           .count();
+  if (trace_ != nullptr) trace_->EndSpan(queued_span_);
 }
 
 void Session::FinishLocked(SessionState state,
@@ -88,6 +100,16 @@ void Session::FinishLocked(SessionState state,
     run_ms_ =
         std::chrono::duration<double, std::milli>(Clock::now() - started_at_)
             .count();
+  }
+  if (trace_ != nullptr) {
+    // A session finalized while still queued never ended its queued
+    // span; EndSpan's first-end-wins makes this a no-op otherwise.
+    trace_->EndSpan(queued_span_);
+    if (result_->ok() && result_->value().trace != nullptr) {
+      trace_->Adopt(*result_->value().trace, session_span_);
+    }
+    trace_->AddAttr(session_span_, "state", SessionStateToString(state));
+    trace_->EndSpan(session_span_);
   }
 }
 

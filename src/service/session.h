@@ -21,6 +21,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -28,10 +29,30 @@
 #include "common/run_budget.h"
 #include "common/status.h"
 #include "engine/topk_list.h"
+#include "obs/trace.h"
 #include "paleo/options.h"
 #include "paleo/paleo.h"
 
 namespace paleo {
+
+/// \brief One discovery-service job: the service-layer mirror of
+/// RunRequest. Owns its input (the session outlives the submitting
+/// call); everything else is optional.
+struct ServiceRequest {
+  /// The top-k list to reverse engineer. Required.
+  TopKList input;
+  /// Per-request pipeline options (deadline_ms, num_threads, match
+  /// mode, ... — the indexes stay the service's). Unset = the
+  /// service's defaults.
+  std::optional<PaleoOptions> options;
+  /// Retain the scored candidate list in the session's report.
+  bool keep_candidates = false;
+  /// Build a span tree for this request: a "session" root with a
+  /// "queued" child covering admission->dispatch, with the pipeline's
+  /// "run" tree grafted under it. Available via Session::trace() once
+  /// the session is terminal.
+  bool collect_trace = false;
+};
 
 /// \brief Where a session is in its lifecycle.
 enum class SessionState : int {
@@ -58,15 +79,18 @@ class Session {
   /// `options` are the request's effective pipeline options (the
   /// service already merged per-request overrides and moved the
   /// deadline into the budget, anchored at admission so queue wait
-  /// counts against it).
-  Session(Id id, TopKList input, PaleoOptions options);
+  /// counts against it). The remaining per-request flags travel in
+  /// `request`.
+  Session(Id id, ServiceRequest request, PaleoOptions options);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   Id id() const { return id_; }
-  const TopKList& input() const { return input_; }
+  const TopKList& input() const { return request_.input; }
   const PaleoOptions& options() const { return options_; }
+  bool keep_candidates() const { return request_.keep_candidates; }
+  bool collect_trace() const { return request_.collect_trace; }
   /// The request budget the pipeline is governed by (deadline anchored
   /// at admission + this session's cancellation token).
   const RunBudget& budget() const { return budget_; }
@@ -94,6 +118,13 @@ class Session {
 
   /// OK unless the session failed (kFailed: the pipeline's error).
   Status status() const;
+
+  /// The request's span tree: a "session" root whose "queued" child
+  /// covers admission->dispatch and whose grafted "run" subtree is the
+  /// pipeline's trace. Null unless the request asked for
+  /// collect_trace; complete (root span ended) only once the session
+  /// is terminal — callers should Wait() first.
+  std::shared_ptr<const obs::Trace> trace() const;
 
   /// Milliseconds spent queued before dispatch, and running. 0 until
   /// the respective phase completes.
@@ -131,7 +162,7 @@ class Session {
                     StatusOr<ReverseEngineerReport> result);
 
   const Id id_;
-  const TopKList input_;
+  const ServiceRequest request_;
   const PaleoOptions options_;
   CancellationToken cancel_;
   RunBudget budget_;
@@ -140,6 +171,14 @@ class Session {
   mutable std::condition_variable terminal_;
   SessionState state_ = SessionState::kQueued;
   std::optional<StatusOr<ReverseEngineerReport>> result_;
+
+  // Session-level span tree (collect_trace only). Written by the
+  // submitting thread (construction) and the dispatching worker
+  // (MarkRunning/Finish*, under mutex_); the queue handoff orders the
+  // two, so the non-thread-safe Trace is safe here.
+  std::shared_ptr<obs::Trace> trace_;
+  obs::Trace::SpanId session_span_ = obs::Trace::kNoSpan;
+  obs::Trace::SpanId queued_span_ = obs::Trace::kNoSpan;
 
   const Clock::time_point admitted_at_ = Clock::now();
   Clock::time_point started_at_{};

@@ -88,9 +88,15 @@ TEST(OptionsBehaviorTest, ObservedMatchRateTogglesTheModel) {
   ASSERT_TRUE(sample.ok());
 
   auto run = [&](bool observed) {
-    paleo.mutable_options()->use_observed_match_rate = observed;
-    auto report = paleo.RunOnSample(f.query.list, *sample, 0.2,
-                                    /*keep_candidates=*/true);
+    PaleoOptions override = paleo.options();
+    override.use_observed_match_rate = observed;
+    RunRequest request;
+    request.input = &f.query.list;
+    request.sample_rows = &*sample;
+    request.sample_fraction = 0.2;
+    request.keep_candidates = true;
+    request.options_override = &override;
+    auto report = paleo.Run(request);
     EXPECT_TRUE(report.ok());
     return *std::move(report);
   };

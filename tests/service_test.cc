@@ -385,6 +385,182 @@ TEST_F(ServiceTest, DestructionWithInFlightSessionsIsSafe) {
   }
 }
 
+TEST_F(ServiceTest, ServiceRequestSubmitCarriesTraceAndMatchesBaseline) {
+  DiscoveryServiceOptions service_options;
+  service_options.num_workers = 2;
+  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+
+  ServiceRequest request;
+  request.input = workload()[0].list;
+  request.collect_trace = true;
+  auto session = service.Submit(std::move(request));
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->Wait(), SessionState::kDone);
+  ExpectMatchesBaseline(**session, 0);
+
+  // The session's span tree: "session" root, "queued" child, and the
+  // pipeline's "run" tree grafted under the root.
+  std::shared_ptr<const obs::Trace> trace = (*session)->trace();
+  ASSERT_NE(trace, nullptr);
+  const obs::Span* root = trace->FindSpan("session");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, obs::Trace::kNoSpan);
+  EXPECT_TRUE(root->finished());
+  const obs::Span* queued = trace->FindSpan("queued");
+  ASSERT_NE(queued, nullptr);
+  EXPECT_TRUE(queued->finished());
+  const obs::Span* run = trace->FindSpan("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_TRUE(run->finished());
+  EXPECT_NE(trace->FindSpan("validate"), nullptr);
+
+  // Without the flag there is no trace.
+  ServiceRequest untraced;
+  untraced.input = workload()[0].list;
+  auto plain = service.Submit(std::move(untraced));
+  ASSERT_TRUE(plain.ok());
+  (*plain)->Wait();
+  EXPECT_EQ((*plain)->trace(), nullptr);
+}
+
+TEST_F(ServiceTest, ServiceRequestOptionsOverrideApplies) {
+  DiscoveryServiceOptions service_options;
+  service_options.num_workers = 2;
+  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+
+  ServiceRequest request;
+  request.input = workload()[0].list;
+  PaleoOptions per_request;
+  per_request.deadline_ms = 1;  // brutally tight, like the wrapper test
+  request.options = per_request;
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int i = 0; i < 8; ++i) {
+    auto session = service.Submit(request);
+    ASSERT_TRUE(session.ok());
+    sessions.push_back(*session);
+  }
+  for (auto& s : sessions) {
+    SessionState state = s->Wait();
+    EXPECT_TRUE(state == SessionState::kExpired ||
+                state == SessionState::kDone)
+        << SessionStateToString(state);
+  }
+}
+
+TEST_F(ServiceTest, MetricsRegistryMirrorsStatsAndCoversPipeline) {
+  DiscoveryServiceOptions service_options;
+  service_options.num_workers = 2;
+  service_options.queue_capacity = 16;
+  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+
+  constexpr int kRequests = 6;
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int i = 0; i < kRequests; ++i) {
+    ServiceRequest request;
+    request.input =
+        workload()[static_cast<size_t>(i) % workload().size()].list;
+    auto session = service.Submit(std::move(request));
+    ASSERT_TRUE(session.ok());
+    sessions.push_back(*session);
+  }
+  for (auto& s : sessions) {
+    ASSERT_EQ(s->Wait(), SessionState::kDone);
+  }
+
+  const obs::MetricsRegistry& registry = service.metrics();
+  EXPECT_EQ(registry.counter("paleo_service_submitted_total")->value(),
+            kRequests);
+  EXPECT_EQ(registry
+                .counter("paleo_service_sessions_total", "state=\"done\"")
+                ->value(),
+            kRequests);
+  EXPECT_EQ(registry.gauge("paleo_service_queue_depth")->value(), 0);
+  EXPECT_EQ(registry.histogram("paleo_service_queue_wait_ms")->count(),
+            kRequests);
+  EXPECT_EQ(registry.histogram("paleo_service_run_ms")->count(),
+            kRequests);
+  // Every run reported into the shared pipeline series.
+  EXPECT_EQ(registry.counter("paleo_runs_total")->value(), kRequests);
+  EXPECT_GT(
+      registry
+          .counter("paleo_validation_candidates_total",
+                   "outcome=\"executed\"")
+          ->value(),
+      0);
+  EXPECT_GT(registry.counter("paleo_executor_queries_total")->value(), 0);
+
+  // The rendered dump exposes the full serving + pipeline surface.
+  std::string text = registry.RenderText();
+  for (const char* needle :
+       {"paleo_service_submitted_total", "paleo_service_shed_total",
+        "paleo_service_sessions_total{state=\"done\"}",
+        "paleo_service_queue_depth", "paleo_service_queue_wait_ms_count",
+        "paleo_service_run_ms_bucket", "paleo_runs_total",
+        "paleo_run_ms_count", "outcome=\"executed\"",
+        "outcome=\"speculative\"", "outcome=\"skipped\"",
+        "paleo_executor_rows_scanned_total"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(ServiceTest, ConcurrentSubmittersAndScrapersOnOneRegistry) {
+  // TSan-facing stress: client threads hammer Submit/Wait (every run
+  // writing the shared registry through the pool workers) while a
+  // scraper thread renders the exposition in a loop. Totals must come
+  // out exact and the interleaving data-race-free.
+  DiscoveryServiceOptions service_options;
+  service_options.num_workers = 4;
+  service_options.queue_capacity = 64;
+  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> completed{0};
+  std::thread scraper([&] {
+    size_t rendered = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      rendered += service.metrics().RenderText().size();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GT(rendered, 0u);
+  });
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r) {
+        ServiceRequest request;
+        request.input =
+            workload()[static_cast<size_t>(c * kPerClient + r) %
+                       workload().size()]
+                .list;
+        request.collect_trace = (r % 2) == 0;
+        auto session = service.Submit(std::move(request));
+        if (!session.ok()) continue;  // shed under load is fine here
+        if (IsTerminal((*session)->Wait())) {
+          completed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  scraper.join();
+
+  EXPECT_GT(completed.load(), 0);
+  const obs::MetricsRegistry& registry = service.metrics();
+  auto stats = service.stats();
+  EXPECT_EQ(registry.counter("paleo_service_submitted_total")->value(),
+            stats.submitted);
+  EXPECT_EQ(registry
+                .counter("paleo_service_sessions_total", "state=\"done\"")
+                ->value(),
+            stats.done);
+  EXPECT_EQ(registry.counter("paleo_service_shed_total")->value(),
+            stats.shed);
+  EXPECT_EQ(registry.gauge("paleo_service_queue_depth")->value(), 0);
+}
+
 TEST_F(ServiceTest, SubmitAfterShutdownRejected) {
   auto service = std::make_unique<DiscoveryService>(
       &table(), PaleoOptions{}, DiscoveryServiceOptions{});
