@@ -33,10 +33,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(global_mutex_);
+    MutexLock lock(global_mutex_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
@@ -50,12 +50,12 @@ void ThreadPool::Push(Task task) {
   if (tl_pool == this) {
     Worker& own = *workers_[tl_worker];
     {
-      std::lock_guard<std::mutex> lock(own.mutex);
+      MutexLock lock(own.mutex);
       own.deque.push_back(std::move(task));
     }
     pending_.fetch_add(1, std::memory_order_release);
   } else {
-    std::lock_guard<std::mutex> lock(global_mutex_);
+    MutexLock lock(global_mutex_);
     // Insert before the first queued task that should run later:
     // lower priority, or equal priority submitted later (seq is
     // monotonic, so equal-priority inserts always land at the end).
@@ -69,16 +69,16 @@ void ThreadPool::Push(Task task) {
   // Notify under the mutex so a worker between its predicate check and
   // its sleep cannot miss the wakeup.
   {
-    std::lock_guard<std::mutex> lock(global_mutex_);
+    MutexLock lock(global_mutex_);
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 bool ThreadPool::PopTask(Task* out) {
   // Own deque first (LIFO), when called from a worker of this pool.
   if (tl_pool == this) {
     Worker& own = *workers_[tl_worker];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.deque.empty()) {
       *out = std::move(own.deque.back());
       own.deque.pop_back();
@@ -88,7 +88,7 @@ bool ThreadPool::PopTask(Task* out) {
   }
   // Global queue next: highest priority, FIFO within a priority.
   {
-    std::lock_guard<std::mutex> lock(global_mutex_);
+    MutexLock lock(global_mutex_);
     if (!global_.empty()) {
       *out = std::move(global_.front());
       global_.pop_front();
@@ -100,7 +100,7 @@ bool ThreadPool::PopTask(Task* out) {
   for (size_t i = 0; i < workers_.size(); ++i) {
     if (tl_pool == this && i == tl_worker) continue;
     Worker& victim = *workers_[i];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.deque.empty()) {
       *out = std::move(victim.deque.front());
       victim.deque.pop_front();
@@ -127,10 +127,10 @@ void ThreadPool::WorkerLoop(size_t index) {
       task.run();
       continue;
     }
-    std::unique_lock<std::mutex> lock(global_mutex_);
-    wake_.wait(lock, [this]() {
-      return stop_ || pending_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(global_mutex_);
+    while (!stop_ && pending_.load(std::memory_order_acquire) <= 0) {
+      wake_.Wait(global_mutex_);
+    }
     if (stop_ && pending_.load(std::memory_order_acquire) <= 0) break;
   }
   tl_pool = nullptr;

@@ -30,19 +30,19 @@
 #define PALEO_COMMON_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/run_budget.h"
+#include "common/thread_annotations.h"
 
 namespace paleo {
 
@@ -131,9 +131,9 @@ class ThreadPool {
   };
 
   struct Worker {
+    mutable Mutex mutex;
     // Owner pops back (LIFO), thieves pop front (FIFO).
-    std::deque<Task> deque;
-    mutable std::mutex mutex;
+    std::deque<Task> deque GUARDED_BY(mutex);
     std::thread thread;
   };
 
@@ -146,17 +146,18 @@ class ThreadPool {
   bool PopTask(Task* out);
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  mutable Mutex global_mutex_;
   // Global injection queue, kept sorted by (priority desc, seq asc).
   // A flat deque beats std::priority_queue here: submission order is
   // the common case (single priority), making pushes O(1) amortized.
-  std::deque<Task> global_;
-  mutable std::mutex global_mutex_;
-  std::condition_variable wake_;
+  std::deque<Task> global_ GUARDED_BY(global_mutex_);
+  CondVar wake_;
   std::atomic<uint64_t> seq_{0};
   // Total tasks queued anywhere; lets sleeping workers avoid a full
-  // steal sweep on every wakeup.
+  // steal sweep on every wakeup. Atomic, not guarded: read in wait
+  // predicates without the deque mutexes held.
   std::atomic<int64_t> pending_{0};
-  bool stop_ = false;  // guarded by global_mutex_
+  bool stop_ GUARDED_BY(global_mutex_) = false;
 };
 
 }  // namespace paleo

@@ -80,7 +80,7 @@ double Histogram::Quantile(double q) const {
 MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
     Kind kind, const std::string& name, const std::string& help,
     const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   for (auto& e : entries_) {
     if (e->kind == kind && e->name == name && e->labels == labels) {
       return e.get();
@@ -108,7 +108,12 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
 
 const MetricsRegistry::Entry* MetricsRegistry::Find(
     Kind kind, const std::string& name, const std::string& labels) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
+  return FindLocked(kind, name, labels);
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::FindLocked(
+    Kind kind, const std::string& name, const std::string& labels) const {
   for (const auto& e : entries_) {
     if (e->kind == kind && e->name == name && e->labels == labels) {
       return e.get();
@@ -154,12 +159,12 @@ const Histogram* MetricsRegistry::histogram(const std::string& name,
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::string MetricsRegistry::RenderText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::string out;
   auto append_sample = [&out](const std::string& name,
                               const std::string& labels,
@@ -206,20 +211,27 @@ std::string MetricsRegistry::RenderText() const {
           break;
         case Kind::kHistogram: {
           const Histogram& h = *e->histogram;
+          // Hoisted out of the bucket loop: the label prefix and the
+          // "_bucket" family name are the same for all 28 rows, and
+          // one row-label buffer is reused across them.
+          std::string label_prefix = e->labels;
+          if (!label_prefix.empty()) label_prefix += ',';
+          const std::string bucket_name = e->name + "_bucket";
+          std::string row_labels;
           int64_t cumulative = 0;
           for (int i = 0; i < Histogram::kNumBuckets; ++i) {
             cumulative += h.bucket_count(i);
-            std::string labels = e->labels.empty() ? "" : e->labels + ",";
-            labels += "le=\"" + FormatBound(Histogram::BucketUpperBound(i)) +
-                      "\"";
-            append_sample(e->name + "_bucket", labels,
+            row_labels.assign(label_prefix);
+            row_labels += "le=\"";
+            row_labels += FormatBound(Histogram::BucketUpperBound(i));
+            row_labels += '"';
+            append_sample(bucket_name, row_labels,
                           std::to_string(cumulative));
           }
           cumulative += h.bucket_count(Histogram::kNumBuckets);
-          std::string inf_labels =
-              e->labels.empty() ? "" : e->labels + ",";
-          inf_labels += "le=\"+Inf\"";
-          append_sample(e->name + "_bucket", inf_labels,
+          row_labels.assign(label_prefix);
+          row_labels += "le=\"+Inf\"";
+          append_sample(bucket_name, row_labels,
                         std::to_string(cumulative));
           append_sample(e->name + "_sum", e->labels,
                         FormatDouble(h.sum_ms()));

@@ -32,9 +32,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace paleo {
 namespace obs {
@@ -154,10 +156,17 @@ class MetricsRegistry {
                       const std::string& help, const std::string& labels);
   const Entry* Find(Kind kind, const std::string& name,
                     const std::string& labels) const;
+  const Entry* FindLocked(Kind kind, const std::string& name,
+                          const std::string& labels) const
+      REQUIRES_SHARED(mutex_);
 
-  mutable std::mutex mutex_;
+  /// Reader/writer: registration (rare) takes the writer side, lookups
+  /// and RenderText scrapes share the reader side, so a scrape never
+  /// blocks another scrape. Instrument updates bypass the lock entirely
+  /// (relaxed atomics on stable heap entries).
+  mutable SharedMutex mutex_;
   /// Registration order; stable pointers (entries are heap-allocated).
-  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mutex_);
 };
 
 // ---- Nullable-handle event helpers (the one-branch disabled path) ----

@@ -2,6 +2,10 @@
 // 6.3): the cross product of each predicate group's predicates with the
 // group's candidate ranking criteria, scored by
 // s(Qc) = (1 - P[false positive]) * (1 - d) and sorted best-first.
+//
+// Thread-safety: plain value types and pure functions over their
+// arguments; concurrent calls are safe as long as each call uses its
+// own output vector.
 
 #ifndef PALEO_PALEO_CANDIDATE_QUERY_H_
 #define PALEO_PALEO_CANDIDATE_QUERY_H_

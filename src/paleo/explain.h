@@ -1,6 +1,9 @@
 // Human-readable explanation of a reverse-engineering run: what PALEO
 // searched, what it found, and why the result is credible. Rendered by
 // the CLI's --verbose mode and usable by any embedder.
+//
+// Thread-safety: stateless rendering of an immutable Result; safe to
+// call concurrently.
 
 #ifndef PALEO_PALEO_EXPLAIN_H_
 #define PALEO_PALEO_EXPLAIN_H_

@@ -1,4 +1,7 @@
 // Configuration of the PALEO pipeline.
+//
+// Thread-safety: a plain value type. Treat as immutable once handed to
+// Run(); concurrent const access is safe.
 
 #ifndef PALEO_PALEO_OPTIONS_H_
 #define PALEO_PALEO_OPTIONS_H_

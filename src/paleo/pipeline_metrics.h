@@ -7,6 +7,11 @@
 // one branch per event when no registry is attached (all handles null),
 // a relaxed atomic op when one is.
 //
+// Thread-safety: Bind() is safe to call from any thread (the registry
+// lookups are internally synchronized); the resolved handles point at
+// atomic instruments, so reporting through a bound struct is safe from
+// multiple threads.
+//
 // Metric naming scheme (documented in DESIGN.md §9):
 //   paleo_runs_total                      runs started, by outcome attrs
 //   paleo_runs_found_total                runs that validated >= 1 query

@@ -12,6 +12,9 @@
 // Coverage: with a complete R' a candidate must cover every input
 // entity (Definition 1); under sampling the bar is relaxed to
 // options.coverage_ratio (Section 6.4).
+//
+// Thread-safety: pure functions over a const R'; concurrent calls with
+// distinct output vectors are safe.
 
 #ifndef PALEO_PALEO_PREDICATE_MINER_H_
 #define PALEO_PALEO_PREDICATE_MINER_H_

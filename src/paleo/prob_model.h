@@ -9,6 +9,9 @@
 // resulting probability combines with the ranking-criterion distance
 // into the suitability score that orders candidate query validation
 // (Section 6.3).
+//
+// Thread-safety: pure functions of their arguments; safe to call
+// concurrently.
 
 #ifndef PALEO_PALEO_PROB_MODEL_H_
 #define PALEO_PALEO_PROB_MODEL_H_

@@ -14,6 +14,9 @@
 // sampling every criterion is scored by the normalized L1 distance
 // between its (approximated) per-entity values and L's values; sums
 // are scaled per entity by total/seen tuple counts (Section 6.2).
+//
+// Thread-safety: reads const inputs (R', stats, histograms) and writes
+// only its own outputs; concurrent calls over the same inputs are safe.
 
 #ifndef PALEO_PALEO_RANKING_FINDER_H_
 #define PALEO_PALEO_RANKING_FINDER_H_

@@ -1,5 +1,8 @@
 // R': the in-memory, column-oriented slice of R holding all (sampled)
 // tuples of the input list's entities (paper Section 3.1).
+//
+// Thread-safety: built single-threaded, then treated as immutable; the
+// validator's worker threads share one const R' without locking.
 
 #ifndef PALEO_PALEO_RPRIME_H_
 #define PALEO_PALEO_RPRIME_H_

@@ -3,6 +3,9 @@
 // false positives) and uniform per-entity sampling (a percentage of
 // each entity's tuples — fewer false positives, possible false
 // negatives, mitigated by the relaxed coverage ratio).
+//
+// Thread-safety: pure functions from (const R', seed) to a new sampled
+// R'; safe to call concurrently.
 
 #ifndef PALEO_PALEO_SAMPLER_H_
 #define PALEO_PALEO_SAMPLER_H_

@@ -2,6 +2,9 @@
 // candidate predicate over R' (paper Sections 4, 4.1). Predicates with
 // identical tuple sets share data characteristics and are grouped so
 // each distinct set is examined once.
+//
+// Thread-safety: plain value types; pure grouping functions over const
+// inputs are safe to call concurrently.
 
 #ifndef PALEO_PALEO_TUPLE_SET_H_
 #define PALEO_PALEO_TUPLE_SET_H_

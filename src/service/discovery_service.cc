@@ -50,7 +50,16 @@ DiscoveryService::ServiceMetrics DiscoveryService::BindServiceMetrics() {
 }
 
 DiscoveryService::~DiscoveryService() {
-  shutdown_.store(true, std::memory_order_relaxed);
+  // The shutdown flag is published under live_mutex_ so that it orders
+  // against Submit's insertion into live_: a submitter that wins the
+  // race into live_ is cancelled by CancelAll below, and one that
+  // loses observes the flag and cancels its own session — either way
+  // no session admitted concurrently with teardown escapes
+  // cancellation (the documented destruction contract).
+  {
+    MutexLock lock(live_mutex_);
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
   // Trip every live session so queued ones finalize without running
   // and mid-flight ones wind down at their next budget poll; then let
   // the pool (destroyed first, as the last member) drain the dispatch
@@ -108,8 +117,14 @@ StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
   }
   obs::Add(service_metrics_.queue_depth, 1);
   {
-    std::lock_guard<std::mutex> lock(live_mutex_);
+    MutexLock lock(live_mutex_);
     live_.push_back(session);
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      // Teardown already swept live_ (or is about to close the queue):
+      // this session would otherwise be dispatched un-cancelled while
+      // the service is being destroyed. See ~DiscoveryService.
+      session->Cancel();
+    }
   }
   // One dispatch job per admitted session, FIFO at priority 0 (below
   // validation subtasks, so running requests finish first).
@@ -157,7 +172,7 @@ void DiscoveryService::Dispatch() {
 
   // Drop this session (and any other already-collected ones) from the
   // live list; CancelAll only needs sessions that can still change.
-  std::lock_guard<std::mutex> lock(live_mutex_);
+  MutexLock lock(live_mutex_);
   live_.erase(std::remove_if(live_.begin(), live_.end(),
                              [&](const std::weak_ptr<Session>& weak) {
                                auto locked = weak.lock();
@@ -191,7 +206,7 @@ void DiscoveryService::CountTerminal(SessionState state) {
 }
 
 void DiscoveryService::CancelAll() {
-  std::lock_guard<std::mutex> lock(live_mutex_);
+  MutexLock lock(live_mutex_);
   for (const std::weak_ptr<Session>& weak : live_) {
     if (auto session = weak.lock()) session->Cancel();
   }

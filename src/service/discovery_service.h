@@ -31,10 +31,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/run_budget.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/topk_list.h"
@@ -151,6 +152,8 @@ class DiscoveryService {
   const ServiceMetrics service_metrics_;
 
   std::atomic<uint64_t> next_id_{1};
+  // Set (under live_mutex_, see ~DiscoveryService) once teardown began;
+  // also read lock-free for the cheap early-out in Submit.
   std::atomic<bool> shutdown_{false};
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> shed_{0};
@@ -160,8 +163,8 @@ class DiscoveryService {
   std::atomic<int64_t> expired_{0};
 
   // Live sessions, for CancelAll; pruned on finish.
-  std::mutex live_mutex_;
-  std::vector<std::weak_ptr<Session>> live_;
+  Mutex live_mutex_;
+  std::vector<std::weak_ptr<Session>> live_ GUARDED_BY(live_mutex_);
 
   // Last member: destroyed first, joining every dispatch and
   // validation task while the rest of the service is still alive.

@@ -9,17 +9,17 @@ RequestQueue::RequestQueue(size_t capacity)
 
 bool RequestQueue::TryPush(std::shared_ptr<Session> session) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_ || sessions_.size() >= capacity_) return false;
     sessions_.push_back(std::move(session));
   }
-  ready_.notify_one();
+  ready_.NotifyOne();
   return true;
 }
 
 std::shared_ptr<Session> RequestQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  ready_.wait(lock, [this]() { return closed_ || !sessions_.empty(); });
+  MutexLock lock(mutex_);
+  while (!closed_ && sessions_.empty()) ready_.Wait(mutex_);
   if (sessions_.empty()) return nullptr;
   std::shared_ptr<Session> session = std::move(sessions_.front());
   sessions_.pop_front();
@@ -28,14 +28,14 @@ std::shared_ptr<Session> RequestQueue::Pop() {
 
 void RequestQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
-  ready_.notify_all();
+  ready_.NotifyAll();
 }
 
 size_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sessions_.size();
 }
 

@@ -11,11 +11,12 @@
 #ifndef PALEO_SERVICE_REQUEST_QUEUE_H_
 #define PALEO_SERVICE_REQUEST_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace paleo {
 
@@ -46,10 +47,10 @@ class RequestQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<std::shared_ptr<Session>> sessions_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  std::deque<std::shared_ptr<Session>> sessions_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace paleo

@@ -30,6 +30,9 @@ Session::Session(Id id, ServiceRequest request, PaleoOptions options)
     : id_(id), request_(std::move(request)), options_(std::move(options)) {
   budget_.set_cancellation_token(&cancel_);
   if (request_.collect_trace) {
+    // The object is not shared yet; the lock only satisfies the
+    // thread-safety analysis (guarded members are written here).
+    MutexLock lock(mutex_);
     trace_ = std::make_shared<obs::Trace>();
     session_span_ = trace_->StartSpan("session");
     trace_->AddAttr(session_span_, "id", static_cast<int64_t>(id_));
@@ -38,52 +41,58 @@ Session::Session(Id id, ServiceRequest request, PaleoOptions options)
 }
 
 SessionState Session::Poll() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 SessionState Session::Wait() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  terminal_.wait(lock, [this]() { return IsTerminal(state_); });
+  MutexLock lock(mutex_);
+  while (!IsTerminal(state_)) terminal_.Wait(mutex_);
   return state_;
 }
 
 SessionState Session::WaitFor(std::chrono::milliseconds timeout) const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  terminal_.wait_for(lock, timeout,
-                     [this]() { return IsTerminal(state_); });
+  const Clock::time_point deadline = Clock::now() + timeout;
+  MutexLock lock(mutex_);
+  while (!IsTerminal(state_)) {
+    if (!terminal_.WaitUntil(mutex_, deadline)) break;
+  }
   return state_;
 }
 
 const ReverseEngineerReport* Session::report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!result_.has_value() || !result_->ok()) return nullptr;
   return &result_->value();
 }
 
 Status Session::status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!result_.has_value()) return Status::OK();
   return result_->status();
 }
 
 std::shared_ptr<const obs::Trace> Session::trace() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
+  // Before the terminal state the dispatching worker may still be
+  // appending spans; handing the tree out then would let the caller
+  // read the arena mid-write (Trace is not thread-safe by design).
+  if (!IsTerminal(state_)) return nullptr;
   return trace_;
 }
 
 double Session::queue_wait_ms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_wait_ms_;
 }
 
 double Session::run_ms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return run_ms_;
 }
 
 void Session::MarkRunning() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   state_ = SessionState::kRunning;
   started_at_ = Clock::now();
   queue_wait_ms_ =
@@ -135,20 +144,20 @@ SessionState Session::TerminalStateForUnrun(TerminationReason reason) {
 
 void Session::Finish(StatusOr<ReverseEngineerReport> result) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     FinishLocked(TerminalStateFor(result), std::move(result));
   }
-  terminal_.notify_all();
+  terminal_.NotifyAll();
 }
 
 void Session::FinishWithoutRunning(TerminationReason reason) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ReverseEngineerReport report;
     report.termination = reason;
     FinishLocked(TerminalStateForUnrun(reason), std::move(report));
   }
-  terminal_.notify_all();
+  terminal_.NotifyAll();
 }
 
 }  // namespace paleo

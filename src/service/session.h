@@ -19,14 +19,14 @@
 #define PALEO_SERVICE_SESSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/run_budget.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "engine/topk_list.h"
 #include "obs/trace.h"
@@ -121,9 +121,10 @@ class Session {
 
   /// The request's span tree: a "session" root whose "queued" child
   /// covers admission->dispatch and whose grafted "run" subtree is the
-  /// pipeline's trace. Null unless the request asked for
-  /// collect_trace; complete (root span ended) only once the session
-  /// is terminal — callers should Wait() first.
+  /// pipeline's trace. Null unless the request asked for collect_trace,
+  /// and null until the session is terminal — the dispatching worker is
+  /// still writing spans before that, so the live tree is never handed
+  /// out (callers Wait(), then read).
   std::shared_ptr<const obs::Trace> trace() const;
 
   /// Milliseconds spent queued before dispatch, and running. 0 until
@@ -159,7 +160,8 @@ class Session {
   using Clock = std::chrono::steady_clock;
 
   void FinishLocked(SessionState state,
-                    StatusOr<ReverseEngineerReport> result);
+                    StatusOr<ReverseEngineerReport> result)
+      REQUIRES(mutex_);
 
   const Id id_;
   const ServiceRequest request_;
@@ -167,23 +169,26 @@ class Session {
   CancellationToken cancel_;
   RunBudget budget_;
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable terminal_;
-  SessionState state_ = SessionState::kQueued;
-  std::optional<StatusOr<ReverseEngineerReport>> result_;
+  mutable Mutex mutex_;
+  mutable CondVar terminal_;
+  SessionState state_ GUARDED_BY(mutex_) = SessionState::kQueued;
+  std::optional<StatusOr<ReverseEngineerReport>> result_
+      GUARDED_BY(mutex_);
 
   // Session-level span tree (collect_trace only). Written by the
   // submitting thread (construction) and the dispatching worker
   // (MarkRunning/Finish*, under mutex_); the queue handoff orders the
-  // two, so the non-thread-safe Trace is safe here.
-  std::shared_ptr<obs::Trace> trace_;
-  obs::Trace::SpanId session_span_ = obs::Trace::kNoSpan;
-  obs::Trace::SpanId queued_span_ = obs::Trace::kNoSpan;
+  // two, and trace() withholds the pointer until the session is
+  // terminal, so the non-thread-safe Trace is never read mid-write.
+  std::shared_ptr<obs::Trace> trace_ GUARDED_BY(mutex_);
+  obs::Trace::SpanId session_span_ GUARDED_BY(mutex_) =
+      obs::Trace::kNoSpan;
+  obs::Trace::SpanId queued_span_ GUARDED_BY(mutex_) = obs::Trace::kNoSpan;
 
   const Clock::time_point admitted_at_ = Clock::now();
-  Clock::time_point started_at_{};
-  double queue_wait_ms_ = 0.0;
-  double run_ms_ = 0.0;
+  Clock::time_point started_at_ GUARDED_BY(mutex_){};
+  double queue_wait_ms_ GUARDED_BY(mutex_) = 0.0;
+  double run_ms_ GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace paleo

@@ -209,6 +209,106 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
   EXPECT_EQ(registry.size(), 3u);
 }
 
+TEST(MetricsRegistryTest, RenderTextLabeledHistogramRows) {
+  // Regression for the render loop's reused row-label buffer: every
+  // bucket row of a *labeled* histogram must compose as
+  // `name_bucket{labels,le="..."}`, and two label sets of one family
+  // must not bleed into each other.
+  MetricsRegistry registry;
+  Histogram* mine = registry.FindOrCreateHistogram(
+      "paleo_stage_ms", "Stage latency", "stage=\"mine\"");
+  Histogram* validate = registry.FindOrCreateHistogram(
+      "paleo_stage_ms", "Stage latency", "stage=\"validate\"");
+  mine->Observe(0.001);  // bucket 0 (le="0.001")
+  mine->Observe(1.0);    // le="1.024"
+  validate->Observe(0.5);  // le="0.512"
+
+  std::string text = registry.RenderText();
+  EXPECT_NE(
+      text.find("paleo_stage_ms_bucket{stage=\"mine\",le=\"0.001\"} 1\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("paleo_stage_ms_bucket{stage=\"mine\",le=\"1.024\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("paleo_stage_ms_bucket{stage=\"mine\",le=\"+Inf\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("paleo_stage_ms_sum{stage=\"mine\"} 1.001000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("paleo_stage_ms_count{stage=\"mine\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "paleo_stage_ms_bucket{stage=\"validate\",le=\"0.512\"} 1\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("paleo_stage_ms_count{stage=\"validate\"} 1\n"),
+            std::string::npos);
+  // One HELP per family even with two label sets.
+  EXPECT_EQ(text.find("# HELP paleo_stage_ms"),
+            text.rfind("# HELP paleo_stage_ms"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegisterVsScrape) {
+  // Writers keep registering fresh (name, labels) pairs while scrapers
+  // loop RenderText/lookup/size — registration takes the writer lock,
+  // scrapes share the reader lock, and nothing may tear (TSan lane
+  // covers this test). Totals and the final exposition must be exact.
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr int kScrapers = 2;
+  constexpr int kPerWriter = 64;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&registry, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        std::string labels =
+            "writer=\"" + std::to_string(w) + "\",i=\"" +
+            std::to_string(i) + "\"";
+        registry
+            .FindOrCreateCounter("paleo_scrape_race_total", "race",
+                                 labels)
+            ->Add(1);
+        registry.FindOrCreateHistogram("paleo_scrape_race_ms", "race",
+                                       labels)
+            ->Observe(0.004);
+      }
+    });
+  }
+  for (int s = 0; s < kScrapers; ++s) {
+    threads.emplace_back([&registry, &done] {
+      size_t renders = 0;
+      while (!done.load(std::memory_order_relaxed) || renders == 0) {
+        // The scrape must always see a structurally complete exposition
+        // (never a half-registered entry): any sample line implies its
+        // family header was rendered first.
+        std::string text = registry.RenderText();
+        if (!text.empty()) {
+          EXPECT_EQ(text.find("# HELP"), 0u) << text.substr(0, 120);
+        }
+        (void)registry.counter("paleo_scrape_race_total",
+                               "writer=\"0\",i=\"0\"");
+        (void)registry.size();
+        ++renders;
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) threads[static_cast<size_t>(t)].join();
+  done.store(true, std::memory_order_relaxed);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(registry.size(),
+            static_cast<size_t>(2 * kWriters * kPerWriter));
+  std::string text = registry.RenderText();
+  EXPECT_EQ(text.find("# HELP paleo_scrape_race_total"),
+            text.rfind("# HELP paleo_scrape_race_total"));
+  EXPECT_NE(text.find("paleo_scrape_race_total{writer=\"3\",i=\"" +
+                      std::to_string(kPerWriter - 1) + "\"} 1\n"),
+            std::string::npos);
+}
+
 // ------------------------------------------------------------------ trace
 
 TEST(TraceTest, BuildsSpanTree) {

@@ -15,7 +15,10 @@
 
 #include "common/thread_pool.h"
 #include "datagen/tpch_gen.h"
+#include "obs/trace.h"
 #include "paleo/paleo.h"
+#include "service/request_queue.h"
+#include "service/session.h"
 #include "workload/workload.h"
 
 namespace paleo {
@@ -576,6 +579,120 @@ TEST_F(ServiceTest, SubmitAfterShutdownRejected) {
   EXPECT_EQ(stats.Finished(), 1);
   service.reset();
   EXPECT_EQ((*session)->Poll(), SessionState::kDone);
+}
+
+TEST_F(ServiceTest, LateAdmissionAfterCancelAllStillReachesTerminal) {
+  // Regression for the teardown ordering: a session admitted after a
+  // CancelAll sweep must not escape wind-down — destruction republishes
+  // the shutdown flag under the live-list mutex and sweeps again, so
+  // either the sweep or the submitting thread itself cancels it.
+  DiscoveryServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.queue_capacity = 8;
+  auto service = std::make_unique<DiscoveryService>(
+      &table(), PaleoOptions{}, service_options);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int i = 0; i < 4; ++i) {
+    auto session = service->Submit(
+        workload()[static_cast<size_t>(i) % workload().size()].list);
+    ASSERT_TRUE(session.ok());
+    sessions.push_back(*session);
+  }
+  service->CancelAll();
+  auto late = service->Submit(workload()[1].list);  // missed the sweep
+  ASSERT_TRUE(late.ok());
+  sessions.push_back(*late);
+  service.reset();
+  for (auto& s : sessions) {
+    ASSERT_TRUE(IsTerminal(s->Wait())) << SessionStateToString(s->Poll());
+  }
+}
+
+// ---------------------------------------------- RequestQueue / Session
+
+/// A queued-only session: never dispatched, so queue and state-machine
+/// edges can be driven by hand.
+std::shared_ptr<Session> MakeIdleSession(Session::Id id,
+                                         bool collect_trace = false) {
+  ServiceRequest request;
+  request.input.Append("entity", 1.0);
+  request.collect_trace = collect_trace;
+  return std::make_shared<Session>(id, std::move(request), PaleoOptions{});
+}
+
+TEST(RequestQueueTest, CapacityOneShedsAndRecoversAcrossClose) {
+  RequestQueue queue(1);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_EQ(queue.size(), 0u);
+  auto s1 = MakeIdleSession(1);
+  auto s2 = MakeIdleSession(2);
+  auto s3 = MakeIdleSession(3);
+  EXPECT_TRUE(queue.TryPush(s1));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_FALSE(queue.TryPush(s2));  // at capacity: shed
+  EXPECT_EQ(queue.Pop(), s1);       // FIFO head
+  EXPECT_TRUE(queue.TryPush(s2));   // capacity freed by the pop
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(s3));  // closed: shed
+  EXPECT_EQ(queue.Pop(), s2);       // queued work still drains
+  EXPECT_EQ(queue.Pop(), nullptr);  // then nullptr forever
+  EXPECT_EQ(queue.Pop(), nullptr);
+}
+
+TEST(RequestQueueTest, CloseUnblocksEveryWaiter) {
+  RequestQueue queue(4);
+  constexpr int kWaiters = 3;
+  std::vector<std::shared_ptr<Session>> got(kWaiters);
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&queue, &got, i] { got[i] = queue.Pop(); });
+  }
+  // Let the waiters park on the empty queue, then close it under them;
+  // every Pop must return (with nullptr) instead of hanging.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queue.Close();
+  for (auto& t : waiters) t.join();
+  for (auto& s : got) EXPECT_EQ(s, nullptr);
+}
+
+TEST(RequestQueueTest, CancelWhileQueuedIsStillDelivered) {
+  // Cancel only trips the token; the terminal state belongs to the
+  // dispatcher, so a cancelled session must still come out of Pop (the
+  // service's Dispatch finalizes it without running).
+  RequestQueue queue(2);
+  auto session = MakeIdleSession(7);
+  ASSERT_TRUE(queue.TryPush(session));
+  session->Cancel();
+  EXPECT_TRUE(session->cancellation_token()->cancelled());
+  EXPECT_EQ(session->Poll(), SessionState::kQueued);
+  auto popped = queue.Pop();
+  ASSERT_EQ(popped, session);
+  EXPECT_EQ(popped->budget().Check(0), TerminationReason::kCancelled);
+  popped->FinishWithoutRunning(TerminationReason::kCancelled);
+  EXPECT_EQ(session->Wait(), SessionState::kCancelled);
+  const ReverseEngineerReport* report = session->report();
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->termination, TerminationReason::kCancelled);
+  EXPECT_EQ(session->trace(), nullptr);  // collect_trace was off
+}
+
+TEST(SessionTest, TraceWithheldUntilTerminal) {
+  // Regression: trace() used to hand out the live span tree while the
+  // dispatching worker was still writing it (obs::Trace is not
+  // thread-safe); the contract is nullptr until the terminal state.
+  auto session = MakeIdleSession(9, /*collect_trace=*/true);
+  EXPECT_EQ(session->trace(), nullptr);  // queued: tree mid-construction
+  session->MarkRunning();
+  EXPECT_EQ(session->trace(), nullptr);  // running: worker still writing
+  ReverseEngineerReport report;
+  report.termination = TerminationReason::kCompleted;
+  session->Finish(std::move(report));
+  EXPECT_EQ(session->Poll(), SessionState::kDone);
+  auto trace = session->trace();
+  ASSERT_NE(trace, nullptr);
+  ASSERT_NE(trace->FindSpan("session"), nullptr);
+  EXPECT_NE(trace->FindSpan("queued"), nullptr);
 }
 
 }  // namespace

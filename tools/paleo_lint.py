@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Repo-specific linter for PALEO house invariants.
+
+Enforces the contracts the generic tools (clang-tidy, -Wthread-safety)
+cannot express, across src/ (and where noted, the whole tree):
+
+  raw-sync        Concurrent code uses the annotated wrappers in
+                  common/mutex.h. Raw std::mutex / std::shared_mutex /
+                  std::condition_variable members (and std lock guards)
+                  are invisible to the Clang thread-safety analysis, so
+                  they are forbidden outside common/mutex.h.
+  guarded-by      Every Mutex / SharedMutex member is accompanied by at
+                  least one GUARDED_BY(that_mutex) field in the same
+                  file: a mutex that guards nothing is dead weight or an
+                  undeclared invariant.
+  naked-new       No naked new / delete outside the arena-style
+                  allocators that own them (whitelist below); everything
+                  else uses std::make_unique / make_shared / containers.
+  metric-names    Metric series registered on a MetricsRegistry are
+                  paleo_*-prefixed (Prometheus namespace hygiene) and
+                  each family name maps to exactly one instrument kind.
+  span-balance    Every Trace::StartSpan call is either owned by a
+                  ScopedSpan (RAII end on all exit paths) or its span id
+                  is stored in a variable that has a matching EndSpan in
+                  the same file.
+  contract-docs   Public headers in src/paleo and src/service document
+                  their thread-safety contract.
+
+Exit 0 when clean; exit 1 with file:line findings otherwise. Pure
+stdlib, no third-party deps; wired into ctest as the `lint` test and
+into CI's analyze job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Files that legitimately own raw memory: arena/node allocators whose
+# whole point is manual lifetime management.
+NAKED_NEW_WHITELIST = {
+    "src/index/bplus_tree.h",  # B+ tree node arena (documented there)
+}
+
+# The one place raw std synchronization types may appear: the annotated
+# wrappers themselves.
+RAW_SYNC_WHITELIST = {
+    "src/common/mutex.h",
+}
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|timed_mutex|recursive_mutex"
+    r"|condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock)\b"
+)
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:paleo::)?(?:Mutex|SharedMutex)\s+"
+    r"([A-Za-z_]\w*)\s*;"
+)
+
+NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # `new T`, not `->New(`
+DELETE_RE = re.compile(r"(?<![\w.])delete\b(?!\s*\()")
+
+FIND_OR_CREATE_RE = re.compile(
+    r"FindOrCreate(Counter|Gauge|Histogram)\s*\(\s*\"([^\"]*)\""
+)
+
+START_SPAN_RE = re.compile(r"\bStartSpan\s*\(")
+SPAN_ASSIGN_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*=\s*(?:\w+(?:->|\.))?StartSpan\s*\("
+)
+
+CONTRACT_RE = re.compile(r"thread[- ]?saf", re.IGNORECASE)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: Path, line: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(REPO)
+        self.findings.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    # ---- rules ----
+
+    def check_raw_sync(self, path: Path, code: str) -> None:
+        if str(path.relative_to(REPO)) in RAW_SYNC_WHITELIST:
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                self.report(
+                    path, lineno, "raw-sync",
+                    f"std::{m.group(1)} is invisible to the thread-safety "
+                    "analysis; use paleo::Mutex / MutexLock / CondVar "
+                    "(common/mutex.h)")
+
+    def check_guarded_by(self, path: Path, code: str) -> None:
+        mutexes: dict[str, int] = {}
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = MUTEX_MEMBER_RE.match(line)
+            if m:
+                mutexes[m.group(1)] = lineno
+        for name, lineno in mutexes.items():
+            if not re.search(r"GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)",
+                             code):
+                self.report(
+                    path, lineno, "guarded-by",
+                    f"mutex member '{name}' has no GUARDED_BY({name}) "
+                    "field; declare what it protects (or delete it)")
+
+    def check_naked_new(self, path: Path, code: str) -> None:
+        if str(path.relative_to(REPO)) in NAKED_NEW_WHITELIST:
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            # `= delete` / `= default` declare deleted/defaulted special
+            # members; they are not memory management.
+            line = re.sub(r"=\s*(?:delete|default)\b", "", line)
+            if NEW_RE.search(line) or DELETE_RE.search(line):
+                self.report(
+                    path, lineno, "naked-new",
+                    "naked new/delete outside an arena; use "
+                    "std::make_unique / make_shared or a container "
+                    "(whitelist: tools/paleo_lint.py)")
+
+    def collect_metrics(self, path: Path, code: str,
+                        kinds: dict[str, tuple[str, Path, int]]) -> None:
+        for lineno, line in enumerate(code.splitlines(), 1):
+            for m in FIND_OR_CREATE_RE.finditer(line):
+                kind, name = m.group(1), m.group(2)
+                if not name.startswith("paleo_"):
+                    self.report(
+                        path, lineno, "metric-names",
+                        f"metric '{name}' must be paleo_*-prefixed")
+                seen = kinds.get(name)
+                if seen is None:
+                    kinds[name] = (kind, path, lineno)
+                elif seen[0] != kind:
+                    self.report(
+                        path, lineno, "metric-names",
+                        f"metric '{name}' registered as {kind} here but "
+                        f"as {seen[0]} at "
+                        f"{seen[1].relative_to(REPO)}:{seen[2]}")
+
+    def check_span_balance(self, path: Path, code: str, raw: str) -> None:
+        rel = str(path.relative_to(REPO))
+        if rel.startswith("src/obs/"):
+            return  # the Trace implementation itself
+        lines = code.splitlines()
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if not START_SPAN_RE.search(line):
+                continue
+            # RAII form: the ScopedSpan ctor calls StartSpan and ends the
+            # span on every exit path.
+            if "ScopedSpan" in line:
+                continue
+            m = SPAN_ASSIGN_RE.search(line)
+            if m is None:
+                self.report(
+                    path, lineno, "span-balance",
+                    "StartSpan result must be owned by an obs::ScopedSpan "
+                    "or stored in a named span id")
+                continue
+            var = m.group(1)
+            if not re.search(r"EndSpan\(\s*" + re.escape(var) + r"\s*\)",
+                             code):
+                self.report(
+                    path, lineno, "span-balance",
+                    f"span id '{var}' from StartSpan has no matching "
+                    f"EndSpan({var}) in this file; spans must end on all "
+                    "exit paths")
+        del raw_lines  # line structure already preserved in `code`
+
+    def check_contract_docs(self, path: Path, raw: str) -> None:
+        if not CONTRACT_RE.search(raw):
+            self.report(
+                path, 1, "contract-docs",
+                "public header must document its thread-safety contract "
+                "(e.g. 'Thread-safe: ...' or 'NOT thread-safe: ...')")
+
+    # ---- driver ----
+
+    def run(self) -> int:
+        src_files = sorted(
+            p for p in (REPO / "src").rglob("*")
+            if p.suffix in (".h", ".cc") and p.is_file())
+        metric_kinds: dict[str, tuple[str, Path, int]] = {}
+        for path in src_files:
+            raw = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(raw)
+            self.check_raw_sync(path, code)
+            self.check_guarded_by(path, code)
+            self.check_naked_new(path, code)
+            self.collect_metrics(path, code, metric_kinds)
+            self.check_span_balance(path, code, raw)
+
+        for header_dir in ("src/paleo", "src/service"):
+            for path in sorted((REPO / header_dir).glob("*.h")):
+                self.check_contract_docs(path, path.read_text("utf-8"))
+
+        if self.findings:
+            print(f"paleo_lint: {len(self.findings)} finding(s):\n")
+            for f in self.findings:
+                print("  " + f)
+            print("\npaleo_lint: FAILED")
+            return 1
+        print(f"paleo_lint: OK — {len(src_files)} files clean.")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(Linter().run())
