@@ -1,24 +1,26 @@
 #!/usr/bin/env bash
-# Runs the observability benchmark (bench_paleo) and writes its
-# machine-readable results as google-benchmark JSON, then prints the
-# relative overhead of the metrics / metrics+trace variants against the
-# obs-off baseline.
+# Runs a google-benchmark binary and writes its machine-readable results
+# as JSON, then prints a comparison summary appropriate for the binary:
+#   bench_paleo           -> obs overhead vs the obs-off baseline
+#   bench_vectorized_exec -> scalar vs vectorized(+cache) speedups
 #
 #   bench/run_benchmarks.sh [output.json]
 #
 # Environment:
 #   BUILD_DIR      cmake build tree (default: build)
+#   BENCH_BIN      benchmark binary name (default: bench_paleo)
 #   BENCH_ARGS     extra google-benchmark flags, e.g.
 #                  "--benchmark_repetitions=5"
 #   PALEO_SF etc.  forwarded to the bench fixture (see bench_env.h)
 set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
+BENCH_BIN="${BENCH_BIN:-bench_paleo}"
 OUT="${1:-BENCH_pr3.json}"
-BIN="${BUILD_DIR}/bench/bench_paleo"
+BIN="${BUILD_DIR}/bench/${BENCH_BIN}"
 
 if [[ ! -x "${BIN}" ]]; then
-  echo "error: ${BIN} not built (cmake --build ${BUILD_DIR} --target bench_paleo)" >&2
+  echo "error: ${BIN} not built (cmake --build ${BUILD_DIR} --target ${BENCH_BIN})" >&2
   exit 1
 fi
 
@@ -30,8 +32,7 @@ fi
 echo
 echo "wrote ${OUT}"
 
-# Overhead summary relative to the obs-off baseline (best-effort; the
-# JSON itself is the artifact).
+# Comparison summary (best-effort; the JSON itself is the artifact).
 if command -v python3 >/dev/null 2>&1; then
   python3 - "${OUT}" <<'EOF'
 import json, sys
@@ -44,6 +45,7 @@ times = {}
 for b in data["benchmarks"]:
     if b.get("run_type", "iteration") == "iteration":
         times.setdefault(b["name"], []).append(b["real_time"])
+
 base = times.get("BM_ReverseEngineer_ObsOff")
 if base:
     for name in ("BM_ReverseEngineer_Metrics",
@@ -51,5 +53,15 @@ if base:
         if name in times:
             pct = (median(times[name]) / median(base) - 1.0) * 100.0
             print(f"{name}: {pct:+.2f}% vs obs-off baseline (medians)")
+
+for family in ("BM_RepeatedCandidates", "BM_CountMatching"):
+    scalar = times.get(f"{family}_Scalar")
+    if not scalar:
+        continue
+    for variant in ("Vectorized", "VectorizedCached"):
+        name = f"{family}_{variant}"
+        if name in times:
+            speedup = median(scalar) / median(times[name])
+            print(f"{name}: {speedup:.2f}x vs {family}_Scalar (medians)")
 EOF
 fi

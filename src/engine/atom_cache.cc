@@ -1,0 +1,67 @@
+#include "engine/atom_cache.h"
+
+namespace paleo {
+
+std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Lookup(
+    uint64_t epoch, const AtomicPredicate& atom) {
+  MutexLock lock(mutex_);
+  auto it = index_.find(Key{epoch, atom});
+  if (it == index_.end()) {
+    ++misses_;
+    obs::Inc(metrics_.misses);
+    return nullptr;
+  }
+  // Refresh the LRU position: splice the entry to the front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  obs::Inc(metrics_.hits);
+  return it->second->bitmap;
+}
+
+std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Insert(
+    uint64_t epoch, const AtomicPredicate& atom, SelectionBitmap bitmap) {
+  auto shared =
+      std::make_shared<const SelectionBitmap>(std::move(bitmap));
+  if (byte_budget_ == 0) return shared;  // retention disabled
+  MutexLock lock(mutex_);
+  Key key{epoch, atom};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another thread computed the same atom concurrently; first insert
+    // wins so every consumer shares one copy.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->bitmap;
+  }
+  const size_t bytes = shared->MemoryUsage();
+  lru_.push_front(Entry{key, shared, bytes});
+  index_[key] = lru_.begin();
+  resident_bytes_ += bytes;
+  EvictLocked();
+  obs::Set(metrics_.resident_bytes,
+           static_cast<int64_t>(resident_bytes_));
+  return shared;
+}
+
+void AtomSelectionCache::EvictLocked() {
+  while (resident_bytes_ > byte_budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    obs::Inc(metrics_.evictions);
+  }
+}
+
+AtomSelectionCache::Stats AtomSelectionCache::stats() const {
+  MutexLock lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_bytes_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace paleo

@@ -1,8 +1,13 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "engine/atom_cache.h"
+#include "engine/selection_bitmap.h"
+#include "engine/selection_kernels.h"
 #include "index/dimension_index.h"
 
 namespace paleo {
@@ -47,28 +52,78 @@ struct HeapEntry {
   uint32_t group;  // entity code, or row id for kNone
 };
 
+/// The BudgetGate stride of the scalar per-row scan loops: one clock
+/// read every ~4096 rows.
+constexpr uint32_t kScalarGateStride = 4096;
+/// The vectorized kernels tick the gate once per kSelectionBatchRows
+/// batch; stride 2 polls the clock every other batch, i.e. at the same
+/// ~4096-row cadence as the scalar path.
+constexpr uint32_t kVectorGateStride = 2;
+
 }  // namespace
 
 StatusOr<TopKList> Executor::Execute(const Table& table,
                                      const TopKQuery& query,
-                                     const RunBudget* budget) {
-  return ExecuteImpl(table, nullptr, query, budget);
+                                     const RunBudget* budget,
+                                     AtomSelectionCache* cache) {
+  return ExecuteImpl(table, nullptr, query, budget, cache);
 }
 
 StatusOr<TopKList> Executor::ExecuteOnRows(const Table& table,
                                            const std::vector<RowId>& rows,
                                            const TopKQuery& query,
                                            const RunBudget* budget) {
-  return ExecuteImpl(table, &rows, query, budget);
+  return ExecuteImpl(table, &rows, query, budget, nullptr);
+}
+
+bool Executor::BuildSelection(const Table& table, const Predicate& predicate,
+                              const BoundPredicate& bound,
+                              AtomSelectionCache* cache, BudgetGate* gate,
+                              SelectionBitmap* out) {
+  const size_t n = table.num_rows();
+  const std::vector<AtomicPredicate>& atoms = predicate.atoms();
+  const std::vector<BoundAtom>& bound_atoms = bound.atoms();
+  if (atoms.empty()) {
+    *out = SelectionBitmap::AllSet(n);
+    return true;
+  }
+  bool first = true;
+  for (size_t i = 0; i < bound_atoms.size(); ++i) {
+    std::shared_ptr<const SelectionBitmap> bm;
+    if (cache != nullptr) bm = cache->Lookup(table.epoch(), atoms[i]);
+    if (bm == nullptr) {
+      SelectionBitmap fresh(n);
+      if (!ComputeAtomSelection(bound_atoms[i], n, &fresh, gate)) {
+        return false;  // interrupted; never cache a partial bitmap
+      }
+      bm = cache != nullptr
+               ? cache->Insert(table.epoch(), atoms[i], std::move(fresh))
+               : std::make_shared<const SelectionBitmap>(std::move(fresh));
+    }
+    if (first) {
+      *out = *bm;
+      first = false;
+    } else {
+      out->AndWith(*bm);
+    }
+  }
+  return true;
 }
 
 size_t Executor::CountMatching(const Table& table,
-                               const Predicate& predicate) {
+                               const Predicate& predicate,
+                               AtomSelectionCache* cache) {
   if (dimension_index_ != nullptr && indexed_table_ == &table &&
       !predicate.IsTrue() && dimension_index_->Covers(predicate)) {
     return dimension_index_->Match(predicate).size();
   }
   BoundPredicate bound(predicate, table);
+  if (vectorized_) {
+    BudgetGate gate(nullptr);
+    SelectionBitmap sel;
+    BuildSelection(table, predicate, bound, cache, &gate, &sel);
+    return sel.CountSet();
+  }
   size_t n = 0;
   for (size_t row = 0; row < table.num_rows(); ++row) {
     if (bound.Matches(static_cast<RowId>(row))) ++n;
@@ -79,7 +134,8 @@ size_t Executor::CountMatching(const Table& table,
 StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
                                          const std::vector<RowId>* rows,
                                          const TopKQuery& query,
-                                         const RunBudget* budget) {
+                                         const RunBudget* budget,
+                                         AtomSelectionCache* cache) {
   PALEO_RETURN_NOT_OK(ValidateQuery(table, query));
   stats_.queries_executed.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(metrics_.queries_executed);
@@ -104,12 +160,24 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
     obs::Inc(metrics_.index_assisted);
   }
 
+  // Full scans take the vectorized path: per-atom selection bitmaps
+  // (cache-shared across candidates), word-wise AND, and bitmap-driven
+  // consumption. Row-restricted executions (R' tuple sets, index
+  // postings) stay scalar — their row lists are already the selection.
+  const bool use_vectorized = vectorized_ && rows == nullptr;
+
   // The scan / group-by loop polls the budget every few thousand rows
   // (one branch per row otherwise), so even a full scan of a large
   // relation notices a deadline or cancellation within microseconds.
   // Returns false when interrupted; the partial aggregation state is
   // then discarded.
-  BudgetGate gate(budget, /*stride=*/4096);
+  BudgetGate gate(budget,
+                  use_vectorized ? kVectorGateStride : kScalarGateStride);
+  auto account_rows = [&](size_t visited) {
+    stats_.rows_scanned.fetch_add(static_cast<int64_t>(visited),
+                                  std::memory_order_relaxed);
+    obs::Inc(metrics_.rows_scanned, static_cast<int64_t>(visited));
+  };
   auto visit_rows = [&](auto&& fn) -> bool {
     size_t visited = 0;
     bool completed = true;
@@ -135,9 +203,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
         fn(static_cast<RowId>(r), bound.Matches(static_cast<RowId>(r)));
       }
     }
-    stats_.rows_scanned.fetch_add(static_cast<int64_t>(visited),
-                                  std::memory_order_relaxed);
-    obs::Inc(metrics_.rows_scanned, static_cast<int64_t>(visited));
+    account_rows(visited);
     return completed;
   };
   auto interrupted = [&]() -> Status {
@@ -145,6 +211,14 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
         std::string("query execution interrupted (") +
         TerminationReasonToString(gate.reason()) + ")");
   };
+
+  // The conjunction's selection bitmap (vectorized path only).
+  SelectionBitmap selection;
+  if (use_vectorized &&
+      !BuildSelection(table, query.predicate, bound, cache, &gate,
+                      &selection)) {
+    return interrupted();
+  }
 
   // Orders a before b when a ranks better; ties by entity name
   // ascending, then by group id for full determinism.
@@ -159,22 +233,41 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
 
   if (query.agg == AggFn::kNone) {
     // No GROUP BY: rank individual rows.
-    if (!visit_rows([&](RowId r, bool matches) {
-          if (!matches) return;
-          results.push_back(HeapEntry{query.expr.Eval(table, r), r});
-        })) {
+    if (use_vectorized) {
+      std::vector<RowId> matching;
+      matching.reserve(selection.CountSet());
+      size_t visited = 0;
+      const bool completed =
+          CollectSelectedRows(selection, &gate, &matching, &visited);
+      account_rows(visited);
+      if (!completed) return interrupted();
+      results.reserve(matching.size());
+      for (RowId r : matching) {
+        results.push_back(HeapEntry{query.expr.Eval(table, r), r});
+      }
+    } else if (!visit_rows([&](RowId r, bool matches) {
+                 if (!matches) return;
+                 results.push_back(HeapEntry{query.expr.Eval(table, r), r});
+               })) {
       return interrupted();
     }
     auto name_of = [&](uint32_t row) -> const std::string& {
       return dict.Get(entities.CodeAt(row));
     };
-    std::sort(results.begin(), results.end(),
-              [&](const HeapEntry& a, const HeapEntry& b) {
-                return better(a.score, name_of(a.group), a.group, b.score,
-                              name_of(b.group), b.group);
-              });
+    auto row_cmp = [&](const HeapEntry& a, const HeapEntry& b) {
+      return better(a.score, name_of(a.group), a.group, b.score,
+                    name_of(b.group), b.group);
+    };
+    // Only the best k survive: partial_sort does O(n log k) work where
+    // a full sort did O(n log n). The comparator is a strict total
+    // order, so the first k entries are identical to sort-then-truncate.
     if (results.size() > static_cast<size_t>(query.k)) {
+      std::partial_sort(results.begin(),
+                        results.begin() + static_cast<ptrdiff_t>(query.k),
+                        results.end(), row_cmp);
       results.resize(static_cast<size_t>(query.k));
+    } else {
+      std::sort(results.begin(), results.end(), row_cmp);
     }
     TopKList out;
     for (const HeapEntry& e : results) {
@@ -186,13 +279,24 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
   // Grouped aggregation keyed by dense entity code.
   std::vector<AggState> groups(dict.size());
   std::vector<uint32_t> touched;
-  if (!visit_rows([&](RowId r, bool matches) {
-        if (!matches) return;
-        uint32_t code = entities.CodeAt(r);
-        AggState& g = groups[code];
-        if (g.count == 0) touched.push_back(code);
-        g.Add(query.expr.Eval(table, r));
-      })) {
+  // At most one slot per distinct entity is ever touched; reserving at
+  // the dictionary size caps the vector's reallocation churn at one
+  // upfront allocation (dictionaries are small relative to row counts).
+  touched.reserve(dict.size());
+  if (use_vectorized) {
+    size_t visited = 0;
+    const bool completed = FusedGroupAggregate(
+        selection, table, query.expr, entities.codes().data(), &gate,
+        &groups, &touched, &visited);
+    account_rows(visited);
+    if (!completed) return interrupted();
+  } else if (!visit_rows([&](RowId r, bool matches) {
+               if (!matches) return;
+               uint32_t code = entities.CodeAt(r);
+               AggState& g = groups[code];
+               if (g.count == 0) touched.push_back(code);
+               g.Add(query.expr.Eval(table, r));
+             })) {
     return interrupted();
   }
 

@@ -4,6 +4,18 @@
 // This is the "database" of the reproduction: PALEO's validation step
 // issues candidate queries here, exactly as the paper issues them to
 // PostgreSQL.
+//
+// Full-table scans run through vectorized selection kernels by default
+// (engine/selection_kernels.h): each predicate atom is evaluated over
+// its column array in word-packed batches into a selection bitmap, the
+// conjunction is a word-wise AND, and a fused kernel aggregates the
+// survivors straight into the dense entity-code group array. With an
+// AtomSelectionCache attached to the call, per-atom bitmaps are reused
+// across the candidate queries of a validation run, which share almost
+// all of their atoms by construction. Results are byte-identical to the
+// scalar row-at-a-time path (same visit order, same float accumulation
+// order); SetVectorized(false) forces the scalar path for differential
+// testing and ablation.
 
 #ifndef PALEO_ENGINE_EXECUTOR_H_
 #define PALEO_ENGINE_EXECUTOR_H_
@@ -21,20 +33,25 @@
 
 namespace paleo {
 
+class AtomSelectionCache;
 class DimensionIndex;
+class SelectionBitmap;
 
 /// \brief Stateless query evaluation over columnar tables.
 ///
 /// Determinism: score ties are broken by entity name ascending (and by
 /// row id for no-aggregation queries), so repeated executions and
 /// executions through different-but-equivalent predicates produce
-/// identical lists.
+/// identical lists — whether evaluated through the scalar path, the
+/// vectorized kernels, a dimension index, or cached selections.
 ///
 /// Thread safety: Execute / ExecuteOnRows / CountMatching may be
 /// called concurrently from any number of threads — the tables they
-/// read are immutable and the stats counters are atomic (relaxed;
-/// totals are exact, cross-counter snapshots are not). Configuration
-/// (SetDimensionIndex, ResetStats) is not synchronized: call it before
+/// read are immutable, the stats counters are atomic (relaxed; totals
+/// over completed executions are exact, cross-counter snapshots and
+/// interrupted executions are not), and a shared AtomSelectionCache is
+/// internally synchronized. Configuration (SetDimensionIndex,
+/// SetVectorized, ResetStats) is not synchronized: call it before
 /// sharing the executor, never mid-flight.
 class Executor {
  public:
@@ -76,14 +93,26 @@ class Executor {
     indexed_table_ = indexed_table;
   }
 
+  /// Toggles the vectorized full-scan path (default on). Off forces the
+  /// scalar row-at-a-time scan everywhere; results are identical either
+  /// way. Same configuration contract as SetDimensionIndex.
+  void SetVectorized(bool on) { vectorized_ = on; }
+  bool vectorized() const { return vectorized_; }
+
   /// Runs `query` over `table`. Errors on non-numeric ranking columns
   /// or invalid column indices. When `budget` is set, the scan and
   /// group-by loop poll it every few thousand rows and abandon the
   /// execution with Status::Cancelled once the deadline passes or the
   /// cancellation token trips (a partially scanned result would be
   /// wrong, so interruption cannot return a list).
+  ///
+  /// `cache` (optional, internally synchronized, shared across threads)
+  /// memoizes per-atom selection bitmaps keyed by the table's epoch;
+  /// pass the validation run's cache so candidates sharing atoms skip
+  /// the rescan. Ignored on the scalar path.
   StatusOr<TopKList> Execute(const Table& table, const TopKQuery& query,
-                             const RunBudget* budget = nullptr);
+                             const RunBudget* budget = nullptr,
+                             AtomSelectionCache* cache = nullptr);
 
   /// Runs `query` restricted to the given rows of `table` (used to
   /// evaluate ranking criteria over tuple sets of R'). Rows must be
@@ -94,8 +123,11 @@ class Executor {
                                    const RunBudget* budget = nullptr);
 
   /// Number of rows of `table` matching `predicate` (selectivity
-  /// numerator; Table 6).
-  size_t CountMatching(const Table& table, const Predicate& predicate);
+  /// numerator; Table 6). Routed through the selection kernels (and
+  /// `cache`, when given) so miner-side support counting shares the
+  /// bitmaps of the validation path.
+  size_t CountMatching(const Table& table, const Predicate& predicate,
+                       AtomSelectionCache* cache = nullptr);
 
   const Stats& stats() const { return stats_; }
   void ResetStats() {
@@ -108,12 +140,21 @@ class Executor {
   StatusOr<TopKList> ExecuteImpl(const Table& table,
                                  const std::vector<RowId>* rows,
                                  const TopKQuery& query,
-                                 const RunBudget* budget);
+                                 const RunBudget* budget,
+                                 AtomSelectionCache* cache);
+
+  /// Resolves `predicate` to its selection over all rows of `table`
+  /// via the per-atom kernels, consulting `cache` first. Returns false
+  /// when the budget interrupted the scan (*out is then partial).
+  bool BuildSelection(const Table& table, const Predicate& predicate,
+                      const BoundPredicate& bound, AtomSelectionCache* cache,
+                      BudgetGate* gate, SelectionBitmap* out);
 
   Stats stats_;
   MetricHandles metrics_;
   const DimensionIndex* dimension_index_ = nullptr;
   const Table* indexed_table_ = nullptr;
+  bool vectorized_ = true;
 };
 
 }  // namespace paleo

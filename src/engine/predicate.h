@@ -99,6 +99,29 @@ class Predicate {
   std::vector<AtomicPredicate> atoms_;  // sorted by (column, value)
 };
 
+/// \brief One atom resolved against a concrete table: string constants
+/// looked up in the dictionary, the column bound to its typed array.
+/// Shared between the row-at-a-time BoundPredicate::Matches loop and
+/// the batch selection kernels (engine/selection_kernels.h).
+struct BoundAtom {
+  enum Kind {
+    kCode,
+    kInt,
+    kDouble,
+    kIntRange,
+    kDoubleRange,
+    kNever
+  } kind = kNever;
+  const std::vector<uint32_t>* codes = nullptr;
+  const std::vector<int64_t>* ints = nullptr;
+  const std::vector<double>* doubles = nullptr;
+  uint32_t code = 0;
+  int64_t int_value = 0;    // equality constant or range low
+  double double_value = 0.0;
+  int64_t int_high = 0;     // range high bounds
+  double double_high = 0.0;
+};
+
 /// \brief Predicate compiled against a concrete table for scan loops:
 /// string constants are resolved to dictionary codes once, and columns
 /// are bound to typed arrays.
@@ -137,25 +160,11 @@ class BoundPredicate {
     return true;
   }
 
+  /// Bound atoms in the predicate's canonical (column-sorted) order,
+  /// i.e. atoms()[i] is the binding of pred.atoms()[i].
+  const std::vector<BoundAtom>& atoms() const { return atoms_; }
+
  private:
-  struct BoundAtom {
-    enum Kind {
-      kCode,
-      kInt,
-      kDouble,
-      kIntRange,
-      kDoubleRange,
-      kNever
-    } kind = kNever;
-    const std::vector<uint32_t>* codes = nullptr;
-    const std::vector<int64_t>* ints = nullptr;
-    const std::vector<double>* doubles = nullptr;
-    uint32_t code = 0;
-    int64_t int_value = 0;    // equality constant or range low
-    double double_value = 0.0;
-    int64_t int_high = 0;     // range high bounds
-    double double_high = 0.0;
-  };
   std::vector<BoundAtom> atoms_;
 };
 

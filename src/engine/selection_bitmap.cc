@@ -1,0 +1,33 @@
+#include "engine/selection_bitmap.h"
+
+namespace paleo {
+
+SelectionBitmap SelectionBitmap::AllSet(size_t num_rows) {
+  SelectionBitmap bm(num_rows);
+  if (num_rows == 0) return bm;
+  for (size_t w = 0; w < bm.words_.size(); ++w) {
+    bm.words_[w] = ~uint64_t{0};
+  }
+  // Clear the bits past num_rows so word-wise consumers need no tail
+  // masks.
+  size_t tail = num_rows % 64;
+  if (tail != 0) {
+    bm.words_.back() = (uint64_t{1} << tail) - 1;
+  }
+  return bm;
+}
+
+void SelectionBitmap::AndWith(const SelectionBitmap& other) {
+  const uint64_t* o = other.words_.data();
+  uint64_t* w = words_.data();
+  const size_t n = words_.size();
+  for (size_t i = 0; i < n; ++i) w[i] &= o[i];
+}
+
+size_t SelectionBitmap::CountSet() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+}  // namespace paleo

@@ -1,0 +1,68 @@
+// Word-packed selection vectors for the vectorized execution kernels.
+//
+// A SelectionBitmap holds one bit per row of a table (bit set = row
+// selected), packed into 64-bit words. Predicates resolve to one bitmap
+// per atom (engine/selection_kernels.h), conjunctions to a word-wise
+// AND of those bitmaps, and the group-by consumes the intersection —
+// so the per-row work of a scan collapses into tight, auto-vectorizable
+// word loops instead of a per-row multi-atom branch chain.
+//
+// Thread-safety: a bitmap is a plain value. Once built it is only read
+// (the atom cache shares them as shared_ptr<const SelectionBitmap>
+// across validation workers); concurrent const access is safe.
+
+#ifndef PALEO_ENGINE_SELECTION_BITMAP_H_
+#define PALEO_ENGINE_SELECTION_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paleo {
+
+/// \brief Fixed-size row-selection bitmap (64 rows per word).
+///
+/// Bits at positions >= num_rows() in the last word are kept zero by
+/// every producer, so word-wise consumers (CountSet, AndWith, the
+/// aggregation kernels) never need tail masks.
+class SelectionBitmap {
+ public:
+  SelectionBitmap() = default;
+
+  /// All-clear bitmap covering `num_rows` rows.
+  explicit SelectionBitmap(size_t num_rows)
+      : num_rows_(num_rows), words_((num_rows + 63) / 64, 0) {}
+
+  /// All-set bitmap covering `num_rows` rows (the TRUE predicate).
+  static SelectionBitmap AllSet(size_t num_rows);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_words() const { return words_.size(); }
+
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+
+  bool Test(size_t row) const {
+    return (words_[row / 64] >> (row % 64)) & 1u;
+  }
+  void Set(size_t row) { words_[row / 64] |= uint64_t{1} << (row % 64); }
+
+  /// Word-wise intersection: *this &= other. Precondition: equal
+  /// num_rows().
+  void AndWith(const SelectionBitmap& other);
+
+  /// Number of selected rows (popcount over the words).
+  size_t CountSet() const;
+
+  /// Heap footprint of the word array, the unit the atom cache's byte
+  /// budget is charged in.
+  size_t MemoryUsage() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_ENGINE_SELECTION_BITMAP_H_

@@ -1,0 +1,75 @@
+// Vectorized execution kernels (DuckDB-style selection vectors).
+//
+// Each kernel works on one typed column array in word-aligned batches
+// of kSelectionBatchRows rows, producing (or consuming) a
+// SelectionBitmap. A conjunction is evaluated atom-by-atom into per-atom
+// bitmaps — cacheable across candidate queries that share the atom
+// (engine/atom_cache.h) — and resolved by word-wise AND, replacing the
+// per-row multi-atom branch chain of BoundPredicate::Matches on the
+// executor's full-scan path.
+//
+// Scalar-equivalence contract: kernels visit rows in ascending order,
+// so floating-point accumulation (AggState::Add) happens in exactly the
+// order of the row-at-a-time scan and results are byte-identical to the
+// scalar path (asserted by tests/vectorized_exec_test.cc).
+//
+// Budget handling mirrors the scalar scan: the BudgetGate is polled
+// once per batch, and an interrupted kernel returns false with its
+// output partial — callers must discard partial state, exactly as the
+// scalar loop discards a partially aggregated execution.
+//
+// Thread-safety: kernels are pure functions of their inputs; concurrent
+// calls over immutable tables are safe.
+
+#ifndef PALEO_ENGINE_SELECTION_KERNELS_H_
+#define PALEO_ENGINE_SELECTION_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/run_budget.h"
+#include "engine/aggregate.h"
+#include "engine/predicate.h"
+#include "engine/rank_expr.h"
+#include "engine/selection_bitmap.h"
+#include "storage/column.h"
+
+namespace paleo {
+
+/// Rows evaluated per kernel batch. A multiple of 64 so batches never
+/// straddle bitmap words; 2048 keeps a batch's column slice plus its
+/// bitmap slice comfortably inside L1.
+constexpr size_t kSelectionBatchRows = 2048;
+
+/// Evaluates `atom` over rows [0, n) of its bound column into `out`
+/// (which must cover exactly n rows), polling `gate` once per batch.
+/// Returns false when the budget interrupted the scan; `out` is then
+/// partial and must be discarded. `*rows_visited` (optional) receives
+/// the number of rows evaluated (n on completion).
+bool ComputeAtomSelection(const BoundAtom& atom, size_t n,
+                          SelectionBitmap* out, BudgetGate* gate,
+                          size_t* rows_visited = nullptr);
+
+/// Appends the selected rows of `sel` to `out` in ascending order,
+/// polling `gate` once per batch. Returns false on interruption (same
+/// discard contract as above).
+bool CollectSelectedRows(const SelectionBitmap& sel, BudgetGate* gate,
+                         std::vector<RowId>* out,
+                         size_t* rows_visited = nullptr);
+
+/// Fused filter + group-by aggregation: for each selected row of `sel`
+/// in ascending order, evaluates `expr` over `table` and folds the
+/// value into groups[entity_codes[row]], appending first-touched codes
+/// to `touched` (groups must be pre-sized to the entity dictionary and
+/// zero-count). Polls `gate` once per batch; returns false on
+/// interruption with `groups`/`touched` partial.
+bool FusedGroupAggregate(const SelectionBitmap& sel, const Table& table,
+                         const RankExpr& expr, const uint32_t* entity_codes,
+                         BudgetGate* gate, std::vector<AggState>* groups,
+                         std::vector<uint32_t>* touched,
+                         size_t* rows_visited = nullptr);
+
+}  // namespace paleo
+
+#endif  // PALEO_ENGINE_SELECTION_KERNELS_H_

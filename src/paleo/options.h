@@ -6,6 +6,7 @@
 #ifndef PALEO_PALEO_OPTIONS_H_
 #define PALEO_PALEO_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -126,6 +127,19 @@ struct PaleoOptions {
   /// or stopped — but wall-clock-dependent side counts
   /// (speculative_executions, timings) differ.
   int num_threads = 1;
+
+  /// Evaluate full-table scans through the vectorized selection
+  /// kernels (engine/selection_kernels.h): per-atom selection bitmaps,
+  /// word-wise conjunction AND, fused group-by consumption. Results
+  /// are byte-identical to the scalar row-at-a-time path (asserted by
+  /// tests/vectorized_exec_test.cc); only wall-clock changes. Disable
+  /// for ablation or to debug against the reference scalar path.
+  bool vectorized_execution = true;
+  /// Byte budget of the per-run AtomSelectionCache sharing per-atom
+  /// selection bitmaps across candidate executions (LRU-evicted past
+  /// the budget). 0 disables the cache; ignored when
+  /// vectorized_execution is off.
+  size_t atom_cache_bytes = static_cast<size_t>(32) << 20;
 
   /// Build secondary indexes on R's dimension columns and answer
   /// candidate-query executions by posting-list intersection instead

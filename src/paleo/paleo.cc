@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "engine/atom_cache.h"
 #include "paleo/rprime.h"
 
 namespace paleo {
@@ -35,6 +36,7 @@ Paleo::Paleo(const Table* base, PaleoOptions options)
       options_(std::move(options)),
       index_(EntityIndex::Build(*base)),
       catalog_(StatsCatalog::Build(*base)) {
+  executor_.SetVectorized(options_.vectorized_execution);
   if (options_.use_dimension_index) {
     dimension_index_ =
         std::make_unique<DimensionIndex>(DimensionIndex::Build(*base));
@@ -57,6 +59,7 @@ StatusOr<ReverseEngineerReport> Paleo::Run(const RunRequest& request) const {
   Executor* executor = request.executor;
   if (executor == nullptr) {
     executor = &local_executor;
+    local_executor.SetVectorized(options.vectorized_execution);
     if (dimension_index_ != nullptr && options.use_dimension_index) {
       local_executor.SetDimensionIndex(dimension_index_.get(), base_);
     }
@@ -223,10 +226,25 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   rank_span.End();
 
   // ---- Step 3: validate candidate queries against R ----
+  // One atom-selection cache per run, shared by the main validation and
+  // the progressive-deepening retry below (and across all pool workers
+  // within them): the candidates share almost all of their predicate
+  // atoms, so each distinct atom is scanned once per run instead of
+  // once per candidate. Scoped to the run because the cache pins bitmap
+  // memory and the candidate sets of different runs rarely overlap.
+  std::unique_ptr<AtomSelectionCache> atom_cache;
+  if (executor->vectorized() && options.atom_cache_bytes > 0) {
+    atom_cache = std::make_unique<AtomSelectionCache>(
+        options.atom_cache_bytes,
+        AtomSelectionCache::MetricHandles{
+            metrics.cache_hits, metrics.cache_misses,
+            metrics.cache_evictions, metrics.cache_resident_bytes});
+  }
   step_timer.Reset();
   obs::ScopedSpan validate_span(trace, "validate", run_span.id());
   Validator validator(*base_, executor, options, request.pool, metrics,
-                      obs::TraceContext{trace, validate_span.id()});
+                      obs::TraceContext{trace, validate_span.id()},
+                      atom_cache.get());
   ValidationOutcome outcome;
   if (report.termination == TerminationReason::kCompleted) {
     PALEO_ASSIGN_OR_RETURN(
@@ -300,7 +318,8 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
                                        deepen_span.id());
     Validator deep_validator(
         *base_, executor, options, request.pool, metrics,
-        obs::TraceContext{trace, deep_validate_span.id()});
+        obs::TraceContext{trace, deep_validate_span.id()},
+        atom_cache.get());
     ValidationOutcome retry;
     if (report.termination == TerminationReason::kCompleted) {
       PALEO_ASSIGN_OR_RETURN(

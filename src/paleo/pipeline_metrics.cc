@@ -48,6 +48,16 @@ PipelineMetrics PipelineMetrics::Bind(obs::MetricsRegistry* registry) {
   m.executor_index_assisted = registry->FindOrCreateCounter(
       "paleo_executor_index_assisted_total",
       "Executions answered from dimension-index postings.");
+  m.cache_hits = registry->FindOrCreateCounter(
+      "paleo_cache_hits_total", "Atom-selection cache hits.");
+  m.cache_misses = registry->FindOrCreateCounter(
+      "paleo_cache_misses_total", "Atom-selection cache misses.");
+  m.cache_evictions = registry->FindOrCreateCounter(
+      "paleo_cache_evictions_total",
+      "Atom-selection cache LRU evictions (byte budget exceeded).");
+  m.cache_resident_bytes = registry->FindOrCreateGauge(
+      "paleo_cache_resident_bytes",
+      "Selection-bitmap bytes currently retained by the atom cache.");
   return m;
 }
 

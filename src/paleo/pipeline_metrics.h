@@ -25,6 +25,13 @@
 //   paleo_executor_queries_total          candidate-query executions
 //   paleo_executor_rows_scanned_total     rows visited by the executor
 //   paleo_executor_index_assisted_total   executions answered from postings
+//   paleo_cache_hits_total                atom-selection cache hits
+//   paleo_cache_misses_total              atom-selection cache misses
+//   paleo_cache_evictions_total           LRU evictions (byte budget)
+//   paleo_cache_resident_bytes            bitmap bytes currently retained
+//
+// Suffix conventions (enforced by tools/paleo_lint.py): *_total is a
+// Counter, *_ms is a Histogram, *_bytes is a Gauge.
 
 #ifndef PALEO_PALEO_PIPELINE_METRICS_H_
 #define PALEO_PALEO_PIPELINE_METRICS_H_
@@ -51,6 +58,10 @@ struct PipelineMetrics {
   obs::Counter* executor_queries = nullptr;
   obs::Counter* executor_rows_scanned = nullptr;
   obs::Counter* executor_index_assisted = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* cache_evictions = nullptr;
+  obs::Gauge* cache_resident_bytes = nullptr;
 
   /// Resolves every handle against `registry`; a null registry returns
   /// the all-null (disabled) bundle.

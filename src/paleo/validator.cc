@@ -66,7 +66,8 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
       continue;
     }
     obs::ScopedSpan span(trace_.trace, "execute", trace_.parent);
-    auto result = executor_->Execute(base_, candidates[i].query, budget);
+    auto result =
+        executor_->Execute(base_, candidates[i].query, budget, cache_);
     if (!result.ok()) {
       if (result.status().IsCancelled()) {
         // The deadline passed (or the token tripped) mid-scan; the
@@ -126,7 +127,8 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
   auto execute = [&](size_t idx, TopKList* result) {
     obs::ScopedSpan span(trace_.trace, "execute", trace_.parent);
     span.AddAttr("candidate", static_cast<int64_t>(idx));
-    auto executed = executor_->Execute(base_, candidates[idx].query, budget);
+    auto executed =
+        executor_->Execute(base_, candidates[idx].query, budget, cache_);
     if (!executed.ok()) {
       if (executed.status().IsCancelled()) {
         outcome.termination = ExhaustionReason(
@@ -360,7 +362,7 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
               ExecResult r;
               r.ran = true;
               auto executed =
-                  executor_->Execute(base_, cq->query, &task_budget);
+                  executor_->Execute(base_, cq->query, &task_budget, cache_);
               if (!executed.ok()) {
                 r.status = executed.status();
               } else {

@@ -47,6 +47,7 @@
 
 namespace paleo {
 
+class AtomSelectionCache;
 class ThreadPool;
 
 /// \brief One validated (accepted) query.
@@ -90,15 +91,22 @@ class Validator {
   /// "commit" span per committed candidate, from the single-threaded
   /// commit loop only (a Trace is not thread-safe, so pool workers
   /// never touch it).
+  /// `cache` (optional, not owned, internally synchronized) is the
+  /// run's shared AtomSelectionCache: every candidate execution —
+  /// sequential or across pool workers — passes it to the executor so
+  /// candidates sharing predicate atoms reuse each other's selection
+  /// bitmaps instead of rescanning R.
   Validator(const Table& base, Executor* executor,
             const PaleoOptions& options, ThreadPool* pool = nullptr,
-            PipelineMetrics metrics = {}, obs::TraceContext trace = {})
+            PipelineMetrics metrics = {}, obs::TraceContext trace = {},
+            AtomSelectionCache* cache = nullptr)
       : base_(base),
         executor_(executor),
         options_(options),
         pool_(pool),
         metrics_(metrics),
-        trace_(trace) {}
+        trace_(trace),
+        cache_(cache) {}
 
   /// Exact instance-equivalence or partial-match acceptance, per
   /// options.match_mode.
@@ -139,6 +147,7 @@ class Validator {
   ThreadPool* pool_ = nullptr;
   PipelineMetrics metrics_;
   obs::TraceContext trace_;
+  AtomSelectionCache* cache_ = nullptr;
 };
 
 }  // namespace paleo

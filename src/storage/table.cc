@@ -1,12 +1,19 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/string_util.h"
 
 namespace paleo {
 
-Table::Table(Schema schema) : schema_(std::move(schema)) {
+uint64_t Table::NextEpoch() {
+  // Starts at 1 so 0 can serve as "no table" in cache keys.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)), epoch_(NextEpoch()) {
   columns_.reserve(static_cast<size_t>(schema_.num_fields()));
   for (const Field& f : schema_.fields()) {
     columns_.emplace_back(f.type);
@@ -38,6 +45,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
         columns_[static_cast<size_t>(i)].Append(row[static_cast<size_t>(i)]));
   }
   ++num_rows_;
+  epoch_ = NextEpoch();
   return Status::OK();
 }
 
@@ -56,6 +64,9 @@ Status Table::CheckConsistent() {
     }
   }
   num_rows_ = n;
+  // Direct column writes happened before this call; re-stamp so caches
+  // keyed on the previous epoch cannot serve the old contents.
+  epoch_ = NextEpoch();
   return Status::OK();
 }
 

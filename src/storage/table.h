@@ -63,6 +63,16 @@ class Table {
   /// generators never register unused names).
   uint32_t NumEntities() const { return entity_column().dict()->size(); }
 
+  /// Identity-and-version stamp for caches keyed on table contents
+  /// (the executor's AtomSelectionCache). Every Table instance gets a
+  /// process-unique epoch at construction, and every mutation entry
+  /// point (AppendRow, CheckConsistent after direct column writes)
+  /// re-stamps it — so no two distinct (table, contents) pairs ever
+  /// share an epoch, and cached derivations of stale contents can
+  /// never be served. Reading the epoch is thread-safe under the same
+  /// contract as every other accessor (table no longer being mutated).
+  uint64_t epoch() const { return epoch_; }
+
   /// New table with the given rows, in order; shares dictionaries.
   Table Gather(const std::vector<RowId>& rows) const;
 
@@ -74,9 +84,13 @@ class Table {
   std::string ToString(size_t max_rows = 10) const;
 
  private:
+  /// Draws the next process-unique epoch value.
+  static uint64_t NextEpoch();
+
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace paleo

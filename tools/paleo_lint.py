@@ -17,8 +17,10 @@ cannot express, across src/ (and where noted, the whole tree):
                   allocators that own them (whitelist below); everything
                   else uses std::make_unique / make_shared / containers.
   metric-names    Metric series registered on a MetricsRegistry are
-                  paleo_*-prefixed (Prometheus namespace hygiene) and
-                  each family name maps to exactly one instrument kind.
+                  paleo_*-prefixed (Prometheus namespace hygiene), each
+                  family name maps to exactly one instrument kind, and
+                  unit suffixes pin the kind (_total => Counter,
+                  _ms => Histogram, _bytes => Gauge).
   span-balance    Every Trace::StartSpan call is either owned by a
                   ScopedSpan (RAII end on all exit paths) or its span id
                   is stored in a variable that has a matching EndSpan in
@@ -159,6 +161,11 @@ class Linter:
                     "std::make_unique / make_shared or a container "
                     "(whitelist: tools/paleo_lint.py)")
 
+    # Prometheus suffix conventions: the unit/kind suffix of a family
+    # name pins its instrument kind (see src/paleo/pipeline_metrics.h).
+    SUFFIX_KINDS = {"_total": "Counter", "_ms": "Histogram",
+                    "_bytes": "Gauge"}
+
     def collect_metrics(self, path: Path, code: str,
                         kinds: dict[str, tuple[str, Path, int]]) -> None:
         for lineno, line in enumerate(code.splitlines(), 1):
@@ -168,6 +175,12 @@ class Linter:
                     self.report(
                         path, lineno, "metric-names",
                         f"metric '{name}' must be paleo_*-prefixed")
+                for suffix, want in self.SUFFIX_KINDS.items():
+                    if name.endswith(suffix) and kind != want:
+                        self.report(
+                            path, lineno, "metric-names",
+                            f"metric '{name}' ends in {suffix} so it "
+                            f"must be a {want}, not a {kind}")
                 seen = kinds.get(name)
                 if seen is None:
                     kinds[name] = (kind, path, lineno)
