@@ -95,6 +95,20 @@ struct NamedList {
   paleo::TopKList list;
 };
 
+// The service attaches "retry-after-ms=<N>" (its load-aware backoff
+// hint) to the ResourceExhausted shed message; honor it when present.
+int64_t ParseRetryAfterMs(const std::string& message, int64_t fallback) {
+  const char kKey[] = "retry-after-ms=";
+  size_t pos = message.find(kKey);
+  if (pos == std::string::npos) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(message.c_str() + pos + sizeof(kKey) - 1,
+                             &end, 10);
+  if (errno != 0 || v <= 0) return fallback;
+  return static_cast<int64_t>(v);
+}
+
 double PercentileMs(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0.0;
   size_t idx =
@@ -252,8 +266,18 @@ int main(int argc, char** argv) {
             service.Submit(make_request());
         while (!session.ok() &&
                session.status().IsResourceExhausted()) {
-          // Shed at admission: back off and retry (closed-loop client).
-          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          // Shed at admission: back off for as long as the service's
+          // retry-after hint suggests, then retry (closed-loop client).
+          int64_t backoff_ms =
+              ParseRetryAfterMs(session.status().message(), 5);
+          if (!quiet) {
+            std::lock_guard<std::mutex> lock(print_mutex);
+            std::printf("[client %2lld] %-32s shed; retrying in %lld ms\n",
+                        static_cast<long long>(c), item.name.c_str(),
+                        static_cast<long long>(backoff_ms));
+          }
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(backoff_ms));
           session = service.Submit(make_request());
         }
         if (!session.ok()) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_points.h"
+
 namespace paleo {
 
 namespace {
@@ -47,6 +49,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Push(Task task) {
+  // Chaos hook: an armed delay here widens submit/teardown races; the
+  // push itself cannot fail, so error actions only count as injected.
+  (void)PALEO_FAULT_POINT("thread-pool.submit.push");
   if (tl_pool == this) {
     Worker& own = *workers_[tl_worker];
     {
@@ -129,6 +134,11 @@ void ThreadPool::WorkerLoop(size_t index) {
     }
     MutexLock lock(global_mutex_);
     while (!stop_ && pending_.load(std::memory_order_acquire) <= 0) {
+      // Chaos hook: skip one wait, re-checking the predicate exactly
+      // as a spurious hardware wakeup would force us to.
+      if (PALEO_FAULT_POINT("thread-pool.worker.wait").spurious_wakeup()) {
+        continue;
+      }
       wake_.Wait(global_mutex_);
     }
     if (stop_ && pending_.load(std::memory_order_acquire) <= 0) break;

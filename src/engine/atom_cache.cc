@@ -1,5 +1,9 @@
 #include "engine/atom_cache.h"
 
+#include <new>
+
+#include "common/fault_points.h"
+
 namespace paleo {
 
 std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Lookup(
@@ -20,9 +24,34 @@ std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Lookup(
 
 std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Insert(
     uint64_t epoch, const AtomicPredicate& atom, SelectionBitmap bitmap) {
-  auto shared =
-      std::make_shared<const SelectionBitmap>(std::move(bitmap));
-  if (byte_budget_ == 0) return shared;  // retention disabled
+  // Chaos hook: behave exactly as if the shared-copy allocation threw.
+  bool alloc_failed =
+      PALEO_FAULT_POINT("atom-cache.insert.alloc").alloc_failure();
+  std::shared_ptr<const SelectionBitmap> shared;
+  if (!alloc_failed) {
+    try {
+      shared = std::make_shared<const SelectionBitmap>(std::move(bitmap));
+    } catch (const std::bad_alloc&) {
+      // make_shared failed before moving from `bitmap`; it is intact.
+      alloc_failed = true;
+    }
+  }
+  if (alloc_failed) {
+    // Memory pressure: shrink retention (freeing resident bitmaps) and
+    // hand the caller an unretained copy — degrade, do not fail.
+    {
+      MutexLock lock(mutex_);
+      ShrinkOnPressureLocked();
+      obs::Set(metrics_.resident_bytes,
+               static_cast<int64_t>(resident_bytes_));
+    }
+    // With evicted entries released this allocation normally succeeds;
+    // a genuine out-of-memory still propagates (nothing sane is left).
+    return std::make_shared<const SelectionBitmap>(std::move(bitmap));
+  }
+  if (byte_budget_ == 0 || under_pressure()) {
+    return shared;  // retention disabled (configured off or degraded)
+  }
   MutexLock lock(mutex_);
   Key key{epoch, atom};
   auto it = index_.find(key);
@@ -43,7 +72,7 @@ std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Insert(
 }
 
 void AtomSelectionCache::EvictLocked() {
-  while (resident_bytes_ > byte_budget_ && !lru_.empty()) {
+  while (resident_bytes_ > effective_budget_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
     resident_bytes_ -= victim.bytes;
     index_.erase(victim.key);
@@ -53,14 +82,28 @@ void AtomSelectionCache::EvictLocked() {
   }
 }
 
+void AtomSelectionCache::ShrinkOnPressureLocked() {
+  ++pressure_events_;
+  effective_budget_ /= 2;
+  if (effective_budget_ < kMinRetentionBytes) {
+    // The ladder's last rung: retention off; the executor sees
+    // under_pressure() and degrades to its scalar path.
+    effective_budget_ = 0;
+    retention_disabled_.store(true, std::memory_order_relaxed);
+  }
+  EvictLocked();
+}
+
 AtomSelectionCache::Stats AtomSelectionCache::stats() const {
   MutexLock lock(mutex_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.pressure_events = pressure_events_;
   s.resident_bytes = resident_bytes_;
   s.entries = lru_.size();
+  s.effective_budget_bytes = effective_budget_;
   return s;
 }
 

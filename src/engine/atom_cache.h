@@ -26,6 +26,7 @@
 #ifndef PALEO_ENGINE_ATOM_CACHE_H_
 #define PALEO_ENGINE_ATOM_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -58,8 +59,14 @@ class AtomSelectionCache {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    /// Allocation failures (real or injected) absorbed by shrinking
+    /// the effective budget; see Insert().
+    int64_t pressure_events = 0;
     size_t resident_bytes = 0;
     size_t entries = 0;
+    /// Current retention budget: starts at byte_budget(), halves on
+    /// each pressure event, 0 once retention shut down.
+    size_t effective_budget_bytes = 0;
   };
 
   /// `byte_budget` bounds the resident bitmap bytes; 0 disables
@@ -68,7 +75,9 @@ class AtomSelectionCache {
   explicit AtomSelectionCache(size_t byte_budget)
       : AtomSelectionCache(byte_budget, MetricHandles{}) {}
   AtomSelectionCache(size_t byte_budget, MetricHandles metrics)
-      : byte_budget_(byte_budget), metrics_(metrics) {}
+      : byte_budget_(byte_budget),
+        metrics_(metrics),
+        effective_budget_(byte_budget) {}
 
   AtomSelectionCache(const AtomSelectionCache&) = delete;
   AtomSelectionCache& operator=(const AtomSelectionCache&) = delete;
@@ -82,9 +91,24 @@ class AtomSelectionCache {
   /// bitmap. First insert wins: if another thread raced the same key in,
   /// the existing bitmap is returned and `bitmap` is discarded, so all
   /// consumers share one copy. Evicts LRU entries past the byte budget.
+  ///
+  /// Memory-pressure degradation: when retaining the bitmap fails to
+  /// allocate (a real bad_alloc or an injected fault), the cache
+  /// halves its effective budget, evicts down to it, and hands the
+  /// caller an UNRETAINED copy — the run keeps its correct bitmap and
+  /// only loses reuse. Once the effective budget shrinks below a small
+  /// floor, retention shuts down and under_pressure() turns true, at
+  /// which point the executor degrades to its scalar path.
   std::shared_ptr<const SelectionBitmap> Insert(uint64_t epoch,
                                                 const AtomicPredicate& atom,
                                                 SelectionBitmap bitmap);
+
+  /// True once repeated allocation failures shut retention down; the
+  /// executor then takes the scalar path. Lock-free (relaxed load),
+  /// cheap enough for the per-execution check.
+  bool under_pressure() const {
+    return retention_disabled_.load(std::memory_order_relaxed);
+  }
 
   Stats stats() const;
   size_t byte_budget() const { return byte_budget_; }
@@ -118,21 +142,31 @@ class AtomSelectionCache {
   };
   using LruList = std::list<Entry>;
 
-  /// Drops LRU entries until the budget holds again.
+  /// Below this effective budget retention is pointless (a single
+  /// bitmap word array usually exceeds it): shut retention down.
+  static constexpr size_t kMinRetentionBytes = 4096;
+
+  /// Drops LRU entries until the effective budget holds again.
   void EvictLocked() REQUIRES(mutex_);
+  /// One pressure event: halve the effective budget and evict down to
+  /// it; below the floor, shut retention down.
+  void ShrinkOnPressureLocked() REQUIRES(mutex_);
 
   const size_t byte_budget_;
   const MetricHandles metrics_;
+  std::atomic<bool> retention_disabled_{false};
 
   mutable Mutex mutex_;
   /// Front = most recently used.
   LruList lru_ GUARDED_BY(mutex_);
   std::unordered_map<Key, LruList::iterator, KeyHash> index_
       GUARDED_BY(mutex_);
+  size_t effective_budget_ GUARDED_BY(mutex_) = 0;
   size_t resident_bytes_ GUARDED_BY(mutex_) = 0;
   int64_t hits_ GUARDED_BY(mutex_) = 0;
   int64_t misses_ GUARDED_BY(mutex_) = 0;
   int64_t evictions_ GUARDED_BY(mutex_) = 0;
+  int64_t pressure_events_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace paleo

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/fault_points.h"
 #include "engine/atom_cache.h"
 #include "engine/selection_bitmap.h"
 #include "engine/selection_kernels.h"
@@ -137,6 +138,11 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
                                          const RunBudget* budget,
                                          AtomSelectionCache* cache) {
   PALEO_RETURN_NOT_OK(ValidateQuery(table, query));
+  // Chaos hook: an injected Cancelled simulates a mid-scan budget
+  // interruption (wind-down, not failure); other codes simulate a hard
+  // execution error. Delays make scans slow enough to wedge.
+  FaultResult scan_fault = PALEO_FAULT_POINT("executor.execute.scan");
+  if (scan_fault.error()) return scan_fault.status;
   stats_.queries_executed.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(metrics_.queries_executed);
 
@@ -164,7 +170,19 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
   // (cache-shared across candidates), word-wise AND, and bitmap-driven
   // consumption. Row-restricted executions (R' tuple sets, index
   // postings) stay scalar — their row lists are already the selection.
-  const bool use_vectorized = vectorized_ && rows == nullptr;
+  //
+  // Degradation ladder: when the attached cache is under memory
+  // pressure (its budget shrank to zero after allocation failures) or
+  // an allocation failure is injected here, the execution falls back
+  // to the scalar row-at-a-time path — byte-identical results, no
+  // bitmap allocations — instead of failing the run.
+  bool use_vectorized = vectorized_ && rows == nullptr;
+  if (use_vectorized &&
+      ((cache != nullptr && cache->under_pressure()) ||
+       PALEO_FAULT_POINT("executor.selection.alloc").alloc_failure())) {
+    use_vectorized = false;
+    stats_.scalar_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // The scan / group-by loop polls the budget every few thousand rows
   // (one branch per row otherwise), so even a full scan of a large

@@ -64,6 +64,11 @@ class Executor {
     /// Executions answered from dimension-index postings instead of a
     /// full scan.
     std::atomic<int64_t> index_assisted{0};
+    /// Executions that degraded from the vectorized to the scalar path
+    /// because selection-bitmap memory could not be allocated (real or
+    /// injected) or the attached cache is under memory pressure.
+    /// Results are byte-identical either way.
+    std::atomic<int64_t> scalar_fallbacks{0};
   };
 
   /// Optional registry-backed counters mirrored alongside Stats, so a
@@ -134,6 +139,7 @@ class Executor {
     stats_.queries_executed.store(0, std::memory_order_relaxed);
     stats_.rows_scanned.store(0, std::memory_order_relaxed);
     stats_.index_assisted.store(0, std::memory_order_relaxed);
+    stats_.scalar_fallbacks.store(0, std::memory_order_relaxed);
   }
 
  private:

@@ -72,6 +72,26 @@ FaultEvent FaultInjector::Corrupt(std::string* bytes) {
       break;
     }
   }
+  MaybeFixCrc(bytes);
+  return event;
+}
+
+std::vector<FaultEvent> FaultInjector::CorruptMany(std::string* bytes,
+                                                   int count) {
+  std::vector<FaultEvent> events;
+  // Fix the CRC once at the end, not after every constituent fault:
+  // intermediate fixes would partially repair earlier corruption.
+  const bool fix_crc = fix_crc_;
+  fix_crc_ = false;
+  for (int i = 0; i < count && !bytes->empty(); ++i) {
+    events.push_back(Corrupt(bytes));
+  }
+  fix_crc_ = fix_crc;
+  MaybeFixCrc(bytes);
+  return events;
+}
+
+void FaultInjector::MaybeFixCrc(std::string* bytes) const {
   if (fix_crc_ && bytes->size() >= sizeof(uint32_t) + 4) {
     // Recompute the PALB trailing CRC over everything after the 4-byte
     // magic, making the checksum consistent with the corrupted body.
@@ -79,7 +99,6 @@ FaultEvent FaultInjector::Corrupt(std::string* bytes) {
     uint32_t crc = Crc32(bytes->data() + 4, payload_end - 4);
     std::memcpy(bytes->data() + payload_end, &crc, sizeof(crc));
   }
-  return event;
 }
 
 StatusOr<std::string> FaultInjector::ReadFileCorrupted(

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -68,11 +69,23 @@ class FaultInjector {
   /// Empty buffers are returned unchanged.
   FaultEvent Corrupt(std::string* bytes);
 
+  /// Applies `count` independent faults to `bytes` in place — compound
+  /// corruption, the way one bad disk pass leaves several scars. Later
+  /// faults land on the already-corrupted buffer (a truncate shrinks
+  /// the range a following bit-flip draws from); corruption stops
+  /// early only if the buffer becomes empty. With set_fix_crc the CRC
+  /// is recomputed once, after the last fault.
+  std::vector<FaultEvent> CorruptMany(std::string* bytes, int count);
+
   /// Reads a file and corrupts its contents with one fault — the
   /// drop-in faulty counterpart of reading the file directly.
   StatusOr<std::string> ReadFileCorrupted(const std::string& path);
 
  private:
+  /// Recomputes the PALB trailing CRC when fix_crc_ is set and the
+  /// buffer is long enough to carry one.
+  void MaybeFixCrc(std::string* bytes) const;
+
   Rng rng_;
   bool fix_crc_ = false;
 };

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault_points.h"
 #include "common/string_util.h"
 
 namespace paleo {
@@ -267,6 +268,10 @@ StatusOr<Table> TableIo::FromCsv(std::string_view text, char sep) {
 }
 
 StatusOr<Table> TableIo::ReadCsvFile(const std::string& path, char sep) {
+  // Chaos hook: simulated I/O failure (e.g. EIO on open) without
+  // touching the filesystem; surfaces like any real read error.
+  FaultResult fault = PALEO_FAULT_POINT("table-io.read.open");
+  if (fault.error()) return fault.status;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open " + path);

@@ -142,6 +142,12 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
 
   ReverseEngineerReport report;
 
+  // Degradation accounting is a delta over the run: the executor may
+  // be caller-provided and shared across runs, so its cumulative
+  // counter cannot be read directly.
+  const int64_t scalar_fallbacks_before =
+      executor->stats().scalar_fallbacks.load(std::memory_order_relaxed);
+
   obs::ScopedSpan run_span(trace, "run");
   run_span.AddAttr("k", static_cast<int64_t>(input.size()));
   run_span.AddAttr("sampled", static_cast<int64_t>(!assume_complete));
@@ -354,6 +360,13 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
 
   obs::Inc(metrics.near_misses,
            static_cast<int64_t>(report.near_misses.size()));
+  report.degraded_events =
+      executor->stats().scalar_fallbacks.load(std::memory_order_relaxed) -
+      scalar_fallbacks_before;
+  if (atom_cache != nullptr) {
+    report.degraded_events += atom_cache->stats().pressure_events;
+  }
+  if (report.degraded_events > 0) obs::Inc(metrics.degraded_runs);
   run_span.AddAttr("termination",
                    TerminationReasonToString(report.termination));
   run_span.AddAttr("valid", static_cast<int64_t>(report.valid.size()));

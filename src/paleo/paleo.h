@@ -105,6 +105,13 @@ struct ReverseEngineerReport {
   /// but actionable.
   std::vector<CandidateQuery> near_misses;
 
+  /// Graceful-degradation events observed during the run: executor
+  /// scalar fallbacks (selection-allocation failure or cache memory
+  /// pressure) plus atom-cache shrinks. 0 for a fully healthy run.
+  /// Degraded runs produce byte-identical results — only reuse and
+  /// wall-clock suffer. Mirrored into paleo_degraded_runs_total.
+  int64_t degraded_events = 0;
+
   /// The scored candidate list (retained when
   /// PaleoOptions-independent `keep_candidates` argument is set).
   std::vector<CandidateQuery> candidates;

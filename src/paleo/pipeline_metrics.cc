@@ -58,6 +58,10 @@ PipelineMetrics PipelineMetrics::Bind(obs::MetricsRegistry* registry) {
   m.cache_resident_bytes = registry->FindOrCreateGauge(
       "paleo_cache_resident_bytes",
       "Selection-bitmap bytes currently retained by the atom cache.");
+  m.degraded_runs = registry->FindOrCreateCounter(
+      "paleo_degraded_runs_total",
+      "Runs that degraded gracefully (scalar fallback or atom-cache "
+      "shrink under memory pressure) instead of failing.");
   return m;
 }
 

@@ -29,6 +29,8 @@
 //   paleo_cache_misses_total              atom-selection cache misses
 //   paleo_cache_evictions_total           LRU evictions (byte budget)
 //   paleo_cache_resident_bytes            bitmap bytes currently retained
+//   paleo_degraded_runs_total             runs that degraded gracefully
+//                                         (scalar fallback / cache shrink)
 //
 // Suffix conventions (enforced by tools/paleo_lint.py): *_total is a
 // Counter, *_ms is a Histogram, *_bytes is a Gauge.
@@ -62,6 +64,7 @@ struct PipelineMetrics {
   obs::Counter* cache_misses = nullptr;
   obs::Counter* cache_evictions = nullptr;
   obs::Gauge* cache_resident_bytes = nullptr;
+  obs::Counter* degraded_runs = nullptr;
 
   /// Resolves every handle against `registry`; a null registry returns
   /// the all-null (disabled) bundle.

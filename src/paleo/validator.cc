@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "common/fault_points.h"
 #include "common/thread_pool.h"
 #include "stats/distance.h"
 
@@ -451,6 +452,10 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
 StatusOr<ValidationOutcome> Validator::Validate(
     const std::vector<CandidateQuery>& candidates, const TopKList& input,
     const RunBudget* budget, int64_t prior_executions) const {
+  // Chaos hook: an injected Cancelled here exercises the wind-down
+  // path from the validation boundary; any other code fails the run.
+  FaultResult fault = PALEO_FAULT_POINT("validator.validate.begin");
+  if (fault.error()) return fault.status;
   const bool parallel =
       pool_ != nullptr && options_.num_threads > 1 && candidates.size() > 1;
   switch (options_.validation_strategy) {

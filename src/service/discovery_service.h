@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/mutex.h"
@@ -60,7 +61,35 @@ struct DiscoveryServiceOptions {
   /// Deadline applied to requests whose options leave deadline_ms at
   /// 0; 0 = unlimited. Anchored at admission.
   int64_t default_deadline_ms = 0;
+
+  /// Re-run attempts (beyond the first) when a run fails with a
+  /// retryable transient status (see IsRetryableTransient). Each retry
+  /// re-checks the session budget first, so a deadline or cancellation
+  /// always wins over another attempt.
+  int max_retries = 2;
+  /// Exponential backoff between attempts: attempt n sleeps roughly
+  /// base << (n-1) ms, capped at retry_backoff_max_ms, with seeded
+  /// jitter in [base/2, base] to decorrelate colliding retries.
+  int64_t retry_backoff_ms = 5;
+  int64_t retry_backoff_max_ms = 200;
+  /// Seeds the per-session backoff jitter (forked by session id, so
+  /// retries are replayable per request).
+  uint64_t seed = 4242;
+
+  /// Watchdog: a session running longer than this is considered
+  /// wedged and its cancellation token is tripped, converting it to
+  /// the normal graceful TerminationReason wind-down. 0 disables the
+  /// watchdog (the default: healthy runs are bounded by deadlines).
+  int64_t watchdog_stall_ms = 0;
+  /// How often the watchdog sweeps live sessions.
+  int64_t watchdog_poll_ms = 50;
 };
+
+/// \brief True for Status codes worth re-running a request for:
+/// transient resource conditions (kIoError, kResourceExhausted) that a
+/// later attempt can outlive. Hard errors (invalid input, internal
+/// bugs) and budget wind-downs (kCancelled) are never retried.
+bool IsRetryableTransient(const Status& status);
 
 /// \brief Aggregate counters; a consistent-enough snapshot for
 /// monitoring (individual counters are exact, cross-counter skew is
@@ -72,6 +101,8 @@ struct DiscoveryServiceStats {
   int64_t failed = 0;
   int64_t cancelled = 0;
   int64_t expired = 0;
+  int64_t retries = 0;         // transient-failure re-runs
+  int64_t watchdog_kicks = 0;  // wedged sessions cancelled by watchdog
   int64_t Finished() const { return done + failed + cancelled + expired; }
 };
 
@@ -138,11 +169,18 @@ class DiscoveryService {
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* queue_wait_ms = nullptr;
     obs::Histogram* run_ms = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* watchdog_kicks = nullptr;
+    obs::Counter* faults_injected = nullptr;
   };
 
   void Dispatch();  // runs on a pool worker: pop + run one session
   void CountTerminal(SessionState state);
   ServiceMetrics BindServiceMetrics();
+  void WatchdogLoop();
+  /// Load-aware shed hint: observed mean run latency scaled by the
+  /// backlog ahead of a would-be request, clamped to [1ms, 60s].
+  int64_t RetryAfterHintMs() const;
 
   const PaleoOptions paleo_options_;
   const DiscoveryServiceOptions service_options_;
@@ -161,10 +199,19 @@ class DiscoveryService {
   std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> cancelled_{0};
   std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> watchdog_kicks_{0};
 
   // Live sessions, for CancelAll; pruned on finish.
   Mutex live_mutex_;
   std::vector<std::weak_ptr<Session>> live_ GUARDED_BY(live_mutex_);
+
+  // Stall watchdog (runs only when watchdog_stall_ms > 0). Stopped and
+  // joined first in the destructor body, before sessions are torn down.
+  Mutex watchdog_mutex_;
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ GUARDED_BY(watchdog_mutex_) = false;
+  std::thread watchdog_;
 
   // Last member: destroyed first, joining every dispatch and
   // validation task while the rest of the service is still alive.

@@ -2,12 +2,17 @@
 
 #include <utility>
 
+#include "common/fault_points.h"
+
 namespace paleo {
 
 RequestQueue::RequestQueue(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 bool RequestQueue::TryPush(std::shared_ptr<Session> session) {
+  // Chaos hook: an injected error behaves exactly like a full queue —
+  // the caller sheds the request through its normal path.
+  if (PALEO_FAULT_POINT("request-queue.push").error()) return false;
   {
     MutexLock lock(mutex_);
     if (closed_ || sessions_.size() >= capacity_) return false;
@@ -19,7 +24,13 @@ bool RequestQueue::TryPush(std::shared_ptr<Session> session) {
 
 std::shared_ptr<Session> RequestQueue::Pop() {
   MutexLock lock(mutex_);
-  while (!closed_ && sessions_.empty()) ready_.Wait(mutex_);
+  while (!closed_ && sessions_.empty()) {
+    // Chaos hook: injected spurious wakeup — re-check the predicate.
+    if (PALEO_FAULT_POINT("request-queue.pop.wait").spurious_wakeup()) {
+      continue;
+    }
+    ready_.Wait(mutex_);
+  }
   if (sessions_.empty()) return nullptr;
   std::shared_ptr<Session> session = std::move(sessions_.front());
   sessions_.pop_front();

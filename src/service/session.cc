@@ -1,5 +1,7 @@
 #include "service/session.h"
 
+#include "common/fault_points.h"
+
 namespace paleo {
 
 const char* SessionStateToString(SessionState state) {
@@ -47,7 +49,11 @@ SessionState Session::Poll() const {
 
 SessionState Session::Wait() const {
   MutexLock lock(mutex_);
-  while (!IsTerminal(state_)) terminal_.Wait(mutex_);
+  while (!IsTerminal(state_)) {
+    // Chaos hook: injected spurious wakeup — re-check the predicate.
+    if (PALEO_FAULT_POINT("session.wait").spurious_wakeup()) continue;
+    terminal_.Wait(mutex_);
+  }
   return state_;
 }
 
@@ -89,6 +95,14 @@ double Session::queue_wait_ms() const {
 double Session::run_ms() const {
   MutexLock lock(mutex_);
   return run_ms_;
+}
+
+double Session::RunningForMillis() const {
+  MutexLock lock(mutex_);
+  if (state_ != SessionState::kRunning) return 0.0;
+  return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                   started_at_)
+      .count();
 }
 
 void Session::MarkRunning() {

@@ -132,6 +132,11 @@ class Session {
   double queue_wait_ms() const;
   double run_ms() const;
 
+  /// Milliseconds this session has been in kRunning so far; 0 in any
+  /// other state. The service watchdog polls this to detect wedged
+  /// work.
+  double RunningForMillis() const;
+
   // ---- Service-internal transitions (single writer) ----
 
   /// The terminal state Finish() / FinishWithoutRunning() will assign

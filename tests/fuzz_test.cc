@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "datagen/traffic_gen.h"
@@ -149,6 +150,62 @@ TEST(FuzzTest, FaultInjectedBinaryTableNeverCrashes) {
   // some parses succeed but most faults still fail loudly.
   EXPECT_GT(crc_caught, 0);
   EXPECT_LT(parsed_ok, 1200);
+}
+
+// Compound corruption: several independent faults land on one buffer
+// before it is reloaded, the way one failing device scars a file in
+// multiple places. Same contract as the single-fault test — a Status
+// or a coherent round-trippable table, never a crash — but the faults
+// now interact (a truncate changes the range later flips draw from).
+TEST(FuzzTest, CompoundFaultBinaryTableNeverCrashes) {
+  auto table = TrafficGen::PaperExample();
+  ASSERT_TRUE(table.ok());
+  const std::string clean = BinaryIo::Serialize(*table);
+  int parsed_ok = 0;
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    FaultInjector injector(seed + 9000);
+    injector.set_fix_crc((seed % 2) == 1);
+    Rng rng(seed * 31 + 7);
+    const int count = 2 + static_cast<int>(rng.Uniform(3));  // 2-4 faults
+    std::string bytes = clean;
+    std::vector<FaultEvent> faults = injector.CorruptMany(&bytes, count);
+    EXPECT_LE(faults.size(), static_cast<size_t>(count));
+    auto result = BinaryIo::Deserialize(bytes);
+    if (!result.ok()) continue;
+    ++parsed_ok;
+    std::string again = BinaryIo::Serialize(*result);
+    EXPECT_TRUE(BinaryIo::Deserialize(again).ok()) << "seed " << seed;
+  }
+  // Multiple stacked faults are strictly harder to survive than one;
+  // the overwhelming majority must fail loudly.
+  EXPECT_LT(parsed_ok, 400);
+}
+
+TEST(FuzzTest, CompoundFaultCsvTableNeverCrashes) {
+  auto table = TrafficGen::PaperExample();
+  ASSERT_TRUE(table.ok());
+  const std::string clean = TableIo::ToCsv(*table);
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    FaultInjector injector(seed + 11000);
+    Rng rng(seed * 17 + 3);
+    std::string bytes = clean;
+    std::vector<FaultEvent> faults =
+        injector.CorruptMany(&bytes, 2 + static_cast<int>(rng.Uniform(3)));
+    auto result = TableIo::FromCsv(bytes);
+    if (result.ok()) {
+      std::string detail;
+      for (const FaultEvent& fault : faults) detail += fault.ToString() + "; ";
+      EXPECT_TRUE(result->CheckConsistent().ok())
+          << "seed " << seed << ": " << detail;
+    }
+  }
+}
+
+TEST(FuzzTest, CorruptManyOnEmptyBufferIsANoOp) {
+  FaultInjector injector(1);
+  std::string empty;
+  EXPECT_TRUE(injector.CorruptMany(&empty, 4).empty());
+  EXPECT_TRUE(empty.empty());
 }
 
 TEST(FuzzTest, FaultInjectedCsvTableNeverCrashes) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_points.h"
 #include "common/thread_pool.h"
 #include "datagen/tpch_gen.h"
 #include "obs/trace.h"
@@ -579,6 +580,80 @@ TEST_F(ServiceTest, SubmitAfterShutdownRejected) {
   EXPECT_EQ(stats.Finished(), 1);
   service.reset();
   EXPECT_EQ((*session)->Poll(), SessionState::kDone);
+}
+
+TEST_F(ServiceTest, CancelAllRacingSubmitUnderArmedEnqueueFault) {
+  // Regression: an injected admission failure must not leave a session
+  // half-registered, and sessions admitted while CancelAll sweeps in
+  // parallel must all still reach a terminal state. The fault point
+  // makes Submit fail intermittently exactly at the enqueue seam.
+  struct DisarmGuard {
+    ~DisarmGuard() { FaultPoints::DisarmAll(); }
+  } guard;
+  FaultSpec spec;
+  spec.action = FaultAction::kStatusError;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.message = "injected admission failure";
+  spec.probability = 0.25;
+  spec.seed = 1234;
+  FaultPoints::Arm("service.submit.enqueue", spec);
+
+  DiscoveryServiceOptions service_options;
+  service_options.num_workers = 2;
+  service_options.queue_capacity = 64;
+  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerSubmitter = 8;
+  Mutex admitted_mutex;
+  std::vector<std::shared_ptr<Session>> admitted;  // under admitted_mutex
+  std::atomic<int> injected_rejections{0};
+  std::atomic<bool> done_submitting{false};
+  std::thread canceller([&] {
+    while (!done_submitting.load(std::memory_order_relaxed)) {
+      service.CancelAll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    service.CancelAll();  // one final sweep after the last admission
+  });
+  std::vector<std::thread> submitters;
+  for (int c = 0; c < kSubmitters; ++c) {
+    submitters.emplace_back([&, c] {
+      for (int r = 0; r < kPerSubmitter; ++r) {
+        auto session = service.Submit(
+            workload()[static_cast<size_t>(c * kPerSubmitter + r) %
+                       workload().size()]
+                .list);
+        if (!session.ok()) {
+          injected_rejections.fetch_add(1);
+          continue;
+        }
+        MutexLock lock(admitted_mutex);
+        admitted.push_back(*session);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  done_submitting.store(true, std::memory_order_relaxed);
+  canceller.join();
+
+  size_t num_admitted;
+  {
+    MutexLock lock(admitted_mutex);
+    num_admitted = admitted.size();
+    for (auto& s : admitted) {
+      SessionState state =
+          s->WaitFor(std::chrono::seconds(30));  // must not hang
+      ASSERT_TRUE(IsTerminal(state)) << SessionStateToString(state);
+    }
+  }
+  // Submit never half-fails: every attempt either rejected at the
+  // armed seam or produced a session that reached a terminal state.
+  EXPECT_EQ(static_cast<int>(num_admitted) + injected_rejections.load(),
+            kSubmitters * kPerSubmitter);
+  EXPECT_GT(injected_rejections.load(), 0);  // p=0.25 over 24 draws
+  EXPECT_EQ(service.stats().Finished(),
+            static_cast<int64_t>(num_admitted));
 }
 
 TEST_F(ServiceTest, LateAdmissionAfterCancelAllStillReachesTerminal) {

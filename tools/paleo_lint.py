@@ -27,6 +27,10 @@ cannot express, across src/ (and where noted, the whole tree):
                   the same file.
   contract-docs   Public headers in src/paleo and src/service document
                   their thread-safety contract.
+  fault-points    PALEO_FAULT_POINT site names are dotted kebab-case
+                  ("subsystem.stage" segments of [a-z0-9-]) and each
+                  name is registered at exactly one src/ site, so a
+                  chaos spec armed by name targets one known line.
 
 Exit 0 when clean; exit 1 with file:line findings otherwise. Pure
 stdlib, no third-party deps; wired into ctest as the `lint` test and
@@ -78,10 +82,18 @@ SPAN_ASSIGN_RE = re.compile(
 
 CONTRACT_RE = re.compile(r"thread[- ]?saf", re.IGNORECASE)
 
+FAULT_POINT_RE = re.compile(r'PALEO_FAULT_POINT\(\s*"([^"]*)"\s*\)')
+# Dotted kebab-case with at least two segments: "subsystem.stage" or
+# deeper, each segment [a-z0-9] runs joined by single dashes.
+FAULT_NAME_RE = re.compile(
+    r"^[a-z0-9]+(?:-[a-z0-9]+)*(?:\.[a-z0-9]+(?:-[a-z0-9]+)*)+$"
+)
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks out comments and string/char literals, preserving line
-    structure so reported line numbers stay correct."""
+
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Blanks out comments and (unless keep_strings) string/char
+    literals, preserving line structure so reported line numbers stay
+    correct."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -103,7 +115,11 @@ def strip_comments_and_strings(text: str) -> str:
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            if keep_strings:
+                out.append(text[i:j])
+            else:
+                out.append(quote + " " * (j - i - 2) +
+                           (quote if j - i >= 2 else ""))
             i = j
         else:
             out.append(ch)
@@ -151,6 +167,9 @@ class Linter:
         if str(path.relative_to(REPO)) in NAKED_NEW_WHITELIST:
             return
         for lineno, line in enumerate(code.splitlines(), 1):
+            # Preprocessor lines are not expressions (`#include <new>`).
+            if line.lstrip().startswith("#"):
+                continue
             # `= delete` / `= default` declare deleted/defaulted special
             # members; they are not memory management.
             line = re.sub(r"=\s*(?:delete|default)\b", "", line)
@@ -221,6 +240,27 @@ class Linter:
                     "exit paths")
         del raw_lines  # line structure already preserved in `code`
 
+    def collect_fault_points(self, path: Path, code_with_strings: str,
+                             sites: dict[str, tuple[Path, int]]) -> None:
+        for lineno, line in enumerate(code_with_strings.splitlines(), 1):
+            for m in FAULT_POINT_RE.finditer(line):
+                name = m.group(1)
+                if not FAULT_NAME_RE.match(name):
+                    self.report(
+                        path, lineno, "fault-points",
+                        f"fault point '{name}' must be dotted kebab-case "
+                        "with >= 2 segments, e.g. "
+                        "'request-queue.pop.wait'")
+                seen = sites.get(name)
+                if seen is None:
+                    sites[name] = (path, lineno)
+                else:
+                    self.report(
+                        path, lineno, "fault-points",
+                        f"fault point '{name}' already registered at "
+                        f"{seen[0].relative_to(REPO)}:{seen[1]}; each "
+                        "name maps to exactly one site")
+
     def check_contract_docs(self, path: Path, raw: str) -> None:
         if not CONTRACT_RE.search(raw):
             self.report(
@@ -235,6 +275,7 @@ class Linter:
             p for p in (REPO / "src").rglob("*")
             if p.suffix in (".h", ".cc") and p.is_file())
         metric_kinds: dict[str, tuple[str, Path, int]] = {}
+        fault_sites: dict[str, tuple[Path, int]] = {}
         for path in src_files:
             raw = path.read_text(encoding="utf-8")
             code = strip_comments_and_strings(raw)
@@ -243,6 +284,11 @@ class Linter:
             self.check_naked_new(path, code)
             self.collect_metrics(path, code, metric_kinds)
             self.check_span_balance(path, code, raw)
+            # Fault-point names live inside string literals, so this
+            # rule scans a comment-stripped but strings-kept view.
+            self.collect_fault_points(
+                path, strip_comments_and_strings(raw, keep_strings=True),
+                fault_sites)
 
         for header_dir in ("src/paleo", "src/service"):
             for path in sorted((REPO / header_dir).glob("*.h")):
