@@ -1,0 +1,196 @@
+// Live-table ingestion microbenchmarks (PR "epoch-versioned
+// TableCatalog"): what a published snapshot costs and what ingestion
+// does to serving latency.
+//
+//   BM_IngestPublish_Incremental  batch append -> next snapshot via
+//                                 the incremental stats/index path
+//   BM_IngestPublish_FullRebuild  same batch, full per-snapshot
+//                                 rebuilds (incremental off)
+//   BM_ServeStatic                one discovery run on a quiescent
+//                                 catalog (the serving baseline)
+//   BM_ServeWhileIngesting        the same run with a background
+//                                 writer publishing snapshots the
+//                                 whole time
+//
+// The ServeStatic/ServeWhileIngesting pair is the before/after
+// recorded in BENCH_pr7.json by bench/run_benchmarks.sh: serving reads
+// pin a snapshot and never contend with the writer beyond one briefly
+// held publish lock, so the ratio must stay within noise
+// (acceptance: <= 20%).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_env.h"
+#include "catalog/ingestor.h"
+#include "catalog/table_catalog.h"
+#include "paleo/paleo.h"
+#include "workload/workload.h"
+
+namespace paleo {
+namespace {
+
+const Table& SharedTpch() {
+  static Table table = [] {
+    bench::Env env;
+    env.scale_factor = std::min(env.scale_factor, 0.01);
+    return bench::BuildTpch(env);
+  }();
+  return table;
+}
+
+/// The reverse-engineering input the serving benchmarks replay: the
+/// first non-empty generated workload query.
+const TopKList& ServingInput() {
+  static TopKList input = [] {
+    WorkloadOptions wl;
+    wl.families = {QueryFamily::kMaxA};
+    wl.predicate_sizes = {1};
+    wl.ks = {10};
+    wl.queries_per_config = 4;
+    auto workload = WorkloadGen::Generate(SharedTpch(), wl);
+    PALEO_CHECK(workload.ok()) << workload.status().ToString();
+    for (WorkloadQuery& wq : *workload) {
+      if (!wq.list.empty()) return std::move(wq.list);
+    }
+    PALEO_CHECK(false) << "no non-empty workload query at this SF";
+    return TopKList();
+  }();
+  return input;
+}
+
+std::vector<std::vector<Value>> SampleBatch(const Table& table, size_t first,
+                                            size_t n) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const RowId r = static_cast<RowId>((first + i) % table.num_rows());
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(table.num_columns()));
+    for (int c = 0; c < table.num_columns(); ++c) {
+      row.push_back(table.GetValue(r, c));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// One iteration = one batch appended and published. The catalog is
+/// rebuilt (outside the timed region) once it grows past 2x the base
+/// relation, so DeepCopy cost stays representative of a steady-state
+/// live table instead of compounding across iterations.
+void IngestPublish(benchmark::State& state, bool incremental) {
+  const Table& base = SharedTpch();
+  const size_t batch_rows = static_cast<size_t>(state.range(0));
+  auto batch = SampleBatch(base, 0, batch_rows);
+
+  IngestorOptions options;
+  options.incremental = incremental;
+  std::shared_ptr<TableCatalog> catalog;
+  std::unique_ptr<Ingestor> ingestor;
+  auto reset = [&] {
+    catalog = std::make_shared<TableCatalog>(Table(base), PaleoOptions{});
+    ingestor = std::make_unique<Ingestor>(catalog.get(), options);
+  };
+  reset();
+
+  for (auto _ : state) {
+    if (catalog->Current()->num_rows() > 2 * base.num_rows()) {
+      state.PauseTiming();
+      reset();
+      state.ResumeTiming();
+    }
+    Status status = ingestor->Append(batch);
+    PALEO_CHECK(status.ok()) << status.ToString();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_rows));
+  state.counters["published_versions"] = static_cast<double>(
+      ingestor->stats().batches);
+}
+
+void BM_IngestPublish_Incremental(benchmark::State& state) {
+  IngestPublish(state, /*incremental=*/true);
+}
+BENCHMARK(BM_IngestPublish_Incremental)->Arg(64)->Arg(512);
+
+void BM_IngestPublish_FullRebuild(benchmark::State& state) {
+  IngestPublish(state, /*incremental=*/false);
+}
+BENCHMARK(BM_IngestPublish_FullRebuild)->Arg(64)->Arg(512);
+
+/// One iteration = one full reverse-engineering run against the
+/// pinned current snapshot (exactly what a DiscoveryService worker
+/// does per session).
+void ServeLoop(benchmark::State& state, bool ingesting) {
+  const Table& base = SharedTpch();
+  auto catalog = std::make_shared<TableCatalog>(Table(base), PaleoOptions{});
+  const TopKList& input = ServingInput();
+
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (ingesting) {
+    writer = std::thread([&] {
+      Ingestor ingestor(catalog.get());
+      size_t cursor = 0;
+      // Self-pacing: sleep ~8x the last publish duration, i.e. the
+      // writer holds a ~1/9 duty cycle whatever the machine. Two
+      // biases to keep out of the comparison: unbounded growth (the
+      // pair must compare contention, not serving over a larger
+      // relation — hence the 10% cap) and writer CPU monopolization
+      // on small machines (a saturating writer on a single core
+      // measures timesharing, not the publication protocol).
+      const size_t max_rows = base.num_rows() + base.num_rows() / 10;
+      auto pause = std::chrono::milliseconds(2);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (catalog->Current()->num_rows() < max_rows) {
+          const auto start = std::chrono::steady_clock::now();
+          Status status = ingestor.Append(SampleBatch(base, cursor, 64));
+          PALEO_CHECK(status.ok()) << status.ToString();
+          cursor += 64;
+          pause = std::max(
+              std::chrono::milliseconds(2),
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  8 * (std::chrono::steady_clock::now() - start)));
+        }
+        std::this_thread::sleep_for(pause);
+      }
+    });
+  }
+
+  int64_t runs = 0;
+  for (auto _ : state) {
+    auto snapshot = catalog->Current();
+    RunRequest request;
+    request.input = &input;
+    auto report = snapshot->engine().Run(request);
+    PALEO_CHECK(report.ok()) << report.status().ToString();
+    benchmark::DoNotOptimize(report->executed_queries);
+    ++runs;
+  }
+  if (ingesting) {
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    state.counters["versions_published"] =
+        static_cast<double>(catalog->CurrentVersion() - 1);
+  }
+  state.SetItemsProcessed(runs);
+}
+
+void BM_ServeStatic(benchmark::State& state) {
+  ServeLoop(state, /*ingesting=*/false);
+}
+BENCHMARK(BM_ServeStatic)->Unit(benchmark::kMillisecond);
+
+void BM_ServeWhileIngesting(benchmark::State& state) {
+  ServeLoop(state, /*ingesting=*/true);
+}
+BENCHMARK(BM_ServeWhileIngesting)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace paleo

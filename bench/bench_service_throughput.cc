@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_env.h"
+#include "catalog/table_catalog.h"
 #include "engine/topk_list.h"
 #include "paleo/paleo.h"
 #include "service/discovery_service.h"
@@ -61,7 +62,9 @@ RunResult DriveService(const Table& table,
   service_options.num_workers = num_workers;
   service_options.queue_capacity =
       static_cast<size_t>(total_requests);  // never shed in this bench
-  DiscoveryService service(&table, PaleoOptions{}, service_options);
+  DiscoveryService service(
+      std::make_shared<TableCatalog>(Table(table), PaleoOptions{}),
+      service_options);
 
   RunResult result;
   std::vector<std::vector<double>> per_client_latencies(

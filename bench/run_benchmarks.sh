@@ -3,6 +3,8 @@
 # as JSON, then prints a comparison summary appropriate for the binary:
 #   bench_paleo           -> obs overhead vs the obs-off baseline
 #   bench_vectorized_exec -> scalar vs vectorized(+cache) speedups
+#   bench_ingest          -> serving-while-ingesting vs static serving
+#                            (<= 20% acceptance) + publish latencies
 #
 #   bench/run_benchmarks.sh [output.json]
 #
@@ -63,5 +65,17 @@ for family in ("BM_RepeatedCandidates", "BM_CountMatching"):
         if name in times:
             speedup = median(scalar) / median(times[name])
             print(f"{name}: {speedup:.2f}x vs {family}_Scalar (medians)")
+
+static_serve = times.get("BM_ServeStatic")
+live_serve = times.get("BM_ServeWhileIngesting")
+if static_serve and live_serve:
+    ratio = (median(live_serve) / median(static_serve) - 1.0) * 100.0
+    verdict = "OK (<= 20%)" if ratio <= 20.0 else "REGRESSION (> 20%)"
+    print(f"BM_ServeWhileIngesting: {ratio:+.2f}% vs BM_ServeStatic "
+          f"(medians) - {verdict}")
+for name, runs in sorted(times.items()):
+    if name.startswith("BM_IngestPublish_"):
+        print(f"{name}: publish latency median "
+              f"{median(runs) / 1e6:.3f} ms")
 EOF
 fi

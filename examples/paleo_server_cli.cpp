@@ -28,13 +28,22 @@
 //                    dump the service's metrics registry (Prometheus
 //                    text format) to stderr every N seconds while the
 //                    run is in flight, plus a final dump at the end
+//   --ingest-every N
+//                    live-table mode: every N milliseconds a background
+//                    writer appends a batch of rows (sampled from the
+//                    current snapshot) through the catalog's Ingestor,
+//                    publishing a new snapshot each time. In-flight
+//                    requests keep serving the version they pinned at
+//                    admission. 0 (default) serves a static table.
+//   --ingest-batch N rows per ingested batch (default 256)
 //
 // Exit status: 0 when every request reached a terminal state and none
 // failed, 1 on load errors or failed sessions, 2 on usage errors.
 //
 // Example (after `cmake --build build`):
 //   ./build/examples/paleo_server_cli relation.csv workload.txt
-//       --threads 8 --clients 16 --deadline-ms 2000   (one line)
+//       --threads 8 --clients 16 --deadline-ms 2000
+//       --ingest-every 50 --ingest-batch 512   (one line)
 
 #include <algorithm>
 #include <atomic>
@@ -51,6 +60,9 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/ingestor.h"
+#include "catalog/table_catalog.h"
+#include "common/random.h"
 #include "io/binary_io.h"
 #include "io/table_io.h"
 #include "service/discovery_service.h"
@@ -72,7 +84,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <relation.csv> <workload.txt> [--threads N] "
                "[--clients N] [--repeat N] [--queue N] [--deadline-ms N] "
-               "[--sep C] [--quiet] [--metrics-every N]\n",
+               "[--sep C] [--quiet] [--metrics-every N] "
+               "[--ingest-every N] [--ingest-batch N]\n",
                argv0);
   return 2;
 }
@@ -130,6 +143,8 @@ int main(int argc, char** argv) {
   int64_t queue_capacity = 64;
   int64_t deadline_ms = 0;
   int64_t metrics_every_s = 0;
+  int64_t ingest_every_ms = 0;
+  int64_t ingest_batch = 256;
   char sep = ',';
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
@@ -154,6 +169,16 @@ int main(int argc, char** argv) {
       if (!ParseInt64Flag("--metrics-every", argv[++i], &metrics_every_s)) {
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--ingest-every") == 0 &&
+               i + 1 < argc) {
+      if (!ParseInt64Flag("--ingest-every", argv[++i], &ingest_every_ms)) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--ingest-batch") == 0 &&
+               i + 1 < argc) {
+      if (!ParseInt64Flag("--ingest-batch", argv[++i], &ingest_batch)) {
+        return 2;
+      }
     } else {
       return Usage(argv[0]);
     }
@@ -161,6 +186,7 @@ int main(int argc, char** argv) {
   if (clients < 1) clients = 1;
   if (repeat < 1) repeat = 1;
   if (queue_capacity < 1) queue_capacity = 1;
+  if (ingest_batch < 1) ingest_batch = 1;
 
   auto table = LoadRelation(relation_path, sep);
   if (!table.ok()) {
@@ -210,14 +236,24 @@ int main(int argc, char** argv) {
   service_options.num_workers = static_cast<int>(threads);
   service_options.queue_capacity = static_cast<size_t>(queue_capacity);
   service_options.default_deadline_ms = deadline_ms;
-  DiscoveryService service(&*table, paleo_options, service_options);
+  // The catalog owns the snapshot chain; it is built from a copy of
+  // the loaded table (shared dictionaries — the loaded table is only
+  // read for schema/row counts below, never appended) so the ingest
+  // writer can grow the served relation independently. The registry
+  // (paleo_ingest_* / paleo_snapshot_* series) is declared first: it
+  // must outlive the catalog and every pinned snapshot.
+  obs::MetricsRegistry ingest_registry;
+  auto catalog = std::make_shared<TableCatalog>(Table(*table), paleo_options,
+                                                &ingest_registry);
+  DiscoveryService service(catalog, service_options);
 
   std::fprintf(stderr,
                "relation: %zu rows, %u entities; %zu workload lists; "
-               "%d workers, %lld clients x %lld passes\n",
+               "%d workers, %lld clients x %lld passes%s\n",
                table->num_rows(), table->NumEntities(), workload.size(),
                service.num_workers(), static_cast<long long>(clients),
-               static_cast<long long>(repeat));
+               static_cast<long long>(repeat),
+               ingest_every_ms > 0 ? "; live ingestion ON" : "");
 
   const int total_requests =
       static_cast<int>(clients * repeat) *
@@ -241,7 +277,47 @@ int main(int argc, char** argv) {
                                    std::chrono::seconds(metrics_every_s),
                                    [&] { return reporter_stop; })) {
         std::string text = service.metrics().RenderText();
+        text += ingest_registry.RenderText();
         std::fprintf(stderr, "# ---- metrics ----\n%s", text.c_str());
+      }
+    });
+  }
+
+  // Live-table writer: every --ingest-every ms, append a batch of rows
+  // sampled from the snapshot current at that moment. Each batch
+  // publishes a new snapshot; requests admitted before it keep serving
+  // the version they pinned.
+  Ingestor ingestor(catalog.get());
+  std::mutex ingest_mutex;
+  std::condition_variable ingest_cv;
+  bool ingest_stop = false;
+  std::thread ingest_writer;
+  if (ingest_every_ms > 0) {
+    ingest_writer = std::thread([&] {
+      Rng rng(0xC0FFEEULL);
+      std::unique_lock<std::mutex> lock(ingest_mutex);
+      while (!ingest_cv.wait_for(lock,
+                                 std::chrono::milliseconds(ingest_every_ms),
+                                 [&] { return ingest_stop; })) {
+        auto snapshot = catalog->Current();
+        const Table& current = snapshot->table();
+        std::vector<std::vector<Value>> batch;
+        batch.reserve(static_cast<size_t>(ingest_batch));
+        for (int64_t i = 0; i < ingest_batch; ++i) {
+          const RowId r = static_cast<RowId>(
+              rng.Uniform(static_cast<uint64_t>(current.num_rows())));
+          std::vector<Value> row;
+          row.reserve(static_cast<size_t>(current.num_columns()));
+          for (int col = 0; col < current.num_columns(); ++col) {
+            row.push_back(current.GetValue(r, col));
+          }
+          batch.push_back(std::move(row));
+        }
+        Status appended = ingestor.Append(batch);
+        if (!appended.ok()) {
+          std::fprintf(stderr, "ingest batch failed: %s\n",
+                       appended.ToString().c_str());
+        }
       }
     });
   }
@@ -308,6 +384,26 @@ int main(int argc, char** argv) {
   for (auto& t : client_threads) t.join();
   double elapsed_s =
       std::chrono::duration<double>(WallClock::now() - start).count();
+  if (ingest_writer.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(ingest_mutex);
+      ingest_stop = true;
+    }
+    ingest_cv.notify_all();
+    ingest_writer.join();
+    auto ingest_stats = ingestor.stats();
+    std::fprintf(stderr,
+                 "ingested %llu batches (%llu rows, %llu incremental, "
+                 "%llu failed); snapshot v%llu with %zu rows\n",
+                 static_cast<unsigned long long>(ingest_stats.batches),
+                 static_cast<unsigned long long>(ingest_stats.rows),
+                 static_cast<unsigned long long>(
+                     ingest_stats.incremental_builds),
+                 static_cast<unsigned long long>(
+                     ingest_stats.failed_batches),
+                 static_cast<unsigned long long>(catalog->CurrentVersion()),
+                 catalog->Current()->num_rows());
+  }
   if (reporter.joinable()) {
     {
       std::lock_guard<std::mutex> lock(reporter_mutex);
@@ -315,8 +411,9 @@ int main(int argc, char** argv) {
     }
     reporter_cv.notify_all();
     reporter.join();
-    std::fprintf(stderr, "# ---- final metrics ----\n%s",
-                 service.metrics().RenderText().c_str());
+    std::fprintf(stderr, "# ---- final metrics ----\n%s%s",
+                 service.metrics().RenderText().c_str(),
+                 ingest_registry.RenderText().c_str());
   }
 
   std::vector<double> all;

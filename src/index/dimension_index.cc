@@ -39,6 +39,41 @@ DimensionIndex DimensionIndex::Build(const Table& table) {
   return index;
 }
 
+DimensionIndex DimensionIndex::BuildIncremental(const DimensionIndex& prev,
+                                                const Table& table,
+                                                size_t old_rows) {
+  DimensionIndex index;
+  index.columns_ = prev.columns_;  // copied posting maps
+  for (int c : table.schema().dimension_indices()) {
+    const Column& col = table.column(c);
+    ColumnPostings& postings = index.columns_[c];
+    postings.type = col.type();
+    for (size_t r = old_rows; r < table.num_rows(); ++r) {
+      uint64_t key = 0;
+      switch (col.type()) {
+        case DataType::kString:
+          key = col.CodeAt(static_cast<RowId>(r));
+          break;
+        case DataType::kInt64:
+          key = static_cast<uint64_t>(col.Int64At(static_cast<RowId>(r)));
+          break;
+        case DataType::kDouble: {
+          double v = col.DoubleAt(static_cast<RowId>(r));
+          __builtin_memcpy(&key, &v, sizeof(key));
+          break;
+        }
+      }
+      postings.by_value[key].push_back(static_cast<RowId>(r));
+    }
+    if (col.type() == DataType::kString) {
+      // The NEW table's dictionary: the snapshot must not dangle into
+      // the previous version's (deep-copied) dictionaries.
+      index.dicts_.emplace(c, col.dict());
+    }
+  }
+  return index;
+}
+
 bool DimensionIndex::KeyFor(int column, const Value& value,
                             uint64_t* key) const {
   auto it = columns_.find(column);

@@ -32,6 +32,16 @@ class DimensionIndex {
   /// One pass per dimension column.
   static DimensionIndex Build(const Table& table);
 
+  /// Builds the index for `table` off `prev`, which must index exactly
+  /// the first `old_rows` rows of `table`. Copies the posting maps and
+  /// appends only the delta rows (ascending row ids keep postings
+  /// sorted); dictionary references are re-pointed at `table`'s own
+  /// columns so the result never dangles into the previous snapshot.
+  /// Identical lookup behavior to Build(table).
+  static DimensionIndex BuildIncremental(const DimensionIndex& prev,
+                                         const Table& table,
+                                         size_t old_rows);
+
   /// Rows matching `column = value`, ascending; empty if the value is
   /// absent or the column is not indexed.
   const std::vector<RowId>& Lookup(int column, const Value& value) const;

@@ -24,6 +24,39 @@ EntityIndex EntityIndex::Build(const Table& table) {
   return index;
 }
 
+EntityIndex EntityIndex::BuildIncremental(const EntityIndex& prev,
+                                          const Table& table,
+                                          size_t old_rows) {
+  EntityIndex index;
+  index.postings_ = prev.postings_;  // copied; prev stays untouched
+  const Column& entities = table.entity_column();
+  const StringDictionary& dict = *entities.dict();
+  // Resolve each dictionary code to its posting list: existing
+  // entities through prev's tree, new ones get fresh postings.
+  constexpr uint32_t kNoPosting = UINT32_MAX;
+  std::vector<uint32_t> posting_of(dict.size(), kNoPosting);
+  for (uint32_t code = 0; code < dict.size(); ++code) {
+    const uint32_t* posting_id = prev.tree_.Find(dict.Get(code));
+    if (posting_id != nullptr) posting_of[code] = *posting_id;
+  }
+  for (size_t row = old_rows; row < table.num_rows(); ++row) {
+    uint32_t code = entities.CodeAt(static_cast<RowId>(row));
+    if (posting_of[code] == kNoPosting) {
+      posting_of[code] = static_cast<uint32_t>(index.postings_.size());
+      index.postings_.emplace_back();
+    }
+    index.postings_[posting_of[code]].push_back(static_cast<RowId>(row));
+  }
+  // The tree itself is rebuilt (it is move-only and small relative to
+  // the postings): one insert per distinct entity.
+  for (uint32_t code = 0; code < dict.size(); ++code) {
+    if (posting_of[code] != kNoPosting) {
+      index.tree_.Insert(dict.Get(code), posting_of[code]);
+    }
+  }
+  return index;
+}
+
 const std::vector<RowId>& EntityIndex::Lookup(
     const std::string& entity) const {
   static const std::vector<RowId> kEmpty;

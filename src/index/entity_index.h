@@ -28,6 +28,17 @@ class EntityIndex {
   /// Builds the index in one pass over the table's entity column.
   static EntityIndex Build(const Table& table);
 
+  /// Builds the index for `table` off `prev`, which must index exactly
+  /// the first `old_rows` rows of `table` (the ingestion contract:
+  /// `table` is `prev`'s table plus appended rows). Copies the posting
+  /// lists and appends only the delta rows — row ids are appended in
+  /// ascending order, preserving the sorted-postings invariant — then
+  /// rebuilds the (small) name tree. Lookup-observable behavior is
+  /// identical to Build(table); internal posting ids may differ for
+  /// entities first seen in the delta.
+  static EntityIndex BuildIncremental(const EntityIndex& prev,
+                                      const Table& table, size_t old_rows);
+
   /// Row ids (ascending) of the entity, or an empty list if absent.
   const std::vector<RowId>& Lookup(const std::string& entity) const;
 

@@ -44,6 +44,20 @@ Paleo::Paleo(const Table* base, PaleoOptions options)
   }
 }
 
+Paleo::Paleo(const Table* base, PaleoOptions options, EntityIndex index,
+             StatsCatalog catalog,
+             std::unique_ptr<DimensionIndex> dimension_index)
+    : base_(base),
+      options_(std::move(options)),
+      index_(std::move(index)),
+      catalog_(std::move(catalog)),
+      dimension_index_(std::move(dimension_index)) {
+  executor_.SetVectorized(options_.vectorized_execution);
+  if (options_.use_dimension_index && dimension_index_ != nullptr) {
+    executor_.SetDimensionIndex(dimension_index_.get(), base_);
+  }
+}
+
 StatusOr<ReverseEngineerReport> Paleo::Run(const RunRequest& request) const {
   if (request.input == nullptr) {
     return Status::InvalidArgument("RunRequest.input must be set");

@@ -194,10 +194,24 @@ class Paleo {
   /// statistics catalog (the "computed upfront" structures).
   Paleo(const Table* base, PaleoOptions options);
 
+  /// Binds to PREBUILT upfront structures instead of building them —
+  /// the table catalog's ingestion path, where index and catalog are
+  /// extended incrementally from the previous snapshot. Behaves
+  /// exactly like the building constructor given equal structures.
+  /// `base` must outlive this object; `dimension_index` may be null
+  /// only when options.use_dimension_index is off.
+  Paleo(const Table* base, PaleoOptions options, EntityIndex index,
+        StatsCatalog catalog,
+        std::unique_ptr<DimensionIndex> dimension_index);
+
   const Table& base() const { return *base_; }
   const PaleoOptions& options() const { return options_; }
   const EntityIndex& index() const { return index_; }
   const StatsCatalog& catalog() const { return catalog_; }
+  /// Null unless options().use_dimension_index.
+  const DimensionIndex* dimension_index() const {
+    return dimension_index_.get();
+  }
   Executor* executor() { return &executor_; }
 
   /// The canonical entry point: reverse engineers `*request.input`

@@ -19,12 +19,11 @@ bool IsRetryableTransient(const Status& status) {
          status.code() == StatusCode::kResourceExhausted;
 }
 
-DiscoveryService::DiscoveryService(const Table* base,
-                                   PaleoOptions paleo_options,
+DiscoveryService::DiscoveryService(std::shared_ptr<TableCatalog> catalog,
                                    DiscoveryServiceOptions service_options)
-    : paleo_options_(std::move(paleo_options)),
+    : catalog_(std::move(catalog)),
+      paleo_options_(catalog_->options()),
       service_options_(service_options),
-      paleo_(base, paleo_options_),
       queue_(service_options.queue_capacity),
       service_metrics_(BindServiceMetrics()),
       pool_(service_options.num_workers > 0
@@ -146,10 +145,14 @@ StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
                             ? effective_options.deadline_ms
                             : service_options_.default_deadline_ms;
   effective_options.deadline_ms = 0;
+  // Pin the catalog's current snapshot for this session's lifetime:
+  // its run sees exactly this table version, however many ingest
+  // batches publish in the meantime.
   auto session =
       std::make_shared<Session>(next_id_.fetch_add(1, std::memory_order_relaxed),
                                 std::move(request),
-                                std::move(effective_options));
+                                std::move(effective_options),
+                                catalog_->Current());
   if (deadline_ms > 0) {
     session->mutable_budget()->SetDeadlineAfterMillis(deadline_ms);
   }
@@ -209,7 +212,7 @@ void DiscoveryService::Dispatch() {
       // path below; injected delays wedge the worker for the watchdog.
       FaultResult fault = PALEO_FAULT_POINT("service.dispatch.run");
       if (fault.error()) return fault.status;
-      return paleo_.Run(run_request);
+      return session->snapshot().engine().Run(run_request);
     };
     auto result = attempt_run();
     if (!result.ok() && IsRetryableTransient(result.status()) &&

@@ -1,17 +1,24 @@
 // Concurrent discovery service: PALEO as a servable engine.
 //
-// One DiscoveryService owns one read-only base relation together with
-// the structures PALEO computes upfront (entity B+ tree, statistics
-// catalog, dimension indexes) — built once, shared immutably by every
-// request — plus a work-stealing ThreadPool that runs both the
-// admitted sessions and their intra-request parallel validation
-// subtasks.
+// One DiscoveryService serves a live table through a TableCatalog: the
+// catalog owns the chain of immutable snapshots (each one a frozen
+// table version plus the structures PALEO computes upfront — entity
+// B+ tree, statistics catalog, dimension indexes — and a ready
+// engine), and every admission pins the snapshot current at Submit()
+// time. A pinned session runs against exactly that version for its
+// whole lifetime, byte-identical to a standalone run on a frozen
+// copy, no matter how many ingest batches publish while it is queued
+// or running. The service adds a work-stealing ThreadPool that runs
+// both the admitted sessions and their intra-request parallel
+// validation subtasks.
 //
 // Request lifecycle:
 //   Submit() -> admission control: the bounded RequestQueue accepts
 //     the session or sheds the request with Status::ResourceExhausted.
 //     The per-request deadline is anchored HERE, so time spent queued
-//     burns the same budget as time spent running.
+//     burns the same budget as time spent running; the catalog's
+//     current snapshot is pinned HERE, so a session's view of the
+//     table is fixed at admission.
 //   dispatch -> a pool worker pops the oldest session; if its budget
 //     is already exhausted (cancelled or expired while queued) the
 //     session is finalized without running, otherwise the worker runs
@@ -34,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/table_catalog.h"
 #include "common/mutex.h"
 #include "common/run_budget.h"
 #include "common/thread_annotations.h"
@@ -45,7 +53,6 @@
 #include "paleo/paleo.h"
 #include "service/request_queue.h"
 #include "service/session.h"
-#include "storage/table.h"
 
 namespace paleo {
 
@@ -106,18 +113,21 @@ struct DiscoveryServiceStats {
   int64_t Finished() const { return done + failed + cancelled + expired; }
 };
 
-/// \brief Multi-tenant front end over one shared Paleo instance.
+/// \brief Multi-tenant front end over one live TableCatalog.
 ///
 /// Thread-safe: Submit and the session handles may be used from any
-/// number of client threads. Destruction cancels queued and running
-/// sessions, drains the pool, and leaves every session in a terminal
-/// state (no Wait() ever hangs across shutdown).
+/// number of client threads, concurrently with ingestion into the
+/// catalog. Destruction cancels queued and running sessions, drains
+/// the pool, and leaves every session in a terminal state (no Wait()
+/// ever hangs across shutdown).
 class DiscoveryService {
  public:
-  /// `base` must outlive the service. Builds the shared read
-  /// structures once (same cost as one Paleo construction).
-  DiscoveryService(const Table* base, PaleoOptions paleo_options,
-                   DiscoveryServiceOptions service_options = {});
+  /// Serves the catalog's snapshots; per-request pipeline defaults are
+  /// the catalog's engine options. The catalog is shared (ingestion
+  /// typically holds the other reference) and must stay alive for the
+  /// service's lifetime — the shared_ptr here guarantees it.
+  explicit DiscoveryService(std::shared_ptr<TableCatalog> catalog,
+                            DiscoveryServiceOptions service_options = {});
   ~DiscoveryService();
 
   DiscoveryService(const DiscoveryService&) = delete;
@@ -148,8 +158,9 @@ class DiscoveryService {
   /// Sessions admitted and not yet started.
   size_t queue_depth() const { return queue_.size(); }
   int num_workers() const { return pool_.num_threads(); }
-  /// The shared engine (for schema access etc.). Do not mutate.
-  const Paleo& engine() const { return paleo_; }
+  /// The catalog this service serves (for schema access, the current
+  /// snapshot, ingestion wiring).
+  const TableCatalog& catalog() const { return *catalog_; }
 
   /// The service's metrics registry: service-level series
   /// (paleo_service_*) plus the pipeline/executor series every run
@@ -182,9 +193,10 @@ class DiscoveryService {
   /// backlog ahead of a would-be request, clamped to [1ms, 60s].
   int64_t RetryAfterHintMs() const;
 
-  const PaleoOptions paleo_options_;
+  // The snapshot chain served; sessions pin versions out of it.
+  const std::shared_ptr<TableCatalog> catalog_;
+  const PaleoOptions paleo_options_;  // = catalog_->options()
   const DiscoveryServiceOptions service_options_;
-  Paleo paleo_;
   RequestQueue queue_;
   obs::MetricsRegistry metrics_;
   const ServiceMetrics service_metrics_;

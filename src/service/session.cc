@@ -28,8 +28,12 @@ bool IsTerminal(SessionState state) {
          state == SessionState::kExpired;
 }
 
-Session::Session(Id id, ServiceRequest request, PaleoOptions options)
-    : id_(id), request_(std::move(request)), options_(std::move(options)) {
+Session::Session(Id id, ServiceRequest request, PaleoOptions options,
+                 std::shared_ptr<const TableSnapshot> snapshot)
+    : id_(id),
+      request_(std::move(request)),
+      options_(std::move(options)),
+      snapshot_(std::move(snapshot)) {
   budget_.set_cancellation_token(&cancel_);
   if (request_.collect_trace) {
     // The object is not shared yet; the lock only satisfies the
@@ -38,6 +42,8 @@ Session::Session(Id id, ServiceRequest request, PaleoOptions options)
     trace_ = std::make_shared<obs::Trace>();
     session_span_ = trace_->StartSpan("session");
     trace_->AddAttr(session_span_, "id", static_cast<int64_t>(id_));
+    trace_->AddAttr(session_span_, "snapshot_version",
+                    static_cast<int64_t>(snapshot_->version()));
     queued_span_ = trace_->StartSpan("queued", session_span_);
   }
 }

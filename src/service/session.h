@@ -24,6 +24,7 @@
 #include <optional>
 #include <utility>
 
+#include "catalog/table_catalog.h"
 #include "common/mutex.h"
 #include "common/run_budget.h"
 #include "common/thread_annotations.h"
@@ -80,8 +81,12 @@ class Session {
   /// service already merged per-request overrides and moved the
   /// deadline into the budget, anchored at admission so queue wait
   /// counts against it). The remaining per-request flags travel in
-  /// `request`.
-  Session(Id id, ServiceRequest request, PaleoOptions options);
+  /// `request`. `snapshot` is the catalog snapshot pinned at admission
+  /// — the frozen table version this session runs against, held alive
+  /// for the session's whole lifetime no matter how far ingestion
+  /// advances the catalog.
+  Session(Id id, ServiceRequest request, PaleoOptions options,
+          std::shared_ptr<const TableSnapshot> snapshot);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -94,6 +99,13 @@ class Session {
   /// The request budget the pipeline is governed by (deadline anchored
   /// at admission + this session's cancellation token).
   const RunBudget& budget() const { return budget_; }
+
+  /// The snapshot pinned at admission. The run executes against this
+  /// frozen version (snapshot isolation: results are byte-identical to
+  /// a standalone run on it, regardless of concurrent ingestion).
+  const TableSnapshot& snapshot() const { return *snapshot_; }
+  /// Version of the pinned snapshot (see TableSnapshot::version).
+  uint64_t snapshot_version() const { return snapshot_->version(); }
 
   /// Current state, non-blocking.
   SessionState Poll() const;
@@ -171,6 +183,9 @@ class Session {
   const Id id_;
   const ServiceRequest request_;
   const PaleoOptions options_;
+  // The pin: keeps the admitted-against snapshot (and its engine)
+  // alive until the session is destroyed.
+  const std::shared_ptr<const TableSnapshot> snapshot_;
   CancellationToken cancel_;
   RunBudget budget_;
 

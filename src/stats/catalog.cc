@@ -1,8 +1,34 @@
 #include "stats/catalog.h"
 
+#include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 namespace paleo {
+
+namespace {
+
+/// Normalizes one cell to the 64-bit key space distinct counting uses:
+/// dictionary code for strings, the value itself for int64, the bit
+/// pattern for doubles (so -0.0 and 0.0 count like ColumnStats does).
+uint64_t NormalizedKey(const Column& column, RowId row) {
+  switch (column.type()) {
+    case DataType::kString:
+      return column.CodeAt(row);
+    case DataType::kInt64:
+      return static_cast<uint64_t>(column.Int64At(row));
+    case DataType::kDouble: {
+      double v = column.DoubleAt(row);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      return bits;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 StatsCatalog StatsCatalog::Build(const Table& table,
                                  const CatalogOptions& options) {
@@ -15,6 +41,10 @@ StatsCatalog StatsCatalog::Build(const Table& table,
   catalog.top_entities_.resize(static_cast<size_t>(schema.num_fields()));
 
   catalog.value_counts_.resize(static_cast<size_t>(schema.num_fields()));
+  catalog.has_delta_state_ = options.keep_delta_state;
+  if (options.keep_delta_state) {
+    catalog.delta_.resize(static_cast<size_t>(schema.num_fields()));
+  }
 
   std::unordered_set<int> measures(schema.measure_indices().begin(),
                                    schema.measure_indices().end());
@@ -26,8 +56,14 @@ StatsCatalog StatsCatalog::Build(const Table& table,
     if (measures.count(c) > 0) {
       catalog.histograms_[static_cast<size_t>(c)] =
           Histogram::Build(column, options.histogram_cells);
+      std::vector<double> entity_max =
+          TopEntityList::ComputeEntityMaxes(table, c);
       catalog.top_entities_[static_cast<size_t>(c)] =
-          TopEntityList::Build(table, c, options.top_entities);
+          TopEntityList::FromEntityMaxes(entity_max, options.top_entities);
+      if (options.keep_delta_state) {
+        catalog.delta_[static_cast<size_t>(c)].entity_max =
+            std::move(entity_max);
+      }
     }
     if (dimensions.count(c) > 0) {
       ValueCountMap& counts = catalog.value_counts_[static_cast<size_t>(c)];
@@ -49,8 +85,112 @@ StatsCatalog StatsCatalog::Build(const Table& table,
           break;
       }
     }
+    if (options.keep_delta_state) {
+      std::unordered_set<uint64_t>& seen =
+          catalog.delta_[static_cast<size_t>(c)].seen;
+      seen.reserve(static_cast<size_t>(
+          catalog.column_stats_[static_cast<size_t>(c)].distinct_count));
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        seen.insert(NormalizedKey(column, static_cast<RowId>(r)));
+      }
+    }
   }
   return catalog;
+}
+
+StatusOr<StatsCatalog> StatsCatalog::BuildIncremental(
+    const StatsCatalog& prev, const Table& table, int* full_rebuilds) {
+  if (!prev.has_delta_state_) {
+    return Status::InvalidArgument(
+        "previous catalog was built without keep_delta_state; cannot "
+        "extend it incrementally");
+  }
+  if (static_cast<int64_t>(table.num_rows()) < prev.table_rows_ ||
+      table.num_columns() != static_cast<int>(prev.column_stats_.size())) {
+    return Status::InvalidArgument(
+        "table is not an append-extension of the previous catalog's "
+        "relation");
+  }
+  StatsCatalog catalog = prev;
+  const size_t old_rows = static_cast<size_t>(prev.table_rows_);
+  const Schema& schema = table.schema();
+  std::unordered_set<int> measures(schema.measure_indices().begin(),
+                                   schema.measure_indices().end());
+  std::unordered_set<int> dimensions(schema.dimension_indices().begin(),
+                                     schema.dimension_indices().end());
+  int rebuilds = 0;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    catalog.ExtendColumn(table, c, old_rows, measures.count(c) > 0,
+                         dimensions.count(c) > 0,
+                         &catalog.delta_[static_cast<size_t>(c)], &rebuilds);
+  }
+  catalog.table_rows_ = static_cast<int64_t>(table.num_rows());
+  if (full_rebuilds != nullptr) *full_rebuilds = rebuilds;
+  return catalog;
+}
+
+void StatsCatalog::ExtendColumn(const Table& table, int column,
+                                size_t old_rows, bool is_measure,
+                                bool is_dimension, ColumnDelta* delta,
+                                int* full_rebuilds) {
+  const Column& col = table.column(column);
+  const size_t n = table.num_rows();
+  ColumnStats& stats = column_stats_[static_cast<size_t>(column)];
+
+  // Basic stats: min/max fold in directly, distinct counts come from
+  // the maintained seen set (exact — the delta may repeat old values).
+  bool first = stats.row_count == 0;
+  for (size_t r = old_rows; r < n; ++r) {
+    delta->seen.insert(NormalizedKey(col, static_cast<RowId>(r)));
+    if (col.type() != DataType::kString) {
+      double v = col.NumericAt(static_cast<RowId>(r));
+      if (first) {
+        stats.min = stats.max = v;
+        first = false;
+      } else {
+        stats.min = std::min(stats.min, v);
+        stats.max = std::max(stats.max, v);
+      }
+    }
+  }
+  stats.row_count = static_cast<int64_t>(n);
+  stats.distinct_count = static_cast<int64_t>(delta->seen.size());
+
+  if (is_measure) {
+    // Histogram: extend in place while the delta stays inside the old
+    // range (boundaries unchanged => identical to a full rebuild);
+    // rebuild the one column otherwise.
+    std::vector<double> values;
+    values.reserve(n - old_rows);
+    for (size_t r = old_rows; r < n; ++r) {
+      values.push_back(col.NumericAt(static_cast<RowId>(r)));
+    }
+    Histogram& hist = histograms_[static_cast<size_t>(column)];
+    if (!hist.Extend(values)) {
+      hist = Histogram::Build(col, options_.histogram_cells);
+      if (full_rebuilds != nullptr) ++*full_rebuilds;
+    }
+    // Top entities: fold the delta into the maintained per-entity
+    // maxima (the dictionary may have grown), then reselect top-N.
+    const Column& entities = table.entity_column();
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    delta->entity_max.resize(entities.dict()->size(), kNegInf);
+    for (size_t r = old_rows; r < n; ++r) {
+      uint32_t code = entities.CodeAt(static_cast<RowId>(r));
+      double v = col.NumericAt(static_cast<RowId>(r));
+      if (v > delta->entity_max[code]) delta->entity_max[code] = v;
+    }
+    top_entities_[static_cast<size_t>(column)] =
+        TopEntityList::FromEntityMaxes(delta->entity_max,
+                                       options_.top_entities);
+  }
+
+  if (is_dimension) {
+    ValueCountMap& counts = value_counts_[static_cast<size_t>(column)];
+    for (size_t r = old_rows; r < n; ++r) {
+      ++counts[col.GetValue(static_cast<RowId>(r))];
+    }
+  }
 }
 
 int64_t StatsCatalog::ValueCount(int column, const Value& v) const {

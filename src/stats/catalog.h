@@ -13,6 +13,7 @@
 #define PALEO_STATS_CATALOG_H_
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -30,6 +31,12 @@ struct CatalogOptions {
   int histogram_cells = 1000;
   /// Entities kept per top-entity list (paper: 1000).
   int top_entities = 1000;
+  /// Retain the per-column delta state (seen-value sets, per-entity
+  /// maxima) that BuildIncremental needs to extend this catalog
+  /// EXACTLY from appended rows. Off by default: a catalog that never
+  /// ingests should not pay the memory (roughly one 64-bit key per
+  /// distinct value per column).
+  bool keep_delta_state = false;
 };
 
 /// \brief Precomputed statistics for every column of a relation.
@@ -38,6 +45,26 @@ class StatsCatalog {
   /// Scans the table once per column.
   static StatsCatalog Build(const Table& table,
                             const CatalogOptions& options = CatalogOptions());
+
+  /// Extends `prev` (which must have been built with keep_delta_state)
+  /// to cover `table`, whose first prev.table_rows() rows are exactly
+  /// the rows prev was built from and whose remainder is the appended
+  /// delta. Every published quantity of the result equals
+  /// Build(table, prev.options()) — distinct counts come from
+  /// maintained seen-value sets, top-entity lists from maintained
+  /// per-entity maxima, and histograms are extended in place when the
+  /// delta stays inside the old [min, max] (falling back to a
+  /// per-column rebuild when the range grew; `full_rebuilds`, when
+  /// non-null, receives the number of such fallbacks). The result
+  /// keeps delta state, so ingestion chains incrementally forever.
+  /// InvalidArgument when prev carries no delta state or the row
+  /// prefix does not match.
+  static StatusOr<StatsCatalog> BuildIncremental(const StatsCatalog& prev,
+                                                 const Table& table,
+                                                 int* full_rebuilds = nullptr);
+
+  /// True when this catalog retains the state BuildIncremental needs.
+  bool has_delta_state() const { return has_delta_state_; }
 
   const CatalogOptions& options() const { return options_; }
 
@@ -74,11 +101,31 @@ class StatsCatalog {
  private:
   using ValueCountMap = std::unordered_map<Value, int64_t, ValueHasher>;
 
+  /// Per-column ingredients carried across incremental builds
+  /// (keep_delta_state only): exactly what the published summaries
+  /// cannot recover. `seen` holds every value normalized to 64 bits
+  /// (dictionary code / int64 / double bit pattern — the same key
+  /// spaces ColumnStats::Build counts distinct over), `entity_max` the
+  /// per-entity maxima of measure columns (code-indexed, -inf absent).
+  struct ColumnDelta {
+    std::unordered_set<uint64_t> seen;
+    std::vector<double> entity_max;
+  };
+
+  /// Folds one column's delta rows into stats / histogram /
+  /// top-entities / value-counts, using and maintaining `delta`.
+  /// `full_rebuilds` is bumped when the histogram fallback fired.
+  void ExtendColumn(const Table& table, int column, size_t old_rows,
+                    bool is_measure, bool is_dimension, ColumnDelta* delta,
+                    int* full_rebuilds);
+
   CatalogOptions options_;
   std::vector<ColumnStats> column_stats_;
   std::vector<Histogram> histograms_;
   std::vector<TopEntityList> top_entities_;
   std::vector<ValueCountMap> value_counts_;  // dimension columns only
+  std::vector<ColumnDelta> delta_;           // keep_delta_state only
+  bool has_delta_state_ = false;
   int64_t table_rows_ = 0;
 };
 

@@ -44,6 +44,23 @@ Histogram Histogram::BuildFromValues(const std::vector<double>& values,
   return h;
 }
 
+bool Histogram::Extend(const std::vector<double>& values) {
+  if (counts_.empty()) return false;
+  for (double v : values) {
+    if (v < min_ || v > max_) return false;
+  }
+  for (double v : values) {
+    ++counts_[static_cast<size_t>(CellFor(v))];
+  }
+  total_ += static_cast<int64_t>(values.size());
+  int64_t run = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    run += counts_[i];
+    cumulative_[i] = run;
+  }
+  return true;
+}
+
 int Histogram::CellFor(double v) const {
   if (counts_.empty()) return 0;
   if (v <= min_) return 0;

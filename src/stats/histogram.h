@@ -35,6 +35,15 @@ class Histogram {
     return counts_[static_cast<size_t>(cell)];
   }
 
+  /// Folds `values` into this histogram in place, keeping the existing
+  /// cell boundaries. Succeeds only when the histogram is non-empty and
+  /// every value lies inside [min, max] — the result is then identical
+  /// to a full BuildFromValues over old+new values (the boundaries, and
+  /// hence every CellFor, are unchanged). Returns false and leaves the
+  /// histogram untouched otherwise; the caller rebuilds from scratch.
+  /// This is the incremental-ingest path's per-column fast path.
+  bool Extend(const std::vector<double>& values);
+
   /// Cell index for a value (values outside [min, max] clamp to the
   /// boundary cells).
   int CellFor(double v) const;

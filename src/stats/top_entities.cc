@@ -7,18 +7,28 @@ namespace paleo {
 
 TopEntityList TopEntityList::Build(const Table& table, int column,
                                    int top_n) {
-  TopEntityList out;
+  return FromEntityMaxes(ComputeEntityMaxes(table, column), top_n);
+}
+
+std::vector<double> TopEntityList::ComputeEntityMaxes(const Table& table,
+                                                      int column) {
   const Column& col = table.column(column);
   const Column& entities = table.entity_column();
-  const uint32_t num_entities = entities.dict()->size();
-
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  std::vector<double> best(num_entities, kNegInf);
+  std::vector<double> best(entities.dict()->size(), kNegInf);
   for (size_t row = 0; row < table.num_rows(); ++row) {
     uint32_t code = entities.CodeAt(static_cast<RowId>(row));
     double v = col.NumericAt(static_cast<RowId>(row));
     if (v > best[code]) best[code] = v;
   }
+  return best;
+}
+
+TopEntityList TopEntityList::FromEntityMaxes(
+    const std::vector<double>& best, int top_n) {
+  TopEntityList out;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const uint32_t num_entities = static_cast<uint32_t>(best.size());
 
   std::vector<uint32_t> order;
   order.reserve(num_entities);

@@ -27,6 +27,21 @@ class TopEntityList {
   /// Ties are broken by entity code ascending for determinism.
   static TopEntityList Build(const Table& table, int column, int top_n);
 
+  /// Per-entity maxima of `column` over all rows, indexed by entity
+  /// dictionary code; entities with no rows hold -infinity. The raw
+  /// material Build() selects from — exposed so the table catalog can
+  /// maintain it incrementally across ingested batches (the published
+  /// top-N alone cannot be extended exactly: an entity outside it has
+  /// an unknown true max).
+  static std::vector<double> ComputeEntityMaxes(const Table& table,
+                                                int column);
+
+  /// Top-N selection over a precomputed per-entity max array, with the
+  /// same ordering and tie-breaking as Build():
+  /// Build(t, c, n) == FromEntityMaxes(ComputeEntityMaxes(t, c), n).
+  static TopEntityList FromEntityMaxes(const std::vector<double>& entity_max,
+                                       int top_n);
+
   /// Number of stored entities (<= top_n).
   size_t size() const { return entity_codes_.size(); }
 

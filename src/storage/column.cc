@@ -100,6 +100,16 @@ Column Column::Gather(const std::vector<RowId>& rows) const {
   return out;
 }
 
+Column Column::DeepCopy() const {
+  Column out(type_, dict_ == nullptr
+                        ? nullptr
+                        : std::make_shared<StringDictionary>(*dict_));
+  out.ints_ = ints_;
+  out.doubles_ = doubles_;
+  out.codes_ = codes_;
+  return out;
+}
+
 size_t Column::MemoryUsage() const {
   return ints_.capacity() * sizeof(int64_t) +
          doubles_.capacity() * sizeof(double) +

@@ -77,6 +77,12 @@ class Column {
   /// columns share this column's dictionary.
   Column Gather(const std::vector<RowId>& rows) const;
 
+  /// New column with identical contents; string columns get their OWN
+  /// copy of the dictionary (codes preserved), so the clone can
+  /// register new strings without mutating a dictionary shared with
+  /// concurrent readers of this column.
+  Column DeepCopy() const;
+
   /// Approximate heap footprint in bytes (excludes shared dictionary).
   size_t MemoryUsage() const;
 

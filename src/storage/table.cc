@@ -21,32 +21,56 @@ Table::Table(Schema schema) : schema_(std::move(schema)), epoch_(NextEpoch()) {
 }
 
 Status Table::AppendRow(const std::vector<Value>& row) {
-  if (static_cast<int>(row.size()) != schema_.num_fields()) {
-    return Status::InvalidArgument(
-        "row has " + std::to_string(row.size()) + " values, schema has " +
-        std::to_string(schema_.num_fields()) + " fields");
-  }
-  // Validate all cells before mutating any column so a failed append
-  // leaves the table unchanged.
-  for (int i = 0; i < schema_.num_fields(); ++i) {
-    const Value& v = row[static_cast<size_t>(i)];
-    DataType t = schema_.field(i).type;
-    bool ok = (t == DataType::kInt64 && v.is_int64()) ||
-              (t == DataType::kDouble && v.is_numeric()) ||
-              (t == DataType::kString && v.is_string());
-    if (!ok) {
-      return Status::TypeError("value " + v.ToString() + " does not fit " +
-                               schema_.field(i).name + " (" +
-                               DataTypeToString(t) + ")");
+  return AppendRows(std::span<const std::vector<Value>>(&row, 1));
+}
+
+Status Table::AppendRows(std::span<const std::vector<Value>> rows) {
+  // Validate every cell of every row before mutating any column so a
+  // failed batch leaves the table unchanged.
+  for (const std::vector<Value>& row : rows) {
+    if (static_cast<int>(row.size()) != schema_.num_fields()) {
+      return Status::InvalidArgument(
+          "row has " + std::to_string(row.size()) + " values, schema has " +
+          std::to_string(schema_.num_fields()) + " fields");
+    }
+    for (int i = 0; i < schema_.num_fields(); ++i) {
+      const Value& v = row[static_cast<size_t>(i)];
+      DataType t = schema_.field(i).type;
+      bool ok = (t == DataType::kInt64 && v.is_int64()) ||
+                (t == DataType::kDouble && v.is_numeric()) ||
+                (t == DataType::kString && v.is_string());
+      if (!ok) {
+        return Status::TypeError("value " + v.ToString() + " does not fit " +
+                                 schema_.field(i).name + " (" +
+                                 DataTypeToString(t) + ")");
+      }
     }
   }
-  for (int i = 0; i < schema_.num_fields(); ++i) {
-    PALEO_RETURN_NOT_OK(
-        columns_[static_cast<size_t>(i)].Append(row[static_cast<size_t>(i)]));
+  for (const std::vector<Value>& row : rows) {
+    for (int i = 0; i < schema_.num_fields(); ++i) {
+      PALEO_RETURN_NOT_OK(columns_[static_cast<size_t>(i)].Append(
+          row[static_cast<size_t>(i)]));
+    }
+    ++num_rows_;
   }
-  ++num_rows_;
-  epoch_ = NextEpoch();
+  // One epoch bump per batch: the whole point of the batched entry
+  // point (AppendRow via the single-row span bumps once as before).
+  if (!rows.empty()) epoch_ = NextEpoch();
   return Status::OK();
+}
+
+Table Table::DeepCopy() const {
+  Table out(schema_);
+  out.columns_.clear();
+  out.columns_.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    out.columns_.push_back(c.DeepCopy());
+  }
+  out.num_rows_ = num_rows_;
+  // Identical contents: keep the epoch so epoch-keyed caches stay warm
+  // across the copy; the first mutation re-stamps it.
+  out.epoch_ = epoch_;
+  return out;
 }
 
 Status Table::CheckConsistent() {

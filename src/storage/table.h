@@ -5,6 +5,7 @@
 #define PALEO_STORAGE_TABLE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,25 @@ class Table {
 
   /// Appends one row; all columns must receive a type-compatible value.
   Status AppendRow(const std::vector<Value>& row);
+
+  /// Appends a batch of rows. Every cell of every row is validated
+  /// before any column is mutated, so a failed batch leaves the table
+  /// unchanged — and the epoch is re-stamped exactly ONCE per batch,
+  /// not once per row, so epoch-keyed caches (the executor's
+  /// AtomSelectionCache) lose at most one generation per ingested
+  /// batch.
+  Status AppendRows(std::span<const std::vector<Value>> rows);
+
+  /// Deep copy: clones the columns AND their string dictionaries, so
+  /// the copy can keep appending (registering new strings) without
+  /// mutating dictionaries shared with this table's concurrent
+  /// readers. Dictionary codes are preserved, and since the contents
+  /// are identical the copy keeps this table's epoch — epoch-keyed
+  /// derivations stay valid until the copy is first mutated (which
+  /// re-stamps it). This is the ingestion path's copy-on-write step;
+  /// plain copy construction shares dictionaries (Gather semantics)
+  /// and is only safe for tables that will never append.
+  Table DeepCopy() const;
 
   /// Called after direct column writes; verifies equal column lengths
   /// and updates num_rows().

@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/ingestor.h"
+#include "catalog/table_catalog.h"
 #include "common/fault_points.h"
 #include "common/random.h"
 #include "datagen/tpch_gen.h"
@@ -112,6 +114,27 @@ class ChaosTest : public ::testing::Test {
 
   static uint64_t seed() { return seed_; }
   static const Table& table() { return *table_; }
+
+  /// A catalog over a copy of the fixture table (plain copy shares
+  /// dictionaries — safe because ingestion deep-copies before
+  /// appending). Storms that never ingest serve version 1, which IS
+  /// the fixture table, so the static baselines hold unchanged.
+  static std::shared_ptr<TableCatalog> MakeCatalog(
+      PaleoOptions options = {}) {
+    return std::make_shared<TableCatalog>(Table(table()),
+                                          std::move(options));
+  }
+
+  /// One row of the fixture table boxed for re-ingestion.
+  static std::vector<Value> RowAt(RowId r) {
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(table().num_columns()));
+    for (int c = 0; c < table().num_columns(); ++c) {
+      row.push_back(table().GetValue(r, c));
+    }
+    return row;
+  }
+
   static const std::vector<WorkloadQuery>& workload() { return *workload_; }
   static const std::vector<Baseline>& baselines() { return *baselines_; }
 
@@ -179,6 +202,13 @@ class ChaosTest : public ::testing::Test {
     maybe_arm("executor.execute.scan", error_spec(), 0.3);
     maybe_arm("executor.selection.alloc", alloc_spec(), 0.4);
     maybe_arm("atom-cache.insert.alloc", alloc_spec(), 0.4);
+    // Ingestion-side sites: no-ops in storms that never ingest, load-
+    // bearing in the ingest storm below.
+    maybe_arm("catalog.ingest.validate", error_spec(), 0.3);
+    maybe_arm("catalog.ingest.incremental-alloc", alloc_spec(), 0.4);
+    maybe_arm("catalog.ingest.build", error_spec(), 0.3);
+    maybe_arm("catalog.ingest.publish", error_spec(), 0.2);
+    maybe_arm("catalog.ingest.publish", delay_spec(), 0.3);
   }
 
   /// One storm iteration. When `destroy_mid_flight`, the service is
@@ -205,7 +235,7 @@ class ChaosTest : public ::testing::Test {
       service_options.watchdog_poll_ms = 5;
     }
     auto service = std::make_unique<DiscoveryService>(
-        &table(), PaleoOptions{}, service_options);
+        MakeCatalog(), service_options);
 
     constexpr int kClients = 2;
     const int per_client = static_cast<int>(rng.UniformInt(1, 2));
@@ -333,7 +363,7 @@ TEST_F(ChaosTest, RetryRecoversTransientDispatchFault) {
   service_options.max_retries = 2;
   service_options.retry_backoff_ms = 1;
   service_options.retry_backoff_max_ms = 4;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   FaultSpec spec;
   spec.action = FaultAction::kStatusError;
@@ -358,7 +388,7 @@ TEST_F(ChaosTest, NonRetryableDispatchFaultFailsWithoutRetry) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 1;
   service_options.max_retries = 3;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   FaultSpec spec;
   spec.action = FaultAction::kStatusError;
@@ -379,7 +409,7 @@ TEST_F(ChaosTest, MemoryPressureDegradesToScalarNotFailure) {
   // way (options_behavior_test pins that), so the baseline still holds.
   PaleoOptions engine_options;
   engine_options.use_dimension_index = false;
-  DiscoveryService service(&table(), engine_options,
+  DiscoveryService service(MakeCatalog(engine_options),
                            DiscoveryServiceOptions{});
   FaultSpec alloc;
   alloc.action = FaultAction::kAllocFailure;
@@ -407,7 +437,7 @@ TEST_F(ChaosTest, WatchdogCancelsWedgedRun) {
   service_options.num_workers = 1;
   service_options.watchdog_stall_ms = 50;
   service_options.watchdog_poll_ms = 5;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   // Every candidate execution stalls 200ms, far past the 50ms stall
   // limit: the watchdog must kick the run onto the graceful
@@ -438,8 +468,7 @@ TEST_F(ChaosTest, WatchdogCancelsWedgedRun) {
 }
 
 TEST_F(ChaosTest, InjectedSubmitFaultSurfacesToClient) {
-  DiscoveryService service(&table(), PaleoOptions{},
-                           DiscoveryServiceOptions{});
+  DiscoveryService service(MakeCatalog(), DiscoveryServiceOptions{});
   FaultSpec spec;
   spec.action = FaultAction::kStatusError;
   spec.code = StatusCode::kInternal;
@@ -456,6 +485,102 @@ TEST_F(ChaosTest, InjectedSubmitFaultSurfacesToClient) {
   auto second = service.Submit(workload()[0].list);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ((*second)->Wait(), SessionState::kDone);
+}
+
+TEST_F(ChaosTest, IngestStormUnderFaultsPreservesSnapshotIsolation) {
+  // Catalog fault sites armed, an ingest thread hammering batches
+  // (some of which the injected faults abort), clients submitting
+  // concurrently. Invariants: no hang, no crash, every completed
+  // session's report is byte-identical to a fresh standalone run on
+  // the snapshot it pinned — whatever version that happened to be.
+  constexpr int kIterations = 12;
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    uint64_t state = seed() + 2000029ULL + static_cast<uint64_t>(iteration);
+    const uint64_t iter_seed = SplitMix64(&state);
+    const std::string context =
+        "ingest storm iteration " + std::to_string(iteration) + " (seed " +
+        std::to_string(iter_seed) + ")";
+    Rng rng(iter_seed);
+    ArmRandomStorm(&rng);
+
+    auto catalog = MakeCatalog();
+    DiscoveryServiceOptions service_options;
+    service_options.num_workers = 2;
+    service_options.queue_capacity = 32;
+    DiscoveryService service(catalog, service_options);
+    Ingestor ingestor(catalog.get());
+
+    std::atomic<bool> stop{false};
+    const uint64_t ingest_seed = rng.Next();
+    std::thread writer([&] {
+      Rng ingest_rng(ingest_seed);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<std::vector<Value>> batch;
+        const int n = static_cast<int>(ingest_rng.UniformInt(1, 16));
+        for (int i = 0; i < n; ++i) {
+          batch.push_back(RowAt(static_cast<RowId>(ingest_rng.Uniform(
+              static_cast<uint64_t>(table().num_rows())))));
+        }
+        // Injected catalog.ingest.* faults abort some batches; the
+        // published snapshot must be unaffected either way.
+        (void)ingestor.Append(batch);
+      }
+    });
+
+    std::vector<std::pair<std::shared_ptr<Session>, size_t>> admitted;
+    for (int r = 0; r < 6; ++r) {
+      const size_t wi = static_cast<size_t>(
+          rng.Uniform(static_cast<uint64_t>(workload().size())));
+      auto session = service.Submit(workload()[wi].list);
+      if (session.ok()) admitted.emplace_back(*session, wi);
+    }
+    // Wait phase holds no assertions: the writer must be joined before
+    // any early return, and the reference runs below must execute with
+    // the storm disarmed (they share the engine's fault sites).
+    std::vector<SessionState> states;
+    states.reserve(admitted.size());
+    for (auto& [session, wi] : admitted) {
+      states.push_back(session->WaitFor(std::chrono::seconds(60)));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    FaultPoints::DisarmAll();
+    for (size_t i = 0; i < admitted.size(); ++i) {
+      auto& [session, wi] = admitted[i];
+      ASSERT_TRUE(IsTerminal(states[i]))
+          << context << ": stuck in " << SessionStateToString(states[i]);
+      if (states[i] != SessionState::kDone) continue;
+      // Snapshot isolation: identical to a fresh single-threaded run
+      // on the pinned version (v1 == the fixture baseline; later
+      // versions are their own reference).
+      RunRequest reference;
+      reference.input = &session->input();
+      auto expected = session->snapshot().engine().Run(reference);
+      ASSERT_TRUE(expected.ok()) << context;
+      const ReverseEngineerReport* report = session->report();
+      ASSERT_NE(report, nullptr) << context;
+      EXPECT_EQ(report->valid.size(), expected->valid.size()) << context;
+      if (!report->valid.empty() && !expected->valid.empty()) {
+        EXPECT_TRUE(report->valid[0].query == expected->valid[0].query)
+            << context;
+      }
+      EXPECT_EQ(report->executed_queries, expected->executed_queries)
+          << context;
+      EXPECT_EQ(report->skip_events, expected->skip_events) << context;
+      if (session->snapshot_version() == 1) {
+        ExpectMatchesBaseline(*session, wi, context);
+      }
+    }
+    // The chain stayed coherent: the published snapshot's rows grew by
+    // exactly the successfully ingested rows.
+    auto ingest_stats = ingestor.stats();
+    EXPECT_EQ(catalog->Current()->num_rows(),
+              table().num_rows() + ingest_stats.rows)
+        << context;
+    EXPECT_GE(catalog->CurrentVersion(), 1u) << context;
+    FaultPoints::DisarmAll();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 TEST_F(ChaosTest, TableIoFaultSurfacesAsStatus) {

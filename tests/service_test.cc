@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/table_catalog.h"
 #include "common/fault_points.h"
 #include "common/thread_pool.h"
 #include "datagen/tpch_gen.h"
@@ -81,6 +82,16 @@ class ServiceTest : public ::testing::Test {
   }
 
   static const Table& table() { return *table_; }
+
+  /// A single-version catalog over a copy of the fixture table (plain
+  /// copy shares dictionaries — fine for a table that never appends;
+  /// ingestion deep-copies before mutating anyway).
+  static std::shared_ptr<TableCatalog> MakeCatalog(
+      PaleoOptions options = {}) {
+    return std::make_shared<TableCatalog>(Table(table()),
+                                          std::move(options));
+  }
+
   static const std::vector<WorkloadQuery>& workload() { return *workload_; }
   static const std::vector<Baseline>& baselines() { return *baselines_; }
 
@@ -138,7 +149,7 @@ TEST_F(ServiceTest, ParallelValidationMatchesSequential) {
 TEST_F(ServiceTest, SingleRequestLifecycle) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 2;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
   auto session = service.Submit(workload()[0].list);
   ASSERT_TRUE(session.ok());
   SessionState state = (*session)->Wait();
@@ -164,7 +175,7 @@ TEST_F(ServiceTest, StressConcurrentRequestsMatchBaseline) {
   service_options.queue_capacity = kTotal;
   PaleoOptions paleo_options;
   paleo_options.num_threads = 2;  // exercise intra-request parallelism
-  DiscoveryService service(&table(), paleo_options, service_options);
+  DiscoveryService service(MakeCatalog(paleo_options), service_options);
 
   std::vector<std::shared_ptr<Session>> sessions(kTotal);
   std::vector<size_t> workload_index(kTotal);
@@ -206,7 +217,7 @@ TEST_F(ServiceTest, StressConcurrentRequestsMatchBaseline) {
 TEST_F(ServiceTest, ExactlyOneTerminalStateUnderRepeatedPolling) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 2;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
   auto session = service.Submit(workload()[1].list);
   ASSERT_TRUE(session.ok());
   SessionState first = (*session)->Wait();
@@ -223,7 +234,7 @@ TEST_F(ServiceTest, AdmissionShedsWhenQueueFull) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 1;
   service_options.queue_capacity = 1;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   // Flood far faster than one worker can drain a real pipeline run.
   constexpr int kFlood = 64;
@@ -255,7 +266,7 @@ TEST_F(ServiceTest, CancelMidFlightNeverDeadlocks) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 4;
   service_options.queue_capacity = 64;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   std::vector<std::shared_ptr<Session>> sessions;
   for (int i = 0; i < 24; ++i) {
@@ -297,7 +308,7 @@ TEST_F(ServiceTest, DeadlineExpiresQueuedAndRunningSessions) {
   service_options.num_workers = 1;
   service_options.queue_capacity = 64;
   service_options.default_deadline_ms = 1;  // brutally tight
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   std::vector<std::shared_ptr<Session>> sessions;
   for (int i = 0; i < 16; ++i) {
@@ -328,7 +339,7 @@ TEST_F(ServiceTest, DeadlineExpiresQueuedAndRunningSessions) {
 TEST_F(ServiceTest, PerRequestDeadlineOverridesDefault) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 2;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
   PaleoOptions request_options;
   request_options.deadline_ms = 1;
   // Submit enough that at least the later ones expire before running.
@@ -351,7 +362,7 @@ TEST_F(ServiceTest, CancelAllFinishesEverything) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 2;
   service_options.queue_capacity = 64;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
   std::vector<std::shared_ptr<Session>> sessions;
   for (int i = 0; i < 16; ++i) {
     auto session = service.Submit(
@@ -373,7 +384,7 @@ TEST_F(ServiceTest, DestructionWithInFlightSessionsIsSafe) {
     DiscoveryServiceOptions service_options;
     service_options.num_workers = 2;
     service_options.queue_capacity = 64;
-    DiscoveryService service(&table(), PaleoOptions{}, service_options);
+    DiscoveryService service(MakeCatalog(), service_options);
     for (int i = 0; i < 12; ++i) {
       auto session = service.Submit(
           workload()[static_cast<size_t>(i) % workload().size()].list);
@@ -392,7 +403,7 @@ TEST_F(ServiceTest, DestructionWithInFlightSessionsIsSafe) {
 TEST_F(ServiceTest, ServiceRequestSubmitCarriesTraceAndMatchesBaseline) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 2;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   ServiceRequest request;
   request.input = workload()[0].list;
@@ -430,7 +441,7 @@ TEST_F(ServiceTest, ServiceRequestSubmitCarriesTraceAndMatchesBaseline) {
 TEST_F(ServiceTest, ServiceRequestOptionsOverrideApplies) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 2;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   ServiceRequest request;
   request.input = workload()[0].list;
@@ -455,7 +466,7 @@ TEST_F(ServiceTest, MetricsRegistryMirrorsStatsAndCoversPipeline) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 2;
   service_options.queue_capacity = 16;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   constexpr int kRequests = 6;
   std::vector<std::shared_ptr<Session>> sessions;
@@ -515,7 +526,7 @@ TEST_F(ServiceTest, ConcurrentSubmittersAndScrapersOnOneRegistry) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 4;
   service_options.queue_capacity = 64;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   constexpr int kClients = 4;
   constexpr int kPerClient = 4;
@@ -567,7 +578,7 @@ TEST_F(ServiceTest, ConcurrentSubmittersAndScrapersOnOneRegistry) {
 
 TEST_F(ServiceTest, SubmitAfterShutdownRejected) {
   auto service = std::make_unique<DiscoveryService>(
-      &table(), PaleoOptions{}, DiscoveryServiceOptions{});
+      MakeCatalog(), DiscoveryServiceOptions{});
   // Exercise the shutdown flag through the public seam that sets it:
   // destruction. A submit racing destruction is the client's bug; the
   // contract we can test is that a destroyed service finished all its
@@ -601,7 +612,7 @@ TEST_F(ServiceTest, CancelAllRacingSubmitUnderArmedEnqueueFault) {
   DiscoveryServiceOptions service_options;
   service_options.num_workers = 2;
   service_options.queue_capacity = 64;
-  DiscoveryService service(&table(), PaleoOptions{}, service_options);
+  DiscoveryService service(MakeCatalog(), service_options);
 
   constexpr int kSubmitters = 3;
   constexpr int kPerSubmitter = 8;
@@ -665,7 +676,7 @@ TEST_F(ServiceTest, LateAdmissionAfterCancelAllStillReachesTerminal) {
   service_options.num_workers = 1;
   service_options.queue_capacity = 8;
   auto service = std::make_unique<DiscoveryService>(
-      &table(), PaleoOptions{}, service_options);
+      MakeCatalog(), service_options);
   std::vector<std::shared_ptr<Session>> sessions;
   for (int i = 0; i < 4; ++i) {
     auto session = service->Submit(
@@ -686,13 +697,25 @@ TEST_F(ServiceTest, LateAdmissionAfterCancelAllStillReachesTerminal) {
 // ---------------------------------------------- RequestQueue / Session
 
 /// A queued-only session: never dispatched, so queue and state-machine
-/// edges can be driven by hand.
+/// edges can be driven by hand. Pins a snapshot of a tiny standalone
+/// catalog, like every real session pins the serving catalog's.
 std::shared_ptr<Session> MakeIdleSession(Session::Id id,
                                          bool collect_trace = false) {
+  static TableCatalog* catalog = [] {
+    auto schema = Schema::Make({
+        {"e", DataType::kString, FieldRole::kEntity},
+        {"val", DataType::kDouble, FieldRole::kMeasure},
+    });
+    Table t(*schema);
+    EXPECT_TRUE(
+        t.AppendRow({Value::String("entity"), Value::Double(1.0)}).ok());
+    return new TableCatalog(std::move(t), PaleoOptions{});
+  }();
   ServiceRequest request;
   request.input.Append("entity", 1.0);
   request.collect_trace = collect_trace;
-  return std::make_shared<Session>(id, std::move(request), PaleoOptions{});
+  return std::make_shared<Session>(id, std::move(request), PaleoOptions{},
+                                   catalog->Current());
 }
 
 TEST(RequestQueueTest, CapacityOneShedsAndRecoversAcrossClose) {

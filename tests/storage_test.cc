@@ -134,6 +134,67 @@ TEST(TableTest, AppendRowRejectsWrongTypeWithoutPartialWrite) {
   EXPECT_TRUE(t.CheckConsistent().ok());
 }
 
+TEST(TableTest, AppendRowsBumpsEpochOncePerBatch) {
+  Table t(TestSchema());
+  std::vector<std::vector<Value>> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back({Value::String("e" + std::to_string(i)),
+                     Value::String("x"), Value::Int64(i)});
+  }
+  const uint64_t before = t.epoch();
+  ASSERT_TRUE(t.AppendRows(batch).ok());
+  const uint64_t after_batch = t.epoch();
+  EXPECT_NE(after_batch, before);
+  EXPECT_EQ(t.num_rows(), 8u);
+
+  // Regression: a batch is ONE epoch bump, not one per row. Epoch
+  // values are process-unique and drawn from a shared counter, so
+  // appending the same rows one at a time must consume exactly 8
+  // draws where the batch consumed 1.
+  Table row_at_a_time(TestSchema());
+  const uint64_t row_before = row_at_a_time.epoch();
+  for (const auto& row : batch) {
+    ASSERT_TRUE(row_at_a_time.AppendRow(row).ok());
+  }
+  EXPECT_EQ(row_at_a_time.epoch() - row_before, 8u);
+  EXPECT_EQ(after_batch - before, 1u);
+}
+
+TEST(TableTest, AppendRowsRejectsBadBatchAtomically) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("e1"), Value::String("x"),
+                           Value::Int64(1)})
+                  .ok());
+  const uint64_t before = t.epoch();
+  std::vector<std::vector<Value>> batch = {
+      {Value::String("e2"), Value::String("y"), Value::Int64(2)},
+      {Value::String("e3"), Value::String("z"), Value::String("oops")},
+  };
+  EXPECT_TRUE(t.AppendRows(batch).IsTypeError());
+  // All-or-nothing: no rows landed, the epoch did not move.
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.epoch(), before);
+  EXPECT_TRUE(t.CheckConsistent().ok());
+}
+
+TEST(TableTest, DeepCopyClonesDictionariesAndKeepsEpoch) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::String("x"),
+                           Value::Int64(1)})
+                  .ok());
+  Table copy = t.DeepCopy();
+  EXPECT_EQ(copy.epoch(), t.epoch());
+  EXPECT_NE(copy.column(0).dict().get(), t.column(0).dict().get());
+  // Appending a new entity to the copy must not grow the original's
+  // dictionary (a plain Table copy would share it).
+  ASSERT_TRUE(copy.AppendRow({Value::String("b"), Value::String("y"),
+                              Value::Int64(2)})
+                  .ok());
+  EXPECT_EQ(t.NumEntities(), 1u);
+  EXPECT_EQ(copy.NumEntities(), 2u);
+  EXPECT_NE(copy.epoch(), t.epoch());
+}
+
 TEST(TableTest, EntityHelpers) {
   Table t(TestSchema());
   ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::String("x"),

@@ -31,6 +31,13 @@ cannot express, across src/ (and where noted, the whole tree):
                   ("subsystem.stage" segments of [a-z0-9-]) and each
                   name is registered at exactly one src/ site, so a
                   chaos spec armed by name targets one known line.
+  service-table-ptr
+                  The serving layer never holds a raw Table pointer:
+                  sessions pin a shared_ptr<const TableSnapshot> from
+                  the TableCatalog, so an in-flight run keeps its
+                  version alive however far ingestion advances. A
+                  `Table*` in src/service/ is a lifetime bug waiting
+                  for the first live-table deployment.
 
 Exit 0 when clean; exit 1 with file:line findings otherwise. Pure
 stdlib, no third-party deps; wired into ctest as the `lint` test and
@@ -261,6 +268,22 @@ class Linter:
                         f"{seen[0].relative_to(REPO)}:{seen[1]}; each "
                         "name maps to exactly one site")
 
+    # Raw Table pointers (members, parameters, locals) in the serving
+    # layer bypass snapshot pinning; the service must only reach the
+    # table through a pinned TableSnapshot.
+    TABLE_PTR_RE = re.compile(r"\b(?:const\s+)?Table\s*\*")
+
+    def check_service_table_ptr(self, path: Path, code: str) -> None:
+        if not str(path.relative_to(REPO)).startswith("src/service/"):
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if self.TABLE_PTR_RE.search(line):
+                self.report(
+                    path, lineno, "service-table-ptr",
+                    "raw Table* in the serving layer; pin a "
+                    "shared_ptr<const TableSnapshot> from the "
+                    "TableCatalog instead (snapshot isolation)")
+
     def check_contract_docs(self, path: Path, raw: str) -> None:
         if not CONTRACT_RE.search(raw):
             self.report(
@@ -283,6 +306,7 @@ class Linter:
             self.check_guarded_by(path, code)
             self.check_naked_new(path, code)
             self.collect_metrics(path, code, metric_kinds)
+            self.check_service_table_ptr(path, code)
             self.check_span_balance(path, code, raw)
             # Fault-point names live inside string literals, so this
             # rule scans a comment-stripped but strings-kept view.
