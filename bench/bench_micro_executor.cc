@@ -37,7 +37,7 @@ void BM_ExecutorFullScanMax(benchmark::State& state) {
   Executor ex;
   TopKQuery q = ExampleQuery(table, AggFn::kMax);
   for (auto _ : state) {
-    auto result = ex.Execute(table, q);
+    auto result = ex.Execute(table, q, ExecContext{});
     benchmark::DoNotOptimize(result.ok());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -53,7 +53,7 @@ void BM_ExecutorFullScanSumTwoColumns(benchmark::State& state) {
   q.expr = RankExpr::Add(schema.FieldIndex("ps_supplycost"),
                          schema.FieldIndex("ps_availqty"));
   for (auto _ : state) {
-    auto result = ex.Execute(table, q);
+    auto result = ex.Execute(table, q, ExecContext{});
     benchmark::DoNotOptimize(result.ok());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -78,7 +78,7 @@ void BM_ExecutorOnRPrimeSlice(benchmark::State& state) {
   TopKQuery q = ExampleQuery(table, AggFn::kSum);
   q.predicate = Predicate();
   for (auto _ : state) {
-    auto result = ex.Execute(slice, q);
+    auto result = ex.Execute(slice, q, ExecContext{});
     benchmark::DoNotOptimize(result.ok());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -93,7 +93,7 @@ void BM_CountMatching(benchmark::State& state) {
   Predicate p({{schema.FieldIndex("s_region"), Value::String("ASIA")},
                {schema.FieldIndex("l_shipmode"), Value::String("TRUCK")}});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ex.CountMatching(table, p));
+    benchmark::DoNotOptimize(ex.CountMatching(table, p, ExecContext{}));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(table.num_rows()));

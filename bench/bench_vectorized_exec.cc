@@ -87,7 +87,7 @@ void RunCandidates(benchmark::State& state, Mode mode) {
     AtomSelectionCache* cache_ptr =
         mode == Mode::kVectorizedCached ? &cache : nullptr;
     for (const TopKQuery& q : candidates) {
-      auto result = ex.Execute(table, q, nullptr, cache_ptr);
+      auto result = ex.Execute(table, q, ExecContext{.cache = cache_ptr});
       benchmark::DoNotOptimize(result.ok());
     }
   }
@@ -122,7 +122,7 @@ void RunCounts(benchmark::State& state, Mode mode) {
         mode == Mode::kVectorizedCached ? &cache : nullptr;
     size_t total = 0;
     for (const TopKQuery& q : candidates) {
-      total += ex.CountMatching(table, q.predicate, cache_ptr);
+      total += ex.CountMatching(table, q.predicate, ExecContext{.cache = cache_ptr});
     }
     benchmark::DoNotOptimize(total);
   }

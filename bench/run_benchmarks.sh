@@ -3,6 +3,8 @@
 # as JSON, then prints a comparison summary appropriate for the binary:
 #   bench_paleo           -> obs overhead vs the obs-off baseline
 #   bench_vectorized_exec -> scalar vs vectorized(+cache) speedups
+#   bench_scan_parallel   -> sequential vs morsel-parallel full scans
+#                            + zone-map skip ablation
 #   bench_ingest          -> serving-while-ingesting vs static serving
 #                            (<= 20% acceptance) + publish latencies
 #
@@ -65,6 +67,20 @@ for family in ("BM_RepeatedCandidates", "BM_CountMatching"):
         if name in times:
             speedup = median(scalar) / median(times[name])
             print(f"{name}: {speedup:.2f}x vs {family}_Scalar (medians)")
+
+scan_seq = times.get("BM_FullScan_Sequential")
+if scan_seq:
+    for name in sorted(times):
+        if name.startswith("BM_FullScan_Parallel"):
+            speedup = median(scan_seq) / median(times[name])
+            print(f"{name}: {speedup:.2f}x vs BM_FullScan_Sequential "
+                  f"(medians)")
+noskip = times.get("BM_SelectiveScan_NoSkip")
+skip = times.get("BM_SelectiveScan_ZoneSkip")
+if noskip and skip:
+    speedup = median(noskip) / median(skip)
+    print(f"BM_SelectiveScan_ZoneSkip: {speedup:.2f}x vs "
+          f"BM_SelectiveScan_NoSkip (medians)")
 
 static_serve = times.get("BM_ServeStatic")
 live_serve = times.get("BM_ServeWhileIngesting")

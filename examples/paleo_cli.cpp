@@ -162,7 +162,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     Executor executor;
-    auto result = executor.Execute(*table, *query);
+    auto result = executor.Execute(*table, *query, ExecContext{});
     if (!result.ok()) {
       std::fprintf(stderr, "execution error: %s\n",
                    result.status().ToString().c_str());

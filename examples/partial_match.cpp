@@ -33,7 +33,7 @@ int main() {
   original.agg = AggFn::kSum;
   original.k = 10;
   Executor ex;
-  auto input = ex.Execute(*yesterday, original);
+  auto input = ex.Execute(*yesterday, original, ExecContext{});
   if (!input.ok()) return 1;
   std::printf("Original query (not known to PALEO):\n  %s\n\n",
               original.ToSql(schema).c_str());
@@ -88,7 +88,7 @@ int main() {
               static_cast<long long>(report->executed_queries),
               found.ToSql(schema).c_str());
 
-  auto result = ex.Execute(*today, found);
+  auto result = ex.Execute(*today, found, ExecContext{});
   if (result.ok()) {
     std::printf("Its result over today's data:\n%s\n",
                 result->ToString().c_str());

@@ -112,6 +112,10 @@ StatusOr<Table> PerturbDimensions(const Table& table,
         break;
     }
   }
+  // The Set* writers above bypass the append path: re-stamp the epoch
+  // and rebuild zone maps so chunk skipping never consults summaries of
+  // the pre-perturbation values.
+  PALEO_RETURN_NOT_OK(out.CheckConsistent());
   return out;
 }
 

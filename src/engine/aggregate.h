@@ -44,6 +44,19 @@ struct AggState {
     ++count;
   }
 
+  /// Folds another group's partial state into this one (chunk-merge of
+  /// the morsel-parallel scan). Merging partials in ascending chunk
+  /// order is the CANONICAL aggregation order: every executor path
+  /// (scalar, vectorized, morsel-parallel) computes per-chunk partials
+  /// and merges them this way, so float accumulation is byte-identical
+  /// across paths by construction.
+  void Merge(const AggState& other) {
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+    if (other.min < min) min = other.min;
+    count += other.count;
+  }
+
   /// Final value under `fn`. Precondition: count > 0 and fn != kNone.
   double Finish(AggFn fn) const {
     switch (fn) {

@@ -7,9 +7,9 @@
 namespace paleo {
 
 std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Lookup(
-    uint64_t epoch, const AtomicPredicate& atom) {
+    uint64_t epoch, uint32_t chunk, const AtomicPredicate& atom) {
   MutexLock lock(mutex_);
-  auto it = index_.find(Key{epoch, atom});
+  auto it = index_.find(Key{epoch, chunk, atom});
   if (it == index_.end()) {
     ++misses_;
     obs::Inc(metrics_.misses);
@@ -23,7 +23,8 @@ std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Lookup(
 }
 
 std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Insert(
-    uint64_t epoch, const AtomicPredicate& atom, SelectionBitmap bitmap) {
+    uint64_t epoch, uint32_t chunk, const AtomicPredicate& atom,
+    SelectionBitmap bitmap) {
   // Chaos hook: behave exactly as if the shared-copy allocation threw.
   bool alloc_failed =
       PALEO_FAULT_POINT("atom-cache.insert.alloc").alloc_failure();
@@ -53,7 +54,7 @@ std::shared_ptr<const SelectionBitmap> AtomSelectionCache::Insert(
     return shared;  // retention disabled (configured off or degraded)
   }
   MutexLock lock(mutex_);
-  Key key{epoch, atom};
+  Key key{epoch, chunk, atom};
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Another thread computed the same atom concurrently; first insert

@@ -5,9 +5,12 @@
 // of its level-1/2 ancestors), yet the executor used to rescan R for
 // every candidate. The AtomSelectionCache memoizes the per-atom
 // selection bitmaps produced by the kernels in
-// engine/selection_kernels.h, keyed by (table epoch, atom), so a
-// conjunction that has been seen atom-wise before resolves to a
-// word-wise AND of cached bitmaps instead of a rescan.
+// engine/selection_kernels.h, keyed by (table epoch, chunk index,
+// atom), so a conjunction that has been seen atom-wise before resolves
+// to a word-wise AND of cached bitmaps instead of a rescan. Chunked
+// scans store one bitmap per chunk — morsel workers on different
+// chunks never contend for the same key, and a zone-map-skipped chunk
+// caches nothing.
 //
 // Retention is a byte budget with LRU eviction: entries are charged
 // their bitmap's word-array size, the least-recently-used entries are
@@ -82,9 +85,11 @@ class AtomSelectionCache {
   AtomSelectionCache(const AtomSelectionCache&) = delete;
   AtomSelectionCache& operator=(const AtomSelectionCache&) = delete;
 
-  /// The cached selection of `atom` over the table stamped `epoch`, or
-  /// nullptr on miss. A hit refreshes the entry's LRU position.
+  /// The cached selection of `atom` over chunk `chunk` of the table
+  /// stamped `epoch`, or nullptr on miss. A hit refreshes the entry's
+  /// LRU position.
   std::shared_ptr<const SelectionBitmap> Lookup(uint64_t epoch,
+                                                uint32_t chunk,
                                                 const AtomicPredicate& atom);
 
   /// Inserts the freshly computed selection and returns the retained
@@ -100,6 +105,7 @@ class AtomSelectionCache {
   /// floor, retention shuts down and under_pressure() turns true, at
   /// which point the executor degrades to its scalar path.
   std::shared_ptr<const SelectionBitmap> Insert(uint64_t epoch,
+                                                uint32_t chunk,
                                                 const AtomicPredicate& atom,
                                                 SelectionBitmap bitmap);
 
@@ -116,14 +122,18 @@ class AtomSelectionCache {
  private:
   struct Key {
     uint64_t epoch;
+    uint32_t chunk;
     AtomicPredicate atom;
     bool operator==(const Key& other) const {
-      return epoch == other.epoch && atom == other.atom;
+      return epoch == other.epoch && chunk == other.chunk &&
+             atom == other.atom;
     }
   };
   struct KeyHash {
     size_t operator()(const Key& k) const {
       uint64_t h = k.epoch * 0x9E3779B97F4A7C15ULL;
+      h ^= (static_cast<uint64_t>(k.chunk) + 0x165667B19E3779F9ULL) *
+           0x27D4EB2F165667C5ULL;
       h ^= static_cast<uint64_t>(k.atom.column) * 0xC2B2AE3D27D4EB4FULL;
       h = (h << 17) | (h >> 47);
       h ^= static_cast<uint64_t>(k.atom.kind);

@@ -5,17 +5,26 @@
 // issues candidate queries here, exactly as the paper issues them to
 // PostgreSQL.
 //
-// Full-table scans run through vectorized selection kernels by default
-// (engine/selection_kernels.h): each predicate atom is evaluated over
-// its column array in word-packed batches into a selection bitmap, the
-// conjunction is a word-wise AND, and a fused kernel aggregates the
-// survivors straight into the dense entity-code group array. With an
-// AtomSelectionCache attached to the call, per-atom bitmaps are reused
-// across the candidate queries of a validation run, which share almost
-// all of their atoms by construction. Results are byte-identical to the
-// scalar row-at-a-time path (same visit order, same float accumulation
-// order); SetVectorized(false) forces the scalar path for differential
-// testing and ablation.
+// Full-table scans are CHUNK-CANONICAL: the table's fixed-size chunks
+// (storage/table_view.h) are the scan granules. Per chunk, predicate
+// atoms first consult the chunk's zone maps — a refuted chunk is
+// skipped without touching row data — then the surviving chunk is
+// evaluated either by the vectorized selection kernels
+// (engine/selection_kernels.h, default) or the scalar row-at-a-time
+// loop, producing per-chunk partial results. Partials are merged in
+// ascending chunk order (rank-order merge), which defines the one
+// canonical aggregation order shared by every path: scalar,
+// vectorized, and morsel-parallel results are byte-identical by
+// construction. With an ExecContext carrying a ThreadPool and
+// scan_threads > 1, chunks are dispatched as morsels claimed by pool
+// workers (the caller donates itself via WaitHelping, so scans
+// launched from inside pool tasks cannot deadlock).
+//
+// With an AtomSelectionCache attached to the call, per-atom per-chunk
+// bitmaps are reused across the candidate queries of a validation run,
+// which share almost all of their atoms by construction.
+// SetVectorized(false) forces the scalar path for differential testing
+// and ablation.
 
 #ifndef PALEO_ENGINE_EXECUTOR_H_
 #define PALEO_ENGINE_EXECUTOR_H_
@@ -26,6 +35,7 @@
 
 #include "common/run_budget.h"
 #include "common/status.h"
+#include "engine/exec_context.h"
 #include "engine/query.h"
 #include "engine/topk_list.h"
 #include "obs/metrics.h"
@@ -43,7 +53,8 @@ class SelectionBitmap;
 /// row id for no-aggregation queries), so repeated executions and
 /// executions through different-but-equivalent predicates produce
 /// identical lists — whether evaluated through the scalar path, the
-/// vectorized kernels, a dimension index, or cached selections.
+/// vectorized kernels, the morsel-parallel scan, a dimension index, or
+/// cached selections.
 ///
 /// Thread safety: Execute / ExecuteOnRows / CountMatching may be
 /// called concurrently from any number of threads — the tables they
@@ -55,9 +66,16 @@ class SelectionBitmap;
 /// sharing the executor, never mid-flight.
 class Executor {
  public:
-  /// Counters accumulated across Execute calls (reset manually).
-  /// Atomic so concurrent executions through one shared executor (the
-  /// parallel validator, the discovery service) keep exact totals.
+  /// Counters accumulated across Execute calls.
+  ///
+  /// All counters are relaxed-atomic because the morsel-parallel scan
+  /// accumulates them from multiple pool workers concurrently (and one
+  /// shared executor serves the parallel validator / discovery
+  /// service). Calling ResetStats() while any Execute / CountMatching
+  /// is in flight is a CONTRACT VIOLATION: in-flight executions would
+  /// add their counts to the zeroed counters, splitting one execution's
+  /// accounting across the reset. Reset only at quiescence (asserted by
+  /// tests/chunked_scan_test.cc).
   struct Stats {
     std::atomic<int64_t> queries_executed{0};
     std::atomic<int64_t> rows_scanned{0};
@@ -69,20 +87,32 @@ class Executor {
     /// injected) or the attached cache is under memory pressure.
     /// Results are byte-identical either way.
     std::atomic<int64_t> scalar_fallbacks{0};
+    /// Chunks skipped by zone-map refutation: no row of the chunk can
+    /// match the predicate, so its rows never enter rows_scanned.
+    std::atomic<int64_t> chunks_skipped{0};
+    /// Chunk-granular scan morsels actually processed (skipped chunks
+    /// excluded); equals chunks-per-table on unselective scans.
+    std::atomic<int64_t> morsels{0};
   };
 
-  /// Optional registry-backed counters mirrored alongside Stats, so a
-  /// serving process can export executor activity without polling every
-  /// executor instance. All-null (one branch per event) by default.
+  /// Optional registry-backed instruments mirrored alongside Stats, so
+  /// a serving process can export executor activity without polling
+  /// every executor instance. All-null (one branch per event) by
+  /// default. See paleo/pipeline_metrics.h for the series they back.
   struct MetricHandles {
     obs::Counter* queries_executed = nullptr;
     obs::Counter* rows_scanned = nullptr;
     obs::Counter* index_assisted = nullptr;
+    obs::Counter* chunks_skipped = nullptr;
+    obs::Counter* morsels = nullptr;
+    /// One observation per full scan: the number of morsel workers the
+    /// scan ran with (1 for sequential).
+    obs::Histogram* scan_parallelism = nullptr;
   };
 
   Executor() = default;
 
-  /// Binds registry counters; same configuration contract as
+  /// Binds registry instruments; same configuration contract as
   /// SetDimensionIndex (set before sharing, never mid-flight).
   void SetMetrics(MetricHandles handles) { metrics_ = handles; }
 
@@ -104,57 +134,68 @@ class Executor {
   void SetVectorized(bool on) { vectorized_ = on; }
   bool vectorized() const { return vectorized_; }
 
-  /// Runs `query` over `table`. Errors on non-numeric ranking columns
-  /// or invalid column indices. When `budget` is set, the scan and
-  /// group-by loop poll it every few thousand rows and abandon the
-  /// execution with Status::Cancelled once the deadline passes or the
-  /// cancellation token trips (a partially scanned result would be
-  /// wrong, so interruption cannot return a list).
-  ///
-  /// `cache` (optional, internally synchronized, shared across threads)
-  /// memoizes per-atom selection bitmaps keyed by the table's epoch;
-  /// pass the validation run's cache so candidates sharing atoms skip
-  /// the rescan. Ignored on the scalar path.
+  /// Runs `query` over `table` under `ctx` (engine/exec_context.h):
+  /// budget, atom cache, morsel-parallelism, and per-call path toggles
+  /// all travel in the context. Errors on non-numeric ranking columns
+  /// or invalid column indices; returns Status::Cancelled when the
+  /// context's budget interrupts the scan (a partially scanned result
+  /// would be wrong, so interruption cannot return a list).
   StatusOr<TopKList> Execute(const Table& table, const TopKQuery& query,
-                             const RunBudget* budget = nullptr,
-                             AtomSelectionCache* cache = nullptr);
+                             const ExecContext& ctx);
 
   /// Runs `query` restricted to the given rows of `table` (used to
   /// evaluate ranking criteria over tuple sets of R'). Rows must be
-  /// valid ids into `table`.
+  /// valid ids into `table`. Row-restricted executions scan the row
+  /// list itself (scalar, sequential, in list order); only `ctx.budget`
+  /// applies.
+  StatusOr<TopKList> ExecuteOnRows(const Table& table,
+                                   const std::vector<RowId>& rows,
+                                   const TopKQuery& query,
+                                   const ExecContext& ctx);
+
+  /// Number of rows of `table` matching `predicate` (selectivity
+  /// numerator; Table 6). Routed through the chunked selection kernels
+  /// (and `ctx.cache`, when given) so miner-side support counting
+  /// shares the bitmaps of the validation path; zone-map skipping and
+  /// morsel parallelism apply as in Execute.
+  size_t CountMatching(const Table& table, const Predicate& predicate,
+                       const ExecContext& ctx);
+
+  /// Deprecated positional-parameter wrappers, kept for one PR.
+  /// Equivalent to the ExecContext forms with the corresponding fields
+  /// set (and everything else defaulted — in particular sequential
+  /// scans). New code must construct an ExecContext.
+  [[deprecated("pass an ExecContext (engine/exec_context.h)")]]
+  StatusOr<TopKList> Execute(const Table& table, const TopKQuery& query,
+                             const RunBudget* budget = nullptr,
+                             AtomSelectionCache* cache = nullptr);
+  [[deprecated("pass an ExecContext (engine/exec_context.h)")]]
   StatusOr<TopKList> ExecuteOnRows(const Table& table,
                                    const std::vector<RowId>& rows,
                                    const TopKQuery& query,
                                    const RunBudget* budget = nullptr);
-
-  /// Number of rows of `table` matching `predicate` (selectivity
-  /// numerator; Table 6). Routed through the selection kernels (and
-  /// `cache`, when given) so miner-side support counting shares the
-  /// bitmaps of the validation path.
+  [[deprecated("pass an ExecContext (engine/exec_context.h)")]]
   size_t CountMatching(const Table& table, const Predicate& predicate,
                        AtomSelectionCache* cache = nullptr);
 
   const Stats& stats() const { return stats_; }
+
+  /// Zeroes every counter. See Stats: calling this while any execution
+  /// is in flight on this executor is a contract violation.
   void ResetStats() {
     stats_.queries_executed.store(0, std::memory_order_relaxed);
     stats_.rows_scanned.store(0, std::memory_order_relaxed);
     stats_.index_assisted.store(0, std::memory_order_relaxed);
     stats_.scalar_fallbacks.store(0, std::memory_order_relaxed);
+    stats_.chunks_skipped.store(0, std::memory_order_relaxed);
+    stats_.morsels.store(0, std::memory_order_relaxed);
   }
 
  private:
   StatusOr<TopKList> ExecuteImpl(const Table& table,
                                  const std::vector<RowId>* rows,
                                  const TopKQuery& query,
-                                 const RunBudget* budget,
-                                 AtomSelectionCache* cache);
-
-  /// Resolves `predicate` to its selection over all rows of `table`
-  /// via the per-atom kernels, consulting `cache` first. Returns false
-  /// when the budget interrupted the scan (*out is then partial).
-  bool BuildSelection(const Table& table, const Predicate& predicate,
-                      const BoundPredicate& bound, AtomSelectionCache* cache,
-                      BudgetGate* gate, SelectionBitmap* out);
+                                 const ExecContext& ctx);
 
   Stats stats_;
   MetricHandles metrics_;

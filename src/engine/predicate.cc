@@ -175,4 +175,28 @@ BoundPredicate::BoundPredicate(const Predicate& pred, const Table& table) {
   }
 }
 
+bool AtomRefutedByZone(const BoundAtom& atom, const ZoneMap& zone) {
+  // kNever needs no zone: the constant is unmappable, nothing matches.
+  if (atom.kind == BoundAtom::kNever) return true;
+  if (zone.empty) return false;
+  switch (atom.kind) {
+    case BoundAtom::kCode:
+      return atom.code < zone.code_min || atom.code > zone.code_max;
+    case BoundAtom::kInt:
+      return atom.int_value < zone.int_min || atom.int_value > zone.int_max;
+    case BoundAtom::kDouble:
+      return atom.double_value < zone.double_min ||
+             atom.double_value > zone.double_max;
+    case BoundAtom::kIntRange:
+      // Disjoint intervals: [low, high] misses [min, max] entirely.
+      return atom.int_high < zone.int_min || atom.int_value > zone.int_max;
+    case BoundAtom::kDoubleRange:
+      return atom.double_high < zone.double_min ||
+             atom.double_value > zone.double_max;
+    case BoundAtom::kNever:
+      return true;
+  }
+  return false;
+}
+
 }  // namespace paleo

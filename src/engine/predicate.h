@@ -168,6 +168,23 @@ class BoundPredicate {
   std::vector<BoundAtom> atoms_;
 };
 
+/// \brief True when `atom` provably matches NO row of a chunk whose
+/// column summary is `zone` — the executor then skips the chunk
+/// entirely (zone-map data skipping).
+///
+/// Soundness rules:
+///  - An `empty` zone never refutes (nothing is known about the chunk).
+///  - kNever atoms (string constant absent from the dictionary) refute
+///    every chunk.
+///  - Dictionary-code ranges refute EQUALITY only: codes are
+///    insertion-ordered, so [code_min, code_max] says which codes occur,
+///    not anything about string order. (String range atoms do not exist
+///    in the predicate language; numeric ranges use the value ranges.)
+///  - NaN-only chunks keep empty zones and are conservatively scanned;
+///    NaN data values can never match an atom, so excluding them from
+///    zone ranges (storage/zone_map.h) refutes nothing incorrectly.
+bool AtomRefutedByZone(const BoundAtom& atom, const ZoneMap& zone);
+
 struct PredicateHasher {
   size_t operator()(const Predicate& p) const {
     return static_cast<size_t>(p.Hash());

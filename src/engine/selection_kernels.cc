@@ -29,9 +29,14 @@ void FillWords(const T* v, size_t base, size_t end, uint64_t* words,
 
 }  // namespace
 
-bool ComputeAtomSelection(const BoundAtom& atom, size_t n,
-                          SelectionBitmap* out, BudgetGate* gate,
-                          size_t* rows_visited) {
+namespace {
+
+/// Shared body of ComputeAtomSelection / ComputeAtomSelectionRange:
+/// evaluates `atom` over `n` rows starting at column-array offset
+/// `col_offset` into the bitmap words (bit i = row col_offset + i).
+bool ComputeAtomSelectionAt(const BoundAtom& atom, size_t col_offset, size_t n,
+                            SelectionBitmap* out, BudgetGate* gate,
+                            size_t* rows_visited) {
   uint64_t* words = out->words();
   size_t visited = 0;
   bool completed = true;
@@ -43,25 +48,25 @@ bool ComputeAtomSelection(const BoundAtom& atom, size_t n,
     const size_t end = std::min(base + kSelectionBatchRows, n);
     switch (atom.kind) {
       case BoundAtom::kCode:
-        FillWords(atom.codes->data(), base, end, words,
+        FillWords(atom.codes->data() + col_offset, base, end, words,
                   [c = atom.code](uint32_t v) { return v == c; });
         break;
       case BoundAtom::kInt:
-        FillWords(atom.ints->data(), base, end, words,
+        FillWords(atom.ints->data() + col_offset, base, end, words,
                   [c = atom.int_value](int64_t v) { return v == c; });
         break;
       case BoundAtom::kDouble:
-        FillWords(atom.doubles->data(), base, end, words,
+        FillWords(atom.doubles->data() + col_offset, base, end, words,
                   [c = atom.double_value](double v) { return v == c; });
         break;
       case BoundAtom::kIntRange:
-        FillWords(atom.ints->data(), base, end, words,
+        FillWords(atom.ints->data() + col_offset, base, end, words,
                   [lo = atom.int_value, hi = atom.int_high](int64_t v) {
                     return v >= lo && v <= hi;
                   });
         break;
       case BoundAtom::kDoubleRange:
-        FillWords(atom.doubles->data(), base, end, words,
+        FillWords(atom.doubles->data() + col_offset, base, end, words,
                   [lo = atom.double_value, hi = atom.double_high](double v) {
                     return v >= lo && v <= hi;
                   });
@@ -76,8 +81,24 @@ bool ComputeAtomSelection(const BoundAtom& atom, size_t n,
   return completed;
 }
 
+}  // namespace
+
+bool ComputeAtomSelection(const BoundAtom& atom, size_t n,
+                          SelectionBitmap* out, BudgetGate* gate,
+                          size_t* rows_visited) {
+  return ComputeAtomSelectionAt(atom, 0, n, out, gate, rows_visited);
+}
+
+bool ComputeAtomSelectionRange(const BoundAtom& atom, RowId begin, RowId end,
+                               SelectionBitmap* out, BudgetGate* gate,
+                               size_t* rows_visited) {
+  return ComputeAtomSelectionAt(atom, begin, end - begin, out, gate,
+                                rows_visited);
+}
+
 bool CollectSelectedRows(const SelectionBitmap& sel, BudgetGate* gate,
-                         std::vector<RowId>* out, size_t* rows_visited) {
+                         std::vector<RowId>* out, size_t* rows_visited,
+                         RowId row_offset) {
   const uint64_t* words = sel.words();
   const size_t num_words = sel.num_words();
   constexpr size_t kWordsPerBatch = kSelectionBatchRows / 64;
@@ -91,7 +112,7 @@ bool CollectSelectedRows(const SelectionBitmap& sel, BudgetGate* gate,
     const size_t w1 = std::min(w0 + kWordsPerBatch, num_words);
     for (size_t w = w0; w < w1; ++w) {
       uint64_t bits = words[w];
-      const size_t base = w * 64;
+      const size_t base = row_offset + w * 64;
       while (bits != 0) {
         const int tz = __builtin_ctzll(bits);
         out->push_back(static_cast<RowId>(base + static_cast<size_t>(tz)));
@@ -108,7 +129,7 @@ bool FusedGroupAggregate(const SelectionBitmap& sel, const Table& table,
                          const RankExpr& expr, const uint32_t* entity_codes,
                          BudgetGate* gate, std::vector<AggState>* groups,
                          std::vector<uint32_t>* touched,
-                         size_t* rows_visited) {
+                         size_t* rows_visited, RowId row_offset) {
   const uint64_t* words = sel.words();
   const size_t num_words = sel.num_words();
   constexpr size_t kWordsPerBatch = kSelectionBatchRows / 64;
@@ -123,7 +144,7 @@ bool FusedGroupAggregate(const SelectionBitmap& sel, const Table& table,
     const size_t w1 = std::min(w0 + kWordsPerBatch, num_words);
     for (size_t w = w0; w < w1; ++w) {
       uint64_t bits = words[w];
-      const size_t base = w * 64;
+      const size_t base = row_offset + w * 64;
       while (bits != 0) {
         const RowId r =
             static_cast<RowId>(base + static_cast<size_t>(__builtin_ctzll(bits)));

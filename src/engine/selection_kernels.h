@@ -51,24 +51,40 @@ bool ComputeAtomSelection(const BoundAtom& atom, size_t n,
                           SelectionBitmap* out, BudgetGate* gate,
                           size_t* rows_visited = nullptr);
 
+/// Chunk-range variant: evaluates `atom` over ABSOLUTE rows
+/// [begin, end) of its bound column into `out`, whose bit i corresponds
+/// to row begin + i (out must cover exactly end - begin rows).
+/// Precondition: begin is a multiple of 64 (chunk boundaries are
+/// word-aligned; see storage/table_view.h). Same gate/discard contract
+/// as ComputeAtomSelection.
+bool ComputeAtomSelectionRange(const BoundAtom& atom, RowId begin, RowId end,
+                               SelectionBitmap* out, BudgetGate* gate,
+                               size_t* rows_visited = nullptr);
+
 /// Appends the selected rows of `sel` to `out` in ascending order,
 /// polling `gate` once per batch. Returns false on interruption (same
-/// discard contract as above).
+/// discard contract as above). `row_offset` translates bitmap-local
+/// positions to absolute row ids (bit i -> row_offset + i) for
+/// per-chunk bitmaps.
 bool CollectSelectedRows(const SelectionBitmap& sel, BudgetGate* gate,
                          std::vector<RowId>* out,
-                         size_t* rows_visited = nullptr);
+                         size_t* rows_visited = nullptr,
+                         RowId row_offset = 0);
 
 /// Fused filter + group-by aggregation: for each selected row of `sel`
-/// in ascending order, evaluates `expr` over `table` and folds the
-/// value into groups[entity_codes[row]], appending first-touched codes
-/// to `touched` (groups must be pre-sized to the entity dictionary and
-/// zero-count). Polls `gate` once per batch; returns false on
+/// in ascending order, evaluates `expr` over `table` at absolute row
+/// row_offset + i (bit i of a per-chunk bitmap) and folds the value
+/// into groups[entity_codes[row]], appending first-touched codes to
+/// `touched` (`entity_codes` points at the FULL column array, indexed
+/// by absolute row; `groups` must be pre-sized to the entity dictionary
+/// and zero-count). Polls `gate` once per batch; returns false on
 /// interruption with `groups`/`touched` partial.
 bool FusedGroupAggregate(const SelectionBitmap& sel, const Table& table,
                          const RankExpr& expr, const uint32_t* entity_codes,
                          BudgetGate* gate, std::vector<AggState>* groups,
                          std::vector<uint32_t>* touched,
-                         size_t* rows_visited = nullptr);
+                         size_t* rows_visited = nullptr,
+                         RowId row_offset = 0);
 
 }  // namespace paleo
 

@@ -86,7 +86,9 @@ StatusOr<ReverseEngineerReport> Paleo::Run(const RunRequest& request) const {
     // (it may be shared across runs with a different registry).
     executor->SetMetrics({metrics.executor_queries,
                           metrics.executor_rows_scanned,
-                          metrics.executor_index_assisted});
+                          metrics.executor_index_assisted,
+                          metrics.chunks_skipped, metrics.morsels,
+                          metrics.scan_parallelism});
   }
 
   std::shared_ptr<obs::Trace> trace;

@@ -48,6 +48,15 @@ PipelineMetrics PipelineMetrics::Bind(obs::MetricsRegistry* registry) {
   m.executor_index_assisted = registry->FindOrCreateCounter(
       "paleo_executor_index_assisted_total",
       "Executions answered from dimension-index postings.");
+  m.chunks_skipped = registry->FindOrCreateCounter(
+      "paleo_chunks_skipped_total",
+      "Chunks skipped by zone-map refutation (no row can match).");
+  m.morsels = registry->FindOrCreateCounter(
+      "paleo_morsels_total",
+      "Chunk-granular scan morsels processed (skipped chunks excluded).");
+  m.scan_parallelism = registry->FindOrCreateHistogram(
+      "paleo_scan_parallelism",
+      "Morsel workers per full scan (1 = sequential).");
   m.cache_hits = registry->FindOrCreateCounter(
       "paleo_cache_hits_total", "Atom-selection cache hits.");
   m.cache_misses = registry->FindOrCreateCounter(

@@ -25,6 +25,9 @@
 //   paleo_executor_queries_total          candidate-query executions
 //   paleo_executor_rows_scanned_total     rows visited by the executor
 //   paleo_executor_index_assisted_total   executions answered from postings
+//   paleo_chunks_skipped_total            chunks refuted by zone maps
+//   paleo_morsels_total                   chunk morsels actually scanned
+//   paleo_scan_parallelism                morsel workers per full scan
 //   paleo_cache_hits_total                atom-selection cache hits
 //   paleo_cache_misses_total              atom-selection cache misses
 //   paleo_cache_evictions_total           LRU evictions (byte budget)
@@ -60,6 +63,9 @@ struct PipelineMetrics {
   obs::Counter* executor_queries = nullptr;
   obs::Counter* executor_rows_scanned = nullptr;
   obs::Counter* executor_index_assisted = nullptr;
+  obs::Counter* chunks_skipped = nullptr;
+  obs::Counter* morsels = nullptr;
+  obs::Histogram* scan_parallelism = nullptr;
   obs::Counter* cache_hits = nullptr;
   obs::Counter* cache_misses = nullptr;
   obs::Counter* cache_evictions = nullptr;

@@ -49,6 +49,10 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
   ValidationOutcome outcome;
   outcome.passes = 1;
   obs::Inc(metrics_.validation_passes);
+  const ExecContext exec_ctx{.budget = budget,
+                             .cache = cache_,
+                             .pool = pool_,
+                             .scan_threads = options_.scan_threads};
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (options_.max_query_executions > 0 &&
         outcome.executions >= options_.max_query_executions) {
@@ -67,8 +71,7 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
       continue;
     }
     obs::ScopedSpan span(trace_.trace, "execute", trace_.parent);
-    auto result =
-        executor_->Execute(base_, candidates[i].query, budget, cache_);
+    auto result = executor_->Execute(base_, candidates[i].query, exec_ctx);
     if (!result.ok()) {
       if (result.status().IsCancelled()) {
         // The deadline passed (or the token tripped) mid-scan; the
@@ -125,11 +128,14 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
   // Executes candidates[idx]; returns false when the run should wind
   // down (budget exhausted mid-scan). Errors propagate via `failure`.
   Status failure = Status::OK();
+  const ExecContext exec_ctx{.budget = budget,
+                             .cache = cache_,
+                             .pool = pool_,
+                             .scan_threads = options_.scan_threads};
   auto execute = [&](size_t idx, TopKList* result) {
     obs::ScopedSpan span(trace_.trace, "execute", trace_.parent);
     span.AddAttr("candidate", static_cast<int64_t>(idx));
-    auto executed =
-        executor_->Execute(base_, candidates[idx].query, budget, cache_);
+    auto executed = executor_->Execute(base_, candidates[idx].query, exec_ctx);
     if (!executed.ok()) {
       if (executed.status().IsCancelled()) {
         outcome.termination = ExhaustionReason(
@@ -256,6 +262,12 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
   if (budget != nullptr) task_budget = *budget;
   task_budget.set_max_executions(0);  // cap is enforced at commit
   task_budget.set_cancellation_token(&stop);
+  // Scan morsels of the speculative executions share the validation
+  // pool; WaitHelping keeps the nesting deadlock-free.
+  const ExecContext task_ctx{.budget = &task_budget,
+                             .cache = cache_,
+                             .pool = pool_,
+                             .scan_threads = options_.scan_threads};
 
   struct Slot {
     enum class State { kPending, kLaunched, kSkipped };
@@ -359,11 +371,10 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
           continue;
         }
         slots[launch_pos].future = pool_->Submit(
-            [this, cq, &task_budget]() -> ExecResult {
+            [this, cq, &task_ctx]() -> ExecResult {
               ExecResult r;
               r.ran = true;
-              auto executed =
-                  executor_->Execute(base_, cq->query, &task_budget, cache_);
+              auto executed = executor_->Execute(base_, cq->query, task_ctx);
               if (!executed.ok()) {
                 r.status = executed.status();
               } else {

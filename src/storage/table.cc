@@ -13,11 +13,59 @@ uint64_t Table::NextEpoch() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-Table::Table(Schema schema) : schema_(std::move(schema)), epoch_(NextEpoch()) {
+size_t Table::ClampChunkRows(size_t chunk_rows) {
+  if (chunk_rows < 64) return 64;
+  return chunk_rows - chunk_rows % 64;
+}
+
+Table::Table(Schema schema, size_t chunk_rows)
+    : schema_(std::move(schema)),
+      epoch_(NextEpoch()),
+      chunk_rows_(ClampChunkRows(chunk_rows)) {
   columns_.reserve(static_cast<size_t>(schema_.num_fields()));
   for (const Field& f : schema_.fields()) {
     columns_.emplace_back(f.type);
   }
+}
+
+void Table::FoldRowIntoChunks(RowId row) {
+  if (chunks_.empty() || chunks_.back().num_rows() == chunk_rows_) {
+    Chunk c;
+    c.begin_row = row;
+    c.end_row = row;
+    c.zones.resize(columns_.size());
+    chunks_.push_back(std::move(c));
+  }
+  Chunk& open = chunks_.back();
+  open.end_row = row + 1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    open.zones[i].UpdateFrom(columns_[i], row);
+  }
+}
+
+void Table::RebuildChunks() {
+  chunks_.clear();
+  RowId n = static_cast<RowId>(num_rows_);
+  for (RowId begin = 0; begin < n; begin += static_cast<RowId>(chunk_rows_)) {
+    Chunk c;
+    c.begin_row = begin;
+    c.end_row = std::min<RowId>(n, begin + static_cast<RowId>(chunk_rows_));
+    c.zones.reserve(columns_.size());
+    for (const Column& col : columns_) {
+      c.zones.push_back(ComputeZone(col, c.begin_row, c.end_row));
+    }
+    chunks_.push_back(std::move(c));
+  }
+}
+
+void Table::SetChunkRows(size_t chunk_rows) {
+  const size_t clamped = ClampChunkRows(chunk_rows);
+  if (clamped == chunk_rows_) return;  // layout unchanged: keep epoch
+  chunk_rows_ = clamped;
+  RebuildChunks();
+  // Chunk indices now name different row ranges: re-stamp so
+  // (epoch, chunk, atom)-keyed cache entries cannot be served.
+  epoch_ = NextEpoch();
 }
 
 Status Table::AppendRow(const std::vector<Value>& row) {
@@ -51,6 +99,10 @@ Status Table::AppendRows(std::span<const std::vector<Value>> rows) {
       PALEO_RETURN_NOT_OK(columns_[static_cast<size_t>(i)].Append(
           row[static_cast<size_t>(i)]));
     }
+    // Zone maps fold in the PHYSICAL value just appended (read back
+    // from the column, so int64->double widening is already applied),
+    // sealing/opening chunks at chunk_rows_ boundaries.
+    FoldRowIntoChunks(static_cast<RowId>(num_rows_));
     ++num_rows_;
   }
   // One epoch bump per batch: the whole point of the batched entry
@@ -60,13 +112,14 @@ Status Table::AppendRows(std::span<const std::vector<Value>> rows) {
 }
 
 Table Table::DeepCopy() const {
-  Table out(schema_);
+  Table out(schema_, chunk_rows_);
   out.columns_.clear();
   out.columns_.reserve(columns_.size());
   for (const Column& c : columns_) {
     out.columns_.push_back(c.DeepCopy());
   }
   out.num_rows_ = num_rows_;
+  out.chunks_ = chunks_;
   // Identical contents: keep the epoch so epoch-keyed caches stay warm
   // across the copy; the first mutation re-stamps it.
   out.epoch_ = epoch_;
@@ -89,19 +142,22 @@ Status Table::CheckConsistent() {
   }
   num_rows_ = n;
   // Direct column writes happened before this call; re-stamp so caches
-  // keyed on the previous epoch cannot serve the old contents.
+  // keyed on the previous epoch cannot serve the old contents, and
+  // rebuild zone maps so they reflect whatever was written.
+  RebuildChunks();
   epoch_ = NextEpoch();
   return Status::OK();
 }
 
 Table Table::Gather(const std::vector<RowId>& rows) const {
-  Table out(schema_);
+  Table out(schema_, chunk_rows_);
   out.columns_.clear();
   out.columns_.reserve(columns_.size());
   for (const Column& c : columns_) {
     out.columns_.push_back(c.Gather(rows));
   }
   out.num_rows_ = rows.size();
+  out.RebuildChunks();
   return out;
 }
 
@@ -110,6 +166,9 @@ size_t Table::MemoryUsage() const {
   for (const Column& c : columns_) {
     bytes += c.MemoryUsage();
     if (c.dict() != nullptr) bytes += c.dict()->MemoryUsage();
+  }
+  for (const Chunk& c : chunks_) {
+    bytes += sizeof(Chunk) + c.zones.size() * sizeof(ZoneMap);
   }
   return bytes;
 }

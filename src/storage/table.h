@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "storage/column.h"
+#include "storage/zone_map.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -22,6 +23,15 @@ namespace paleo {
 /// writing the typed columns directly via mutable_column (generators'
 /// hot path, followed by a CheckConsistent() call).
 ///
+/// Rows are logically partitioned into fixed-size chunks of
+/// `chunk_rows()` rows (the last chunk may be shorter); each chunk
+/// carries per-column min/max zone maps (storage/zone_map.h). Column
+/// arrays stay contiguous — chunks are scan granules, not physical
+/// segments — so direct-array readers are unaffected. AppendRows
+/// maintains zone maps incrementally (sealing a full chunk and opening
+/// the next one as it crosses a boundary); CheckConsistent rebuilds
+/// them after direct column writes; DeepCopy preserves them.
+///
 /// Thread contract: appends are single-threaded; once loading is done
 /// the table is read-only in every PALEO path, and all read accessors
 /// are const with no hidden mutable state, so one table (and the
@@ -29,7 +39,12 @@ namespace paleo {
 /// concurrently by any number of threads.
 class Table {
  public:
-  explicit Table(Schema schema);
+  /// Default chunk size: 64Ki rows. Large enough that per-chunk
+  /// bookkeeping vanishes, small enough that SF-1 TPC-H (~6M rows)
+  /// yields ~92 morsels for the parallel scan.
+  static constexpr size_t kDefaultChunkRows = 64 * 1024;
+
+  explicit Table(Schema schema, size_t chunk_rows = kDefaultChunkRows);
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
@@ -96,6 +111,25 @@ class Table {
   /// New table with the given rows, in order; shares dictionaries.
   Table Gather(const std::vector<RowId>& rows) const;
 
+  /// Chunk layout. `chunk_rows()` is the nominal rows-per-chunk; the
+  /// chunk list tiles [0, num_rows) in order (empty for an empty
+  /// table). Zone maps inside each chunk are maintained by every
+  /// mutation entry point, so they are always in sync with the column
+  /// contents whenever the epoch is (same contract).
+  size_t chunk_rows() const { return chunk_rows_; }
+  size_t num_chunks() const { return chunks_.size(); }
+  const Chunk& chunk(size_t i) const { return chunks_[i]; }
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  /// Re-partitions the table into chunks of `chunk_rows` rows (values
+  /// are clamped to a multiple of 64 >= 64 so chunk boundaries align
+  /// with SelectionBitmap words) and rebuilds all zone maps. The epoch
+  /// is re-stamped: chunk-keyed caches (the executor's atom cache keys
+  /// on (epoch, chunk, atom)) must not survive a re-chunking, as chunk
+  /// indices now name different row ranges. A no-op — no rebuild, no
+  /// epoch bump — when the clamped value equals the current layout.
+  void SetChunkRows(size_t chunk_rows);
+
   /// Approximate heap footprint in bytes, including dictionaries.
   size_t MemoryUsage() const;
 
@@ -107,10 +141,25 @@ class Table {
   /// Draws the next process-unique epoch value.
   static uint64_t NextEpoch();
 
+  /// Clamps a requested chunk size to a positive multiple of 64 (the
+  /// SelectionBitmap word width), so per-chunk bitmaps never share a
+  /// word across a chunk boundary.
+  static size_t ClampChunkRows(size_t chunk_rows);
+
+  /// Discards and recomputes the chunk list + zone maps from the
+  /// current column contents (used after bulk/direct column writes).
+  void RebuildChunks();
+
+  /// Folds row `row` (already appended to every column) into the open
+  /// chunk, sealing/opening chunks at boundaries.
+  void FoldRowIntoChunks(RowId row);
+
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
   uint64_t epoch_ = 0;
+  size_t chunk_rows_ = kDefaultChunkRows;
+  std::vector<Chunk> chunks_;
 };
 
 }  // namespace paleo

@@ -1,0 +1,92 @@
+// TableView: the read-only scan surface the execution engine is
+// written against.
+//
+// The engine (src/engine/executor.*) never reaches into Table's
+// internals directly — it scans through this view, so future storage
+// changes (compression, mmap segments, physically split chunks) only
+// have to keep this surface stable.
+//
+// ## Scan contract
+//
+//  - A view is a non-owning handle; the underlying Table must outlive
+//    it and must not be mutated while any scan through the view is in
+//    flight (the same read-only contract as Table itself).
+//  - `chunks()` partitions [0, num_rows) into contiguous, ordered,
+//    non-empty row ranges; every chunk except the last spans exactly
+//    `chunk_rows()` rows, and chunk boundaries are 64-row aligned
+//    (except the table's tail), so per-chunk selection bitmaps never
+//    share a word across chunks.
+//  - `chunk(i).zones[col]` summarizes the column's physical values in
+//    that row range and is always in sync with the data whenever the
+//    table's epoch is. An `empty` zone never justifies a skip.
+//  - Column data for chunk rows is read through the Column accessors /
+//    raw arrays at ABSOLUTE row ids (chunk.begin_row + local offset);
+//    a chunk does not re-base row numbering.
+//  - `epoch()` keys any cache derived through the view; entries must be
+//    invalidated (by key mismatch) whenever it changes.
+
+#ifndef PALEO_STORAGE_TABLE_VIEW_H_
+#define PALEO_STORAGE_TABLE_VIEW_H_
+
+#include <cstddef>
+
+#include "storage/table.h"
+#include "storage/zone_map.h"
+
+namespace paleo {
+
+/// \brief Forward iterator over a table's chunks (scan granules).
+class ChunkIterator {
+ public:
+  ChunkIterator(const Table* table, size_t index)
+      : table_(table), index_(index) {}
+
+  const Chunk& operator*() const { return table_->chunk(index_); }
+  const Chunk* operator->() const { return &table_->chunk(index_); }
+  ChunkIterator& operator++() {
+    ++index_;
+    return *this;
+  }
+  size_t index() const { return index_; }
+
+  friend bool operator==(const ChunkIterator& a, const ChunkIterator& b) {
+    return a.table_ == b.table_ && a.index_ == b.index_;
+  }
+  friend bool operator!=(const ChunkIterator& a, const ChunkIterator& b) {
+    return !(a == b);
+  }
+
+ private:
+  const Table* table_;
+  size_t index_;
+};
+
+/// \brief Non-owning, read-only view of a Table for scan code.
+class TableView {
+ public:
+  explicit TableView(const Table& table) : table_(&table) {}
+
+  const Schema& schema() const { return table_->schema(); }
+  size_t num_rows() const { return table_->num_rows(); }
+  int num_columns() const { return table_->num_columns(); }
+  const Column& column(int i) const { return table_->column(i); }
+  const Column& entity_column() const { return table_->entity_column(); }
+  uint32_t NumEntities() const { return table_->NumEntities(); }
+  uint64_t epoch() const { return table_->epoch(); }
+
+  size_t chunk_rows() const { return table_->chunk_rows(); }
+  size_t num_chunks() const { return table_->num_chunks(); }
+  const Chunk& chunk(size_t i) const { return table_->chunk(i); }
+
+  ChunkIterator begin() const { return ChunkIterator(table_, 0); }
+  ChunkIterator end() const {
+    return ChunkIterator(table_, table_->num_chunks());
+  }
+
+ private:
+  const Table* table_;
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_STORAGE_TABLE_VIEW_H_

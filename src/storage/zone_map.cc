@@ -1,0 +1,27 @@
+#include "storage/zone_map.h"
+
+namespace paleo {
+
+ZoneMap ComputeZone(const Column& col, RowId begin, RowId end) {
+  ZoneMap z;
+  switch (col.type()) {
+    case DataType::kInt64: {
+      const int64_t* v = col.ints().data();
+      for (RowId r = begin; r < end; ++r) z.UpdateInt64(v[r]);
+      break;
+    }
+    case DataType::kDouble: {
+      const double* v = col.doubles().data();
+      for (RowId r = begin; r < end; ++r) z.UpdateDouble(v[r]);
+      break;
+    }
+    case DataType::kString: {
+      const uint32_t* v = col.codes().data();
+      for (RowId r = begin; r < end; ++r) z.UpdateCode(v[r]);
+      break;
+    }
+  }
+  return z;
+}
+
+}  // namespace paleo

@@ -1,0 +1,125 @@
+// Per-chunk zone maps: min/max summaries that let predicate atoms
+// refute whole chunks without touching row data.
+//
+// A Table partitions its rows into fixed-size chunks (storage/table.h);
+// every chunk carries one ZoneMap per column. Zone maps summarize the
+// PHYSICAL column representation — int64 values, double values, or
+// dictionary codes. Dictionary codes are insertion-ordered (not
+// value-ordered), so a string column's [code_min, code_max] range is
+// only meaningful for EQUALITY refutation ("code c not in range"),
+// never for string range predicates.
+//
+// NaN handling: NaN doubles are excluded from the min/max. That is
+// sound for skipping because every predicate comparison against NaN is
+// false — a row holding NaN can never satisfy an equality or range
+// atom, so a chunk summary that ignores it refutes nothing it
+// shouldn't. A chunk whose rows are all NaN keeps `empty == true`, and
+// empty zones never refute (conservative).
+
+#ifndef PALEO_STORAGE_ZONE_MAP_H_
+#define PALEO_STORAGE_ZONE_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace paleo {
+
+/// \brief Min/max summary of one column's values within one chunk.
+///
+/// Exactly one of the three typed ranges is populated, matching the
+/// column's physical type; the others stay at their defaults. `empty`
+/// means "no summarizable values seen" and MUST be treated as
+/// "cannot refute" by consumers.
+struct ZoneMap {
+  bool empty = true;
+  int64_t int_min = 0;
+  int64_t int_max = 0;
+  double double_min = 0.0;
+  double double_max = 0.0;
+  uint32_t code_min = 0;
+  uint32_t code_max = 0;
+
+  void UpdateInt64(int64_t v) {
+    if (empty) {
+      int_min = int_max = v;
+      empty = false;
+    } else {
+      int_min = std::min(int_min, v);
+      int_max = std::max(int_max, v);
+    }
+  }
+
+  void UpdateDouble(double v) {
+    if (v != v) return;  // NaN: excluded (see file comment).
+    if (empty) {
+      double_min = double_max = v;
+      empty = false;
+    } else {
+      double_min = std::min(double_min, v);
+      double_max = std::max(double_max, v);
+    }
+  }
+
+  void UpdateCode(uint32_t c) {
+    if (empty) {
+      code_min = code_max = c;
+      empty = false;
+    } else {
+      code_min = std::min(code_min, c);
+      code_max = std::max(code_max, c);
+    }
+  }
+
+  /// Folds one value of `col` into this zone, dispatching on the
+  /// column's physical type.
+  void UpdateFrom(const Column& col, RowId row) {
+    switch (col.type()) {
+      case DataType::kInt64:
+        UpdateInt64(col.Int64At(row));
+        break;
+      case DataType::kDouble:
+        UpdateDouble(col.DoubleAt(row));
+        break;
+      case DataType::kString:
+        UpdateCode(col.CodeAt(row));
+        break;
+    }
+  }
+
+  friend bool operator==(const ZoneMap& a, const ZoneMap& b) {
+    if (a.empty != b.empty) return false;
+    if (a.empty) return true;
+    return a.int_min == b.int_min && a.int_max == b.int_max &&
+           a.double_min == b.double_min && a.double_max == b.double_max &&
+           a.code_min == b.code_min && a.code_max == b.code_max;
+  }
+};
+
+/// Zone map of `col` rows [begin, end) computed in one pass.
+ZoneMap ComputeZone(const Column& col, RowId begin, RowId end);
+
+/// \brief One chunk of a Table: a contiguous row range plus per-column
+/// zone maps.
+///
+/// Chunks are a LOGICAL overlay — column arrays stay contiguous across
+/// chunk boundaries, so raw-array readers (stats, kernels, binary I/O)
+/// are unaffected; chunks exist to give scans a skip/parallelize
+/// granule. Invariants (maintained by Table):
+///   - begin_row < end_row (no empty chunks are ever materialized),
+///   - chunks tile [0, num_rows) in order with no gaps,
+///   - all chunks except the last span exactly chunk_rows() rows,
+///   - zones.size() == table.num_columns().
+struct Chunk {
+  RowId begin_row = 0;
+  RowId end_row = 0;
+  std::vector<ZoneMap> zones;
+
+  size_t num_rows() const { return end_row - begin_row; }
+};
+
+}  // namespace paleo
+
+#endif  // PALEO_STORAGE_ZONE_MAP_H_

@@ -133,13 +133,14 @@ StatusOr<std::vector<WorkloadQuery>> WorkloadGen::Generate(
           FillRanking(family, measures, &rng, &query);
           if (!seen_queries.insert(query.Hash()).second) continue;
 
-          size_t matches = executor.CountMatching(table, query.predicate);
+          size_t matches =
+              executor.CountMatching(table, query.predicate, ExecContext{});
           double selectivity = static_cast<double>(matches) /
                                static_cast<double>(table.num_rows());
           if (selectivity > options.max_selectivity) continue;
 
-          PALEO_ASSIGN_OR_RETURN(TopKList list,
-                                 executor.Execute(table, query));
+          PALEO_ASSIGN_OR_RETURN(
+              TopKList list, executor.Execute(table, query, ExecContext{}));
           if (static_cast<int>(list.size()) != k) continue;
 
           WorkloadQuery wq;
@@ -238,8 +239,10 @@ StatusOr<std::vector<WorkloadQuery>> WorkloadGen::PaperExamples(
       default:
         return Status::Internal("unexpected family in paper examples");
     }
-    size_t matches = executor.CountMatching(table, query.predicate);
-    PALEO_ASSIGN_OR_RETURN(TopKList list, executor.Execute(table, query));
+    size_t matches =
+        executor.CountMatching(table, query.predicate, ExecContext{});
+    PALEO_ASSIGN_OR_RETURN(TopKList list,
+                           executor.Execute(table, query, ExecContext{}));
 
     WorkloadQuery wq;
     wq.name = std::move(spec.name);

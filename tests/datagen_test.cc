@@ -64,7 +64,7 @@ TEST(TrafficGenTest, PaperExampleReproducesTable2) {
   q.agg = AggFn::kMax;
   q.k = 5;
   Executor ex;
-  auto result = ex.Execute(*table, q);
+  auto result = ex.Execute(*table, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 5u);
   EXPECT_EQ(result->entry(0), TopKEntry("Lara Ellis", 784));

@@ -102,7 +102,7 @@ TEST(DimensionIndexTest, MatchAgreesWithScan) {
     Predicate p(std::move(atoms));
     ASSERT_TRUE(index.Covers(p));
     std::vector<RowId> via_index = index.Match(p);
-    EXPECT_EQ(via_index.size(), scan_executor.CountMatching(*table, p));
+    EXPECT_EQ(via_index.size(), scan_executor.CountMatching(*table, p, ExecContext{}));
     for (RowId r : via_index) {
       EXPECT_TRUE(p.Matches(*table, r));
     }
@@ -135,8 +135,8 @@ TEST(ExecutorIndexTest, IndexAssistedResultsIdenticalToScan) {
         rng.Uniform(static_cast<uint64_t>(measures.size())))]);
     q.agg = static_cast<AggFn>(rng.Uniform(5));
     q.k = 1 + static_cast<int>(rng.Uniform(20));
-    auto fast = with_index.Execute(*table, q);
-    auto slow = without_index.Execute(*table, q);
+    auto fast = with_index.Execute(*table, q, ExecContext{});
+    auto slow = without_index.Execute(*table, q, ExecContext{});
     ASSERT_TRUE(fast.ok());
     ASSERT_TRUE(slow.ok());
     EXPECT_TRUE(fast->InstanceEquals(*slow))
@@ -162,10 +162,10 @@ TEST(ExecutorIndexTest, IndexOnlyUsedForMatchingTable) {
   q.expr = RankExpr::Column(3);
   q.agg = AggFn::kMax;
   q.k = 10;
-  ASSERT_TRUE(ex.Execute(a, q).ok());
+  ASSERT_TRUE(ex.Execute(a, q, ExecContext{}).ok());
   EXPECT_EQ(ex.stats().index_assisted, 1);
   // Executing against a different table must fall back to scanning.
-  ASSERT_TRUE(ex.Execute(b, q).ok());
+  ASSERT_TRUE(ex.Execute(b, q, ExecContext{}).ok());
   EXPECT_EQ(ex.stats().index_assisted, 1);
 }
 
@@ -174,9 +174,9 @@ TEST(ExecutorIndexTest, CountMatchingUsesIndex) {
   DimensionIndex index = DimensionIndex::Build(t);
   Executor ex;
   ex.SetDimensionIndex(&index, &t);
-  EXPECT_EQ(ex.CountMatching(t, Predicate::Atom(1, Value::String("CA"))),
+  EXPECT_EQ(ex.CountMatching(t, Predicate::Atom(1, Value::String("CA")), ExecContext{}),
             3u);
-  EXPECT_EQ(ex.CountMatching(t, Predicate()), 5u);  // TRUE: scan path
+  EXPECT_EQ(ex.CountMatching(t, Predicate(), ExecContext{}), 5u);  // TRUE: scan path
 }
 
 TEST(DimensionIndexTest, MemoryUsageIsPositive) {

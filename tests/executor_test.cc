@@ -54,7 +54,7 @@ TEST(ExecutorTest, MaxGroupByDesc) {
   q.expr = RankExpr::Column(2);
   q.agg = AggFn::kMax;
   q.k = 10;
-  auto result = ex.Execute(t, q);
+  auto result = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   // max per entity: a=30, b=50, c=25, d=40.
   ASSERT_EQ(result->size(), 4u);
@@ -71,7 +71,7 @@ TEST(ExecutorTest, LimitTruncates) {
   q.expr = RankExpr::Column(2);
   q.agg = AggFn::kMax;
   q.k = 2;
-  auto result = ex.Execute(t, q);
+  auto result = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 2u);
   EXPECT_EQ(result->entry(0).entity, "b");
@@ -86,7 +86,7 @@ TEST(ExecutorTest, PredicateFiltersBeforeAggregation) {
   q.expr = RankExpr::Column(2);
   q.agg = AggFn::kMax;
   q.k = 10;
-  auto result = ex.Execute(t, q);
+  auto result = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   // CA rows only: a=30, b=20, c=25; d excluded.
   ASSERT_EQ(result->size(), 3u);
@@ -103,22 +103,22 @@ TEST(ExecutorTest, SumAvgCountMin) {
   q.k = 10;
 
   q.agg = AggFn::kSum;
-  auto sum = ex.Execute(t, q);
+  auto sum = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(sum.ok());
   EXPECT_EQ(sum->entry(0), TopKEntry("b", 70));  // 20 + 50
 
   q.agg = AggFn::kAvg;
-  auto avg = ex.Execute(t, q);
+  auto avg = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(avg.ok());
   EXPECT_EQ(avg->entry(0), TopKEntry("d", 40));  // singleton 40 > b's 35
 
   q.agg = AggFn::kMin;
-  auto min = ex.Execute(t, q);
+  auto min = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(min.ok());
   EXPECT_EQ(min->entry(0), TopKEntry("d", 40));
 
   q.agg = AggFn::kCount;
-  auto count = ex.Execute(t, q);
+  auto count = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(count->entry(0).value, 2.0);
 }
@@ -131,7 +131,7 @@ TEST(ExecutorTest, AscendingOrder) {
   q.agg = AggFn::kMax;
   q.order = SortOrder::kAsc;
   q.k = 2;
-  auto result = ex.Execute(t, q);
+  auto result = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->entry(0), TopKEntry("c", 25));
   EXPECT_EQ(result->entry(1), TopKEntry("a", 30));
@@ -144,7 +144,7 @@ TEST(ExecutorTest, NoAggregationRanksRowsAndAllowsDuplicates) {
   q.expr = RankExpr::Column(2);
   q.agg = AggFn::kNone;
   q.k = 3;
-  auto result = ex.Execute(t, q);
+  auto result = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 3u);
   EXPECT_EQ(result->entry(0), TopKEntry("b", 50));
@@ -159,7 +159,7 @@ TEST(ExecutorTest, TwoColumnExpressions) {
   q.expr = RankExpr::Add(2, 3);
   q.agg = AggFn::kSum;
   q.k = 1;
-  auto result = ex.Execute(t, q);
+  auto result = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   // b: (20+3) + (50+4) = 77.
   EXPECT_EQ(result->entry(0), TopKEntry("b", 77));
@@ -177,7 +177,7 @@ TEST(ExecutorTest, TieBreakByEntityNameAscending) {
   q.expr = RankExpr::Column(2);
   q.agg = AggFn::kMax;
   q.k = 3;
-  auto result = ex.Execute(t, q);
+  auto result = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->entry(0).entity, "alpha");
   EXPECT_EQ(result->entry(1).entity, "mid");
@@ -192,7 +192,7 @@ TEST(ExecutorTest, EmptyResultWhenPredicateMatchesNothing) {
   q.expr = RankExpr::Column(2);
   q.agg = AggFn::kMax;
   q.k = 5;
-  auto result = ex.Execute(t, q);
+  auto result = ex.Execute(t, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->empty());
 }
@@ -204,14 +204,14 @@ TEST(ExecutorTest, ValidationErrors) {
   q.expr = RankExpr::Column(1);  // string column as ranking criterion
   q.agg = AggFn::kMax;
   q.k = 5;
-  EXPECT_TRUE(ex.Execute(t, q).status().IsTypeError());
+  EXPECT_TRUE(ex.Execute(t, q, ExecContext{}).status().IsTypeError());
 
   q.expr = RankExpr::Column(99);
-  EXPECT_TRUE(ex.Execute(t, q).status().IsInvalidArgument());
+  EXPECT_TRUE(ex.Execute(t, q, ExecContext{}).status().IsInvalidArgument());
 
   q.expr = RankExpr::Column(2);
   q.k = 0;
-  EXPECT_TRUE(ex.Execute(t, q).status().IsInvalidArgument());
+  EXPECT_TRUE(ex.Execute(t, q, ExecContext{}).status().IsInvalidArgument());
 }
 
 TEST(ExecutorTest, ExecuteOnRowsRestrictsScan) {
@@ -222,7 +222,7 @@ TEST(ExecutorTest, ExecuteOnRowsRestrictsScan) {
   q.agg = AggFn::kMax;
   q.k = 10;
   std::vector<RowId> rows = {0, 2, 4};  // a=10, b=20, c=25
-  auto result = ex.ExecuteOnRows(t, rows, q);
+  auto result = ex.ExecuteOnRows(t, rows, q, ExecContext{});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 3u);
   EXPECT_EQ(result->entry(0), TopKEntry("c", 25));
@@ -236,8 +236,8 @@ TEST(ExecutorTest, StatsCountExecutionsAndRows) {
   q.expr = RankExpr::Column(2);
   q.agg = AggFn::kMax;
   q.k = 1;
-  ASSERT_TRUE(ex.Execute(t, q).ok());
-  ASSERT_TRUE(ex.Execute(t, q).ok());
+  ASSERT_TRUE(ex.Execute(t, q, ExecContext{}).ok());
+  ASSERT_TRUE(ex.Execute(t, q, ExecContext{}).ok());
   EXPECT_EQ(ex.stats().queries_executed, 2);
   EXPECT_EQ(ex.stats().rows_scanned, 14);
   ex.ResetStats();
@@ -247,10 +247,10 @@ TEST(ExecutorTest, StatsCountExecutionsAndRows) {
 TEST(ExecutorTest, CountMatching) {
   Table t = TestTable();
   Executor ex;
-  EXPECT_EQ(ex.CountMatching(t, Predicate::Atom(1, Value::String("CA"))),
+  EXPECT_EQ(ex.CountMatching(t, Predicate::Atom(1, Value::String("CA")), ExecContext{}),
             5u);
-  EXPECT_EQ(ex.CountMatching(t, Predicate()), 7u);
-  EXPECT_EQ(ex.CountMatching(t, Predicate::Atom(1, Value::String("ZZ"))),
+  EXPECT_EQ(ex.CountMatching(t, Predicate(), ExecContext{}), 7u);
+  EXPECT_EQ(ex.CountMatching(t, Predicate::Atom(1, Value::String("ZZ")), ExecContext{}),
             0u);
 }
 
@@ -380,7 +380,7 @@ TEST_P(ExecutorCrossCheckTest, MatchesNaiveEvaluator) {
         break;
     }
 
-    auto fast = ex.Execute(*table, q);
+    auto fast = ex.Execute(*table, q, ExecContext{});
     ASSERT_TRUE(fast.ok());
     TopKList slow = NaiveExecute(*table, q);
     EXPECT_TRUE(fast->InstanceEquals(slow))

@@ -170,11 +170,11 @@ TEST(MetricsRegistryTest, AtomCacheCountersExposeThroughRegistry) {
   AtomicPredicate atom_a(0, Value::Int64(1));
   AtomicPredicate atom_b(0, Value::Int64(2));
   AtomicPredicate atom_c(0, Value::Int64(3));
-  EXPECT_EQ(cache.Lookup(1, atom_a), nullptr);  // miss
-  cache.Insert(1, atom_a, SelectionBitmap(64));
-  EXPECT_NE(cache.Lookup(1, atom_a), nullptr);  // hit
-  cache.Insert(1, atom_b, SelectionBitmap(64));
-  cache.Insert(1, atom_c, SelectionBitmap(64));  // evicts the LRU entry
+  EXPECT_EQ(cache.Lookup(1, 0, atom_a), nullptr);  // miss
+  cache.Insert(1, 0, atom_a, SelectionBitmap(64));
+  EXPECT_NE(cache.Lookup(1, 0, atom_a), nullptr);  // hit
+  cache.Insert(1, 0, atom_b, SelectionBitmap(64));
+  cache.Insert(1, 0, atom_c, SelectionBitmap(64));  // evicts the LRU entry
 
   std::string text = registry.RenderText();
   EXPECT_NE(text.find("# TYPE paleo_cache_hits_total counter\n"),

@@ -168,7 +168,7 @@ TEST(OptionsBehaviorTest, MinCountAggregatesAreOptIn) {
   hidden.order = SortOrder::kAsc;
   hidden.k = 5;
   Executor ex;
-  auto list = ex.Execute(*table, hidden);
+  auto list = ex.Execute(*table, hidden, ExecContext{});
   ASSERT_TRUE(list.ok());
   ASSERT_EQ(list->size(), 5u);
 

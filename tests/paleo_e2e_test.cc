@@ -20,7 +20,7 @@ namespace {
 void ExpectInstanceEquivalent(const Table& table, const TopKQuery& found,
                               const TopKList& input) {
   Executor ex;
-  auto result = ex.Execute(table, found);
+  auto result = ex.Execute(table, found, ExecContext{});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->InstanceEquals(input))
       << "query " << found.ToSql(table.schema())
@@ -243,7 +243,7 @@ TEST(PaleoE2eTest, RecoversAscendingOrderQuery) {
   hidden.order = SortOrder::kAsc;
   hidden.k = 5;
   Executor ex;
-  auto list = ex.Execute(*table, hidden);
+  auto list = ex.Execute(*table, hidden, ExecContext{});
   ASSERT_TRUE(list.ok());
   ASSERT_EQ(list->size(), 5u);
   // Values ascend; the pipeline must detect the direction.
@@ -305,7 +305,7 @@ TEST(PaleoE2eTest, PartialMatchRecoversFromDriftedData) {
   hidden.agg = AggFn::kSum;
   hidden.k = 10;
   Executor ex;
-  auto input = ex.Execute(*yesterday, hidden);
+  auto input = ex.Execute(*yesterday, hidden, ExecContext{});
   ASSERT_TRUE(input.ok());
   ASSERT_EQ(input->size(), 10u);
 
@@ -331,7 +331,7 @@ TEST(PaleoE2eTest, PartialMatchRecoversFromDriftedData) {
   ASSERT_TRUE(report.ok());
   ASSERT_TRUE(report->found());
   // The accepted query's result is genuinely similar to the input.
-  auto result = ex.Execute(*today, report->valid[0].query);
+  auto result = ex.Execute(*today, report->valid[0].query, ExecContext{});
   ASSERT_TRUE(result.ok());
   EXPECT_GE(result->EntityJaccard(*input), 0.5);
 }

@@ -119,7 +119,7 @@ TEST_P(PipelinePropertyTest, CompleteRPrimeAlwaysRecoversAQuery) {
   int attempted = 0;
   for (int trial = 0; trial < 12; ++trial) {
     TopKQuery hidden = RandomQuery(table, &rng);
-    auto list = oracle.Execute(table, hidden);
+    auto list = oracle.Execute(table, hidden, ExecContext{});
     ASSERT_TRUE(list.ok());
     if (static_cast<int>(list->size()) != hidden.k) continue;  // too few
     ++attempted;
@@ -131,7 +131,7 @@ TEST_P(PipelinePropertyTest, CompleteRPrimeAlwaysRecoversAQuery) {
         << "\ninput:\n"
         << list->ToString();
     // The recovered query regenerates the list exactly.
-    auto regenerated = oracle.Execute(table, report->valid[0].query);
+    auto regenerated = oracle.Execute(table, report->valid[0].query, ExecContext{});
     ASSERT_TRUE(regenerated.ok());
     EXPECT_TRUE(regenerated->InstanceEquals(*list))
         << "hidden:    " << hidden.ToSql(table.schema()) << "\nrecovered: "
@@ -156,7 +156,7 @@ TEST_P(PipelinePropertyTest, SmartAndRankedAgreeOnDiscoverability) {
 
   for (int trial = 0; trial < 6; ++trial) {
     TopKQuery hidden = RandomQuery(table, &rng);
-    auto list = oracle.Execute(table, hidden);
+    auto list = oracle.Execute(table, hidden, ExecContext{});
     ASSERT_TRUE(list.ok());
     if (static_cast<int>(list->size()) != hidden.k) continue;
 
@@ -169,7 +169,7 @@ TEST_P(PipelinePropertyTest, SmartAndRankedAgreeOnDiscoverability) {
       // Both recovered queries regenerate the input (they may differ).
       for (const ReverseEngineerReport* report :
            {&*smart_report, &*ranked_report}) {
-        auto regenerated = oracle.Execute(table, report->valid[0].query);
+        auto regenerated = oracle.Execute(table, report->valid[0].query, ExecContext{});
         ASSERT_TRUE(regenerated.ok());
         EXPECT_TRUE(regenerated->InstanceEquals(*list));
       }

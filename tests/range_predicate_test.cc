@@ -233,7 +233,7 @@ TEST(RangeE2eTest, RecoversLoadBearingRangeQuery) {
   hidden.agg = AggFn::kMax;
   hidden.k = 10;
   Executor ex;
-  auto list = ex.Execute(t, hidden);
+  auto list = ex.Execute(t, hidden, ExecContext{});
   ASSERT_TRUE(list.ok());
   ASSERT_EQ(list->size(), 10u);
 
@@ -243,7 +243,7 @@ TEST(RangeE2eTest, RecoversLoadBearingRangeQuery) {
   auto report = paleo.Run(*list);
   ASSERT_TRUE(report.ok());
   ASSERT_TRUE(report->found());
-  auto regenerated = ex.Execute(t, report->valid[0].query);
+  auto regenerated = ex.Execute(t, report->valid[0].query, ExecContext{});
   ASSERT_TRUE(regenerated.ok());
   EXPECT_TRUE(regenerated->InstanceEquals(*list))
       << "hidden:    " << hidden.ToSql(t.schema()) << "\nrecovered: "

@@ -101,7 +101,7 @@ TEST(RankingFinderTest, SumCriterionIdentified) {
   q.expr = RankExpr::Column(schema.FieldIndex("minutes"));
   q.agg = AggFn::kSum;
   q.k = 5;
-  auto list = ex.Execute(*t, q);
+  auto list = ex.Execute(*t, q, ExecContext{});
   ASSERT_TRUE(list.ok());
   ASSERT_EQ(list->size(), 5u);
 
@@ -134,7 +134,7 @@ TEST(RankingFinderTest, TwoColumnSumIdentified) {
                          schema.FieldIndex("sms"));
   q.agg = AggFn::kSum;
   q.k = 5;
-  auto list = ex.Execute(*t, q);
+  auto list = ex.Execute(*t, q, ExecContext{});
   ASSERT_TRUE(list.ok());
 
   Fixture f = Fixture::Make(*list);
@@ -162,7 +162,7 @@ TEST(RankingFinderTest, NoAggregationIdentified) {
   q.expr = RankExpr::Column(schema.FieldIndex("data_mb"));
   q.agg = AggFn::kNone;
   q.k = 6;
-  auto list = ex.Execute(*t, q);
+  auto list = ex.Execute(*t, q, ExecContext{});
   ASSERT_TRUE(list.ok());
   ASSERT_EQ(list->size(), 6u);
 

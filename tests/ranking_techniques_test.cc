@@ -20,7 +20,7 @@ struct Pipeline {
 
   static Pipeline Make(const Table& source, const TopKQuery& hidden) {
     Executor ex;
-    auto list = ex.Execute(source, hidden);
+    auto list = ex.Execute(source, hidden, ExecContext{});
     EXPECT_TRUE(list.ok());
     std::vector<RowId> all;  // rebuild a copy so `table` is owned here
     for (size_t r = 0; r < source.num_rows(); ++r) {

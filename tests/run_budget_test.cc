@@ -186,7 +186,7 @@ TEST(GovernedRunTest, TinyDeadlineTerminatesPromptlyWithNearMisses) {
   hidden.agg = AggFn::kSum;
   hidden.k = 10;
   Executor ex;
-  auto input = ex.Execute(*table, hidden);
+  auto input = ex.Execute(*table, hidden, ExecContext{});
   ASSERT_TRUE(input.ok());
   ASSERT_EQ(input->size(), 10u);
 

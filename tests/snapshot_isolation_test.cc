@@ -18,6 +18,8 @@
 #include "common/mutex.h"
 #include "common/random.h"
 #include "datagen/tpch_gen.h"
+#include "engine/exec_context.h"
+#include "engine/executor.h"
 #include "paleo/paleo.h"
 #include "service/discovery_service.h"
 #include "service/session.h"
@@ -206,6 +208,83 @@ TEST_F(SnapshotIsolationTest, IngestStormDifferentialAgainstPinnedSnapshots) {
   }
   EXPECT_GT(done, 0);
   EXPECT_GT(ingestor.stats().batches, 0u);
+}
+
+TEST_F(SnapshotIsolationTest, IngestSealsChunksUnderPinnedScans) {
+  // Small chunks so the append storm continuously fills the open tail
+  // chunk, seals it, and opens the next one while pinned readers scan.
+  PaleoOptions chunked;
+  chunked.chunk_rows = 64;
+  auto catalog =
+      std::make_shared<TableCatalog>(Table(table()), std::move(chunked));
+  Ingestor ingestor(catalog.get());
+
+  auto pinned = catalog->Current();
+  ASSERT_EQ(pinned->table().chunk_rows(), 64u);
+  const size_t pinned_chunks = pinned->table().num_chunks();
+  const uint64_t pinned_epoch = pinned->table().epoch();
+
+  Executor ex;
+  const WorkloadQuery& wq = workload()[0];
+  auto reference = ex.Execute(pinned->table(), wq.query, ExecContext{});
+  ASSERT_TRUE(reference.ok());
+
+  // Append enough rows to seal several 64-row chunks, re-executing the
+  // pinned snapshot between batches: its chunk layout, zone maps, and
+  // answer must be frozen however far ingestion advances.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> mismatch{false};
+  std::thread reader([&] {
+    Executor scan;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto again = scan.Execute(pinned->table(), wq.query, ExecContext{});
+      if (!again.ok() || !(*again == *reference)) {
+        mismatch.store(true);
+        return;
+      }
+    }
+  });
+  constexpr int kBatches = 20;
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<std::vector<Value>> batch;
+    for (int i = 0; i < 16; ++i) {
+      batch.push_back(RowAt(static_cast<RowId>(
+          (static_cast<size_t>(b) * 16 + static_cast<size_t>(i)) %
+          table().num_rows())));
+    }
+    ASSERT_TRUE(ingestor.Append(batch).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(pinned->table().num_chunks(), pinned_chunks);
+  EXPECT_EQ(pinned->table().epoch(), pinned_epoch);
+
+  // The latest snapshot grew into freshly sealed chunks: the layout
+  // still tiles [0, num_rows) in 64-row chunks with zones per column.
+  auto latest = catalog->Current();
+  const Table& grown = latest->table();
+  EXPECT_EQ(grown.num_rows(), table().num_rows() + kBatches * 16);
+  ASSERT_GT(grown.num_chunks(), pinned_chunks);
+  RowId next = 0;
+  for (const Chunk& ch : grown.chunks()) {
+    EXPECT_EQ(ch.begin_row, next);
+    EXPECT_LE(ch.num_rows(), grown.chunk_rows());
+    EXPECT_EQ(ch.zones.size(),
+              static_cast<size_t>(grown.num_columns()));
+    next = ch.end_row;
+  }
+  EXPECT_EQ(static_cast<size_t>(next), grown.num_rows());
+
+  // And the grown snapshot answers through its own chunks (differential
+  // against a zone-skip-free scan of the same table).
+  Executor grown_ex;
+  auto skip = grown_ex.Execute(grown, wq.query, ExecContext{});
+  auto noskip = grown_ex.Execute(grown, wq.query,
+                                 ExecContext{.zone_map_skipping = false});
+  ASSERT_TRUE(skip.ok());
+  ASSERT_TRUE(noskip.ok());
+  EXPECT_TRUE(*skip == *noskip);
 }
 
 TEST_F(SnapshotIsolationTest, ReadersObserveMonotonicVersions) {

@@ -27,7 +27,7 @@ struct Fixture {
     truth.agg = AggFn::kMax;
     truth.k = 5;
     Executor executor;
-    auto list = executor.Execute(table, truth);
+    auto list = executor.Execute(table, truth, ExecContext{});
     EXPECT_TRUE(list.ok());
     return Fixture{std::move(table), std::move(schema), Executor(),
                    *std::move(list), truth};
@@ -200,7 +200,7 @@ TEST(ValidatorTest, SmartValidationRetriesSkippedCandidates) {
   xl_truth.predicate = Predicate::Atom(f.schema.FieldIndex("plan"),
                                        Value::String("XL"));
   Executor ex;
-  auto xl_list = ex.Execute(f.table, xl_truth);
+  auto xl_list = ex.Execute(f.table, xl_truth, ExecContext{});
   ASSERT_TRUE(xl_list.ok());
 
   std::vector<CandidateQuery> candidates = {

@@ -127,10 +127,10 @@ TEST(VectorizedExecTest, DifferentialScalarVsVectorizedVsCached) {
     AtomSelectionCache cache(static_cast<size_t>(4) << 20);
     for (int qi = 0; qi < 3; ++qi) {
       TopKQuery q = RandomQuery(rng);
-      auto ref = scalar.Execute(t, q);
-      auto plain = vec.Execute(t, q);
-      auto cached_cold = vec.Execute(t, q, nullptr, &cache);
-      auto cached_warm = vec.Execute(t, q, nullptr, &cache);
+      auto ref = scalar.Execute(t, q, ExecContext{});
+      auto plain = vec.Execute(t, q, ExecContext{});
+      auto cached_cold = vec.Execute(t, q, ExecContext{.cache = &cache});
+      auto cached_warm = vec.Execute(t, q, ExecContext{.cache = &cache});
       ASSERT_TRUE(ref.ok());
       ASSERT_TRUE(plain.ok());
       ASSERT_TRUE(cached_cold.ok());
@@ -141,12 +141,20 @@ TEST(VectorizedExecTest, DifferentialScalarVsVectorizedVsCached) {
       EXPECT_TRUE(*ref == *cached_cold) << "workload " << workloads;
       EXPECT_TRUE(*ref == *cached_warm) << "workload " << workloads;
 
-      const size_t ref_count = scalar.CountMatching(t, q.predicate);
-      EXPECT_EQ(ref_count, vec.CountMatching(t, q.predicate));
-      EXPECT_EQ(ref_count, vec.CountMatching(t, q.predicate, &cache));
+      const size_t ref_count =
+          scalar.CountMatching(t, q.predicate, ExecContext{});
+      EXPECT_EQ(ref_count, vec.CountMatching(t, q.predicate, ExecContext{}));
+      EXPECT_EQ(ref_count,
+                vec.CountMatching(t, q.predicate, ExecContext{.cache = &cache}));
       ++workloads;
     }
-    EXPECT_GE(cache.stats().hits, 1) << "warm runs must hit the cache";
+    // Warm runs must hit the cache — unless every query's chunks were
+    // refuted by zone maps (a never-matching atom skips the chunk
+    // before any bitmap is computed), in which case the cache is never
+    // consulted at all and stays empty.
+    if (cache.stats().misses > 0) {
+      EXPECT_GE(cache.stats().hits, 1) << "warm runs must hit the cache";
+    }
   }
   // The acceptance bar: at least 100 distinct randomized workloads.
   EXPECT_GE(workloads, 100);
@@ -159,8 +167,8 @@ TEST(VectorizedExecTest, RowsScannedMatchesScalarAccounting) {
   Executor scalar;
   scalar.SetVectorized(false);
   Executor vec;
-  ASSERT_TRUE(scalar.Execute(t, q).ok());
-  ASSERT_TRUE(vec.Execute(t, q).ok());
+  ASSERT_TRUE(scalar.Execute(t, q, ExecContext{}).ok());
+  ASSERT_TRUE(vec.Execute(t, q, ExecContext{}).ok());
   // Both paths charge exactly the consumption pass: n rows per
   // completed full scan.
   EXPECT_EQ(scalar.stats().rows_scanned.load(),
@@ -181,7 +189,7 @@ TEST(VectorizedExecTest, PreTrippedBudgetCancelsBothPaths) {
   for (bool vectorized : {false, true}) {
     Executor ex;
     ex.SetVectorized(vectorized);
-    auto result = ex.Execute(t, q, &budget);
+    auto result = ex.Execute(t, q, ExecContext{.budget = &budget});
     ASSERT_FALSE(result.ok());
     EXPECT_TRUE(result.status().IsCancelled());
   }
@@ -201,15 +209,15 @@ TEST(VectorizedExecTest, InterruptedScanNeverCachesPartialBitmaps) {
   token.Cancel();
   RunBudget budget;
   budget.set_cancellation_token(&token);
-  auto interrupted = vec.Execute(t, q, &budget, &cache);
+  auto interrupted = vec.Execute(t, q, ExecContext{.budget = &budget, .cache = &cache});
   ASSERT_FALSE(interrupted.ok());
   EXPECT_EQ(cache.stats().entries, 0u)
       << "a partial bitmap must never be retained";
   // The same cache then serves a complete, correct execution.
   Executor scalar;
   scalar.SetVectorized(false);
-  auto ref = scalar.Execute(t, q);
-  auto warm = vec.Execute(t, q, nullptr, &cache);
+  auto ref = scalar.Execute(t, q, ExecContext{});
+  auto warm = vec.Execute(t, q, ExecContext{.cache = &cache});
   ASSERT_TRUE(ref.ok());
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(*ref == *warm);
@@ -226,7 +234,7 @@ TEST(VectorizedExecTest, ConcurrentSharedCacheMatchesScalarReference) {
   scalar.SetVectorized(false);
   for (int i = 0; i < 6; ++i) {
     queries.push_back(RandomQuery(rng));
-    auto ref = scalar.Execute(t, queries.back());
+    auto ref = scalar.Execute(t, queries.back(), ExecContext{});
     ASSERT_TRUE(ref.ok());
     refs.push_back(*std::move(ref));
   }
@@ -240,7 +248,7 @@ TEST(VectorizedExecTest, ConcurrentSharedCacheMatchesScalarReference) {
     threads.emplace_back([&]() {
       for (int iter = 0; iter < 50; ++iter) {
         for (size_t qi = 0; qi < queries.size(); ++qi) {
-          auto result = vec.Execute(t, queries[qi], nullptr, &cache);
+          auto result = vec.Execute(t, queries[qi], ExecContext{.cache = &cache});
           if (!result.ok() || !(*result == refs[qi])) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
@@ -266,51 +274,51 @@ SelectionBitmap BitmapOfRows(size_t n) { return SelectionBitmap(n); }
 TEST(AtomSelectionCacheTest, LruEvictionHonorsByteBudget) {
   const size_t bitmap_bytes = BitmapOfRows(1024).MemoryUsage();
   AtomSelectionCache cache(2 * bitmap_bytes);
-  cache.Insert(1, AtomFor(0, 1), BitmapOfRows(1024));
-  cache.Insert(1, AtomFor(0, 2), BitmapOfRows(1024));
+  cache.Insert(1, 0, AtomFor(0, 1), BitmapOfRows(1024));
+  cache.Insert(1, 0, AtomFor(0, 2), BitmapOfRows(1024));
   EXPECT_EQ(cache.stats().entries, 2u);
   EXPECT_EQ(cache.stats().evictions, 0);
   // Touch atom 1 so atom 2 becomes the LRU victim.
-  EXPECT_NE(cache.Lookup(1, AtomFor(0, 1)), nullptr);
-  cache.Insert(1, AtomFor(0, 3), BitmapOfRows(1024));
+  EXPECT_NE(cache.Lookup(1, 0, AtomFor(0, 1)), nullptr);
+  cache.Insert(1, 0, AtomFor(0, 3), BitmapOfRows(1024));
   EXPECT_EQ(cache.stats().entries, 2u);
   EXPECT_EQ(cache.stats().evictions, 1);
   EXPECT_LE(cache.stats().resident_bytes, cache.byte_budget());
-  EXPECT_NE(cache.Lookup(1, AtomFor(0, 1)), nullptr);
-  EXPECT_NE(cache.Lookup(1, AtomFor(0, 3)), nullptr);
-  EXPECT_EQ(cache.Lookup(1, AtomFor(0, 2)), nullptr) << "LRU victim";
+  EXPECT_NE(cache.Lookup(1, 0, AtomFor(0, 1)), nullptr);
+  EXPECT_NE(cache.Lookup(1, 0, AtomFor(0, 3)), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0, AtomFor(0, 2)), nullptr) << "LRU victim";
 }
 
 TEST(AtomSelectionCacheTest, EvictedBitmapSurvivesForInFlightReaders) {
   const size_t bitmap_bytes = BitmapOfRows(512).MemoryUsage();
   AtomSelectionCache cache(bitmap_bytes);
-  auto held = cache.Insert(1, AtomFor(0, 1), BitmapOfRows(512));
-  cache.Insert(1, AtomFor(0, 2), BitmapOfRows(512));  // evicts atom 1
-  EXPECT_EQ(cache.Lookup(1, AtomFor(0, 1)), nullptr);
+  auto held = cache.Insert(1, 0, AtomFor(0, 1), BitmapOfRows(512));
+  cache.Insert(1, 0, AtomFor(0, 2), BitmapOfRows(512));  // evicts atom 1
+  EXPECT_EQ(cache.Lookup(1, 0, AtomFor(0, 1)), nullptr);
   // The shared_ptr handed out earlier still works.
   EXPECT_EQ(held->num_rows(), 512u);
 }
 
 TEST(AtomSelectionCacheTest, DistinctEpochsAreDistinctKeys) {
   AtomSelectionCache cache(static_cast<size_t>(1) << 20);
-  cache.Insert(1, AtomFor(0, 1), BitmapOfRows(64));
-  EXPECT_NE(cache.Lookup(1, AtomFor(0, 1)), nullptr);
-  EXPECT_EQ(cache.Lookup(2, AtomFor(0, 1)), nullptr)
+  cache.Insert(1, 0, AtomFor(0, 1), BitmapOfRows(64));
+  EXPECT_NE(cache.Lookup(1, 0, AtomFor(0, 1)), nullptr);
+  EXPECT_EQ(cache.Lookup(2, 0, AtomFor(0, 1)), nullptr)
       << "a re-stamped table must never be served the old selection";
 }
 
 TEST(AtomSelectionCacheTest, ZeroBudgetDisablesRetention) {
   AtomSelectionCache cache(0);
-  auto bm = cache.Insert(1, AtomFor(0, 1), BitmapOfRows(64));
+  auto bm = cache.Insert(1, 0, AtomFor(0, 1), BitmapOfRows(64));
   ASSERT_NE(bm, nullptr);  // the caller still gets its bitmap
   EXPECT_EQ(cache.stats().entries, 0u);
-  EXPECT_EQ(cache.Lookup(1, AtomFor(0, 1)), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0, AtomFor(0, 1)), nullptr);
 }
 
 TEST(AtomSelectionCacheTest, FirstInsertWinsOnRacingKeys) {
   AtomSelectionCache cache(static_cast<size_t>(1) << 20);
-  auto first = cache.Insert(1, AtomFor(0, 1), BitmapOfRows(64));
-  auto second = cache.Insert(1, AtomFor(0, 1), BitmapOfRows(64));
+  auto first = cache.Insert(1, 0, AtomFor(0, 1), BitmapOfRows(64));
+  auto second = cache.Insert(1, 0, AtomFor(0, 1), BitmapOfRows(64));
   EXPECT_EQ(first.get(), second.get());
   EXPECT_EQ(cache.stats().entries, 1u);
 }
@@ -325,7 +333,7 @@ TEST(AtomSelectionCacheTest, TableMutationInvalidatesThroughEpoch) {
   q.k = 5;
   AtomSelectionCache cache(static_cast<size_t>(1) << 20);
   Executor vec;
-  ASSERT_TRUE(vec.Execute(t, q, nullptr, &cache).ok());
+  ASSERT_TRUE(vec.Execute(t, q, ExecContext{.cache = &cache}).ok());
   const uint64_t epoch_before = t.epoch();
   ASSERT_TRUE(t.AppendRow({Value::String("zz"), Value::String("CA"),
                            Value::String("g0"), Value::Int64(1),
@@ -336,8 +344,8 @@ TEST(AtomSelectionCacheTest, TableMutationInvalidatesThroughEpoch) {
   // the new row ranks first under max(v).
   Executor scalar;
   scalar.SetVectorized(false);
-  auto ref = scalar.Execute(t, q);
-  auto got = vec.Execute(t, q, nullptr, &cache);
+  auto ref = scalar.Execute(t, q, ExecContext{});
+  auto got = vec.Execute(t, q, ExecContext{.cache = &cache});
   ASSERT_TRUE(ref.ok());
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(*ref == *got);
@@ -360,7 +368,7 @@ TEST(VectorizedExecTest, PipelineEquivalenceSequentialAndParallel) {
   truth.agg = AggFn::kMax;
   truth.k = 5;
   Executor ex;
-  auto input = ex.Execute(*table, truth);
+  auto input = ex.Execute(*table, truth, ExecContext{});
   ASSERT_TRUE(input.ok());
 
   auto run = [&](bool vectorized, ThreadPool* pool,
@@ -400,7 +408,7 @@ TEST(VectorizedExecTest, PipelineBudgetInterruptionStillWindsDownClean) {
   truth.agg = AggFn::kMax;
   truth.k = 5;
   Executor ex;
-  auto input = ex.Execute(*table, truth);
+  auto input = ex.Execute(*table, truth, ExecContext{});
   ASSERT_TRUE(input.ok());
   CancellationToken token;
   token.Cancel();

@@ -29,7 +29,7 @@ TEST(WorkloadTest, GeneratesRealizableQueries) {
   Executor ex;
   for (const WorkloadQuery& wq : *workload) {
     // The recorded list is exactly what the query produces.
-    auto list = ex.Execute(*table, wq.query);
+    auto list = ex.Execute(*table, wq.query, ExecContext{});
     ASSERT_TRUE(list.ok());
     EXPECT_TRUE(list->InstanceEquals(wq.list)) << wq.name;
     EXPECT_EQ(static_cast<int>(wq.list.size()), wq.query.k) << wq.name;
@@ -128,7 +128,7 @@ TEST(WorkloadTest, PerAtomSelectivityBoundExcludesFlagColumns) {
   for (const WorkloadQuery& wq : *workload) {
     for (const AtomicPredicate& atom : wq.query.predicate.atoms()) {
       size_t matches =
-          ex.CountMatching(*table, Predicate({atom}));
+          ex.CountMatching(*table, Predicate({atom}), ExecContext{});
       EXPECT_LE(static_cast<double>(matches) /
                     static_cast<double>(table->num_rows()),
                 0.02 + 1e-9);

@@ -31,6 +31,13 @@ cannot express, across src/ (and where noted, the whole tree):
                   ("subsystem.stage" segments of [a-z0-9-]) and each
                   name is registered at exactly one src/ site, so a
                   chaos spec armed by name targets one known line.
+  exec-context    Executor scan entry points take one ExecContext
+                  (engine/exec_context.h). Calls to Execute /
+                  ExecuteOnRows / CountMatching whose argument shape
+                  matches the deprecated positional overloads (too few
+                  arguments, or a trailing budget/cache argument where
+                  the context belongs) are flagged so no new caller
+                  lands on the wrappers before they are deleted.
   service-table-ptr
                   The serving layer never holds a raw Table pointer:
                   sessions pin a shared_ptr<const TableSnapshot> from
@@ -268,6 +275,57 @@ class Linter:
                         f"{seen[0].relative_to(REPO)}:{seen[1]}; each "
                         "name maps to exactly one site")
 
+    # Executor scan calls must pass an ExecContext. Member-call syntax
+    # only (`.Execute(` / `->Execute(`) so declarations and the
+    # Executor::... definitions themselves don't match. The ExecContext
+    # overloads have a fixed arity (Execute: 3, ExecuteOnRows: 4,
+    # CountMatching: 3) with the context last; anything shorter — or an
+    # exact-arity call whose final argument is clearly not a context —
+    # is a deprecated positional wrapper.
+    EXEC_CALL_RE = re.compile(
+        r"(?:\.|->)\s*(ExecuteOnRows|Execute|CountMatching)\s*\(")
+    EXEC_CTX_ARITY = {"Execute": 3, "ExecuteOnRows": 4, "CountMatching": 3}
+    CTX_ARG_RE = re.compile(r"ExecContext|ctx|context", re.IGNORECASE)
+
+    @staticmethod
+    def split_top_level_args(code: str, open_idx: int) -> list[str] | None:
+        """Splits the argument list of the call whose '(' is at
+        `open_idx` on top-level commas; None if unbalanced (e.g. the
+        call spans a stripped region)."""
+        depth, start, args = 0, open_idx + 1, []
+        for i in range(open_idx, len(code)):
+            ch = code[i]
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+                if depth == 0:
+                    args.append(code[start:i])
+                    stripped = [a.strip() for a in args]
+                    return [] if stripped == [""] else stripped
+            elif ch == "," and depth == 1:
+                args.append(code[start:i])
+                start = i + 1
+        return None
+
+    def check_exec_context(self, path: Path, code: str) -> None:
+        for m in self.EXEC_CALL_RE.finditer(code):
+            name = m.group(1)
+            args = self.split_top_level_args(code, m.end() - 1)
+            if args is None:
+                continue
+            lineno = code.count("\n", 0, m.start()) + 1
+            want = self.EXEC_CTX_ARITY[name]
+            deprecated = (
+                len(args) != want
+                or not self.CTX_ARG_RE.search(args[-1]))
+            if deprecated:
+                self.report(
+                    path, lineno, "exec-context",
+                    f"{name} called through a deprecated positional "
+                    "overload; pass one ExecContext "
+                    "(engine/exec_context.h) as the final argument")
+
     # Raw Table pointers (members, parameters, locals) in the serving
     # layer bypass snapshot pinning; the service must only reach the
     # table through a pinned TableSnapshot.
@@ -306,6 +364,7 @@ class Linter:
             self.check_guarded_by(path, code)
             self.check_naked_new(path, code)
             self.collect_metrics(path, code, metric_kinds)
+            self.check_exec_context(path, code)
             self.check_service_table_ptr(path, code)
             self.check_span_balance(path, code, raw)
             # Fault-point names live inside string literals, so this
