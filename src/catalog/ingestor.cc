@@ -7,6 +7,9 @@ namespace paleo {
 Ingestor::Ingestor(TableCatalog* catalog, IngestorOptions options)
     : catalog_(catalog), options_(options) {}
 
+// relaxed: every counter below is an independent event tally; readers
+// (stats()) take a point-in-time sample and tolerate torn cross-counter
+// snapshots — nothing orders other memory through them.
 Status Ingestor::Append(std::span<const std::vector<Value>> rows) {
   std::shared_ptr<obs::Trace> trace;
   if (options_.collect_trace) trace = std::make_shared<obs::Trace>();
@@ -32,6 +35,7 @@ Status Ingestor::Append(std::span<const std::vector<Value>> rows) {
 }
 
 Ingestor::Stats Ingestor::stats() const {
+  // relaxed: point-in-time sample of independent tallies (see Append).
   Stats s;
   s.batches = batches_.load(std::memory_order_relaxed);
   s.rows = rows_.load(std::memory_order_relaxed);

@@ -80,6 +80,8 @@ class Ingestor {
   TableCatalog* const catalog_;
   const IngestorOptions options_;
 
+  // relaxed: independent event tallies bumped by concurrent Append
+  // calls and sampled by stats(); no ordering contract.
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> incremental_builds_{0};

@@ -191,8 +191,11 @@ class TableCatalog {
   const CatalogMetrics catalog_metrics_;
 
   /// Serializes snapshot builds (single writer at a time). Readers
-  /// never take it: they only touch publish_mutex_ below.
-  Mutex ingest_mutex_;
+  /// never take it: they only touch publish_mutex_ below. Ingest holds
+  /// it while publishing (and while reading Current), so the global
+  /// order is ingest before publish — declared here so both clang's
+  /// -Wthread-safety and paleo_analyze's lock-order pass enforce it.
+  Mutex ingest_mutex_ ACQUIRED_BEFORE(publish_mutex_);
   uint64_t next_version_ GUARDED_BY(ingest_mutex_) = 2;
 
   /// Guards only the published-pointer hand-off: readers hold it for

@@ -63,6 +63,8 @@ FaultResult FaultPoints::Hit(const char* name) {
     ++point.fires;
     spec = point.spec;
   }
+  // relaxed: pure tally; the metric pointer load below is the acquire
+  // that pairs with AttachMetric's release store.
   total_injected_.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(injected_metric_.load(std::memory_order_acquire));
 
@@ -89,6 +91,9 @@ FaultResult FaultPoints::Hit(const char* name) {
   return result;
 }
 
+// relaxed: armed_count_ is a hint for the disarmed fast path
+// (AnyArmed); the registry map itself is guarded by registry.mutex, and
+// a stale hint only costs one extra Hit() that finds nothing armed.
 void FaultPoints::Arm(const std::string& name, FaultSpec spec) {
   Registry& registry = GetRegistry();
   MutexLock lock(registry.mutex);
@@ -103,6 +108,7 @@ void FaultPoints::Arm(const std::string& name, FaultSpec spec) {
 }
 
 void FaultPoints::Disarm(const std::string& name) {
+  // relaxed: advisory fast-path hint; see Arm.
   Registry& registry = GetRegistry();
   MutexLock lock(registry.mutex);
   if (registry.points.erase(name) > 0) {
@@ -111,6 +117,7 @@ void FaultPoints::Disarm(const std::string& name) {
 }
 
 void FaultPoints::DisarmAll() {
+  // relaxed: advisory fast-path hint; see Arm.
   Registry& registry = GetRegistry();
   MutexLock lock(registry.mutex);
   armed_count_.fetch_sub(static_cast<int>(registry.points.size()),

@@ -107,7 +107,9 @@ class FaultPoints {
   };
 
   /// True when at least one fault point is armed anywhere. The macro's
-  /// fast path: one relaxed atomic load.
+  /// fast path: one relaxed atomic load. relaxed: a stale answer only
+  /// defers or wastes one registry probe; the registry mutex is the
+  /// real synchronization.
   static bool AnyArmed() {
     return armed_count_.load(std::memory_order_relaxed) > 0;
   }
@@ -126,6 +128,7 @@ class FaultPoints {
   static PointStats StatsFor(const std::string& name);
 
   /// Process-lifetime count of fired injections, across all points.
+  /// relaxed: pure tally, sampled by tests at quiescence.
   static int64_t TotalInjected() {
     return total_injected_.load(std::memory_order_relaxed);
   }
@@ -143,6 +146,10 @@ class FaultPoints {
   struct Registry;
   static Registry& GetRegistry();
 
+  // atomic: armed_count_ is the lock-free fast-path hint,
+  // total_injected_ a pure tally, and injected_metric_ a
+  // release/acquire-published pointer (AttachMetric stores release,
+  // the firing path loads acquire).
   static std::atomic<int> armed_count_;
   static std::atomic<int64_t> total_injected_;
   static std::atomic<obs::Counter*> injected_metric_;

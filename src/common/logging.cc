@@ -22,6 +22,8 @@ LogLevel InitialLevel() {
 }
 
 std::atomic<int>& LevelRef() {
+  // atomic: the level is read on every log call and may be flipped by
+  // any thread; plain int would be a data race, ordering is irrelevant.
   static std::atomic<int> level{static_cast<int>(InitialLevel())};
   return level;
 }

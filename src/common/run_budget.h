@@ -47,6 +47,9 @@ class CancellationToken {
   CancellationToken(const CancellationToken&) = delete;
   CancellationToken& operator=(const CancellationToken&) = delete;
 
+  // relaxed: cancellation is a level-triggered advisory flag polled by
+  // the budget gate; a poll that misses the flag by one stride just
+  // stops one gate-check later. No data is published through it.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   bool cancelled() const {
     return cancelled_.load(std::memory_order_relaxed);
@@ -55,6 +58,7 @@ class CancellationToken {
   void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
 
  private:
+  // relaxed: see the flag contract on Cancel() above.
   std::atomic<bool> cancelled_{false};
 };
 

@@ -36,7 +36,13 @@ const char* StatusCodeToString(StatusCode code);
 
 /// \brief Outcome of a fallible operation: a code plus, for errors, a
 /// message. The OK status carries no allocation and is cheap to copy.
-class Status {
+///
+/// The class is [[nodiscard]]: any expression producing a Status by
+/// value must be checked, propagated (PALEO_RETURN_NOT_OK), or
+/// explicitly discarded with a `(void)` cast carrying a reason comment
+/// (enforced tree-wide by -Werror=unused-result plus the
+/// tools/paleo_analyze.py status-discard pass).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -126,8 +132,10 @@ class Status {
 };
 
 /// \brief Either a value of type T or an error Status. Never holds both.
+/// [[nodiscard]] for the same reason as Status: dropping one silently
+/// drops the error it may carry.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Error state. `status` must not be OK.
   StatusOr(Status status)  // NOLINT(google-explicit-constructor)

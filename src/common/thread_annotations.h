@@ -101,4 +101,17 @@
 #define NO_THREAD_SAFETY_ANALYSIS \
   PALEO_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// Declares the global acquisition ORDER between two mutexes: the
+/// annotated mutex is always taken before (resp. after) the listed
+/// ones. Clang's analysis checks the order at -Wthread-safety-beta;
+/// tools/paleo_analyze.py's lock-order pass reads the same annotations
+/// as authoritative edges in its cross-file acquisition graph, so an
+/// annotation that contradicts observed nesting shows up as a cycle.
+#define ACQUIRED_BEFORE(...) \
+  PALEO_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// See ACQUIRED_BEFORE; this is the mirrored direction.
+#define ACQUIRED_AFTER(...) \
+  PALEO_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
 #endif  // PALEO_COMMON_THREAD_ANNOTATIONS_H_

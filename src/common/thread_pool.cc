@@ -87,6 +87,8 @@ bool ThreadPool::PopTask(Task* out) {
     if (!own.deque.empty()) {
       *out = std::move(own.deque.back());
       own.deque.pop_back();
+      // relaxed: decrement under the owning queue's mutex; the count is
+      // a wakeup hint only (see pending_ in the header).
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
@@ -97,6 +99,8 @@ bool ThreadPool::PopTask(Task* out) {
     if (!global_.empty()) {
       *out = std::move(global_.front());
       global_.pop_front();
+      // relaxed: decrement under the owning queue's mutex; the count is
+      // a wakeup hint only (see pending_ in the header).
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
@@ -109,6 +113,8 @@ bool ThreadPool::PopTask(Task* out) {
     if (!victim.deque.empty()) {
       *out = std::move(victim.deque.front());
       victim.deque.pop_front();
+      // relaxed: decrement under the owning queue's mutex; the count is
+      // a wakeup hint only (see pending_ in the header).
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
@@ -147,6 +153,7 @@ void ThreadPool::WorkerLoop(size_t index) {
 }
 
 size_t ThreadPool::QueueDepth() const {
+  // relaxed: monitoring sample; momentarily stale depth is fine.
   int64_t n = pending_.load(std::memory_order_relaxed);
   return n > 0 ? static_cast<size_t>(n) : 0;
 }

@@ -137,6 +137,8 @@ class ThreadPool {
     std::thread thread;
   };
 
+  // relaxed: seq_ only breaks priority ties; tasks racing to submit
+  // have no order to preserve, each just needs a distinct number.
   uint64_t NextSeq() {
     return seq_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -152,10 +154,13 @@ class ThreadPool {
   // the common case (single priority), making pushes O(1) amortized.
   std::deque<Task> global_ GUARDED_BY(global_mutex_);
   CondVar wake_;
+  // atomic: seq_ is a tie-break ticket (see NextSeq).
   std::atomic<uint64_t> seq_{0};
   // Total tasks queued anywhere; lets sleeping workers avoid a full
   // steal sweep on every wakeup. Atomic, not guarded: read in wait
-  // predicates without the deque mutexes held.
+  // predicates without the deque mutexes held. atomic: Push publishes
+  // with release, the wait predicate loads acquire; pop-side
+  // decrements are relaxed under the queue mutex.
   std::atomic<int64_t> pending_{0};
   bool stop_ GUARDED_BY(global_mutex_) = false;
 };

@@ -90,6 +90,8 @@ void AtomSelectionCache::ShrinkOnPressureLocked() {
     // The ladder's last rung: retention off; the executor sees
     // under_pressure() and degrades to its scalar path.
     effective_budget_ = 0;
+    // relaxed: one-way advisory flag; a reader that misses it by one
+    // execution just probes the cache once more under the mutex.
     retention_disabled_.store(true, std::memory_order_relaxed);
   }
   EvictLocked();

@@ -110,8 +110,9 @@ class AtomSelectionCache {
                                                 SelectionBitmap bitmap);
 
   /// True once repeated allocation failures shut retention down; the
-  /// executor then takes the scalar path. Lock-free (relaxed load),
-  /// cheap enough for the per-execution check.
+  /// executor then takes the scalar path. Lock-free, cheap enough for
+  /// the per-execution check. relaxed: advisory one-way flag, no data
+  /// is published through it.
   bool under_pressure() const {
     return retention_disabled_.load(std::memory_order_relaxed);
   }
@@ -164,6 +165,8 @@ class AtomSelectionCache {
 
   const size_t byte_budget_;
   const MetricHandles metrics_;
+  // relaxed: one-way pressure flag read outside mutex_ (see
+  // under_pressure()); all cache state is guarded by mutex_ below.
   std::atomic<bool> retention_disabled_{false};
 
   mutable Mutex mutex_;

@@ -4,8 +4,8 @@
 // parameters (budget pointer, atom-cache pointer, and with chunked
 // storage a thread pool and morsel knobs would have made it worse).
 // All per-call execution state now travels in this struct, passed by
-// const reference; the old overloads survive one PR as deprecated
-// wrappers (see engine/executor.h).
+// const reference; the old positional overloads were deleted in PR 9
+// and the paleo_lint exec-context rule bans the call shape tree-wide.
 //
 // An ExecContext is cheap to construct (a handful of pointers and
 // flags) and carries NO ownership: every pointer is optional, borrowed,

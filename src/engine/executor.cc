@@ -303,6 +303,9 @@ TerminationReason RunChunkScan(const ChunkScanner& scanner, size_t num_chunks,
                                const RunBudget* budget, uint32_t gate_stride,
                                ThreadPool* pool, int workers,
                                std::vector<ChunkOutcome>* outcomes) {
+  // relaxed: next_chunk is a pure work-claim ticket and abort/reason
+  // are advisory flags; chunk-outcome visibility is provided by the
+  // future-fulfillment synchronization below, not by these atomics.
   std::atomic<size_t> next_chunk{0};
   std::atomic<bool> abort{false};
   std::atomic<TerminationReason> reason{TerminationReason::kCompleted};
@@ -351,32 +354,6 @@ StatusOr<TopKList> Executor::ExecuteOnRows(const Table& table,
   return ExecuteImpl(table, &rows, query, ctx);
 }
 
-StatusOr<TopKList> Executor::Execute(const Table& table,
-                                     const TopKQuery& query,
-                                     const RunBudget* budget,
-                                     AtomSelectionCache* cache) {
-  ExecContext ctx;
-  ctx.budget = budget;
-  ctx.cache = cache;
-  return ExecuteImpl(table, nullptr, query, ctx);
-}
-
-StatusOr<TopKList> Executor::ExecuteOnRows(const Table& table,
-                                           const std::vector<RowId>& rows,
-                                           const TopKQuery& query,
-                                           const RunBudget* budget) {
-  ExecContext ctx;
-  ctx.budget = budget;
-  return ExecuteImpl(table, &rows, query, ctx);
-}
-
-size_t Executor::CountMatching(const Table& table, const Predicate& predicate,
-                               AtomSelectionCache* cache) {
-  ExecContext ctx;
-  ctx.cache = cache;
-  return CountMatching(table, predicate, ctx);
-}
-
 size_t Executor::CountMatching(const Table& table, const Predicate& predicate,
                                const ExecContext& ctx) {
   if (dimension_index_ != nullptr && indexed_table_ == &table &&
@@ -412,6 +389,7 @@ size_t Executor::CountMatching(const Table& table, const Predicate& predicate,
       ++morsels;
     }
   }
+  // relaxed: Stats counters are pure tallies (see Stats doc).
   stats_.chunks_skipped.fetch_add(skipped, std::memory_order_relaxed);
   stats_.morsels.fetch_add(morsels, std::memory_order_relaxed);
   obs::Inc(metrics_.chunks_skipped, skipped);
@@ -430,6 +408,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
   // execution error. Delays make scans slow enough to wedge.
   FaultResult scan_fault = PALEO_FAULT_POINT("executor.execute.scan");
   if (scan_fault.error()) return scan_fault.status;
+  // relaxed: Stats counters are pure tallies (see Stats doc).
   stats_.queries_executed.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(metrics_.queries_executed);
 
@@ -449,6 +428,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
     index_rows = dimension_index_->Match(query.predicate);
     rows = &index_rows;
     from_index = true;
+    // relaxed: Stats counters are pure tallies (see Stats doc).
     stats_.index_assisted.fetch_add(1, std::memory_order_relaxed);
     obs::Inc(metrics_.index_assisted);
   }
@@ -469,10 +449,12 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
       ((ctx.cache != nullptr && ctx.cache->under_pressure()) ||
        PALEO_FAULT_POINT("executor.selection.alloc").alloc_failure())) {
     use_vectorized = false;
+    // relaxed: Stats counters are pure tallies (see Stats doc).
     stats_.scalar_fallbacks.fetch_add(1, std::memory_order_relaxed);
   }
 
   auto account_rows = [&](size_t visited) {
+    // relaxed: Stats counters are pure tallies (see Stats doc).
     stats_.rows_scanned.fetch_add(static_cast<int64_t>(visited),
                                   std::memory_order_relaxed);
     obs::Inc(metrics_.rows_scanned, static_cast<int64_t>(visited));
@@ -568,6 +550,7 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
       }
     }
     account_rows(visited);
+    // relaxed: Stats counters are pure tallies (see Stats doc).
     stats_.chunks_skipped.fetch_add(skipped, std::memory_order_relaxed);
     stats_.morsels.fetch_add(morsels, std::memory_order_relaxed);
     obs::Inc(metrics_.chunks_skipped, skipped);

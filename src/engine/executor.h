@@ -68,7 +68,7 @@ class Executor {
  public:
   /// Counters accumulated across Execute calls.
   ///
-  /// All counters are relaxed-atomic because the morsel-parallel scan
+  /// relaxed: all counters are relaxed-atomic because the morsel-parallel scan
   /// accumulates them from multiple pool workers concurrently (and one
   /// shared executor serves the parallel validator / discovery
   /// service). Calling ResetStats() while any Execute / CountMatching
@@ -161,27 +161,17 @@ class Executor {
   size_t CountMatching(const Table& table, const Predicate& predicate,
                        const ExecContext& ctx);
 
-  /// Deprecated positional-parameter wrappers, kept for one PR.
-  /// Equivalent to the ExecContext forms with the corresponding fields
-  /// set (and everything else defaulted — in particular sequential
-  /// scans). New code must construct an ExecContext.
-  [[deprecated("pass an ExecContext (engine/exec_context.h)")]]
-  StatusOr<TopKList> Execute(const Table& table, const TopKQuery& query,
-                             const RunBudget* budget = nullptr,
-                             AtomSelectionCache* cache = nullptr);
-  [[deprecated("pass an ExecContext (engine/exec_context.h)")]]
-  StatusOr<TopKList> ExecuteOnRows(const Table& table,
-                                   const std::vector<RowId>& rows,
-                                   const TopKQuery& query,
-                                   const RunBudget* budget = nullptr);
-  [[deprecated("pass an ExecContext (engine/exec_context.h)")]]
-  size_t CountMatching(const Table& table, const Predicate& predicate,
-                       AtomSelectionCache* cache = nullptr);
+  // The pre-ExecContext positional overloads (budget/cache as trailing
+  // parameters) were deprecated in PR 8 and deleted in PR 9; the
+  // paleo_lint exec-context rule hard-bans the positional call shape
+  // tree-wide so they cannot creep back.
 
   const Stats& stats() const { return stats_; }
 
   /// Zeroes every counter. See Stats: calling this while any execution
   /// is in flight on this executor is a contract violation.
+  /// relaxed: stores happen at quiescence (no concurrent accumulators),
+  /// so no ordering with other memory is needed.
   void ResetStats() {
     stats_.queries_executed.store(0, std::memory_order_relaxed);
     stats_.rows_scanned.store(0, std::memory_order_relaxed);

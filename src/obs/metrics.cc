@@ -44,6 +44,8 @@ void Histogram::Observe(double ms) {
     if (idx < 0) idx = 0;
     if (idx > kNumBuckets) idx = kNumBuckets;  // +Inf bucket
   }
+  // relaxed: independent tallies; scrape-side tolerance for torn
+  // cross-counter snapshots is documented on the accessors.
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double micros = ms * 1000.0;

@@ -42,16 +42,21 @@ namespace paleo {
 namespace obs {
 
 /// \brief Monotonic event counter. Thread-safe.
+/// relaxed: a counter is a pure tally — increments commute and readers
+/// sample; nothing is ordered or published through it.
 class Counter {
  public:
   void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // relaxed: see class comment.
   std::atomic<int64_t> value_{0};
 };
 
 /// \brief Settable level. Thread-safe.
+/// relaxed: last-writer-wins level sampled by scrapes; stale reads are
+/// inherent to sampling and no other memory depends on the value.
 class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
@@ -59,6 +64,7 @@ class Gauge {
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // relaxed: see class comment.
   std::atomic<int64_t> value_{0};
 };
 
@@ -79,6 +85,9 @@ class Histogram {
 
   void Observe(double ms);
 
+  // relaxed: scrape-side samples of independent tallies; a reader may
+  // see count/sum/buckets from slightly different instants, which
+  // Prometheus-style scraping tolerates by design.
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_ms() const {
     return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
@@ -97,6 +106,7 @@ class Histogram {
   double p99() const { return Quantile(0.99); }
 
  private:
+  // relaxed: independent tallies (see accessor comment above).
   std::atomic<int64_t> buckets_[kNumBuckets + 1] = {};
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_micros_{0};

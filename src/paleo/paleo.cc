@@ -160,7 +160,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
 
   // Degradation accounting is a delta over the run: the executor may
   // be caller-provided and shared across runs, so its cumulative
-  // counter cannot be read directly.
+  // counter cannot be read directly. relaxed: sampling a pure tally.
   const int64_t scalar_fallbacks_before =
       executor->stats().scalar_fallbacks.load(std::memory_order_relaxed);
 
@@ -376,6 +376,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
 
   obs::Inc(metrics.near_misses,
            static_cast<int64_t>(report.near_misses.size()));
+  // relaxed: delta of a pure tally (see the matching load above).
   report.degraded_events =
       executor->stats().scalar_fallbacks.load(std::memory_order_relaxed) -
       scalar_fallbacks_before;

@@ -98,6 +98,9 @@ DiscoveryService::~DiscoveryService() {
   // cancellation (the documented destruction contract).
   {
     MutexLock lock(live_mutex_);
+    // relaxed: live_mutex_ provides the ordering the admission race
+    // needs (see the contract above); the flag itself is advisory for
+    // the lock-free early-out in Submit.
     shutdown_.store(true, std::memory_order_relaxed);
   }
   // Trip every live session so queued ones finalize without running
@@ -125,6 +128,9 @@ StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
 
 StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
     ServiceRequest request) {
+  // relaxed: submitted_ is a pure tally; the shutdown_ early-out is
+  // advisory — the authoritative re-check happens under live_mutex_
+  // after admission, below.
   submitted_.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(service_metrics_.submitted);
   if (shutdown_.load(std::memory_order_relaxed)) {
@@ -149,6 +155,7 @@ StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
   // its run sees exactly this table version, however many ingest
   // batches publish in the meantime.
   auto session =
+      // relaxed: id ticket — concurrent submits need distinct ids only.
       std::make_shared<Session>(next_id_.fetch_add(1, std::memory_order_relaxed),
                                 std::move(request),
                                 std::move(effective_options),
@@ -157,6 +164,7 @@ StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
     session->mutable_budget()->SetDeadlineAfterMillis(deadline_ms);
   }
   if (!queue_.TryPush(session)) {
+    // relaxed: pure tally.
     shed_.fetch_add(1, std::memory_order_relaxed);
     obs::Inc(service_metrics_.shed);
     return Status::ResourceExhausted(
@@ -168,6 +176,8 @@ StatusOr<std::shared_ptr<Session>> DiscoveryService::Submit(
   {
     MutexLock lock(live_mutex_);
     live_.push_back(session);
+    // relaxed: live_mutex_ (held here and in ~DiscoveryService) orders
+    // this load against the teardown store; see the destructor.
     if (shutdown_.load(std::memory_order_relaxed)) {
       // Teardown already swept live_ (or is about to close the queue):
       // this session would otherwise be dispatched un-cancelled while
@@ -229,6 +239,7 @@ void DiscoveryService::Dispatch() {
              attempt < service_options_.max_retries &&
              session->budget().Check(0) == TerminationReason::kCompleted) {
         ++attempt;
+        // relaxed: pure tally.
         retries_.fetch_add(1, std::memory_order_relaxed);
         obs::Inc(service_metrics_.retries);
         int64_t base = std::max<int64_t>(service_options_.retry_backoff_ms, 1);
@@ -271,6 +282,8 @@ void DiscoveryService::Dispatch() {
               live_.end());
 }
 
+// relaxed: terminal-state counters are independent tallies sampled by
+// stats(); nothing orders other memory through them.
 void DiscoveryService::CountTerminal(SessionState state) {
   switch (state) {
     case SessionState::kDone:
@@ -324,6 +337,7 @@ void DiscoveryService::WatchdogLoop() {
       if (session->RunningForMillis() >
           static_cast<double>(service_options_.watchdog_stall_ms)) {
         session->Cancel();
+        // relaxed: pure tally.
         watchdog_kicks_.fetch_add(1, std::memory_order_relaxed);
         obs::Inc(service_metrics_.watchdog_kicks);
       }
@@ -356,6 +370,8 @@ void DiscoveryService::CancelAll() {
 }
 
 DiscoveryServiceStats DiscoveryService::stats() const {
+  // relaxed: point-in-time sample of independent tallies; cross-counter
+  // tearing is inherent to sampling and accepted.
   DiscoveryServiceStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);

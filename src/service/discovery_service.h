@@ -201,6 +201,9 @@ class DiscoveryService {
   obs::MetricsRegistry metrics_;
   const ServiceMetrics service_metrics_;
 
+  // atomic: next_id_ is a ticket counter; shutdown_ is the teardown
+  // flag whose ordering comes from live_mutex_ (see ~DiscoveryService);
+  // the rest are independent event tallies sampled by stats().
   std::atomic<uint64_t> next_id_{1};
   // Set (under live_mutex_, see ~DiscoveryService) once teardown began;
   // also read lock-free for the cheap early-out in Submit.

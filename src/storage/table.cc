@@ -9,6 +9,8 @@ namespace paleo {
 
 uint64_t Table::NextEpoch() {
   // Starts at 1 so 0 can serve as "no table" in cache keys.
+  // relaxed: a ticket counter — concurrent constructors only need
+  // distinct values, not any ordering between them.
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }

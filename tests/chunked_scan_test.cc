@@ -4,8 +4,7 @@
 // randomized differential sweep asserting that the scalar, vectorized,
 // and morsel-parallel scan paths — with and without zone-map skipping —
 // produce byte-identical TopKLists at chunk boundaries the small-table
-// suites never cross. Plus the ExecStats reset contract and the
-// deprecated positional-overload wrappers.
+// suites never cross. Plus the ExecStats reset contract.
 
 #include <gtest/gtest.h>
 
@@ -390,32 +389,10 @@ TEST(ChunkedScanTest, ResetStatsAtQuiescenceYieldsExactTotals) {
   EXPECT_EQ(ex.stats().rows_scanned.load(), 500);
 }
 
-// ---- Deprecated wrappers ------------------------------------------------
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ChunkedScanTest, DeprecatedOverloadsMatchExecContextForms) {
-  Rng rng(11);
-  Table t = RandomTable(rng, 300);
-  AtomSelectionCache cache(static_cast<size_t>(1) << 20);
-  Executor ex;
-  TopKQuery q = RandomQuery(rng);
-  auto via_ctx = ex.Execute(t, q, ExecContext{.cache = &cache});
-  auto via_positional = ex.Execute(t, q, nullptr, &cache);
-  ASSERT_TRUE(via_ctx.ok());
-  ASSERT_TRUE(via_positional.ok());
-  EXPECT_TRUE(*via_ctx == *via_positional);
-  EXPECT_EQ(ex.CountMatching(t, q.predicate, ExecContext{}),
-            ex.CountMatching(t, q.predicate));
-  std::vector<RowId> rows;
-  for (RowId r = 0; r < 100; ++r) rows.push_back(r);
-  auto rows_ctx = ex.ExecuteOnRows(t, rows, q, ExecContext{});
-  auto rows_positional = ex.ExecuteOnRows(t, rows, q);
-  ASSERT_TRUE(rows_ctx.ok());
-  ASSERT_TRUE(rows_positional.ok());
-  EXPECT_TRUE(*rows_ctx == *rows_positional);
-}
-#pragma GCC diagnostic pop
+// The deprecated positional overloads were deleted in PR 9 (their
+// equivalence suite went with them); ExecContext is the only call
+// shape, enforced at compile time and by the paleo_lint exec-context
+// rule tree-wide.
 
 }  // namespace
 }  // namespace paleo

@@ -1,0 +1,14 @@
+"""paleo_analyze: whole-program static analysis passes for the PALEO
+C++ tree.
+
+The package splits into a shared lexing/walking substrate (source.py,
+findings.py) and one module per pass:
+
+  lock_order      cross-file mutex acquisition graph; fails on cycles
+  status_discard  dropped paleo::Status / StatusOr audit
+  layering        module include-DAG enforcement (layering.json)
+  atomics         relaxed-atomic justification audit
+
+tools/paleo_analyze.py is the CLI driver; tools/paleo_lint.py reuses
+source.py so both tools tokenize C++ the same way. Pure stdlib.
+"""

@@ -1,0 +1,88 @@
+"""Atomics audit.
+
+Relaxed atomics are the sharpest tool in the tree: correct for pure
+counters, silently wrong the moment a load is used to ORDER other
+memory. The audit makes every use carry its correctness argument:
+
+  * every line using `std::memory_order_relaxed`, and
+  * every `std::atomic<...>` variable/member declaration
+
+must be justified by a comment containing the marker `relaxed:` (or
+`atomic:` for declarations whose operations use the seq_cst default),
+either on the same line or in the same PARAGRAPH — the contiguous run
+of non-blank lines containing the use. One comment therefore covers a
+whole cluster (a struct of counters, a reset function's stores) without
+being repeated per line, but a use separated by a blank line needs its
+own argument.
+
+The marker convention mirrors the `// NOLINT`-style greppability rule:
+`grep -rn 'relaxed:' src/` lists every ordering argument in the tree.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+from .source import SourceFile
+
+PASS = "atomics"
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+ATOMIC_DECL_RE = re.compile(
+    r"\bstd::atomic<[^;()]*>\s+[A-Za-z_]\w*\s*[;{=]")
+MARKER_RE = re.compile(r"\b(?:relaxed|atomic):")
+
+
+def _paragraph_justified(src: SourceFile) -> list[bool]:
+    """For each line (0-based), whether its paragraph — the contiguous
+    run of non-blank raw lines around it — contains a justification
+    marker in comment text."""
+    raw_lines = src.raw.splitlines()
+    comment_lines = src.comment_lines
+    n = len(raw_lines)
+    justified = [False] * n
+    start = 0
+    while start < n:
+        if not raw_lines[start].strip():
+            start += 1
+            continue
+        end = start
+        while end < n and raw_lines[end].strip():
+            end += 1
+        has_marker = any(
+            MARKER_RE.search(comment_lines[i]) if i < len(comment_lines)
+            else False
+            for i in range(start, end))
+        if has_marker:
+            for i in range(start, end):
+                justified[i] = True
+        start = end
+    return justified
+
+
+def run(sources: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for src in sources:
+        justified = _paragraph_justified(src)
+        seen_lines: set[int] = set()
+        for lineno0, line in enumerate(src.code_lines):
+            is_relaxed = bool(RELAXED_RE.search(line))
+            is_decl = bool(ATOMIC_DECL_RE.search(line))
+            if not (is_relaxed or is_decl):
+                continue
+            if lineno0 < len(justified) and justified[lineno0]:
+                continue
+            if lineno0 in seen_lines:
+                continue
+            seen_lines.add(lineno0)
+            what = ("memory_order_relaxed use" if is_relaxed
+                    else "std::atomic declaration")
+            findings.append(Finding(
+                pass_name=PASS, file=src.rel, line=lineno0 + 1,
+                message=(f"unjustified {what}: add a '// relaxed: ...' "
+                         "(or '// atomic: ...') comment in the same "
+                         "paragraph stating why this ordering is "
+                         "sufficient"),
+                detail=f"line:{lineno0 + 1}"))
+    return findings

@@ -1,0 +1,109 @@
+"""Finding model, baseline policy, and output rendering.
+
+A Finding carries a stable `key` (pass, file, detail — NO line number,
+so unrelated edits don't churn the baseline) plus the precise location
+for humans. The baseline file (tools/analyze/baseline.json) lists the
+keys of grandfathered findings: they are reported as "baselined" but do
+not fail the run. The file may only SHRINK — a baseline entry that no
+longer matches any finding is itself an error (`baseline-stale`), which
+forces the entry's removal in the same change that fixed the code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class Finding:
+    pass_name: str
+    file: str
+    line: int
+    message: str
+    #: Stable identity for baselining; defaults to pass:file:message.
+    detail: str = ""
+    baselined: bool = False
+
+    @property
+    def key(self) -> str:
+        return f"{self.pass_name}:{self.file}:{self.detail or self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "key": self.key,
+            "baselined": self.baselined,
+        }
+
+
+@dataclass
+class Report:
+    findings: list[Finding] = field(default_factory=list)
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def apply_baseline(self, baseline_path: Path,
+                       ran_passes: list[str] | None = None) -> None:
+        """Marks findings whose key appears in the baseline; appends a
+        `baseline-stale` finding for every baseline entry that matched
+        nothing (the file may only shrink). When `ran_passes` is given,
+        staleness is only judged for entries belonging to a pass that
+        actually ran — a --passes subset must not condemn the rest of
+        the baseline."""
+        if not baseline_path.is_file():
+            return
+        data = json.loads(baseline_path.read_text(encoding="utf-8"))
+        keys = set(data.get("grandfathered", []))
+        matched: set[str] = set()
+        for f in self.findings:
+            if f.key in keys:
+                f.baselined = True
+                matched.add(f.key)
+        candidates = keys - matched
+        if ran_passes is not None:
+            candidates = {k for k in candidates
+                          if k.split(":", 1)[0] in ran_passes}
+        for stale in sorted(candidates):
+            self.findings.append(Finding(
+                pass_name="baseline-stale",
+                file=str(baseline_path.name),
+                line=1,
+                message=(f"baseline entry '{stale}' matches no current "
+                         "finding; delete it (the baseline may only "
+                         "shrink)"),
+                detail=stale))
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.baselined]
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        for f in sorted(self.findings,
+                        key=lambda f: (f.file, f.line, f.pass_name)):
+            tag = " (baselined)" if f.baselined else ""
+            lines.append(
+                f"{f.file}:{f.line}: [{f.pass_name}]{tag} {f.message}")
+        active = self.active
+        lines.append("")
+        lines.append(
+            f"paleo_analyze: {len(active)} active finding(s), "
+            f"{len(self.findings) - len(active)} baselined.")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [f.to_json() for f in sorted(
+                    self.findings,
+                    key=lambda f: (f.file, f.line, f.pass_name))],
+                "active": len(self.active),
+                "baselined": len(self.findings) - len(self.active),
+            },
+            indent=2)

@@ -1,0 +1,20 @@
+// Fixture: unjustified atomics. The declaration and the relaxed
+// fetch_add below each sit in a paragraph with no 'relaxed:' /
+// 'atomic:' marker, so each must produce one finding.
+#include <atomic>
+
+namespace fix {
+
+class Hits {
+ public:
+  void Bump();
+
+ private:
+  std::atomic<int> hits_{0};
+};
+
+void Hits::Bump() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fix

@@ -1,0 +1,32 @@
+// Fixture: justified atomics plus lexer red herrings. Expect zero
+// findings: each use carries a marker in its paragraph, and the
+// relaxed/atomic tokens hiding inside the string, raw string, and
+// comment below must be invisible to the pass.
+#include <atomic>
+#include <string>
+
+namespace fix {
+
+class Hits {
+ public:
+  void Bump();
+  // One marker covers this whole declaration paragraph.
+  // relaxed: pure tally; readers sample, nothing is ordered by it.
+  std::atomic<int> hits_{0};
+  std::atomic<int> misses_{0};
+};
+
+void Hits::Bump() {
+  // relaxed: pure tally (see member comment).
+  hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// A use of the token in dead prose: memory_order_relaxed. Not code.
+inline std::string RedHerrings() {
+  std::string quoted = "std::atomic<int> q{0}; memory_order_relaxed";
+  std::string raw = R"(hits_.fetch_add(1, std::memory_order_relaxed);
+      std::atomic<bool> inside_raw{false};)";
+  return quoted + raw;
+}
+
+}  // namespace fix

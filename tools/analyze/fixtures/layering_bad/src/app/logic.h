@@ -1,0 +1,6 @@
+// Downward include below: legal.
+#include "base/other.h"
+
+namespace fix {
+inline int Logic() { return 41; }
+}  // namespace fix

@@ -1,0 +1,7 @@
+// Fixture: an upward include — base (layer 0) reaching into app
+// (layer 1). Expect exactly one layering finding with key edge:app.
+#include "app/logic.h"
+
+namespace fix {
+inline int Util() { return Logic() + 1; }
+}  // namespace fix

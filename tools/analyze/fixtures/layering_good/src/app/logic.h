@@ -1,0 +1,6 @@
+// app -> base is a downward edge: legal.
+#include "base/util.h"
+
+namespace fix {
+inline int Logic() { return Util() + 41; }
+}  // namespace fix

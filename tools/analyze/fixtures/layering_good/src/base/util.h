@@ -1,0 +1,4 @@
+// Fixture: base depends on nothing above it. Expect zero findings.
+namespace fix {
+inline int Util() { return 1; }
+}  // namespace fix

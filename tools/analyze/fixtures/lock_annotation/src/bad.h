@@ -1,0 +1,22 @@
+// Fixture: code that contradicts its own ACQUIRED_BEFORE annotation.
+// The declaration promises load_mutex_ is taken before apply_mutex_,
+// but Reload nests the other way around; the annotation edge plus the
+// observed nesting edge close a cycle.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fix {
+
+class Config {
+ public:
+  void Reload() {
+    MutexLock apply(apply_mutex_);
+    MutexLock load(load_mutex_);
+  }
+
+ private:
+  Mutex load_mutex_ ACQUIRED_BEFORE(apply_mutex_);
+  Mutex apply_mutex_;
+};
+
+}  // namespace fix

@@ -1,0 +1,32 @@
+// Fixture: consistent lock order — every path takes head before tail,
+// matching the ACQUIRED_BEFORE declaration. Manual Lock/Unlock and a
+// REQUIRES-seeded helper are included so the clean case also exercises
+// those harvest paths. Expect zero findings.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fix {
+
+class Pipeline {
+ public:
+  void Produce() {
+    MutexLock head(head_mutex_);
+    MutexLock tail(tail_mutex_);
+  }
+
+  void Drain() {
+    head_mutex_.Lock();
+    DrainLocked();
+    head_mutex_.Unlock();
+  }
+
+  void DrainLocked() REQUIRES(head_mutex_) {
+    MutexLock tail(tail_mutex_);
+  }
+
+ private:
+  Mutex head_mutex_ ACQUIRED_BEFORE(tail_mutex_);
+  Mutex tail_mutex_;
+};
+
+}  // namespace fix

@@ -1,0 +1,50 @@
+// Fixture: a CALL-THROUGH deadlock across two classes. Neither
+// function nests two locks directly; the cycle only appears once the
+// pass resolves calls by receiver type and closes acquire sets:
+//   Ledger::Reconcile holds ledger_mutex_ and calls Journal::Record
+//     (acquires journal_mutex_)      => ledger -> journal
+//   Journal::FlushTo holds journal_mutex_ and calls Ledger::Post
+//     (acquires ledger_mutex_)       => journal -> ledger
+#include "common/mutex.h"
+
+namespace fix {
+
+class Journal {
+ public:
+  void Record();
+  void FlushTo();
+
+ private:
+  Mutex journal_mutex_;
+};
+
+class Ledger {
+ public:
+  void Post();
+  void Reconcile();
+
+ private:
+  Mutex ledger_mutex_;
+};
+
+void Journal::Record() {
+  MutexLock lock(journal_mutex_);
+}
+
+void Ledger::Post() {
+  MutexLock lock(ledger_mutex_);
+}
+
+void Ledger::Reconcile() {
+  MutexLock lock(ledger_mutex_);
+  Journal journal;
+  journal.Record();
+}
+
+void Journal::FlushTo() {
+  MutexLock lock(journal_mutex_);
+  Ledger ledger;
+  ledger.Post();
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// Fixture: the classic two-lock deadlock. TransferAB nests
+// a_mutex_ -> b_mutex_ while TransferBA nests b_mutex_ -> a_mutex_;
+// the lock-order pass must report exactly one cycle over both.
+#include "common/mutex.h"
+
+namespace fix {
+
+class Accounts {
+ public:
+  void TransferAB() {
+    MutexLock a(a_mutex_);
+    MutexLock b(b_mutex_);
+  }
+
+  void TransferBA() {
+    MutexLock b(b_mutex_);
+    MutexLock a(a_mutex_);
+  }
+
+ private:
+  Mutex a_mutex_;
+  Mutex b_mutex_;
+};
+
+}  // namespace fix

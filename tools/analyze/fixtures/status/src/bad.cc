@@ -1,0 +1,28 @@
+// Fixture: both Status-discard defects. Persist is harvested as a
+// Status-returning name (declared so everywhere), so the bare
+// statement call and the reason-less (void) cast must each produce a
+// finding — and nothing else in the file may.
+#include "common/status.h"
+
+namespace fix {
+
+Status Persist();
+
+Status Persist() { return Status::OK(); }
+
+void BareDiscard() {
+  Persist();
+}
+
+void UnreasonedCast() {
+  (void)Persist();
+}
+
+void FineUsage() {
+  Status s = Persist();
+  if (!s.ok()) {
+    return;
+  }
+}
+
+}  // namespace fix

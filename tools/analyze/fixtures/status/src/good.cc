@@ -1,0 +1,33 @@
+// Fixture: every discard is justified and every ambiguous name is
+// left alone. Expect zero findings.
+#include "common/status.h"
+
+namespace fix {
+
+Status Flush();
+
+Status Flush() { return Status::OK(); }
+
+// Same NAME with a non-Status return type elsewhere in the tree makes
+// the name textually ambiguous, so bare calls to it must NOT be
+// flagged (the compiler's [[nodiscard]] still covers the Status one).
+Status Rotate();
+void Rotate(int degrees);
+
+void ReasonedCast() {
+  // Discard: best-effort flush; the next tick retries on failure.
+  (void)Flush();
+}
+
+void CheckedUse() {
+  Status s = Flush();
+  if (!s.ok()) {
+    return;
+  }
+}
+
+void AmbiguousName() {
+  Rotate();
+}
+
+}  // namespace fix

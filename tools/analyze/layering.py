@@ -1,0 +1,91 @@
+"""Layering-DAG enforcement.
+
+The intended module graph of src/ is declared in layering.json (see its
+embedded comment for semantics). This pass extracts every
+`#include "module/..."` edge between src/ modules and fails any edge
+that climbs the layer order, unless the target module is declared
+cross-cutting or the edge is grandfathered in baseline.json.
+
+The finding key is `file -> module` (no line number), so the baseline
+entry for a grandfathered edge survives unrelated edits to the file but
+disappears — and goes stale, forcing its removal — the moment the last
+offending include is deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .findings import Finding
+from .source import SourceFile
+
+PASS = "layering"
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([A-Za-z_][\w-]*)/',
+                        re.MULTILINE)
+
+DEFAULT_SPEC = Path(__file__).resolve().parent / "layering.json"
+
+
+def load_spec(path: Path | None = None) -> dict:
+    spec = json.loads((path or DEFAULT_SPEC).read_text(encoding="utf-8"))
+    rank: dict[str, int] = {}
+    for level, mods in enumerate(spec["layers"]):
+        for mod in mods:
+            rank[mod] = level
+    spec["_rank"] = rank
+    spec["_cross"] = set(spec.get("cross_cutting", []))
+    return spec
+
+
+def module_of(rel: str, src_prefix: str = "src/") -> str | None:
+    if not rel.startswith(src_prefix):
+        return None
+    parts = rel[len(src_prefix):].split("/")
+    return parts[0] if len(parts) > 1 else None
+
+
+def run(sources: list[SourceFile],
+        spec_path: Path | None = None,
+        src_prefix: str = "src/") -> list[Finding]:
+    spec = load_spec(spec_path)
+    rank, cross = spec["_rank"], spec["_cross"]
+    findings: list[Finding] = []
+    for src in sources:
+        mod = module_of(src.rel, src_prefix)
+        if mod is None:
+            continue
+        if mod not in rank:
+            findings.append(Finding(
+                pass_name=PASS, file=src.rel, line=1,
+                message=(f"module '{mod}' is not declared in "
+                         "layering.json; add it to the layer it "
+                         "belongs to"),
+                detail=f"unknown-module:{mod}"))
+            continue
+        # Includes live on preprocessor lines, which the code view
+        # keeps; the strings view carries the quoted path.
+        reported: set[str] = set()
+        for m in INCLUDE_RE.finditer(src.strings):
+            dep = m.group(1)
+            if dep == mod or dep in cross:
+                continue
+            if dep not in rank:
+                continue  # not a src/ module (system/third-party dirs)
+            if rank[dep] <= rank[mod]:
+                continue
+            if dep in reported:
+                continue
+            reported.add(dep)
+            lineno = src.strings.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                pass_name=PASS, file=src.rel, line=lineno,
+                message=(f"illegal include edge: module '{mod}' "
+                         f"(layer {rank[mod]}) includes '{dep}' "
+                         f"(layer {rank[dep]}); the DAG in "
+                         "tools/analyze/layering.json only allows "
+                         "same-or-lower-layer includes"),
+                detail=f"edge:{dep}"))
+    return findings

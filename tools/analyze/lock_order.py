@@ -1,0 +1,455 @@
+"""Lock-order (deadlock) analysis.
+
+Builds the cross-file mutex ACQUISITION GRAPH: a directed edge A -> B
+means some code path acquires B while holding A. A cycle in that graph
+is a potential deadlock (two threads walking the cycle from different
+entry points can each hold the lock the other wants), reported with the
+full path trace and the file:line evidence for every edge.
+
+Facts harvested (from the `code` view, so comments/strings are inert):
+
+  1. Mutex members. `Mutex m_;` / `SharedMutex m_;` declarations inside
+     a class give the identity `Class::m_`. Ordering annotations on the
+     declaration contribute authoritative edges:
+         Mutex a_ ACQUIRED_BEFORE(b_);   edge  Class::a_ -> Class::b_
+         Mutex b_ ACQUIRED_AFTER(a_);    edge  Class::a_ -> Class::b_
+  2. RAII acquisitions. Within each function body, `MutexLock l(expr);`
+     (and Writer/Reader flavors) acquires `expr` for its enclosing
+     brace scope; manual `expr.Lock()` acquires until `expr.Unlock()`
+     or function end. Acquiring N while M is held adds edge M -> N.
+     Functions annotated REQUIRES(m) start with m held.
+  3. Call-through acquisitions. While holding M, calling a function
+     whose (transitively closed) acquired set contains N adds M -> N.
+     Callees are resolved by receiver type when a local/param/member
+     declaration names it, otherwise by method name when that name is
+     unambiguous across classes; ambiguous bare names are skipped
+     (soundness gap, kept deliberate to avoid false cycles).
+
+Mutex identity resolution: `m_` inside a method of C with member `m_`
+is `C::m_`; `obj.m` / `obj->m` resolves `obj`'s type from declarations
+in the same function; anything unresolvable degrades to `file::expr`
+(still participates in the graph, never silently dropped).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .findings import Finding
+from .source import SourceFile
+
+PASS = "lock-order"
+
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:paleo::)?(Mutex|SharedMutex)\s+"
+    r"([A-Za-z_]\w*)\s*(;|ACQUIRED_)")
+ACQ_BEFORE_RE = re.compile(r"ACQUIRED_BEFORE\(\s*([A-Za-z_][\w:]*)\s*\)")
+ACQ_AFTER_RE = re.compile(r"ACQUIRED_AFTER\(\s*([A-Za-z_][\w:]*)\s*\)")
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:CAPABILITY\([^)]*\)\s+)?"
+    r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{}]*)?$")
+METHOD_DEF_RE = re.compile(
+    r"\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\([^;{}]*\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:[A-Z_]+\([^)]*\)\s*)*$",
+    re.DOTALL)
+FUNC_DEF_RE = re.compile(
+    r"\b(~?[A-Za-z_]\w*)\s*\([^;{}]*\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>]+\s*)?"
+    r"(?:[A-Z_]+\([^)]*\)\s*)*$",
+    re.DOTALL)
+REQUIRES_RE = re.compile(r"\bREQUIRES(?:_SHARED)?\(\s*([^)]*?)\s*\)")
+
+RAII_LOCK_RE = re.compile(
+    r"\b(?:MutexLock|WriterMutexLock|ReaderMutexLock)\s+"
+    r"[A-Za-z_]\w*\s*[({]\s*([^;]+?)\s*[)}]\s*;")
+MANUAL_LOCK_RE = re.compile(r"([A-Za-z_][\w.>\-]*?)\s*(?:\.|->)Lock\(\)")
+MANUAL_UNLOCK_RE = re.compile(r"([A-Za-z_][\w.>\-]*?)\s*(?:\.|->)Unlock\(\)")
+CALL_RE = re.compile(
+    r"(?:([A-Za-z_]\w*)\s*(?:\.|->)\s*)?([A-Za-z_]\w*)\s*\(")
+
+# Names that look like calls but never acquire anything interesting, or
+# are control flow / casts; skipping them keeps the call pass cheap.
+CALL_NOISE = {
+    "if", "for", "while", "switch", "return", "sizeof", "assert",
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+    "Lock", "Unlock", "TryLock", "LockShared", "UnlockShared",
+    "MutexLock", "WriterMutexLock", "ReaderMutexLock", "CondVar",
+    "Wait", "WaitUntil", "NotifyOne", "NotifyAll", "defined",
+}
+
+
+@dataclass
+class Edge:
+    src: str
+    dst: str
+    file: str
+    line: int
+    why: str  # "annotation" | "nesting" | "call"
+
+
+@dataclass
+class FunctionInfo:
+    qual: str                    # "Class::Name" or "Name"
+    cls: str | None
+    file: str
+    start_line: int
+    body: str                    # code view of the body (braces included)
+    requires: list[str] = field(default_factory=list)
+    acquires: set[str] = field(default_factory=set)
+    calls: list[tuple[str | None, str, int]] = field(default_factory=list)
+
+
+class Harvest:
+    """Per-tree harvest: mutex members, annotation edges, functions."""
+
+    def __init__(self) -> None:
+        self.members: dict[str, set[str]] = defaultdict(set)  # cls -> names
+        self.member_owners: dict[str, set[str]] = defaultdict(set)
+        self.edges: list[Edge] = []
+        self.functions: list[FunctionInfo] = []
+
+    def qualify(self, name: str, cls: str | None) -> str:
+        """Resolves a bare mutex name to Class::name when possible."""
+        if "::" in name:
+            return name
+        if cls and name in self.members.get(cls, ()):
+            return f"{cls}::{name}"
+        owners = self.member_owners.get(name, set())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}::{name}"
+        return name
+
+
+def _scope_headers(code: str):
+    """Yields (open_idx, header_text) for every '{' in `code`, where
+    header_text is the code between the previous ';', '{', '}' (or
+    file start) and the brace."""
+    prev_break = 0
+    for i, ch in enumerate(code):
+        if ch in ";{}":
+            if ch == "{":
+                yield i, code[prev_break:i]
+            prev_break = i + 1
+
+
+def _matching_brace(code: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+def harvest_file(src: SourceFile, h: Harvest) -> None:
+    code = src.code
+    # ---- class spans: map every offset to the innermost class ----
+    class_spans: list[tuple[int, int, str]] = []
+    func_spans: list[tuple[int, int]] = []
+    for open_idx, header in _scope_headers(code):
+        header_tail = header.strip()[-400:]
+        m = CLASS_RE.search(header_tail)
+        if m and "enum" not in header_tail.split():
+            class_spans.append(
+                (open_idx, _matching_brace(code, open_idx), m.group(1)))
+
+    def cls_at(idx: int) -> str | None:
+        best = None
+        for s, e, name in class_spans:
+            if s <= idx <= e and (best is None or s > best[0]):
+                best = (s, name)
+        return best[1] if best else None
+
+    # ---- mutex member declarations + annotation edges ----
+    for lm in re.finditer(r"^.*$", code, re.MULTILINE):
+        line = lm.group(0)
+        dm = MUTEX_DECL_RE.match(line)
+        if not dm:
+            continue
+        name = dm.group(2)
+        cls = cls_at(lm.start()) or src.rel
+        h.members[cls].add(name)
+        h.member_owners[name].add(cls)
+    # Second sweep for ordering annotations (needs members filled in to
+    # qualify the argument); statement-level so the annotation may wrap.
+    for sm in re.finditer(
+            r"(?:mutable\s+)?(?:paleo::)?(?:Mutex|SharedMutex)\s+"
+            r"([A-Za-z_]\w*)\s*((?:ACQUIRED_(?:BEFORE|AFTER)"
+            r"\([^)]*\)\s*)+);", code):
+        name, anns = sm.group(1), sm.group(2)
+        cls = cls_at(sm.start()) or src.rel
+        me = f"{cls}::{name}" if cls else name
+        line = src.lineno_at(sm.start())
+        for am in ACQ_BEFORE_RE.finditer(anns):
+            other = h.qualify(am.group(1), cls if isinstance(cls, str)
+                              else None)
+            h.edges.append(Edge(me, other, src.rel, line, "annotation"))
+        for am in ACQ_AFTER_RE.finditer(anns):
+            other = h.qualify(am.group(1), cls if isinstance(cls, str)
+                              else None)
+            h.edges.append(Edge(other, me, src.rel, line, "annotation"))
+
+    # ---- function bodies ----
+    for open_idx, header in _scope_headers(code):
+        header_tail = header[-600:]
+        cls: str | None
+        mm = METHOD_DEF_RE.search(header_tail)
+        if mm and mm.group(1) not in ("std", "paleo", "obs"):
+            cls, fname = mm.group(1), mm.group(2)
+        else:
+            fm = FUNC_DEF_RE.search(header_tail)
+            if not fm:
+                continue
+            fname = fm.group(1)
+            if fname in CALL_NOISE or CLASS_RE.search(header_tail):
+                continue
+            cls = cls_at(open_idx)
+        close_idx = _matching_brace(code, open_idx)
+        body = code[open_idx:close_idx + 1]
+        requires = []
+        for rm in REQUIRES_RE.finditer(header_tail):
+            requires.extend(a.strip() for a in rm.group(1).split(",")
+                            if a.strip())
+        qual = f"{cls}::{fname}" if cls else fname
+        h.functions.append(FunctionInfo(
+            qual=qual, cls=cls, file=src.rel,
+            start_line=src.lineno_at(open_idx), body=body,
+            requires=requires))
+
+
+LOCAL_DECL_RE = r"(?:const\s+)?([A-Za-z_]\w*)\s*[&*]?\s+{name}\s*[=;({{]"
+SMART_DECL_RE = (r"(?:const\s+)?(?:std::)?"
+                 r"(?:shared_ptr|unique_ptr|weak_ptr)\s*<\s*"
+                 r"(?:const\s+)?([A-Za-z_]\w*)\s*>\s*&?\s*{name}\b")
+
+
+def _receiver_type(recv: str, fn: FunctionInfo) -> str | None:
+    """Resolves the declared type of `recv` from local/param decls in
+    the function body, seeing through smart-pointer wrappers."""
+    esc = re.escape(recv)
+    tm = re.search(SMART_DECL_RE.format(name=esc), fn.body)
+    if tm:
+        return tm.group(1)
+    tm = re.search(LOCAL_DECL_RE.format(name=esc), fn.body)
+    if tm:
+        return tm.group(1)
+    return None
+
+
+def resolve_expr(expr: str, fn: FunctionInfo, h: Harvest,
+                 src_rel: str) -> str:
+    """Maps a lock-acquisition expression to a mutex identity."""
+    expr = expr.strip()
+    expr = re.sub(r"^\*", "", expr).strip()
+    if re.fullmatch(r"[A-Za-z_]\w*", expr):
+        return h.qualify(expr, fn.cls)
+    m = re.fullmatch(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)", expr)
+    if m:
+        obj, member = m.group(1), m.group(2)
+        if obj == "this":
+            return h.qualify(member, fn.cls)
+        rtype = _receiver_type(obj, fn)
+        if rtype and rtype in h.members and member in h.members[rtype]:
+            return f"{rtype}::{member}"
+        owners = h.member_owners.get(member, set())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}::{member}"
+    return f"{src_rel}::{expr}"
+
+
+def analyze_function(fn: FunctionInfo, h: Harvest,
+                     resolve_calls: bool) -> list[Edge]:
+    """Scans one function body: RAII scopes, manual Lock/Unlock, and
+    (second phase) call-through edges. Records acquisitions into
+    fn.acquires as a side effect."""
+    edges: list[Edge] = []
+    held: list[str] = [h.qualify(r, fn.cls) for r in fn.requires]
+    scope_stack: list[list[str]] = [[]]
+    body = fn.body
+    line0 = fn.start_line
+
+    events: list[tuple[int, str, object]] = []
+    for i, ch in enumerate(body):
+        if ch == "{":
+            events.append((i, "open", None))
+        elif ch == "}":
+            events.append((i, "close", None))
+    for m in RAII_LOCK_RE.finditer(body):
+        events.append((m.start(), "acquire", m.group(1)))
+    for m in MANUAL_LOCK_RE.finditer(body):
+        events.append((m.start(), "acquire", m.group(1)))
+    for m in MANUAL_UNLOCK_RE.finditer(body):
+        events.append((m.start(), "release", m.group(1)))
+    if resolve_calls:
+        for m in CALL_RE.finditer(body):
+            recv, callee = m.group(1), m.group(2)
+            if callee in CALL_NOISE:
+                continue
+            events.append((m.start(), "call", (recv, callee)))
+    events.sort(key=lambda e: (e[0], e[1] == "open"))
+
+    name_index = {f.qual.rsplit("::", 1)[-1]: [] for f in h.functions}
+    if resolve_calls:
+        name_index = defaultdict(list)
+        for f in h.functions:
+            name_index[f.qual.rsplit("::", 1)[-1]].append(f)
+
+    for off, kind, payload in events:
+        line = line0 + body.count("\n", 0, off)
+        if kind == "open":
+            scope_stack.append([])
+        elif kind == "close":
+            if len(scope_stack) > 1:
+                for ident in scope_stack.pop():
+                    if ident in held:
+                        held.remove(ident)
+        elif kind == "acquire":
+            ident = resolve_expr(str(payload), fn, h, fn.file)
+            for prior in held:
+                if prior != ident:
+                    edges.append(Edge(prior, ident, fn.file, line,
+                                      "nesting"))
+            held.append(ident)
+            scope_stack[-1].append(ident)
+            fn.acquires.add(ident)
+        elif kind == "release":
+            ident = resolve_expr(str(payload), fn, h, fn.file)
+            if ident in held:
+                held.remove(ident)
+                for scope in scope_stack:
+                    if ident in scope:
+                        scope.remove(ident)
+        elif kind == "call":
+            if not held:
+                continue
+            recv, callee = payload  # type: ignore[misc]
+            targets = _resolve_call(recv, callee, fn, h, name_index)
+            for target in targets:
+                for acq in sorted(target.acquires):
+                    if acq not in held:
+                        edges.append(Edge(held[-1], acq, fn.file, line,
+                                          f"call:{target.qual}"))
+    return edges
+
+
+def _resolve_call(recv: str | None, callee: str, fn: FunctionInfo,
+                  h: Harvest, name_index) -> list[FunctionInfo]:
+    """Resolves a call site to candidate FunctionInfos whose acquires
+    matter. Ambiguity is judged over ALL same-name functions, not just
+    the acquiring ones — otherwise a lock-free twin (Dictionary::Insert
+    vs AtomSelectionCache::Insert) would be silently dropped and the
+    bare name would wrongly resolve to the acquiring class."""
+    candidates = list(name_index.get(callee, ()))
+    if not any(f.acquires for f in candidates):
+        return []
+    if recv is None or recv == "this":
+        same = [f for f in candidates if f.cls == fn.cls]
+        if same:
+            return [f for f in same if f.acquires]
+        free = [f for f in candidates if f.cls is None]
+        if free:
+            return [f for f in free if f.acquires]
+    else:
+        rtype = _receiver_type(recv, fn)
+        if rtype is not None:
+            # Receiver type known: resolve exactly (possibly to nothing).
+            return [f for f in candidates
+                    if f.cls == rtype and f.acquires]
+    classes = {f.cls for f in candidates}
+    if len(classes) == 1:
+        return [f for f in candidates if f.acquires]
+    return []  # ambiguous bare name: skip rather than invent cycles
+
+
+def find_cycles(edges: list[Edge]) -> list[list[Edge]]:
+    """Elementary cycles via DFS back-edge detection, deduplicated by
+    their canonical node rotation."""
+    graph: dict[str, list[Edge]] = defaultdict(list)
+    seen_pair: set[tuple[str, str]] = set()
+    for e in edges:
+        if (e.src, e.dst) not in seen_pair:
+            seen_pair.add((e.src, e.dst))
+            graph[e.src].append(e)
+
+    cycles: list[list[Edge]] = []
+    seen_cycles: set[tuple[str, ...]] = set()
+    state: dict[str, int] = {}
+    path: list[Edge] = []
+
+    def dfs(node: str) -> None:
+        state[node] = 1
+        for e in graph.get(node, ()):
+            if state.get(e.dst, 0) == 1:
+                start = next(i for i, pe in enumerate(path)
+                             if pe.src == e.dst)
+                cyc = path[start:] + [e]
+                nodes = tuple(c.src for c in cyc)
+                rot = min(range(len(nodes)),
+                          key=lambda i: nodes[i:] + nodes[:i])
+                canon = nodes[rot:] + nodes[:rot]
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    cycles.append(cyc)
+            elif state.get(e.dst, 0) == 0:
+                path.append(e)
+                dfs(e.dst)
+                path.pop()
+        state[node] = 2
+
+    for node in list(graph):
+        if state.get(node, 0) == 0:
+            dfs(node)
+    return cycles
+
+
+def run(sources: list[SourceFile]) -> list[Finding]:
+    h = Harvest()
+    for src in sources:
+        harvest_file(src, h)
+    # Phase 1: intra-function nesting edges + per-function acquire sets.
+    edges = list(h.edges)
+    for fn in h.functions:
+        edges.extend(analyze_function(fn, h, resolve_calls=False))
+    # Transitive closure of acquire sets through same-name calls, so a
+    # call-through edge sees everything the callee chain can take.
+    changed = True
+    rounds = 0
+    by_name = defaultdict(list)
+    for f in h.functions:
+        by_name[f.qual.rsplit("::", 1)[-1]].append(f)
+    while changed and rounds < 8:
+        changed = False
+        rounds += 1
+        for fn in h.functions:
+            for m in CALL_RE.finditer(fn.body):
+                recv, callee = m.group(1), m.group(2)
+                if callee in CALL_NOISE:
+                    continue
+                for target in _resolve_call(recv, callee, fn, h, by_name):
+                    extra = target.acquires - fn.acquires
+                    if extra:
+                        fn.acquires |= extra
+                        changed = True
+    # Phase 2: call-through edges with closed acquire sets.
+    for fn in h.functions:
+        edges.extend(analyze_function(fn, h, resolve_calls=True))
+
+    findings: list[Finding] = []
+    for cyc in find_cycles(edges):
+        trace = " -> ".join(
+            f"{e.src} ({e.file}:{e.line}, {e.why})" for e in cyc)
+        trace += f" -> {cyc[-1].dst}"
+        nodes = sorted({e.src for e in cyc})
+        findings.append(Finding(
+            pass_name=PASS,
+            file=cyc[0].file,
+            line=cyc[0].line,
+            message=f"lock-order cycle (potential deadlock): {trace}",
+            detail="cycle:" + ",".join(nodes)))
+    return findings

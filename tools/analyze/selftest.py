@@ -1,0 +1,163 @@
+"""Fixture self-tests for the analyzer passes.
+
+Each fixture under tools/analyze/fixtures/ is a miniature repo (its
+own src/ tree, plus a layering.json where the pass needs one). The
+tests run the REAL pass entry points over them and assert on the
+finding sets — the bad fixtures must produce exactly the seeded
+defects, the good twins exactly nothing. Registered in ctest as
+`analyze_selftest`; also reachable via `paleo_analyze.py --selftest`.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from . import atomics, layering, lock_order, status_discard
+from .findings import Finding, Report
+from .source import load_sources, scan_views
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+_failures: list[str] = []
+
+
+def _check(name: str, cond: bool, detail: str = "") -> None:
+    if cond:
+        print(f"  PASS  {name}")
+    else:
+        print(f"  FAIL  {name}  {detail}")
+        _failures.append(name)
+
+
+def _tree(fixture: str):
+    return load_sources(FIXTURES / fixture, dirs=("src",))
+
+
+def _test_scan_views() -> None:
+    code, strings, comments = scan_views(
+        'int x = 1\'000\'000;\n'
+        'auto s = R"delim(std::mutex inside raw)delim";\n'
+        '// std::mutex in a comment\n'
+        'const char* t = "std::mutex in a string";\n')
+    _check("scan_views.digit-separator", "1'000'000" in code)
+    _check("scan_views.raw-string-blanked-from-code",
+           "inside raw" not in code, "raw string body leaked into code")
+    _check("scan_views.raw-string-kept-in-strings",
+           "inside raw" in strings)
+    _check("scan_views.comment-only-view",
+           "std::mutex in a comment" in comments and
+           "std::mutex in a string" not in comments)
+    _check("scan_views.line-structure",
+           code.count("\n") == strings.count("\n") == comments.count("\n"))
+
+
+def _test_lock_order() -> None:
+    direct = lock_order.run(_tree("lock_cycle_direct"))
+    _check("lock-order.direct-cycle-found", len(direct) == 1,
+           f"expected 1 cycle, got {len(direct)}")
+    if direct:
+        msg = direct[0].message
+        _check("lock-order.direct-cycle-names",
+               "Accounts::a_mutex_" in msg and "Accounts::b_mutex_" in msg,
+               msg)
+        _check("lock-order.direct-cycle-trace",
+               "src/bad.h" in msg and "nesting" in msg, msg)
+
+    call = lock_order.run(_tree("lock_cycle_call"))
+    _check("lock-order.call-through-cycle-found", len(call) == 1,
+           f"expected 1 cycle, got {len(call)}")
+    if call:
+        msg = call[0].message
+        _check("lock-order.call-through-cycle-names",
+               "Ledger::ledger_mutex_" in msg and
+               "Journal::journal_mutex_" in msg, msg)
+
+    ann = lock_order.run(_tree("lock_annotation"))
+    _check("lock-order.annotation-contradiction", len(ann) == 1,
+           f"expected 1 cycle, got {len(ann)}")
+    if ann:
+        _check("lock-order.annotation-edge-in-trace",
+               "annotation" in ann[0].message, ann[0].message)
+
+    clean = lock_order.run(_tree("lock_clean"))
+    _check("lock-order.clean", not clean,
+           "; ".join(f.message for f in clean))
+
+
+def _test_status_discard() -> None:
+    findings = status_discard.run(_tree("status"))
+    by_kind = sorted(f.detail.split(":")[0] for f in findings)
+    _check("status-discard.exactly-the-seeded-defects",
+           by_kind == ["bare-call", "void-cast"],
+           f"got {[f.detail for f in findings]}")
+    _check("status-discard.all-in-bad-file",
+           all(f.file.endswith("bad.cc") for f in findings),
+           f"got {[f.file for f in findings]}")
+
+
+def _test_layering() -> None:
+    bad = layering.run(_tree("layering_bad"),
+                       spec_path=FIXTURES / "layering_bad" / "layering.json")
+    _check("layering.upward-edge-found",
+           len(bad) == 1 and bad[0].detail == "edge:app" and
+           bad[0].file == "src/base/util.h",
+           f"got {[(f.file, f.detail) for f in bad]}")
+    good = layering.run(_tree("layering_good"),
+                        spec_path=FIXTURES / "layering_good" /
+                        "layering.json")
+    _check("layering.clean", not good,
+           "; ".join(f.message for f in good))
+
+
+def _test_atomics() -> None:
+    bad = atomics.run(_tree("atomics"))
+    bad_files = {f.file for f in bad}
+    _check("atomics.bad-sites-found", len(bad) == 2,
+           f"expected 2, got {[(f.file, f.line) for f in bad]}")
+    _check("atomics.good-file-clean", bad_files == {"src/bad.cc"},
+           f"files: {bad_files}")
+
+
+def _test_baseline_policy() -> None:
+    report = Report()
+    report.extend([Finding(pass_name="layering", file="src/a/x.h", line=3,
+                           message="edge", detail="edge:b")])
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tf:
+        json.dump({"grandfathered": ["layering:src/a/x.h:edge:b",
+                                     "layering:src/gone.h:edge:c"]}, tf)
+        baseline = Path(tf.name)
+    try:
+        report.apply_baseline(baseline, ran_passes=["layering"])
+        _check("baseline.matching-entry-suppresses",
+               report.findings[0].baselined)
+        stale = [f for f in report.active
+                 if f.pass_name == "baseline-stale"]
+        _check("baseline.stale-entry-fails",
+               len(stale) == 1 and "src/gone.h" in stale[0].message,
+               f"got {[f.message for f in report.active]}")
+        report2 = Report()
+        report2.apply_baseline(baseline, ran_passes=["atomics"])
+        _check("baseline.subset-run-skips-other-passes",
+               not report2.findings,
+               f"got {[f.message for f in report2.findings]}")
+    finally:
+        baseline.unlink()
+
+
+def run_selftests() -> int:
+    print("paleo_analyze fixture self-tests:")
+    _test_scan_views()
+    _test_lock_order()
+    _test_status_discard()
+    _test_layering()
+    _test_atomics()
+    _test_baseline_policy()
+    if _failures:
+        print(f"selftest: {len(_failures)} FAILURE(S): "
+              f"{', '.join(_failures)}")
+        return 1
+    print("selftest: all passed")
+    return 0

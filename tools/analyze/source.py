@@ -1,0 +1,179 @@
+"""Shared C++ lexing substrate and file walking.
+
+One scan of a translation unit produces three same-shape views (equal
+length, identical line structure, so a line/column in one view is the
+same line/column in the others):
+
+  code      comments AND string/char literals blanked — the view rule
+            regexes match against, so quoted code in tests ("std::mutex"
+            inside an EXPECT message) can never false-positive;
+  strings   comments blanked, string literals kept — for rules that
+            read names out of literals (metric names, fault points);
+  comments  everything EXCEPT comment text blanked — for rules that
+            require justification comments (atomics audit,
+            status-discard reasons).
+
+The scanner understands // and /* */ comments, "..." and '...'
+literals with escapes, and raw strings R"delim(...)delim" with any
+prefix (u8R, LR, ...) — the construct the PR-4-era stripper mishandled
+(it treated R"( as an ordinary string opened at the first quote, so the
+raw string's BODY leaked into the code view and its terminator could
+swallow following code).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+#: Directories holding C++ sources, in walk order. src/ is the
+#: analyzed program; the rest are swept by the passes that extend to
+#: call sites (status-discard, exec-context lint).
+SRC_DIRS = ("src",)
+ALL_CXX_DIRS = ("src", "tests", "bench", "examples")
+CXX_SUFFIXES = (".h", ".cc", ".cpp")
+
+_RAW_PREFIX_RE = re.compile(r'(?:u8|[uUL])?R$')
+
+
+def scan_views(text: str) -> tuple[str, str, str]:
+    """Returns (code, strings, comments) views of `text` (see module
+    docstring). All three preserve newlines, so line numbers computed
+    on any view match the original file."""
+    n = len(text)
+    code: list[str] = []
+    strings: list[str] = []
+    comments: list[str] = []
+
+    def emit(chunk: str, *, to_code: bool, to_strings: bool,
+             to_comments: bool) -> None:
+        blank = "".join(c if c == "\n" else " " for c in chunk)
+        code.append(chunk if to_code else blank)
+        strings.append(chunk if to_strings else blank)
+        comments.append(chunk if to_comments else blank)
+
+    i = 0
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            emit(text[i:j], to_code=False, to_strings=False,
+                 to_comments=True)
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            emit(text[i:j], to_code=False, to_strings=False,
+                 to_comments=True)
+            i = j
+        elif ch == '"':
+            # Raw string? Look back over the (possibly prefixed) R.
+            k = i
+            while k > 0 and text[k - 1].isalnum():
+                k -= 1
+            if _RAW_PREFIX_RE.search(text[k:i]):
+                open_paren = text.find("(", i + 1)
+                if open_paren == -1:
+                    emit(text[i:], to_code=False, to_strings=True,
+                         to_comments=False)
+                    i = n
+                    continue
+                delim = text[i + 1:open_paren]
+                close = text.find(")" + delim + '"', open_paren + 1)
+                j = n if close == -1 else close + len(delim) + 2
+                emit(text[i:j], to_code=False, to_strings=True,
+                     to_comments=False)
+                i = j
+            else:
+                j = i + 1
+                while j < n and text[j] not in '"\n':
+                    j += 2 if text[j] == "\\" else 1
+                j = min(j + 1, n)
+                emit(text[i:j], to_code=False, to_strings=True,
+                     to_comments=False)
+                i = j
+        elif ch == "'":
+            # Char literal — but NOT a digit separator (1'000'000).
+            prev = text[i - 1] if i > 0 else ""
+            if prev.isdigit():
+                emit(ch, to_code=True, to_strings=True, to_comments=False)
+                i += 1
+                continue
+            j = i + 1
+            while j < n and text[j] not in "'\n":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            emit(text[i:j], to_code=False, to_strings=True,
+                 to_comments=False)
+            i = j
+        else:
+            emit(ch, to_code=True, to_strings=True, to_comments=False)
+            i += 1
+    return "".join(code), "".join(strings), "".join(comments)
+
+
+@dataclass
+class SourceFile:
+    """A scanned C++ file with its three views, lazily split into
+    lines. `rel` is the repo-relative path used in findings."""
+    path: Path
+    rel: str
+    raw: str
+    code: str
+    strings: str
+    comments: str
+    _code_lines: list[str] | None = field(default=None, repr=False)
+    _comment_lines: list[str] | None = field(default=None, repr=False)
+
+    @classmethod
+    def load(cls, path: Path, root: Path | None = None) -> "SourceFile":
+        root = root or REPO
+        raw = path.read_text(encoding="utf-8")
+        code, strings, comments = scan_views(raw)
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        return cls(path=path, rel=rel, raw=raw, code=code,
+                   strings=strings, comments=comments)
+
+    @property
+    def code_lines(self) -> list[str]:
+        if self._code_lines is None:
+            self._code_lines = self.code.splitlines()
+        return self._code_lines
+
+    @property
+    def comment_lines(self) -> list[str]:
+        if self._comment_lines is None:
+            self._comment_lines = self.comments.splitlines()
+        return self._comment_lines
+
+    def lineno_at(self, offset: int) -> int:
+        return self.code.count("\n", 0, offset) + 1
+
+
+def walk_files(root: Path | None = None,
+               dirs: tuple[str, ...] = SRC_DIRS) -> list[Path]:
+    """All C++ files under `dirs` of `root`, sorted for stable
+    finding order."""
+    root = root or REPO
+    out: list[Path] = []
+    for d in dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        out.extend(p for p in base.rglob("*")
+                   if p.suffix in CXX_SUFFIXES and p.is_file())
+    return sorted(out)
+
+
+def load_sources(root: Path | None = None,
+                 dirs: tuple[str, ...] = SRC_DIRS) -> list[SourceFile]:
+    root = root or REPO
+    return [SourceFile.load(p, root) for p in walk_files(root, dirs)]

@@ -1,0 +1,176 @@
+"""Status-discard enforcement.
+
+paleo::Status / StatusOr are [[nodiscard]] and -Werror=unused-result is
+on in every build lane, so the COMPILER already rejects a naked
+discard. This pass closes the two gaps the compiler leaves:
+
+  1. `(void)StatusCall(...)` compiles silently — the cast suppresses
+     the warning. House rule: an explicit discard must say WHY. The
+     cast needs a justification comment on the same line or in the
+     contiguous comment block directly above the statement.
+  2. Code that is not compiled in every lane (platform/ifdef'd blocks,
+     dead branches) never meets the compiler. The textual sweep flags
+     bare `StatusCall(...);` statements everywhere, including tests/,
+     bench/, and examples/.
+
+The set of Status-returning callables is harvested from the tree
+itself: every function declared/defined with a `Status` or
+`StatusOr<...>` return type, plus the macros known to expand to a
+Status expression (PALEO_FAULT_POINT).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+from .source import SourceFile
+
+PASS = "status-discard"
+
+#: Any function-shaped declaration/definition: return type + optional
+#: qualifier + name + '('. Used twice: names whose return type is
+#: Status/StatusOr feed the flaggable set, and names ALSO declared with
+#: any other return type are removed from it — textual call sites
+#: cannot see the receiver's type, so only names that are
+#: Status-returning EVERYWHERE in the tree are safe to flag
+#: (TopKList::Append returns void while Ingestor::Append returns
+#: Status, so 'Append' is never flagged textually; the compiler's
+#: [[nodiscard]] still covers it precisely).
+ANY_DECL_RE = re.compile(
+    r"(?:^|[;{}]\s*|\n\s*)"
+    r"(?:virtual\s+|static\s+|inline\s+|constexpr\s+|explicit\s+"
+    r"|\[\[nodiscard\]\]\s*)*"
+    r"([A-Za-z_][\w:]*(?:<[^;{}=]*?>)?)\s*[&*]?\s+"
+    r"(?:[A-Za-z_]\w*::)?([A-Za-z_]\w*)\s*\(")
+
+RETTYPE_KEYWORDS = {
+    "new", "delete", "return", "co_return", "throw", "else", "case",
+    "goto", "using", "typedef", "namespace", "template", "typename",
+    "operator", "sizeof", "alignof", "decltype",
+}
+
+#: Macros that expand to a Status-typed expression.
+STATUS_MACROS = {"PALEO_FAULT_POINT"}
+
+#: Harvested names that are too generic to flag textually (would match
+#: unrelated same-name functions returning void in other classes).
+NAME_BLOCKLIST = {"OK"}
+
+VOID_CAST_RE = re.compile(
+    r"\(void\)\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w*)\s*\(")
+
+BARE_CALL_RE = re.compile(
+    r"(?:^|[;{}])\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w*)\s*\(")
+
+
+def harvest_status_fns(sources: list[SourceFile]) -> set[str]:
+    status_names: set[str] = set()
+    other_names: set[str] = set()
+    for src in sources:
+        for m in ANY_DECL_RE.finditer(src.code):
+            rettype, name = m.group(1), m.group(2)
+            if rettype in RETTYPE_KEYWORDS or name in NAME_BLOCKLIST:
+                continue
+            bare = rettype.removeprefix("paleo::")
+            if bare == "Status" or bare.startswith("StatusOr<") or \
+                    bare.startswith("StatusOr "):
+                status_names.add(name)
+            else:
+                other_names.add(name)
+    return (status_names - other_names) | set(STATUS_MACROS)
+
+
+def _has_reason(src: SourceFile, lineno: int) -> bool:
+    """True when a justification comment accompanies the statement at
+    `lineno` (1-based): non-empty comment text on the same line, or a
+    contiguous run of comment-bearing lines directly above it."""
+    lines = src.comment_lines
+    raw_lines = src.code_lines
+
+    def comment_text(i: int) -> str:
+        return lines[i - 1].strip() if 0 < i <= len(lines) else ""
+
+    if re.search(r"\w", comment_text(lineno)):
+        return True
+    i = lineno - 1
+    while i >= 1:
+        has_comment = bool(re.search(r"\w", comment_text(i)))
+        has_code = bool(raw_lines[i - 1].strip()) if i <= len(raw_lines) \
+            else False
+        if has_comment:
+            return True
+        if has_code or (not has_comment and
+                        not (i <= len(raw_lines) and
+                             raw_lines[i - 1].strip() == "")):
+            break
+        i -= 1
+    return False
+
+
+def _statement_is_bare_call(code: str, call_end: int) -> bool:
+    """True when the call whose '(' is at call_end-1 is a whole
+    statement: balanced parens followed (modulo whitespace) by ';'."""
+    depth = 0
+    i = call_end - 1
+    n = len(code)
+    while i < n:
+        ch = code[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                j = i + 1
+                while j < n and code[j] in " \t\n":
+                    j += 1
+                return j < n and code[j] == ";"
+        elif ch in "{};":
+            return False
+        i += 1
+    return False
+
+
+def run(sources: list[SourceFile],
+        call_site_sources: list[SourceFile] | None = None) -> list[Finding]:
+    """`sources` feeds the harvest (the program under analysis);
+    `call_site_sources` (default: same list) is where discards are
+    flagged — the driver passes src+tests+bench+examples."""
+    status_fns = harvest_status_fns(sources)
+    findings: list[Finding] = []
+    for src in call_site_sources or sources:
+        code = src.code
+        # (void) discards need a reason.
+        for m in VOID_CAST_RE.finditer(code):
+            if m.group(1) not in status_fns:
+                continue
+            lineno = src.lineno_at(m.start())
+            if not _has_reason(src, lineno):
+                findings.append(Finding(
+                    pass_name=PASS, file=src.rel, line=lineno,
+                    message=(f"(void)-discarded Status from "
+                             f"'{m.group(1)}' without a reason comment; "
+                             "say why dropping the error is safe (same "
+                             "line or the comment block above)"),
+                    detail=f"void-cast:{m.group(1)}:{lineno}"))
+        # Bare statement-position calls (belt and braces under ifdefs).
+        for m in BARE_CALL_RE.finditer(code):
+            name = m.group(1)
+            if name not in status_fns:
+                continue
+            # The [;{}] anchor means the call IS the first token of its
+            # statement; wrapped calls (PALEO_RETURN_NOT_OK(...),
+            # EXPECT_*, assignments, returns) never match here. The
+            # balanced-paren check below confirms the call is the WHOLE
+            # statement.
+            if not _statement_is_bare_call(code, m.end()):
+                continue
+            lineno = src.lineno_at(m.end() - 1)
+            findings.append(Finding(
+                pass_name=PASS, file=src.rel, line=lineno,
+                message=(f"result of Status-returning '{name}' is "
+                         "discarded; check it, propagate it "
+                         "(PALEO_RETURN_NOT_OK), or write "
+                         "'(void)' with a reason comment"),
+                detail=f"bare-call:{name}:{lineno}"))
+    return findings

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""paleo_analyze: whole-program static analysis for the PALEO tree.
+
+Four passes over the C++ sources (see tools/analyze/ for each pass's
+contract, DESIGN.md §16 for the architecture):
+
+  lock-order       cross-file mutex acquisition graph; fails on cycles
+                   with a path trace (deadlock lint)
+  status-discard   dropped paleo::Status audit: (void) casts need a
+                   reason comment; bare discards are flagged even in
+                   code the compiler lanes never build
+  layering         module include-DAG enforcement against
+                   tools/analyze/layering.json
+  atomics          every memory_order_relaxed use / std::atomic
+                   declaration carries a 'relaxed:' justification
+
+Baseline policy: tools/analyze/baseline.json lists grandfathered
+finding keys. Baselined findings don't fail the run; stale entries DO
+(the file may only shrink). Exit 0 = clean, 1 = active findings,
+2 = internal error.
+
+  tools/paleo_analyze.py                    # human-readable
+  tools/paleo_analyze.py --format=json      # machine-readable (CI)
+  tools/paleo_analyze.py --selftest         # fixture self-tests
+
+Pure stdlib; wired into ctest as `analyze` / `analyze_selftest` and
+into CI's analyze + paleo-analyze lanes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analyze import atomics, layering, lock_order, status_discard  # noqa: E402
+from analyze.findings import Report  # noqa: E402
+from analyze.source import ALL_CXX_DIRS, REPO, load_sources  # noqa: E402
+
+PASSES = ("lock-order", "status-discard", "layering", "atomics")
+
+
+def run_passes(root: Path, selected: list[str]) -> Report:
+    report = Report()
+    src_sources = load_sources(root, dirs=("src",))
+    if "lock-order" in selected:
+        report.extend(lock_order.run(src_sources))
+    if "status-discard" in selected:
+        all_sources = src_sources + load_sources(
+            root, dirs=tuple(d for d in ALL_CXX_DIRS if d != "src"))
+        report.extend(status_discard.run(src_sources, all_sources))
+    if "layering" in selected:
+        report.extend(layering.run(src_sources))
+    if "atomics" in selected:
+        report.extend(atomics.run(src_sources))
+    return report
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="paleo_analyze.py",
+        description="PALEO whole-program static analyzer")
+    ap.add_argument("--format", choices=("text", "json"), default="text")
+    ap.add_argument("--root", type=Path, default=REPO,
+                    help="tree to analyze (default: this repo)")
+    ap.add_argument("--baseline", type=Path,
+                    default=Path(__file__).resolve().parent /
+                    "analyze" / "baseline.json",
+                    help="baseline file; 'none' disables baselining")
+    ap.add_argument("--passes", default=",".join(PASSES),
+                    help="comma-separated subset of: " + ", ".join(PASSES))
+    ap.add_argument("--output", type=Path, default=None,
+                    help="also write the rendered report to this file")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the fixture self-tests and exit")
+    args = ap.parse_args(argv)
+
+    if args.selftest:
+        from analyze.selftest import run_selftests
+        return run_selftests()
+
+    selected = [p.strip() for p in args.passes.split(",") if p.strip()]
+    unknown = [p for p in selected if p not in PASSES]
+    if unknown:
+        print(f"paleo_analyze: unknown pass(es): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    report = run_passes(args.root, selected)
+    if str(args.baseline) != "none":
+        report.apply_baseline(args.baseline, ran_passes=selected)
+
+    rendered = (report.render_json() if args.format == "json"
+                else report.render_text())
+    print(rendered)
+    if args.output is not None:
+        args.output.write_text(rendered + "\n", encoding="utf-8")
+    if report.active:
+        if args.format == "text":
+            print("paleo_analyze: FAILED", file=sys.stderr)
+        return 1
+    if args.format == "text":
+        print("paleo_analyze: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -31,13 +31,14 @@ cannot express, across src/ (and where noted, the whole tree):
                   ("subsystem.stage" segments of [a-z0-9-]) and each
                   name is registered at exactly one src/ site, so a
                   chaos spec armed by name targets one known line.
-  exec-context    Executor scan entry points take one ExecContext
-                  (engine/exec_context.h). Calls to Execute /
-                  ExecuteOnRows / CountMatching whose argument shape
-                  matches the deprecated positional overloads (too few
+  exec-context    HARD BAN, tree-wide (src/, tests/, bench/,
+                  examples/): the positional Execute / ExecuteOnRows /
+                  CountMatching overloads were DELETED in PR 9; every
+                  call passes one ExecContext (engine/exec_context.h)
+                  as the final argument. A call whose argument shape
+                  matches the old positional wrappers (too few
                   arguments, or a trailing budget/cache argument where
-                  the context belongs) are flagged so no new caller
-                  lands on the wrappers before they are deleted.
+                  the context belongs) is an error.
   service-table-ptr
                   The serving layer never holds a raw Table pointer:
                   sessions pin a shared_ptr<const TableSnapshot> from
@@ -45,6 +46,11 @@ cannot express, across src/ (and where noted, the whole tree):
                   version alive however far ingestion advances. A
                   `Table*` in src/service/ is a lifetime bug waiting
                   for the first live-table deployment.
+
+Lexing and file walking are shared with tools/analyze (source.py): one
+scanner produces comment-blanked, string-blanked, and comment-only
+views that understand raw strings — R"(...)" bodies can no longer leak
+into the code view, which the PR-4-era stripper here got wrong.
 
 Exit 0 when clean; exit 1 with file:line findings otherwise. Pure
 stdlib, no third-party deps; wired into ctest as the `lint` test and
@@ -57,7 +63,10 @@ import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analyze.source import (  # noqa: E402
+    ALL_CXX_DIRS, REPO, SourceFile, load_sources)
 
 # Files that legitimately own raw memory: arena/node allocators whose
 # whole point is manual lifetime management.
@@ -79,12 +88,15 @@ RAW_SYNC_RE = re.compile(
 
 MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:paleo::)?(?:Mutex|SharedMutex)\s+"
-    r"([A-Za-z_]\w*)\s*;"
+    r"([A-Za-z_]\w*)\s*(?:;|ACQUIRED_)"
 )
 
 NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # `new T`, not `->New(`
 DELETE_RE = re.compile(r"(?<![\w.])delete\b(?!\s*\()")
 
+# Matched against the strings-kept view as ONE text, not per line:
+# real registration calls wrap between the '(' and the name literal,
+# which a per-line scan silently never matched.
 FIND_OR_CREATE_RE = re.compile(
     r"FindOrCreate(Counter|Gauge|Histogram)\s*\(\s*\"([^\"]*)\""
 )
@@ -104,83 +116,47 @@ FAULT_NAME_RE = re.compile(
 )
 
 
-def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
-    """Blanks out comments and (unless keep_strings) string/char
-    literals, preserving line structure so reported line numbers stay
-    correct."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif ch == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n if j == -1 else j + 2
-            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
-            i = j
-        elif ch in "\"'":
-            quote = ch
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            if keep_strings:
-                out.append(text[i:j])
-            else:
-                out.append(quote + " " * (j - i - 2) +
-                           (quote if j - i >= 2 else ""))
-            i = j
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
 class Linter:
     def __init__(self) -> None:
         self.findings: list[str] = []
 
-    def report(self, path: Path, line: int, rule: str, msg: str) -> None:
-        rel = path.relative_to(REPO)
-        self.findings.append(f"{rel}:{line}: [{rule}] {msg}")
+    def report(self, src: SourceFile, line: int, rule: str,
+               msg: str) -> None:
+        self.findings.append(f"{src.rel}:{line}: [{rule}] {msg}")
 
     # ---- rules ----
 
-    def check_raw_sync(self, path: Path, code: str) -> None:
-        if str(path.relative_to(REPO)) in RAW_SYNC_WHITELIST:
+    def check_raw_sync(self, src: SourceFile) -> None:
+        if src.rel in RAW_SYNC_WHITELIST:
             return
-        for lineno, line in enumerate(code.splitlines(), 1):
+        for lineno, line in enumerate(src.code_lines, 1):
             m = RAW_SYNC_RE.search(line)
             if m:
                 self.report(
-                    path, lineno, "raw-sync",
+                    src, lineno, "raw-sync",
                     f"std::{m.group(1)} is invisible to the thread-safety "
                     "analysis; use paleo::Mutex / MutexLock / CondVar "
                     "(common/mutex.h)")
 
-    def check_guarded_by(self, path: Path, code: str) -> None:
+    def check_guarded_by(self, src: SourceFile) -> None:
         mutexes: dict[str, int] = {}
-        for lineno, line in enumerate(code.splitlines(), 1):
+        for lineno, line in enumerate(src.code_lines, 1):
             m = MUTEX_MEMBER_RE.match(line)
             if m:
                 mutexes[m.group(1)] = lineno
         for name, lineno in mutexes.items():
-            if not re.search(r"GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)",
-                             code):
+            if not re.search(
+                    r"GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)",
+                    src.code):
                 self.report(
-                    path, lineno, "guarded-by",
+                    src, lineno, "guarded-by",
                     f"mutex member '{name}' has no GUARDED_BY({name}) "
                     "field; declare what it protects (or delete it)")
 
-    def check_naked_new(self, path: Path, code: str) -> None:
-        if str(path.relative_to(REPO)) in NAKED_NEW_WHITELIST:
+    def check_naked_new(self, src: SourceFile) -> None:
+        if src.rel in NAKED_NEW_WHITELIST:
             return
-        for lineno, line in enumerate(code.splitlines(), 1):
+        for lineno, line in enumerate(src.code_lines, 1):
             # Preprocessor lines are not expressions (`#include <new>`).
             if line.lstrip().startswith("#"):
                 continue
@@ -189,7 +165,7 @@ class Linter:
             line = re.sub(r"=\s*(?:delete|default)\b", "", line)
             if NEW_RE.search(line) or DELETE_RE.search(line):
                 self.report(
-                    path, lineno, "naked-new",
+                    src, lineno, "naked-new",
                     "naked new/delete outside an arena; use "
                     "std::make_unique / make_shared or a container "
                     "(whitelist: tools/paleo_lint.py)")
@@ -199,38 +175,36 @@ class Linter:
     SUFFIX_KINDS = {"_total": "Counter", "_ms": "Histogram",
                     "_bytes": "Gauge"}
 
-    def collect_metrics(self, path: Path, code: str,
-                        kinds: dict[str, tuple[str, Path, int]]) -> None:
-        for lineno, line in enumerate(code.splitlines(), 1):
-            for m in FIND_OR_CREATE_RE.finditer(line):
-                kind, name = m.group(1), m.group(2)
-                if not name.startswith("paleo_"):
+    def collect_metrics(self, src: SourceFile,
+                        kinds: dict[str, tuple[str, str, int]]) -> None:
+        # Whole-text match on the strings-kept view: registration calls
+        # routinely break the line between FindOrCreate* and the name.
+        for m in FIND_OR_CREATE_RE.finditer(src.strings):
+            kind, name = m.group(1), m.group(2)
+            lineno = src.strings.count("\n", 0, m.start()) + 1
+            if not name.startswith("paleo_"):
+                self.report(
+                    src, lineno, "metric-names",
+                    f"metric '{name}' must be paleo_*-prefixed")
+            for suffix, want in self.SUFFIX_KINDS.items():
+                if name.endswith(suffix) and kind != want:
                     self.report(
-                        path, lineno, "metric-names",
-                        f"metric '{name}' must be paleo_*-prefixed")
-                for suffix, want in self.SUFFIX_KINDS.items():
-                    if name.endswith(suffix) and kind != want:
-                        self.report(
-                            path, lineno, "metric-names",
-                            f"metric '{name}' ends in {suffix} so it "
-                            f"must be a {want}, not a {kind}")
-                seen = kinds.get(name)
-                if seen is None:
-                    kinds[name] = (kind, path, lineno)
-                elif seen[0] != kind:
-                    self.report(
-                        path, lineno, "metric-names",
-                        f"metric '{name}' registered as {kind} here but "
-                        f"as {seen[0]} at "
-                        f"{seen[1].relative_to(REPO)}:{seen[2]}")
+                        src, lineno, "metric-names",
+                        f"metric '{name}' ends in {suffix} so it "
+                        f"must be a {want}, not a {kind}")
+            seen = kinds.get(name)
+            if seen is None:
+                kinds[name] = (kind, src.rel, lineno)
+            elif seen[0] != kind:
+                self.report(
+                    src, lineno, "metric-names",
+                    f"metric '{name}' registered as {kind} here but "
+                    f"as {seen[0]} at {seen[1]}:{seen[2]}")
 
-    def check_span_balance(self, path: Path, code: str, raw: str) -> None:
-        rel = str(path.relative_to(REPO))
-        if rel.startswith("src/obs/"):
+    def check_span_balance(self, src: SourceFile) -> None:
+        if src.rel.startswith("src/obs/"):
             return  # the Trace implementation itself
-        lines = code.splitlines()
-        raw_lines = raw.splitlines()
-        for lineno, line in enumerate(lines, 1):
+        for lineno, line in enumerate(src.code_lines, 1):
             if not START_SPAN_RE.search(line):
                 continue
             # RAII form: the ScopedSpan ctor calls StartSpan and ends the
@@ -240,39 +214,41 @@ class Linter:
             m = SPAN_ASSIGN_RE.search(line)
             if m is None:
                 self.report(
-                    path, lineno, "span-balance",
+                    src, lineno, "span-balance",
                     "StartSpan result must be owned by an obs::ScopedSpan "
                     "or stored in a named span id")
                 continue
             var = m.group(1)
-            if not re.search(r"EndSpan\(\s*" + re.escape(var) + r"\s*\)",
-                             code):
+            if not re.search(
+                    r"EndSpan\(\s*" + re.escape(var) + r"\s*\)",
+                    src.code):
                 self.report(
-                    path, lineno, "span-balance",
+                    src, lineno, "span-balance",
                     f"span id '{var}' from StartSpan has no matching "
                     f"EndSpan({var}) in this file; spans must end on all "
                     "exit paths")
-        del raw_lines  # line structure already preserved in `code`
 
-    def collect_fault_points(self, path: Path, code_with_strings: str,
-                             sites: dict[str, tuple[Path, int]]) -> None:
-        for lineno, line in enumerate(code_with_strings.splitlines(), 1):
+    def collect_fault_points(self, src: SourceFile,
+                             sites: dict[str, tuple[str, int]]) -> None:
+        # Fault-point names live inside string literals, so this rule
+        # scans the comment-stripped but strings-kept view.
+        for lineno, line in enumerate(src.strings.splitlines(), 1):
             for m in FAULT_POINT_RE.finditer(line):
                 name = m.group(1)
                 if not FAULT_NAME_RE.match(name):
                     self.report(
-                        path, lineno, "fault-points",
+                        src, lineno, "fault-points",
                         f"fault point '{name}' must be dotted kebab-case "
                         "with >= 2 segments, e.g. "
                         "'request-queue.pop.wait'")
                 seen = sites.get(name)
                 if seen is None:
-                    sites[name] = (path, lineno)
+                    sites[name] = (src.rel, lineno)
                 else:
                     self.report(
-                        path, lineno, "fault-points",
+                        src, lineno, "fault-points",
                         f"fault point '{name}' already registered at "
-                        f"{seen[0].relative_to(REPO)}:{seen[1]}; each "
+                        f"{seen[0]}:{seen[1]}; each "
                         "name maps to exactly one site")
 
     # Executor scan calls must pass an ExecContext. Member-call syntax
@@ -281,7 +257,9 @@ class Linter:
     # overloads have a fixed arity (Execute: 3, ExecuteOnRows: 4,
     # CountMatching: 3) with the context last; anything shorter — or an
     # exact-arity call whose final argument is clearly not a context —
-    # is a deprecated positional wrapper.
+    # is the deleted positional shape. The deprecation grace period
+    # ended in PR 9: this is a hard ban across src/, tests/, bench/,
+    # and examples/.
     EXEC_CALL_RE = re.compile(
         r"(?:\.|->)\s*(ExecuteOnRows|Execute|CountMatching)\s*\(")
     EXEC_CTX_ARITY = {"Execute": 3, "ExecuteOnRows": 4, "CountMatching": 3}
@@ -308,22 +286,22 @@ class Linter:
                 start = i + 1
         return None
 
-    def check_exec_context(self, path: Path, code: str) -> None:
-        for m in self.EXEC_CALL_RE.finditer(code):
+    def check_exec_context(self, src: SourceFile) -> None:
+        for m in self.EXEC_CALL_RE.finditer(src.code):
             name = m.group(1)
-            args = self.split_top_level_args(code, m.end() - 1)
+            args = self.split_top_level_args(src.code, m.end() - 1)
             if args is None:
                 continue
-            lineno = code.count("\n", 0, m.start()) + 1
+            lineno = src.lineno_at(m.start())
             want = self.EXEC_CTX_ARITY[name]
-            deprecated = (
+            banned = (
                 len(args) != want
                 or not self.CTX_ARG_RE.search(args[-1]))
-            if deprecated:
+            if banned:
                 self.report(
-                    path, lineno, "exec-context",
-                    f"{name} called through a deprecated positional "
-                    "overload; pass one ExecContext "
+                    src, lineno, "exec-context",
+                    f"{name} called with the DELETED positional overload "
+                    "shape; pass one ExecContext "
                     "(engine/exec_context.h) as the final argument")
 
     # Raw Table pointers (members, parameters, locals) in the serving
@@ -331,51 +309,53 @@ class Linter:
     # table through a pinned TableSnapshot.
     TABLE_PTR_RE = re.compile(r"\b(?:const\s+)?Table\s*\*")
 
-    def check_service_table_ptr(self, path: Path, code: str) -> None:
-        if not str(path.relative_to(REPO)).startswith("src/service/"):
+    def check_service_table_ptr(self, src: SourceFile) -> None:
+        if not src.rel.startswith("src/service/"):
             return
-        for lineno, line in enumerate(code.splitlines(), 1):
+        for lineno, line in enumerate(src.code_lines, 1):
             if self.TABLE_PTR_RE.search(line):
                 self.report(
-                    path, lineno, "service-table-ptr",
+                    src, lineno, "service-table-ptr",
                     "raw Table* in the serving layer; pin a "
                     "shared_ptr<const TableSnapshot> from the "
                     "TableCatalog instead (snapshot isolation)")
 
-    def check_contract_docs(self, path: Path, raw: str) -> None:
-        if not CONTRACT_RE.search(raw):
+    def check_contract_docs(self, src: SourceFile) -> None:
+        if not CONTRACT_RE.search(src.raw):
             self.report(
-                path, 1, "contract-docs",
+                src, 1, "contract-docs",
                 "public header must document its thread-safety contract "
                 "(e.g. 'Thread-safe: ...' or 'NOT thread-safe: ...')")
 
     # ---- driver ----
 
     def run(self) -> int:
-        src_files = sorted(
-            p for p in (REPO / "src").rglob("*")
-            if p.suffix in (".h", ".cc") and p.is_file())
-        metric_kinds: dict[str, tuple[str, Path, int]] = {}
-        fault_sites: dict[str, tuple[Path, int]] = {}
-        for path in src_files:
-            raw = path.read_text(encoding="utf-8")
-            code = strip_comments_and_strings(raw)
-            self.check_raw_sync(path, code)
-            self.check_guarded_by(path, code)
-            self.check_naked_new(path, code)
-            self.collect_metrics(path, code, metric_kinds)
-            self.check_exec_context(path, code)
-            self.check_service_table_ptr(path, code)
-            self.check_span_balance(path, code, raw)
-            # Fault-point names live inside string literals, so this
-            # rule scans a comment-stripped but strings-kept view.
-            self.collect_fault_points(
-                path, strip_comments_and_strings(raw, keep_strings=True),
-                fault_sites)
+        src_sources = load_sources(REPO, dirs=("src",))
+        other_sources = load_sources(
+            REPO, dirs=tuple(d for d in ALL_CXX_DIRS if d != "src"))
+        metric_kinds: dict[str, tuple[str, str, int]] = {}
+        fault_sites: dict[str, tuple[str, int]] = {}
+        for src in src_sources:
+            self.check_raw_sync(src)
+            self.check_guarded_by(src)
+            self.check_naked_new(src)
+            self.collect_metrics(src, metric_kinds)
+            self.check_exec_context(src)
+            self.check_service_table_ptr(src)
+            self.check_span_balance(src)
+            self.collect_fault_points(src, fault_sites)
 
-        for header_dir in ("src/paleo", "src/service"):
-            for path in sorted((REPO / header_dir).glob("*.h")):
-                self.check_contract_docs(path, path.read_text("utf-8"))
+        # Tree-wide hard ban: tests, benches, and examples must use the
+        # ExecContext call shape too (the positional overloads no longer
+        # exist; this catches the shape before the compiler's
+        # no-matching-overload error does, with a better message).
+        for src in other_sources:
+            self.check_exec_context(src)
+
+        for src in src_sources:
+            if (src.rel.startswith(("src/paleo/", "src/service/"))
+                    and src.rel.endswith(".h")):
+                self.check_contract_docs(src)
 
         if self.findings:
             print(f"paleo_lint: {len(self.findings)} finding(s):\n")
@@ -383,7 +363,8 @@ class Linter:
                 print("  " + f)
             print("\npaleo_lint: FAILED")
             return 1
-        print(f"paleo_lint: OK — {len(src_files)} files clean.")
+        print(f"paleo_lint: OK — "
+              f"{len(src_sources) + len(other_sources)} files clean.")
         return 0
 
 
