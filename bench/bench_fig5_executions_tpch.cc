@@ -51,6 +51,9 @@ int Run() {
   std::printf(
       "\nExpected shape (paper): ranked needs ~1-2 executions for most "
       "lists and\nbeats 'expected'; the gap grows with |P|.\n");
+  std::vector<AblationCell> cells;
+  RunThresholdAblation(tpch, "TPC-H", env, &cells);
+  WriteAblationJson("fig5_threshold_ablation_tpch", cells);
   return 0;
 }
 

@@ -42,6 +42,9 @@ int Run() {
                   ranked.size());
     }
   }
+  std::vector<AblationCell> cells;
+  RunThresholdAblation(ssb, "SSB", env, &cells);
+  WriteAblationJson("fig6_threshold_ablation_ssb", cells);
   return 0;
 }
 

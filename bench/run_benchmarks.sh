@@ -7,6 +7,12 @@
 #                            + zone-map skip ablation
 #   bench_ingest          -> serving-while-ingesting vs static serving
 #                            (<= 20% acceptance) + publish latencies
+#   bench_fig5_* / bench_fig6_*
+#                         -> threshold-pruning + shared-aggregation
+#                            ablation (off vs on validation wall-clock;
+#                            these are figure binaries, not
+#                            google-benchmark — JSON comes from the
+#                            binary's own PALEO_JSON_OUT writer)
 #
 #   bench/run_benchmarks.sh [output.json]
 #
@@ -27,6 +33,35 @@ if [[ ! -x "${BIN}" ]]; then
   echo "error: ${BIN} not built (cmake --build ${BUILD_DIR} --target ${BENCH_BIN})" >&2
   exit 1
 fi
+
+# Figure binaries (plain mains, no google-benchmark flags): the fig5 /
+# fig6 ablation writes its own JSON via PALEO_JSON_OUT; summarize that.
+case "${BENCH_BIN}" in
+  bench_fig5_*|bench_fig6_*)
+    PALEO_JSON_OUT="${OUT}" "${BIN}"
+    if command -v python3 >/dev/null 2>&1; then
+      python3 - "${OUT}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+cells = data.get("cells", [])
+for c in cells:
+    print(f"{c['dataset']} {c['family']} |P|={c['predicate_size']}: "
+          f"{c['speedup']:.2f}x validation speedup "
+          f"({c['validation_ms_off']:.1f} ms -> "
+          f"{c['validation_ms_on']:.1f} ms, "
+          f"refuted {c['refuted_early']}, "
+          f"rows saved {c['rows_saved']})")
+if cells:
+    best = max(c["speedup"] for c in cells)
+    verdict = "OK (>= 5x)" if best >= 5.0 else "BELOW BAR (< 5x)"
+    print(f"best cell: {best:.2f}x - {verdict}")
+EOF
+    fi
+    exit 0
+    ;;
+esac
 
 "${BIN}" \
   --benchmark_out="${OUT}" \

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kQueryRefuted:
+      return "Query refuted";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kIoError = 8,
   kCancelled = 9,
   kResourceExhausted = 10,
+  kQueryRefuted = 11,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -89,6 +90,14 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// A candidate-query execution was aborted mid-scan because its
+  /// threshold bounds (engine/threshold_monitor.h) proved the result
+  /// cannot equal the target list. NOT a failure: the validator treats
+  /// it exactly as an executed-and-rejected candidate. Only executions
+  /// given an ExecContext::threshold can produce it.
+  static Status QueryRefuted(std::string msg) {
+    return Status(StatusCode::kQueryRefuted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -113,6 +122,9 @@ class [[nodiscard]] Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsQueryRefuted() const {
+    return code() == StatusCode::kQueryRefuted;
   }
 
   /// "OK" or "<code name>: <message>".

@@ -22,6 +22,7 @@ namespace paleo {
 class AtomSelectionCache;
 class RunBudget;
 class ThreadPool;
+class ThresholdMonitor;
 
 /// \brief Per-call execution parameters for Executor scans.
 struct ExecContext {
@@ -57,6 +58,30 @@ struct ExecContext {
   /// match the predicate (default on). Skipped chunks are excluded from
   /// rows_scanned and reported in ExecStats::chunks_skipped.
   bool zone_map_skipping = true;
+
+  /// Threshold-refutation targets for validation executions
+  /// (engine/threshold_monitor.h). When set (and applicable to the
+  /// query: grouped aggregate, matching k and order, multi-chunk full
+  /// scan), the scan maintains per-group bounds between chunks and is
+  /// aborted with Status::QueryRefuted the instant the result provably
+  /// cannot equal the monitor's input list. nullptr (the default)
+  /// always computes the full result. Soundness contract: a refuted
+  /// execution's full result would NOT have been accepted, so callers
+  /// treat refutation as an ordinary rejection.
+  const ThresholdMonitor* threshold = nullptr;
+
+  /// Share per-chunk work ACROSS candidate queries through the
+  /// attached `cache`'s conjunction tiers: whole-conjunction selection
+  /// bitmaps, and per-group partial aggregates keyed by
+  /// (epoch, chunk, conjunction, expression) — an apriori parent's
+  /// grouped partials computed once are served to every child
+  /// candidate reusing the pair. Served chunks skip their scan
+  /// entirely (their rows do not enter rows_scanned); the merged
+  /// result stays byte-identical because cached partials are exactly
+  /// the canonical per-chunk partials. Off by default: raw executor
+  /// users keep strict per-execution accounting; the validator turns
+  /// it on via PaleoOptions::share_aggregates.
+  bool share_aggregates = false;
 };
 
 }  // namespace paleo

@@ -12,6 +12,7 @@
 #include "engine/atom_cache.h"
 #include "engine/selection_bitmap.h"
 #include "engine/selection_kernels.h"
+#include "engine/threshold_monitor.h"
 #include "index/dimension_index.h"
 #include "storage/table_view.h"
 
@@ -77,12 +78,28 @@ struct ChunkOutcome {
   /// The scanner fully handled this chunk (skip or scan); outcomes of
   /// unclaimed / interrupted chunks stay false and must be ignored.
   bool completed = false;
+  /// The chunk's grouped partials were served from the conjunction
+  /// cache: touched/partials are populated but no row was scanned
+  /// (visited stays 0 and the chunk is not a processed morsel).
+  bool served = false;
   /// Rows visited by the consumption pass (rows_scanned accounting).
   size_t visited = 0;
   size_t match_count = 0;              // kCount
   std::vector<HeapEntry> row_entries;  // kRows: scores at absolute rows
   std::vector<uint32_t> touched;       // kGroups: codes, first-touch order
   std::vector<AggState> partials;      // kGroups: parallel to `touched`
+  /// When the chunk's partials live in the conjunction cache (served
+  /// from it, or donated to it on insert), the shared payload replaces
+  /// the inline vectors — sharing a chunk is then pointer adoption,
+  /// never a copy. Read through GroupTouched()/GroupPartials().
+  std::shared_ptr<const CachedChunkPartials> shared_partials;
+
+  const std::vector<uint32_t>& GroupTouched() const {
+    return shared_partials != nullptr ? shared_partials->touched : touched;
+  }
+  const std::vector<AggState>& GroupPartials() const {
+    return shared_partials != nullptr ? shared_partials->partials : partials;
+  }
 };
 
 /// Per-worker reusable scan state: the dense group array is allocated
@@ -103,7 +120,7 @@ class ChunkScanner {
   ChunkScanner(const Table& table, const TableView& view,
                const Predicate& predicate, const BoundPredicate& bound,
                ScanMode mode, const TopKQuery* query, bool vectorized,
-               bool zone_skip, AtomSelectionCache* cache)
+               bool zone_skip, AtomSelectionCache* cache, bool share)
       : table_(table),
         view_(view),
         predicate_(predicate),
@@ -113,6 +130,7 @@ class ChunkScanner {
         vectorized_(vectorized),
         zone_skip_(zone_skip),
         cache_(cache),
+        share_(share && cache != nullptr),
         epoch_(view.epoch()),
         entity_codes_(table.entity_column().codes().data()),
         dict_size_(table.entity_column().dict()->size()) {}
@@ -128,10 +146,40 @@ class ChunkScanner {
       out->completed = true;
       return true;
     }
+    // Partials tier: a lattice neighbor already computed this chunk's
+    // grouped partials for the same (conjunction, expression) pair —
+    // adopt the canonical partials and skip the scan (visited stays 0;
+    // the cached form IS what the rank-order merge consumes, so the
+    // merged result is byte-identical with a scanned chunk).
+    const bool share_partials = share_ && mode_ == ScanMode::kGroups;
+    if (share_partials) {
+      std::shared_ptr<const CachedChunkPartials> cached =
+          cache_->LookupPartials(epoch_, static_cast<uint32_t>(chunk_index),
+                                 predicate_.atoms(), query_->expr);
+      if (cached != nullptr) {
+        out->shared_partials = std::move(cached);
+        out->served = true;
+        out->completed = true;
+        return true;
+      }
+    }
     const bool ok = vectorized_ ? ScanVectorized(chunk_index, ch, gate,
                                                  scratch, out)
                                 : ScanScalar(ch, gate, scratch, out);
     out->completed = ok;
+    if (ok && share_partials) {
+      // Donate the vectors to the cache and adopt the retained payload
+      // (ours, or a racing winner's identical one) — the insert never
+      // copies the partials, and InsertPartials always returns the
+      // payload even when retention is under pressure.
+      out->shared_partials = cache_->InsertPartials(
+          epoch_, static_cast<uint32_t>(chunk_index), predicate_.atoms(),
+          query_->expr,
+          CachedChunkPartials{std::move(out->touched),
+                              std::move(out->partials)});
+      out->touched.clear();
+      out->partials.clear();
+    }
     return ok;
   }
 
@@ -158,6 +206,19 @@ class ChunkScanner {
       *out = SelectionBitmap::AllSet(n);
       return true;
     }
+    // Conjunction-bitmap tier: the fully ANDed selection of a 2+-atom
+    // conjunction seen before (parent candidates and every sibling
+    // reusing it) resolves in one probe instead of one per atom.
+    // Single atoms stay on the atom tier — the two would be identical.
+    const bool share_conj = share_ && atoms.size() >= 2;
+    if (share_conj) {
+      std::shared_ptr<const SelectionBitmap> bm = cache_->LookupConjunction(
+          epoch_, static_cast<uint32_t>(chunk_index), atoms);
+      if (bm != nullptr) {
+        *out = *bm;
+        return true;
+      }
+    }
     bool first = true;
     for (size_t i = 0; i < bound_atoms.size(); ++i) {
       std::shared_ptr<const SelectionBitmap> bm;
@@ -182,6 +243,13 @@ class ChunkScanner {
       } else {
         out->AndWith(*bm);
       }
+    }
+    if (share_conj) {
+      // Retain the ANDed result for the next candidate on this
+      // conjunction; first insert wins on races (identical contents
+      // either way, so adopting the winner's copy is unnecessary).
+      cache_->InsertConjunction(epoch_, static_cast<uint32_t>(chunk_index),
+                                atoms, SelectionBitmap(*out));
     }
     return true;
   }
@@ -286,6 +354,9 @@ class ChunkScanner {
   const bool vectorized_;
   const bool zone_skip_;
   AtomSelectionCache* cache_;
+  /// Conjunction-tier sharing (ExecContext::share_aggregates); forced
+  /// off without a cache to keep the scan branches simple.
+  const bool share_;
   const uint64_t epoch_;
   const uint32_t* entity_codes_;
   const size_t dict_size_;
@@ -302,6 +373,7 @@ class ChunkScanner {
 TerminationReason RunChunkScan(const ChunkScanner& scanner, size_t num_chunks,
                                const RunBudget* budget, uint32_t gate_stride,
                                ThreadPool* pool, int workers,
+                               ThresholdState* threshold,
                                std::vector<ChunkOutcome>* outcomes) {
   // relaxed: next_chunk is a pure work-claim ticket and abort/reason
   // are advisory flags; chunk-outcome visibility is provided by the
@@ -313,6 +385,10 @@ TerminationReason RunChunkScan(const ChunkScanner& scanner, size_t num_chunks,
     BudgetGate gate(budget, gate_stride);
     ChunkScratch scratch;
     while (!abort.load(std::memory_order_relaxed)) {
+      // Threshold refutation stops claiming but is not an interrupt:
+      // the caller distinguishes the refuted outcome from the merged
+      // outcomes (completed chunks remain valid partials).
+      if (threshold != nullptr && threshold->refuted()) break;
       const size_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_chunks) break;
       if (!scanner.ProcessChunk(i, &gate, &scratch, &(*outcomes)[i])) {
@@ -321,6 +397,14 @@ TerminationReason RunChunkScan(const ChunkScanner& scanner, size_t num_chunks,
         reason.store(gate.reason(), std::memory_order_relaxed);
         abort.store(true, std::memory_order_relaxed);
         break;
+      }
+      if (threshold != nullptr) {
+        const ChunkOutcome& o = (*outcomes)[i];
+        if (o.skipped) {
+          threshold->NoteChunkSkipped(i);
+        } else {
+          threshold->NoteChunk(i, o.GroupTouched(), o.GroupPartials());
+        }
       }
     }
   };
@@ -366,7 +450,7 @@ size_t Executor::CountMatching(const Table& table, const Predicate& predicate,
   const size_t num_chunks = view.num_chunks();
   ChunkScanner scanner(table, view, predicate, bound, ScanMode::kCount,
                        nullptr, use_vectorized, ctx.zone_map_skipping,
-                       ctx.cache);
+                       ctx.cache, ctx.share_aggregates);
   int workers = 1;
   if (ctx.pool != nullptr && ctx.scan_threads > 1 && num_chunks > 1) {
     workers = static_cast<int>(
@@ -377,7 +461,7 @@ size_t Executor::CountMatching(const Table& table, const Predicate& predicate,
   // ctx.budget (as the positional API always did): the gate never trips.
   RunChunkScan(scanner, num_chunks, nullptr,
                use_vectorized ? kVectorGateStride : kScalarGateStride,
-               workers > 1 ? ctx.pool : nullptr, workers, &outcomes);
+               workers > 1 ? ctx.pool : nullptr, workers, nullptr, &outcomes);
   size_t count = 0;
   int64_t skipped = 0;
   int64_t morsels = 0;
@@ -524,17 +608,28 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
     const ScanMode mode =
         query.agg == AggFn::kNone ? ScanMode::kRows : ScanMode::kGroups;
     ChunkScanner scanner(table, view, query.predicate, bound, mode, &query,
-                         use_vectorized, ctx.zone_map_skipping, ctx.cache);
+                         use_vectorized, ctx.zone_map_skipping, ctx.cache,
+                         ctx.share_aggregates);
     int workers = 1;
     if (ctx.pool != nullptr && ctx.scan_threads > 1 && num_chunks > 1) {
       workers = static_cast<int>(
           std::min<size_t>(static_cast<size_t>(ctx.scan_threads), num_chunks));
     }
+    // Threshold pruning engages only on grouped multi-chunk full scans
+    // whose shape matches the monitor's targets: single-chunk tables
+    // have no "remaining chunks" to bound against, so the check could
+    // never fire before the scan finished anyway.
+    std::unique_ptr<ThresholdState> tstate;
+    if (ctx.threshold != nullptr && mode == ScanMode::kGroups &&
+        num_chunks > 1 && ctx.threshold->AppliesTo(query)) {
+      tstate = std::make_unique<ThresholdState>(ctx.threshold, table, view,
+                                                query);
+    }
     std::vector<ChunkOutcome> outcomes(num_chunks);
     const TerminationReason scan_reason = RunChunkScan(
         scanner, num_chunks, ctx.budget,
         use_vectorized ? kVectorGateStride : kScalarGateStride,
-        workers > 1 ? ctx.pool : nullptr, workers, &outcomes);
+        workers > 1 ? ctx.pool : nullptr, workers, tstate.get(), &outcomes);
 
     // Accounting first (interrupted executions still report the rows
     // they visited, as the row-restricted path does).
@@ -545,7 +640,9 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
       visited += o.visited;
       if (o.skipped) {
         ++skipped;
-      } else if (o.completed) {
+      } else if (o.completed && !o.served) {
+        // Cache-served chunks were neither skipped nor scanned; the
+        // conjunction-cache hit counters account for them.
         ++morsels;
       }
     }
@@ -557,7 +654,35 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
     obs::Inc(metrics_.morsels, morsels);
     obs::Observe(metrics_.scan_parallelism, static_cast<double>(workers));
     if (scan_reason != TerminationReason::kCompleted) {
+      // A budget interrupt outranks refutation: the wind-down contract
+      // (Status::Cancelled, identical to the unpruned path) must not
+      // depend on whether the bounds happened to trip first.
       return interrupted(scan_reason);
+    }
+    if (tstate != nullptr && tstate->refuted()) {
+      // Refutation is only actionable when some chunk was actually left
+      // unscanned: when every chunk completed anyway (the flag tripped
+      // on the last chunk, or racing workers drained the table first),
+      // fall through and return the full canonical result — refutation
+      // is sound, so the caller's comparison rejects it identically,
+      // and the sequential/parallel outcomes stay consistent.
+      size_t saved = 0;
+      for (size_t i = 0; i < num_chunks; ++i) {
+        const ChunkOutcome& o = outcomes[i];
+        if (o.completed) continue;
+        saved += view.chunk(i).num_rows() - o.visited;
+      }
+      if (saved > 0) {
+        // relaxed: Stats counters are pure tallies (see Stats doc).
+        stats_.executions_aborted_early.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        stats_.rows_saved.fetch_add(static_cast<int64_t>(saved),
+                                    std::memory_order_relaxed);
+        obs::Inc(metrics_.rows_saved, static_cast<int64_t>(saved));
+        return Status::QueryRefuted(
+            "threshold bounds prove the candidate cannot reproduce the "
+            "target list");
+      }
     }
 
     // Rank-order merge: strictly ascending chunk index. For kRows this
@@ -579,14 +704,16 @@ StatusOr<TopKList> Executor::ExecuteImpl(const Table& table,
       touched.reserve(dict.size());
       for (const ChunkOutcome& o : outcomes) {
         if (o.skipped || !o.completed) continue;
-        for (size_t i = 0; i < o.touched.size(); ++i) {
-          const uint32_t code = o.touched[i];
+        const std::vector<uint32_t>& o_touched = o.GroupTouched();
+        const std::vector<AggState>& o_partials = o.GroupPartials();
+        for (size_t i = 0; i < o_touched.size(); ++i) {
+          const uint32_t code = o_touched[i];
           AggState& g = groups[code];
           if (g.count == 0) {
             touched.push_back(code);
-            g = o.partials[i];
+            g = o_partials[i];
           } else {
-            g.Merge(o.partials[i]);
+            g.Merge(o_partials[i]);
           }
         }
       }

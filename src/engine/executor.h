@@ -93,6 +93,19 @@ class Executor {
     /// Chunk-granular scan morsels actually processed (skipped chunks
     /// excluded); equals chunks-per-table on unselective scans.
     std::atomic<int64_t> morsels{0};
+    /// Executions aborted mid-scan by threshold refutation
+    /// (ExecContext::threshold): the running per-group bounds proved
+    /// the result cannot equal the monitor's target list.
+    /// relaxed: independent event counter, no ordering with other
+    /// memory needed (same contract as every counter above).
+    std::atomic<int64_t> executions_aborted_early{0};
+    /// Rows NOT scanned thanks to threshold refutation: the unscanned
+    /// remainder of chunks never claimed (or abandoned) when an
+    /// execution aborted early. Zone-map-skipped chunks do not count —
+    /// they are attributed to chunks_skipped.
+    /// relaxed: independent event counter, accumulated once per aborted
+    /// execution after the morsel join; no cross-counter ordering.
+    std::atomic<int64_t> rows_saved{0};
   };
 
   /// Optional registry-backed instruments mirrored alongside Stats, so
@@ -105,6 +118,9 @@ class Executor {
     obs::Counter* index_assisted = nullptr;
     obs::Counter* chunks_skipped = nullptr;
     obs::Counter* morsels = nullptr;
+    /// Rows saved by threshold refutation (paired with
+    /// Stats::rows_saved; backs paleo_rows_saved_by_threshold_total).
+    obs::Counter* rows_saved = nullptr;
     /// One observation per full scan: the number of morsel workers the
     /// scan ran with (1 for sequential).
     obs::Histogram* scan_parallelism = nullptr;
@@ -179,6 +195,8 @@ class Executor {
     stats_.scalar_fallbacks.store(0, std::memory_order_relaxed);
     stats_.chunks_skipped.store(0, std::memory_order_relaxed);
     stats_.morsels.store(0, std::memory_order_relaxed);
+    stats_.executions_aborted_early.store(0, std::memory_order_relaxed);
+    stats_.rows_saved.store(0, std::memory_order_relaxed);
   }
 
  private:

@@ -156,6 +156,36 @@ struct PaleoOptions {
   /// vectorized_execution is off.
   size_t atom_cache_bytes = static_cast<size_t>(32) << 20;
 
+  /// Threshold-pruned validation (engine/threshold_monitor.h): abort a
+  /// candidate execution mid-scan the instant its running per-group
+  /// bounds prove the result cannot equal L. Sound — a candidate the
+  /// full execution would accept is never refuted — so the set of
+  /// validated queries is identical on or off (asserted by
+  /// tests/threshold_validation_test.cc); refuted executions still
+  /// count against every execution budget. Applies to exact-match
+  /// validation over multi-chunk tables; partial-match runs ignore it
+  /// (a pruned scan has no result list to score). Disable for ablation
+  /// or to reproduce the paper's full-execution cost profile.
+  bool threshold_pruning = true;
+  /// Share whole-conjunction selection bitmaps and per-chunk grouped
+  /// partial aggregates across the candidate lattice through the
+  /// run's AtomSelectionCache conjunction tiers: a parent
+  /// conjunction's partials computed once are served to every
+  /// candidate reusing the same (conjunction, ranking expression)
+  /// pair, skipping those chunks' scans outright. Byte-identical
+  /// results (cached partials ARE the canonical per-chunk partials);
+  /// executor rows_scanned drops accordingly. Requires the atom cache
+  /// (atom_cache_bytes > 0 and vectorized_execution on).
+  bool share_aggregates = true;
+  /// Order suitability-tied candidates lattice-aware — parents (small
+  /// conjunctions) before children — so shared partials are populated
+  /// top-down and children hit the cache on their first chunk. Off by
+  /// default: the paper's tie-break prefers the most selective
+  /// (largest) predicate first, and the bench harness measures that
+  /// profile; sharing still works either direction (children populate,
+  /// parents reuse), just with a colder start.
+  bool lattice_aware_order = false;
+
   /// Build secondary indexes on R's dimension columns and answer
   /// candidate-query executions by posting-list intersection instead
   /// of full scans. Results are identical; validation wall-clock drops

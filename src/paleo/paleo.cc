@@ -88,6 +88,7 @@ StatusOr<ReverseEngineerReport> Paleo::Run(const RunRequest& request) const {
                           metrics.executor_rows_scanned,
                           metrics.executor_index_assisted,
                           metrics.chunks_skipped, metrics.morsels,
+                          metrics.rows_saved_by_threshold,
                           metrics.scan_parallelism});
   }
 
@@ -163,6 +164,8 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   // counter cannot be read directly. relaxed: sampling a pure tally.
   const int64_t scalar_fallbacks_before =
       executor->stats().scalar_fallbacks.load(std::memory_order_relaxed);
+  const int64_t rows_saved_before =
+      executor->stats().rows_saved.load(std::memory_order_relaxed);
 
   obs::ScopedSpan run_span(trace, "run");
   run_span.AddAttr("k", static_cast<int64_t>(input.size()));
@@ -236,7 +239,8 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   ProbModel model(catalog_, rprime);
   model.set_use_observed_match_rate(options.use_observed_match_rate);
   std::vector<CandidateQuery> candidates = BuildCandidateQueries(
-      mining, rankings, model, static_cast<int>(input.size()), order);
+      mining, rankings, model, static_cast<int>(input.size()), order,
+      options.lattice_aware_order);
   report.candidate_queries = static_cast<int64_t>(candidates.size());
   report.timings.find_ranking_ms = step_timer.ElapsedMillis();
   obs::Inc(metrics.candidate_queries, report.candidate_queries);
@@ -260,7 +264,9 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
         options.atom_cache_bytes,
         AtomSelectionCache::MetricHandles{
             metrics.cache_hits, metrics.cache_misses,
-            metrics.cache_evictions, metrics.cache_resident_bytes});
+            metrics.cache_evictions, metrics.cache_resident_bytes,
+            metrics.conjunction_cache_hits,
+            metrics.conjunction_cache_misses});
   }
   step_timer.Reset();
   obs::ScopedSpan validate_span(trace, "validate", run_span.id());
@@ -286,6 +292,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   report.executed_queries = outcome.executions;
   report.speculative_executions = outcome.speculative_executions;
   report.skip_events = outcome.skip_events;
+  report.executions_aborted_early = outcome.refuted_early;
   report.timings.validation_ms = step_timer.ElapsedMillis();
   obs::Observe(metrics.step_validation_ms, report.timings.validation_ms);
   validate_span.AddAttr("executed", outcome.executions);
@@ -315,7 +322,8 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
                     &deep_info, /*exhaustive=*/true, governed));
     note_termination(deep_info.termination);
     std::vector<CandidateQuery> all_candidates = BuildCandidateQueries(
-        mining, all_rankings, model, static_cast<int>(input.size()), order);
+        mining, all_rankings, model, static_cast<int>(input.size()), order,
+        options.lattice_aware_order);
     std::unordered_set<uint64_t> already_tried;
     for (const CandidateQuery& cq : candidates) {
       already_tried.insert(cq.query.Hash());
@@ -363,6 +371,7 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
     report.executed_queries += retry.executions;
     report.speculative_executions += retry.speculative_executions;
     report.skip_events += retry.skip_events;
+    report.executions_aborted_early += retry.refuted_early;
     report.timings.validation_ms += step_timer.ElapsedMillis();
     obs::Observe(metrics.step_validation_ms, step_timer.ElapsedMillis());
     deep_validate_span.AddAttr("executed", retry.executions);
@@ -380,6 +389,10 @@ StatusOr<ReverseEngineerReport> Paleo::RunImpl(
   report.degraded_events =
       executor->stats().scalar_fallbacks.load(std::memory_order_relaxed) -
       scalar_fallbacks_before;
+  // relaxed: same delta pattern — threshold aborts tally rows skipped.
+  report.rows_saved =
+      executor->stats().rows_saved.load(std::memory_order_relaxed) -
+      rows_saved_before;
   if (atom_cache != nullptr) {
     report.degraded_events += atom_cache->stats().pressure_events;
   }

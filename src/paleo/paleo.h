@@ -85,6 +85,13 @@ struct ReverseEngineerReport {
   int64_t executed_queries = 0;
   int64_t speculative_executions = 0;
   int64_t skip_events = 0;
+  /// Executions the threshold monitor refuted mid-scan (a subset of
+  /// executed_queries; 0 with options.threshold_pruning off) and the
+  /// base-table rows those aborts plus shared-aggregate cache hits
+  /// skipped. Side observations only: the valid set is identical with
+  /// pruning/sharing on or off.
+  int64_t executions_aborted_early = 0;
+  int64_t rows_saved = 0;
 
   /// R' shape.
   int64_t rprime_rows = 0;

@@ -67,6 +67,21 @@ PipelineMetrics PipelineMetrics::Bind(obs::MetricsRegistry* registry) {
   m.cache_resident_bytes = registry->FindOrCreateGauge(
       "paleo_cache_resident_bytes",
       "Selection-bitmap bytes currently retained by the atom cache.");
+  m.conjunction_cache_hits = registry->FindOrCreateCounter(
+      "paleo_conjunction_cache_hits_total",
+      "Conjunction-tier cache hits (whole-conjunction bitmaps and "
+      "per-group partial aggregates served without a scan).");
+  m.conjunction_cache_misses = registry->FindOrCreateCounter(
+      "paleo_conjunction_cache_misses_total",
+      "Conjunction-tier cache misses (the chunk was scanned and the "
+      "result inserted for reuse).");
+  m.validations_refuted_early = registry->FindOrCreateCounter(
+      "paleo_validations_refuted_early_total",
+      "Candidate executions aborted mid-scan because threshold bounds "
+      "proved the result cannot equal the target list.");
+  m.rows_saved_by_threshold = registry->FindOrCreateCounter(
+      "paleo_rows_saved_by_threshold_total",
+      "Rows never scanned thanks to threshold-refuted executions.");
   m.degraded_runs = registry->FindOrCreateCounter(
       "paleo_degraded_runs_total",
       "Runs that degraded gracefully (scalar fallback or atom-cache "

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <future>
+#include <memory>
 #include <numeric>
 #include <utility>
 
 #include "common/fault_points.h"
 #include "common/thread_pool.h"
+#include "engine/threshold_monitor.h"
 #include "stats/distance.h"
 
 namespace paleo {
@@ -27,6 +29,19 @@ TerminationReason ExhaustionReason(const RunBudget* budget,
 }
 
 }  // namespace
+
+std::unique_ptr<ThresholdMonitor> Validator::MakeMonitor(
+    const std::vector<CandidateQuery>& candidates,
+    const TopKList& input) const {
+  if (!options_.threshold_pruning ||
+      options_.match_mode != MatchMode::kExact || candidates.empty()) {
+    return nullptr;
+  }
+  auto monitor = std::make_unique<ThresholdMonitor>(
+      base_, input, candidates.front().query.order, options_.rel_eps);
+  if (!monitor->active()) return nullptr;
+  return monitor;
+}
 
 bool Validator::Accepts(const TopKList& result, const TopKList& input) const {
   if (options_.match_mode == MatchMode::kExact) {
@@ -49,10 +64,14 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
   ValidationOutcome outcome;
   outcome.passes = 1;
   obs::Inc(metrics_.validation_passes);
+  const std::unique_ptr<ThresholdMonitor> monitor =
+      MakeMonitor(candidates, input);
   const ExecContext exec_ctx{.budget = budget,
                              .cache = cache_,
                              .pool = pool_,
-                             .scan_threads = options_.scan_threads};
+                             .scan_threads = options_.scan_threads,
+                             .threshold = monitor.get(),
+                             .share_aggregates = options_.share_aggregates};
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (options_.max_query_executions > 0 &&
         outcome.executions >= options_.max_query_executions) {
@@ -73,6 +92,19 @@ StatusOr<ValidationOutcome> Validator::RankedValidation(
     obs::ScopedSpan span(trace_.trace, "execute", trace_.parent);
     auto result = executor_->Execute(base_, candidates[i].query, exec_ctx);
     if (!result.ok()) {
+      if (result.status().IsQueryRefuted()) {
+        // The threshold monitor proved mid-scan that this candidate
+        // cannot reproduce L: an executed-and-rejected candidate that
+        // stopped early. Counted as an execution so budgets and the
+        // paper's execution metric are identical with pruning off.
+        ++outcome.executions;
+        ++outcome.refuted_early;
+        obs::Inc(metrics_.candidates_executed);
+        obs::Inc(metrics_.validations_refuted_early);
+        span.AddAttr("candidate", static_cast<int64_t>(i));
+        span.AddAttr("refuted_early", int64_t{1});
+        continue;
+      }
       if (result.status().IsCancelled()) {
         // The deadline passed (or the token tripped) mid-scan; the
         // partial execution does not count.
@@ -125,18 +157,45 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
     }
     return true;
   };
-  // Executes candidates[idx]; returns false when the run should wind
-  // down (budget exhausted mid-scan). Errors propagate via `failure`.
+  // Executes candidates[idx]; kStop means the run should wind down
+  // (budget exhausted mid-scan). Errors propagate via `failure`.
   Status failure = Status::OK();
-  const ExecContext exec_ctx{.budget = budget,
-                             .cache = cache_,
-                             .pool = pool_,
-                             .scan_threads = options_.scan_threads};
-  auto execute = [&](size_t idx, TopKList* result) {
+  // Phase 1 executions feed Qfm detection (EntityJaccard over the full
+  // result list), so they run UNPRUNED; phase 2 results only need the
+  // accept/reject verdict, so they carry the threshold monitor. The
+  // execution schedule — and with it executions, skip_events, passes,
+  // and the valid set — is therefore identical with pruning on or off.
+  const std::unique_ptr<ThresholdMonitor> monitor =
+      MakeMonitor(candidates, input);
+  const ExecContext unpruned_ctx{
+      .budget = budget,
+      .cache = cache_,
+      .pool = pool_,
+      .scan_threads = options_.scan_threads,
+      .share_aggregates = options_.share_aggregates};
+  const ExecContext pruned_ctx{
+      .budget = budget,
+      .cache = cache_,
+      .pool = pool_,
+      .scan_threads = options_.scan_threads,
+      .threshold = monitor.get(),
+      .share_aggregates = options_.share_aggregates};
+  enum class Exec { kOk, kRefuted, kStop };
+  auto execute = [&](size_t idx, const ExecContext& exec_ctx,
+                     TopKList* result) {
     obs::ScopedSpan span(trace_.trace, "execute", trace_.parent);
     span.AddAttr("candidate", static_cast<int64_t>(idx));
     auto executed = executor_->Execute(base_, candidates[idx].query, exec_ctx);
     if (!executed.ok()) {
+      if (executed.status().IsQueryRefuted()) {
+        // Executed-and-rejected, just cheaper: counts as an execution.
+        ++outcome.executions;
+        ++outcome.refuted_early;
+        obs::Inc(metrics_.candidates_executed);
+        obs::Inc(metrics_.validations_refuted_early);
+        span.AddAttr("refuted_early", int64_t{1});
+        return Exec::kRefuted;
+      }
       if (executed.status().IsCancelled()) {
         outcome.termination = ExhaustionReason(
             budget, prior_executions + outcome.executions);
@@ -144,12 +203,12 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
       } else {
         failure = executed.status();
       }
-      return false;
+      return Exec::kStop;
     }
     ++outcome.executions;
     obs::Inc(metrics_.candidates_executed);
     *result = std::move(executed).value();
-    return true;
+    return Exec::kOk;
   };
 
   while (!queue.empty()) {
@@ -165,7 +224,9 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
     for (; pos < queue.size() && budget_left() && governed_left(); ++pos) {
       const CandidateQuery& cq = candidates[queue[pos]];
       TopKList result;
-      if (!execute(queue[pos], &result)) break;
+      const Exec e = execute(queue[pos], unpruned_ctx, &result);
+      if (e == Exec::kStop) break;
+      if (e == Exec::kRefuted) continue;  // no list: cannot become Qfm
       if (Accepts(result, input)) {
         outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
         if (options_.stop_at_first_valid) return outcome;
@@ -197,7 +258,9 @@ StatusOr<ValidationOutcome> Validator::SmartValidation(
         }
       }
       TopKList result;
-      if (!execute(queue[pos], &result)) break;
+      const Exec e = execute(queue[pos], pruned_ctx, &result);
+      if (e == Exec::kStop) break;
+      if (e == Exec::kRefuted) continue;  // rejected without a full scan
       if (Accepts(result, input)) {
         outcome.valid.push_back(ValidQuery{cq.query, outcome.executions});
         if (options_.stop_at_first_valid) return outcome;
@@ -264,10 +327,28 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
   task_budget.set_cancellation_token(&stop);
   // Scan morsels of the speculative executions share the validation
   // pool; WaitHelping keeps the nesting deadlock-free.
+  //
+  // Pruning mirrors the sequential schedule: parallel-ranked tasks
+  // always prune; parallel-smart tasks prune only once Qfm is known at
+  // LAUNCH time (launches happen on this commit thread, so the qfm
+  // snapshot is race-free). A task launched before Qfm committed may
+  // run unpruned where the sequential phase 2 would have pruned it —
+  // both count one execution and reject, so the committed outcome is
+  // unchanged; only refuted_early / rows_saved side counters differ.
+  const std::unique_ptr<ThresholdMonitor> monitor =
+      MakeMonitor(candidates, input);
   const ExecContext task_ctx{.budget = &task_budget,
                              .cache = cache_,
                              .pool = pool_,
-                             .scan_threads = options_.scan_threads};
+                             .scan_threads = options_.scan_threads,
+                             .share_aggregates = options_.share_aggregates};
+  const ExecContext pruned_task_ctx{
+      .budget = &task_budget,
+      .cache = cache_,
+      .pool = pool_,
+      .scan_threads = options_.scan_threads,
+      .threshold = monitor.get(),
+      .share_aggregates = options_.share_aggregates};
 
   struct Slot {
     enum class State { kPending, kLaunched, kSkipped };
@@ -314,7 +395,9 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
             slots[i].future.valid()) {
           pool_->WaitHelping(slots[i].future);
           ExecResult r = slots[i].future.get();
-          if (r.ran && r.status.ok()) {
+          // A refuted speculative execution did real (if early-stopped)
+          // work, exactly like an ok one whose result is discarded.
+          if (r.ran && (r.status.ok() || r.status.IsQueryRefuted())) {
             ++outcome.speculative_executions;
             obs::Inc(metrics_.candidates_speculative);
           }
@@ -370,11 +453,16 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
           ++launch_pos;
           continue;
         }
+        // Qfm snapshot at launch (see the ctx comment above): smart
+        // candidates launched before Qfm run unpruned, like the
+        // sequential phase 1.
+        const ExecContext* ctx =
+            (!smart || qfm != nullptr) ? &pruned_task_ctx : &task_ctx;
         slots[launch_pos].future = pool_->Submit(
-            [this, cq, &task_ctx]() -> ExecResult {
+            [this, cq, ctx]() -> ExecResult {
               ExecResult r;
               r.ran = true;
-              auto executed = executor_->Execute(base_, cq->query, task_ctx);
+              auto executed = executor_->Execute(base_, cq->query, *ctx);
               if (!executed.ok()) {
                 r.status = executed.status();
               } else {
@@ -409,7 +497,10 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
       // committed: a speculative execution the sequential scheduler
       // would have skipped is discarded and retried next pass.
       if (should_skip(cq)) {
-        if (result.ran && result.status.ok()) {
+        // Refuted counts like ok here: real (if early-stopped) work
+        // whose result is discarded (same rule as drain()).
+        if (result.ran &&
+            (result.status.ok() || result.status.IsQueryRefuted())) {
           ++outcome.speculative_executions;
           obs::Inc(metrics_.candidates_speculative);
           span.AddAttr("speculative", int64_t{1});
@@ -421,6 +512,19 @@ StatusOr<ValidationOutcome> Validator::ParallelValidation(
         continue;
       }
       if (!result.ran || !result.status.ok()) {
+        if (result.ran && result.status.IsQueryRefuted()) {
+          // Mirrors the sequential refuted branch: an executed-and-
+          // rejected candidate that stopped early. Committed in rank
+          // order here, so budgets and Qfm discovery see the same
+          // schedule as with pruning off.
+          ++outcome.executions;
+          ++outcome.refuted_early;
+          obs::Inc(metrics_.candidates_executed);
+          obs::Inc(metrics_.validations_refuted_early);
+          span.AddAttr("refuted_early", int64_t{1});
+          ++commit_pos;
+          continue;
+        }
         if (!result.ran || result.status.IsCancelled()) {
           // Deadline (or an externally tripped token) hit mid-scan.
           outcome.termination = ExhaustionReason(

@@ -35,6 +35,7 @@
 #define PALEO_PALEO_VALIDATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/run_budget.h"
@@ -49,6 +50,7 @@ namespace paleo {
 
 class AtomSelectionCache;
 class ThreadPool;
+class ThresholdMonitor;
 
 /// \brief One validated (accepted) query.
 struct ValidQuery {
@@ -76,6 +78,10 @@ struct ValidationOutcome {
   /// would have skipped (or never reached) them. Not counted in
   /// `executions`.
   int64_t speculative_executions = 0;
+  /// Executions the threshold monitor aborted mid-scan (counted in
+  /// `executions` too: a refuted candidate is an executed-and-rejected
+  /// candidate that happened to stop early).
+  int64_t refuted_early = 0;
   bool found() const { return !valid.empty(); }
 };
 
@@ -140,6 +146,17 @@ class Validator {
   StatusOr<ValidationOutcome> ParallelValidation(
       const std::vector<CandidateQuery>& candidates, const TopKList& input,
       bool smart, const RunBudget* budget, int64_t prior_executions) const;
+
+  /// The run's ThresholdMonitor (engine/threshold_monitor.h), or
+  /// nullptr when pruning is off, the match mode is not exact (a
+  /// refuted scan has no result list to partial-score), there are no
+  /// candidates, or the monitor deactivated itself (unsorted /
+  /// unresolvable input). All candidates of one run share one sort
+  /// order (BuildCandidateQueries stamps it), so one monitor serves
+  /// every execution; the executor re-checks applicability per query.
+  std::unique_ptr<ThresholdMonitor> MakeMonitor(
+      const std::vector<CandidateQuery>& candidates,
+      const TopKList& input) const;
 
   const Table& base_;
   Executor* executor_;

@@ -167,9 +167,14 @@ TEST(PaleoE2eTest, ValidationDominatesStepTimes) {
   ASSERT_FALSE(workload->empty());
 
   // Scan-based validation (the paper's profile): disable the secondary
-  // indexes so every execution reads all of R.
+  // indexes so every execution reads all of R, and switch off threshold
+  // pruning and aggregate sharing — both legitimately shrink
+  // rows_scanned, but this test measures the unoptimized full-scan
+  // profile that the rows_scanned >= executions * |R| bound encodes.
   PaleoOptions options;
   options.use_dimension_index = false;
+  options.threshold_pruning = false;
+  options.share_aggregates = false;
   Paleo paleo(&*table, options);
   auto report = paleo.Run((*workload)[0].list);
   ASSERT_TRUE(report.ok());

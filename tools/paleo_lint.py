@@ -175,6 +175,24 @@ class Linter:
     SUFFIX_KINDS = {"_total": "Counter", "_ms": "Histogram",
                     "_bytes": "Gauge"}
 
+    # Load-bearing series that dashboards and the bench harness key on:
+    # each must stay registered somewhere in src/. Renaming or dropping
+    # one silently zeroes every consumer, so removal must be deliberate
+    # (update this list together with the naming-scheme doc in
+    # src/paleo/pipeline_metrics.h).
+    REQUIRED_SERIES = (
+        "paleo_runs_total",
+        "paleo_executor_queries_total",
+        "paleo_executor_rows_scanned_total",
+        "paleo_cache_hits_total",
+        "paleo_cache_misses_total",
+        "paleo_conjunction_cache_hits_total",
+        "paleo_conjunction_cache_misses_total",
+        "paleo_validations_refuted_early_total",
+        "paleo_rows_saved_by_threshold_total",
+        "paleo_degraded_runs_total",
+    )
+
     def collect_metrics(self, src: SourceFile,
                         kinds: dict[str, tuple[str, str, int]]) -> None:
         # Whole-text match on the strings-kept view: registration calls
@@ -344,6 +362,20 @@ class Linter:
             self.check_service_table_ptr(src)
             self.check_span_balance(src)
             self.collect_fault_points(src, fault_sites)
+
+        # Required-series audit (see REQUIRED_SERIES): every
+        # load-bearing family must still be registered somewhere.
+        for name in self.REQUIRED_SERIES:
+            if name not in metric_kinds:
+                anchor = next(
+                    (s for s in src_sources
+                     if s.rel == "src/paleo/pipeline_metrics.cc"),
+                    src_sources[0])
+                self.report(
+                    anchor, 1, "metric-names",
+                    f"required series '{name}' is no longer registered "
+                    "anywhere in src/; dashboards key on it (remove it "
+                    "from REQUIRED_SERIES only with the consumers)")
 
         # Tree-wide hard ban: tests, benches, and examples must use the
         # ExecContext call shape too (the positional overloads no longer
